@@ -1,0 +1,117 @@
+//! BFS kernel: level-synchronous breadth-first search "starting from a seed
+//! vertex, visiting first all the neighbors of a vertex before moving to the
+//! neighbors of the neighbors" (paper §3.2).
+
+use graphalytics_graph::{CsrGraph, Vid, VertexId};
+use std::collections::VecDeque;
+
+/// Depth of every vertex from `source` (an external id); `-1` when
+/// unreachable (including when `source` itself is absent from the graph).
+/// Directed graphs are traversed along out-edges.
+pub fn bfs(g: &CsrGraph, source: VertexId) -> Vec<i64> {
+    let mut depths = vec![-1i64; g.num_vertices()];
+    let Some(src) = g.internal_id(source) else {
+        return depths;
+    };
+    let mut queue = VecDeque::new();
+    depths[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let next = depths[v as usize] + 1;
+        for &u in g.neighbors(v) {
+            if depths[u as usize] < 0 {
+                depths[u as usize] = next;
+                queue.push_back(u);
+            }
+        }
+    }
+    depths
+}
+
+/// Number of edges traversed by a BFS from `source`: the sum of the degrees
+/// of all reached vertices — the Graph500 convention used for the TEPS
+/// metric of Figure 5.
+pub fn traversed_edges(g: &CsrGraph, depths: &[i64]) -> usize {
+    let mut sum = 0usize;
+    for v in 0..g.num_vertices() as Vid {
+        if depths[v as usize] >= 0 {
+            sum += g.degree(v);
+        }
+    }
+    if g.is_directed() {
+        sum
+    } else {
+        sum / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalytics_graph::EdgeListGraph;
+
+    fn csr(edges: Vec<(u64, u64)>, directed: bool) -> CsrGraph {
+        CsrGraph::from_edge_list(&if directed {
+            EdgeListGraph::directed_from_edges(edges)
+        } else {
+            EdgeListGraph::undirected_from_edges(edges)
+        })
+    }
+
+    #[test]
+    fn path_depths() {
+        let g = csr(vec![(0, 1), (1, 2), (2, 3)], false);
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn unreachable_vertices_get_minus_one() {
+        let g = csr(vec![(0, 1), (2, 3)], false);
+        assert_eq!(bfs(&g, 0), vec![0, 1, -1, -1]);
+    }
+
+    #[test]
+    fn missing_source_returns_all_unreachable() {
+        let g = csr(vec![(0, 1)], false);
+        assert_eq!(bfs(&g, 99), vec![-1, -1]);
+    }
+
+    #[test]
+    fn directed_respects_orientation() {
+        let g = csr(vec![(0, 1), (1, 2), (2, 0)], true);
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2]);
+        // From 1: 1 -> 2 -> 0.
+        assert_eq!(bfs(&g, 1), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn depths_are_shortest_paths() {
+        // Diamond: two paths of length 2 from 0 to 3, plus a long detour.
+        let g = csr(vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 0)], false);
+        let d = bfs(&g, 0);
+        assert_eq!(d[3], 2);
+        assert_eq!(d[5], 1); // Via the 5-0 edge.
+        assert_eq!(d[4], 2);
+    }
+
+    #[test]
+    fn traversed_edges_counts_reached_component_only() {
+        let g = csr(vec![(0, 1), (1, 2), (3, 4)], false);
+        let d = bfs(&g, 0);
+        assert_eq!(traversed_edges(&g, &d), 2);
+        let g500 = csr(vec![(0, 1), (1, 2), (0, 2)], false);
+        assert_eq!(traversed_edges(&g500, &bfs(&g500, 0)), 3);
+    }
+
+    #[test]
+    fn sparse_external_ids() {
+        let g = CsrGraph::from_edge_list(&EdgeListGraph::undirected_from_edges(vec![
+            (100, 200),
+            (200, 300),
+        ]));
+        let d = bfs(&g, 200);
+        // Internal order is [100, 200, 300].
+        assert_eq!(d, vec![1, 0, 1]);
+    }
+}

@@ -1,0 +1,163 @@
+//! CONN kernel: "determines for each vertex the connected component it
+//! belongs to" (paper §3.2). Components are computed on the undirected view
+//! (weak connectivity for directed graphs), matching the Graphalytics
+//! specification.
+
+use graphalytics_graph::{CsrGraph, Vid};
+
+/// Component label per vertex: the *minimum internal id* in the component —
+/// a canonical labeling, so two correct results compare equal directly.
+/// Implemented with BFS sweeps (O(V + E)).
+pub fn connected_components(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut labels = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as Vid {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = start;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v).iter().chain(g.in_neighbors(v)) {
+                if labels[u as usize] == u32::MAX {
+                    labels[u as usize] = start;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    labels
+}
+
+/// Union-find (disjoint set) structure, used both as an alternative CONN
+/// implementation and by property tests as a cross-check.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Finds the set representative with path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Unites the sets of `a` and `b`; returns true if they were disjoint.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        true
+    }
+}
+
+/// CONN via union-find; same canonical labeling as
+/// [`connected_components`].
+pub fn connected_components_unionfind(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for v in 0..n as Vid {
+        for &u in g.neighbors(v) {
+            uf.union(v, u);
+        }
+    }
+    // Canonicalize: min internal id per root.
+    let mut min_of_root = vec![u32::MAX; n];
+    for v in 0..n as u32 {
+        let r = uf.find(v) as usize;
+        min_of_root[r] = min_of_root[r].min(v);
+    }
+    (0..n as u32).map(|v| min_of_root[uf.find(v) as usize]).collect()
+}
+
+/// Sizes of all components, descending — used for report summaries.
+pub fn component_sizes(labels: &[u32]) -> Vec<usize> {
+    let mut counts: rustc_hash::FxHashMap<u32, usize> = rustc_hash::FxHashMap::default();
+    for &l in labels {
+        *counts.entry(l).or_default() += 1;
+    }
+    let mut sizes: Vec<usize> = counts.into_values().collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalytics_graph::EdgeListGraph;
+
+    fn csr(edges: Vec<(u64, u64)>) -> CsrGraph {
+        CsrGraph::from_edge_list(&EdgeListGraph::undirected_from_edges(edges))
+    }
+
+    #[test]
+    fn two_components() {
+        let g = csr(vec![(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(connected_components(&g), vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn bfs_and_unionfind_agree() {
+        let g = csr(vec![(0, 1), (2, 3), (3, 4), (5, 6), (6, 0)]);
+        assert_eq!(connected_components(&g), connected_components_unionfind(&g));
+    }
+
+    #[test]
+    fn directed_uses_weak_connectivity() {
+        // 0 -> 1, 2 -> 1: weakly one component despite no directed path
+        // between 0 and 2.
+        let g = CsrGraph::from_edge_list(&EdgeListGraph::directed_from_edges(vec![
+            (0, 1),
+            (2, 1),
+        ]));
+        assert_eq!(connected_components(&g), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_own_components() {
+        let el = EdgeListGraph::new(vec![0, 1, 2], vec![(0, 1)], false);
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(connected_components(&g), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn component_sizes_sorted_descending() {
+        let labels = vec![0, 0, 0, 3, 3, 5];
+        assert_eq!(component_sizes(&labels), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_ne!(uf.find(0), uf.find(2));
+        uf.union(1, 3);
+        assert_eq!(uf.find(0), uf.find(2));
+    }
+}

@@ -1,0 +1,147 @@
+//! The Graphalytics benchmark driver — the paper's "Unix shell script that
+//! triggers the execution of the benchmark" (§2.3), as a CLI:
+//!
+//! ```text
+//! cargo run --release -p graphalytics-bench --bin benchmark -- run.properties
+//! ```
+//!
+//! The properties file selects graphs, algorithms, platforms, timeout, and
+//! repetitions (see `graphalytics_core::config`). "After the execution
+//! completes, the benchmark report is available in the local file system":
+//! the report is printed and written next to the configuration, and the
+//! run records are appended to the results database.
+
+use graphalytics_core::config::BenchmarkSpec;
+use graphalytics_core::results::ResultsDb;
+use graphalytics_core::{report, BenchmarkSuite, Platform, ReferencePlatform};
+use graphalytics_dataflow::{GraphXConfig, GraphXPlatform};
+use graphalytics_graphdb::{Neo4jConfig, Neo4jPlatform};
+use graphalytics_mapreduce::MapReducePlatform;
+use graphalytics_pregel::{GiraphPlatform, PregelConfig};
+
+fn build_platform(name: &str, spec: &BenchmarkSpec) -> Result<Box<dyn Platform>, String> {
+    match name {
+        "giraph" => Ok(Box::new(GiraphPlatform::new(PregelConfig {
+            workers: spec.property_usize("giraph.workers").unwrap_or(4),
+            memory_budget: spec
+                .property_usize("giraph.memory_mb")
+                .map(|mb| mb << 20),
+            ..Default::default()
+        }))),
+        "graphx" => Ok(Box::new(GraphXPlatform::new(GraphXConfig {
+            partitions: spec.property_usize("graphx.partitions").unwrap_or(4),
+            memory_budget: spec
+                .property_usize("graphx.memory_mb")
+                .map(|mb| mb << 20),
+        }))),
+        "mapreduce" | "hadoop" => Ok(Box::new(MapReducePlatform::with_defaults())),
+        "neo4j" => Ok(Box::new(Neo4jPlatform::new(Neo4jConfig {
+            page_cache_budget: spec
+                .property_usize("neo4j.page_cache_mb")
+                .map(|mb| mb << 20),
+        }))),
+        "virtuoso" => Ok(Box::new(
+            graphalytics_columnar::VirtuosoPlatform::with_defaults(),
+        )),
+        "reference" => Ok(Box::new(ReferencePlatform::new())),
+        other => Err(format!(
+            "unknown platform {other:?} (available: giraph, graphx, mapreduce, neo4j, \
+             virtuoso, reference)"
+        )),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(config_path) = args.get(1) else {
+        eprintln!("usage: benchmark <run.properties>");
+        eprintln!("see graphalytics_core::config for the file format");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {config_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let spec = match BenchmarkSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let platform_names = if spec.platforms.is_empty() {
+        vec![
+            "giraph".to_string(),
+            "graphx".to_string(),
+            "mapreduce".to_string(),
+            "neo4j".to_string(),
+        ]
+    } else {
+        spec.platforms.clone()
+    };
+    let mut platforms: Vec<Box<dyn Platform>> = Vec::new();
+    for name in &platform_names {
+        match build_platform(name, &spec) {
+            Ok(p) => platforms.push(p),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "running {} algorithm(s) on {} graph(s) across {} platform(s)...",
+        spec.algorithms.len(),
+        spec.datasets.len(),
+        platforms.len()
+    );
+    let suite = BenchmarkSuite::new(
+        spec.datasets.clone(),
+        spec.algorithms.clone(),
+        spec.config.clone(),
+    );
+    let result = suite.run(&mut platforms);
+
+    let title = config_path.as_str();
+    let text_report = report::full_report(&result, title);
+    println!("{text_report}");
+
+    // Persist report + results like the original harness.
+    let report_path = format!("{config_path}.report.txt");
+    if let Err(e) = std::fs::write(&report_path, &text_report) {
+        eprintln!("warning: could not write {report_path}: {e}");
+    } else {
+        eprintln!("report written to {report_path}");
+    }
+    let html_path = format!("{config_path}.report.html");
+    let html = graphalytics_core::html::html_report(&result, title);
+    if let Err(e) = std::fs::write(&html_path, html) {
+        eprintln!("warning: could not write {html_path}: {e}");
+    } else {
+        eprintln!("html report written to {html_path}");
+    }
+    let db_path = spec
+        .property("results_db")
+        .unwrap_or("graphalytics-results.jsonl")
+        .to_string();
+    match ResultsDb::open(&db_path) {
+        Ok(db) => {
+            if let Err(e) = db.submit(&result.runs) {
+                eprintln!("warning: could not submit results: {e}");
+            } else {
+                eprintln!("{} run records submitted to {db_path}", result.runs.len());
+            }
+        }
+        Err(e) => eprintln!("warning: could not open results db {db_path}: {e}"),
+    }
+
+    let (_, invalid, _) = report::validation_counts(&result);
+    if invalid > 0 {
+        eprintln!("VALIDATION FAILED for {invalid} run(s)");
+        std::process::exit(1);
+    }
+}

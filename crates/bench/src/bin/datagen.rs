@@ -1,0 +1,176 @@
+//! The dataset generation CLI — the "Add graphs" step of the user workflow
+//! (paper §2.3): "users can generate synthetic graphs using Datagen".
+//!
+//! ```text
+//! datagen <kind> <output-prefix> [key=value ...]
+//!
+//! kinds:
+//!   snb         person-knows-person network        (persons=10000)
+//!   graph500    R-MAT, Graph500 parameters         (scale=13)
+//!   amazon|youtube|livejournal|patents|wikipedia   (divisor=40)
+//!
+//! common keys: seed=42
+//! snb keys:    distribution=facebook:16|zeta:1.7|geometric:0.12|
+//!              poisson:8|weibull:6:1.2, window=64, max_degree=0 (off),
+//!              target_cc=<f64> and target_assortativity=<f64> (rewiring)
+//! ```
+//!
+//! Writes `<prefix>.v` / `<prefix>.e` plus a `<prefix>.properties` file
+//! describing the generated graph — the "configuration files associated
+//! with these graphs" the paper's workflow hands to users.
+
+use graphalytics_datagen::{
+    generate, rewire, DatagenConfig, DegreeDistribution, RealWorldGraph, RewireTargets, RmatConfig,
+};
+use graphalytics_graph::{io, metrics, EdgeListGraph};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn parse_args(args: &[String]) -> BTreeMap<String, String> {
+    args.iter()
+        .filter_map(|a| a.split_once('='))
+        .map(|(k, v)| (k.to_lowercase(), v.to_string()))
+        .collect()
+}
+
+fn parse_distribution(spec: &str) -> Result<DegreeDistribution, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |i: usize, default: f64| -> f64 {
+        parts.get(i).and_then(|p| p.parse().ok()).unwrap_or(default)
+    };
+    match parts[0] {
+        "facebook" => Ok(DegreeDistribution::Facebook(num(1, 16.0))),
+        "zeta" => Ok(DegreeDistribution::Zeta(num(1, 1.7))),
+        "geometric" => Ok(DegreeDistribution::Geometric(num(1, 0.12))),
+        "poisson" => Ok(DegreeDistribution::Poisson(num(1, 8.0))),
+        "weibull" => Ok(DegreeDistribution::Weibull(num(1, 6.0), num(2, 1.2))),
+        other => Err(format!("unknown distribution {other:?}")),
+    }
+}
+
+fn real_world(kind: &str) -> Option<RealWorldGraph> {
+    Some(match kind {
+        "amazon" => RealWorldGraph::Amazon,
+        "youtube" => RealWorldGraph::Youtube,
+        "livejournal" => RealWorldGraph::LiveJournal,
+        "patents" => RealWorldGraph::Patents,
+        "wikipedia" => RealWorldGraph::Wikipedia,
+        _ => return None,
+    })
+}
+
+fn generate_graph(
+    kind: &str,
+    opts: &BTreeMap<String, String>,
+) -> Result<(EdgeListGraph, String), String> {
+    let get_usize = |k: &str, d: usize| opts.get(k).and_then(|v| v.parse().ok()).unwrap_or(d);
+    let get_f64 = |k: &str| opts.get(k).and_then(|v| v.parse::<f64>().ok());
+    let seed = get_usize("seed", 42) as u64;
+    match kind {
+        "snb" => {
+            let distribution = parse_distribution(
+                opts.get("distribution").map(String::as_str).unwrap_or("facebook:16"),
+            )?;
+            let max_degree = get_usize("max_degree", 0);
+            let cfg = DatagenConfig {
+                num_persons: get_usize("persons", 10_000),
+                seed,
+                degree_distribution: distribution,
+                window_size: get_usize("window", 64),
+                max_degree: (max_degree > 0).then_some(max_degree),
+                ..Default::default()
+            };
+            let mut graph = generate(&cfg);
+            let mut description = format!("snb persons={} seed={seed}", cfg.num_persons);
+            let targets = RewireTargets {
+                global_cc: get_f64("target_cc"),
+                assortativity: get_f64("target_assortativity"),
+            };
+            if targets.global_cc.is_some() || targets.assortativity.is_some() {
+                let budget = graph.num_edges() * 20;
+                let (rewired, report) = rewire(&graph, &targets, seed ^ 0x5357, budget);
+                graph = rewired;
+                description.push_str(&format!(
+                    " rewired(accepted={} cc={:.4} assortativity={:+.4})",
+                    report.accepted, report.global_cc, report.assortativity
+                ));
+            }
+            Ok((graph, description))
+        }
+        "graph500" => {
+            let scale = get_usize("scale", 13) as u32;
+            let cfg = RmatConfig::graph500(scale, seed);
+            Ok((
+                graphalytics_datagen::rmat::generate(&cfg),
+                format!("graph500 scale={scale} seed={seed}"),
+            ))
+        }
+        other => {
+            let Some(graph) = real_world(other) else {
+                return Err(format!(
+                    "unknown kind {other:?} (snb, graph500, amazon, youtube, livejournal, \
+                     patents, wikipedia)"
+                ));
+            };
+            let divisor = get_usize("divisor", 40);
+            let (standin, report) = graph.generate_standin(divisor, seed as u64);
+            Ok((
+                standin,
+                format!(
+                    "{other} divisor={divisor} seed={seed} rewired(cc={:.4} \
+                     assortativity={:+.4})",
+                    report.global_cc, report.assortativity
+                ),
+            ))
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: datagen <kind> <output-prefix> [key=value ...]");
+        eprintln!("see the module docs for kinds and keys");
+        std::process::exit(2);
+    }
+    let kind = args[1].to_lowercase();
+    let prefix = Path::new(&args[2]);
+    let opts = parse_args(&args[3..]);
+
+    eprintln!("generating {kind} graph...");
+    let (graph, description) = match generate_graph(&kind, &opts) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = io::write_graph(&graph, prefix) {
+        eprintln!("cannot write {}: {e}", prefix.display());
+        std::process::exit(1);
+    }
+    let c = metrics::characteristics(&graph);
+    let properties = format!(
+        "# generated by graphalytics datagen\n\
+         source = {description}\n\
+         vertices = {}\n\
+         edges = {}\n\
+         directed = false\n\
+         global_cc = {:.6}\n\
+         avg_local_cc = {:.6}\n\
+         assortativity = {:.6}\n",
+        c.num_vertices, c.num_edges, c.global_cc, c.avg_local_cc, c.assortativity
+    );
+    let props_path = prefix.with_extension("properties");
+    if let Err(e) = std::fs::write(&props_path, properties) {
+        eprintln!("warning: cannot write {}: {e}", props_path.display());
+    }
+    println!(
+        "wrote {}.v / {}.e ({} vertices, {} edges) and {}",
+        prefix.display(),
+        prefix.display(),
+        c.num_vertices,
+        c.num_edges,
+        props_path.display()
+    );
+}

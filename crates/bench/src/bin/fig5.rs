@@ -1,0 +1,59 @@
+//! Figure 5 — "Thousands of traversed edges per second (kTEPS) for all
+//! implementations of CONN algorithm running on Graph500 23, Patents, and
+//! SNB 1000 graphs."
+//!
+//! "The size of the processed graph is included in this metric, which
+//! reveals the influence of the graph characteristics on performance" —
+//! the reproduction target is the *spread*: the same platform posts very
+//! different kTEPS on different graphs (the paper's Giraph: 6272 on SNB vs
+//! 364 on Patents), and the platform ordering from Figure 4 carries over.
+//!
+//! Knobs: same as `fig4` (`GX_SCALE`, `GX_DIVISOR`, `GX_PERSONS`,
+//! `GX_GRAPHX_MB`, `GX_TIMEOUT_SECS`).
+
+use graphalytics_bench::env_usize;
+use graphalytics_core::report;
+use graphalytics_core::{BenchmarkConfig, BenchmarkSuite, Dataset, Platform};
+use graphalytics_dataflow::{GraphXConfig, GraphXPlatform};
+use graphalytics_datagen::RealWorldGraph;
+use graphalytics_graphdb::Neo4jPlatform;
+use graphalytics_mapreduce::MapReducePlatform;
+use graphalytics_pregel::GiraphPlatform;
+use std::time::Duration;
+
+fn main() {
+    let scale = env_usize("GX_SCALE", 13) as u32;
+    let divisor = env_usize("GX_DIVISOR", 200);
+    let persons = env_usize("GX_PERSONS", 10_000);
+    let graphx_mb = env_usize("GX_GRAPHX_MB", 11);
+    let timeout = env_usize("GX_TIMEOUT_SECS", 180);
+
+    let datasets = vec![
+        Dataset::graph500(scale),
+        Dataset::real_world(RealWorldGraph::Patents, divisor),
+        Dataset::snb(persons),
+    ];
+    let mut platforms: Vec<Box<dyn Platform>> = vec![
+        Box::new(GiraphPlatform::with_defaults()),
+        Box::new(GraphXPlatform::new(GraphXConfig {
+            partitions: 4,
+            memory_budget: Some(graphx_mb << 20),
+        })),
+        Box::new(MapReducePlatform::with_defaults()),
+        Box::new(Neo4jPlatform::with_defaults()),
+    ];
+    let suite = BenchmarkSuite::new(
+        datasets,
+        vec![graphalytics_algos::Algorithm::Conn],
+        BenchmarkConfig {
+            timeout: Some(Duration::from_secs(timeout as u64)),
+            ..Default::default()
+        },
+    );
+    eprintln!("Figure 5 run (CONN only)...");
+    let result = suite.run(&mut platforms);
+    println!("Figure 5: CONN throughput — missing values (—) are failures\n");
+    println!("{}", report::kteps_table(&result, "CONN"));
+    let (_, invalid, _) = report::validation_counts(&result);
+    assert_eq!(invalid, 0, "output validation failed");
+}

@@ -1,0 +1,79 @@
+//! # graphalytics-bench
+//!
+//! Experiment drivers that regenerate every table and figure of the
+//! Graphalytics paper (see DESIGN.md §2 for the index):
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `table1` | Table 1 — characteristics of the real-graph stand-ins |
+//! | `fig1` | Figure 1 — Datagen degree distributions vs Zeta/Geometric |
+//! | `fig3` | Figure 3 — Datagen scalability, single node vs cluster |
+//! | `fig4` | Figure 4 — runtimes of all algorithms × platforms × graphs |
+//! | `fig5` | Figure 5 — CONN kTEPS per platform and graph |
+//! | `sec34` | §3.4 — BFS via transitive SQL on the column store |
+//! | `sec35` | §3.5 — code-quality report over this repository |
+//!
+//! Each binary accepts scale knobs through environment variables
+//! (documented per binary) so the experiments can be grown toward the
+//! paper's original sizes on bigger machines.
+
+/// Reads a `usize` knob from the environment with a default.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `u64` knob from the environment with a default.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Renders a simple aligned table: `header` then rows.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if i == 0 {
+                    format!("{c:<w$}", w = widths[i])
+                } else {
+                    format!("{c:>w$}", w = widths[i])
+                }
+            })
+            .collect();
+        println!("{}", line.join("  "));
+    };
+    print_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_knobs_fall_back_to_defaults() {
+        assert_eq!(env_usize("GX_DEFINITELY_UNSET_KNOB", 7), 7);
+        assert_eq!(env_u64("GX_DEFINITELY_UNSET_KNOB", 9), 9);
+        std::env::set_var("GX_TEST_KNOB_XYZ", "42");
+        assert_eq!(env_usize("GX_TEST_KNOB_XYZ", 7), 42);
+        std::env::set_var("GX_TEST_KNOB_XYZ", "not a number");
+        assert_eq!(env_usize("GX_TEST_KNOB_XYZ", 7), 7);
+    }
+}

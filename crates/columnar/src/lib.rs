@@ -1,0 +1,26 @@
+//! # graphalytics-columnar
+//!
+//! A compressed column store with a partitioned transitive traversal
+//! operator — the OpenLink Virtuoso stand-in for the paper's §3.4 "BFS on
+//! a DBMS" experiment.
+//!
+//! * [`column`] — blockwise FOR/delta bit-packed u64 columns with vectored
+//!   decompression;
+//! * [`table`] — the sorted `sp_edge` table with block-index random
+//!   lookups;
+//! * [`transitive`] — the partitioned-hash-table transitive operator with
+//!   an exchange stage and a per-phase CPU profile;
+//! * [`sql`] — a parser for the paper's transitive count query;
+//! * [`platform`] — the [`VirtuosoPlatform`] harness adapter (BFS only,
+//!   like the paper's driver).
+
+pub mod column;
+pub mod platform;
+pub mod sql;
+pub mod table;
+pub mod transitive;
+
+pub use column::Column;
+pub use platform::{VirtuosoConfig, VirtuosoPlatform};
+pub use table::EdgeTable;
+pub use transitive::{transitive_closure, TransitiveProfile};

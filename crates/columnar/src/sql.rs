@@ -1,0 +1,262 @@
+//! A parser for the paper's transitive SQL query (§3.4).
+//!
+//! Virtuoso "offers an SQL extension for transitive traversal"; the paper
+//! benchmarks exactly one query shape:
+//!
+//! ```sql
+//! select count (*) from (select spe_to from
+//!   (select transitive t_in (1) t_out (2) t_distinct
+//!      spe_from, spe_to from sp_edge) derived_table_1
+//!   where spe_from = 420) derived_table_2;
+//! ```
+//!
+//! This module parses that shape (tolerantly: case-insensitive keywords,
+//! free whitespace, optional aliases and trailing semicolon) into a
+//! [`TransitiveQuery`], which the engine executes with the partitioned
+//! transitive operator.
+
+/// A parsed transitive-count query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitiveQuery {
+    /// The table traversed (`sp_edge`).
+    pub table: String,
+    /// The traversal source (`spe_from = <source>`).
+    pub source: u64,
+    /// `t_in` option value.
+    pub t_in: u64,
+    /// `t_out` option value.
+    pub t_out: u64,
+    /// Whether `t_distinct` was given.
+    pub distinct: bool,
+}
+
+/// Parse error with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError(pub String);
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sql parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Tokenizer: lowercased identifiers/keywords, numbers, punctuation.
+fn tokenize(input: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c.is_alphanumeric() || c == '_' {
+            let mut word = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    word.push(c.to_ascii_lowercase());
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(word);
+        } else {
+            tokens.push(c.to_string());
+            chars.next();
+        }
+    }
+    tokens
+}
+
+struct Parser {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Option<&str> {
+        let t = self.tokens.get(self.pos).map(String::as_str);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(t) if t == token => Ok(()),
+            Some(t) => Err(SqlError(format!("expected {token:?}, found {t:?}"))),
+            None => Err(SqlError(format!("expected {token:?}, found end of input"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, SqlError> {
+        match self.next() {
+            Some(t) => t
+                .parse()
+                .map_err(|_| SqlError(format!("expected a number, found {t:?}"))),
+            None => Err(SqlError("expected a number, found end of input".into())),
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(t) if t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') => {
+                Ok(t.to_string())
+            }
+            Some(t) => Err(SqlError(format!("expected identifier, found {t:?}"))),
+            None => Err(SqlError("expected identifier, found end of input".into())),
+        }
+    }
+}
+
+/// Parses the §3.4 query shape.
+pub fn parse_transitive_count(input: &str) -> Result<TransitiveQuery, SqlError> {
+    let mut p = Parser {
+        tokens: tokenize(input),
+        pos: 0,
+    };
+    // select count ( * ) from (
+    p.expect("select")?;
+    p.expect("count")?;
+    p.expect("(")?;
+    p.expect("*")?;
+    p.expect(")")?;
+    p.expect("from")?;
+    p.expect("(")?;
+    // select spe_to from (
+    p.expect("select")?;
+    p.expect("spe_to")?;
+    p.expect("from")?;
+    p.expect("(")?;
+    // select transitive [options] spe_from , spe_to from <table>
+    p.expect("select")?;
+    p.expect("transitive")?;
+    let mut t_in = 1u64;
+    let mut t_out = 1u64;
+    let mut distinct = false;
+    loop {
+        match p.peek() {
+            Some("t_in") => {
+                p.next();
+                p.expect("(")?;
+                t_in = p.number()?;
+                p.expect(")")?;
+            }
+            Some("t_out") => {
+                p.next();
+                p.expect("(")?;
+                t_out = p.number()?;
+                p.expect(")")?;
+            }
+            Some("t_distinct") => {
+                p.next();
+                distinct = true;
+            }
+            _ => break,
+        }
+    }
+    p.expect("spe_from")?;
+    p.expect(",")?;
+    p.expect("spe_to")?;
+    p.expect("from")?;
+    let table = p.identifier()?;
+    p.expect(")")?;
+    // Optional alias.
+    if matches!(p.peek(), Some(t) if t != "where") {
+        p.next();
+    }
+    // where spe_from = N )
+    p.expect("where")?;
+    p.expect("spe_from")?;
+    p.expect("=")?;
+    let source = p.number()?;
+    p.expect(")")?;
+    // Optional alias + optional semicolon + end.
+    if matches!(p.peek(), Some(t) if t != ";") {
+        p.next();
+    }
+    if p.peek() == Some(";") {
+        p.next();
+    }
+    if let Some(extra) = p.peek() {
+        return Err(SqlError(format!("unexpected trailing token {extra:?}")));
+    }
+    Ok(TransitiveQuery {
+        table,
+        source,
+        t_in,
+        t_out,
+        distinct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_QUERY: &str = "select count (*) from (select spe_to from \
+        (select transitive t_in (1) t_out (2) t_distinct \
+        spe_from, spe_to from sp_edge) derived_table_1 \
+        where spe_from = 420) derived_table_2;";
+
+    #[test]
+    fn parses_the_paper_query() {
+        let q = parse_transitive_count(PAPER_QUERY).unwrap();
+        assert_eq!(
+            q,
+            TransitiveQuery {
+                table: "sp_edge".into(),
+                source: 420,
+                t_in: 1,
+                t_out: 2,
+                distinct: true,
+            }
+        );
+    }
+
+    #[test]
+    fn case_and_whitespace_insensitive() {
+        let q = parse_transitive_count(
+            "SELECT COUNT(*) FROM (SELECT spe_to FROM (SELECT TRANSITIVE \
+             spe_from,spe_to FROM sp_edge) t WHERE spe_from=7) t2",
+        )
+        .unwrap();
+        assert_eq!(q.source, 7);
+        assert!(!q.distinct);
+        assert_eq!(q.t_in, 1);
+    }
+
+    #[test]
+    fn aliases_are_optional() {
+        let q = parse_transitive_count(
+            "select count (*) from (select spe_to from (select transitive \
+             t_distinct spe_from, spe_to from sp_edge) where spe_from = 1)",
+        )
+        .unwrap();
+        assert_eq!(q.source, 1);
+        assert!(q.distinct);
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_transitive_count("select * from sp_edge").is_err());
+        assert!(parse_transitive_count("").is_err());
+        let err = parse_transitive_count(
+            "select count (*) from (select spe_to from (select transitive \
+             spe_from, spe_to from sp_edge) where spe_from = abc)",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("number"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let bad = format!("{PAPER_QUERY} order by 1");
+        assert!(parse_transitive_count(&bad).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the column store: compression round-trips, lookup
+//! correctness against a naive index, and transitive-closure equivalence
+//! with reference BFS.
+
+use graphalytics_columnar::{transitive_closure, Column, EdgeTable};
+use graphalytics_core::platform::RunContext;
+use graphalytics_graph::{CsrGraph, EdgeListGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn columns_round_trip(values in proptest::collection::vec(any::<u64>(), 0..9000)) {
+        let col = Column::from_values(&values);
+        prop_assert_eq!(col.len(), values.len());
+        let mut out = Vec::new();
+        let mut all = Vec::new();
+        for b in 0..col.num_blocks() {
+            col.block(b, &mut out);
+            all.extend_from_slice(&out);
+        }
+        prop_assert_eq!(all, values);
+    }
+
+    #[test]
+    fn sorted_columns_round_trip_and_compress(
+        mut values in proptest::collection::vec(0u64..1_000_000, 1..9000)
+    ) {
+        values.sort_unstable();
+        let col = Column::from_values(&values);
+        let mut scratch = Vec::new();
+        // Spot-check point reads.
+        for &i in &[0usize, values.len() / 2, values.len() - 1] {
+            prop_assert_eq!(col.get(i, &mut scratch), values[i]);
+        }
+        if values.len() > 4096 {
+            prop_assert!(col.compressed_bytes() < col.raw_bytes());
+        }
+    }
+
+    #[test]
+    fn edge_table_lookup_matches_naive(
+        raw in proptest::collection::vec((0u64..50, 0u64..50), 0..400),
+        probe in 0u64..60,
+    ) {
+        let table = EdgeTable::from_arcs(raw.clone());
+        let mut expected: Vec<u64> = raw
+            .iter()
+            .filter(|&&(f, _)| f == probe)
+            .map(|&(_, t)| t)
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let mut out = Vec::new();
+        let mut scratch = Default::default();
+        let found = table.outbound(probe, &mut out, &mut scratch);
+        prop_assert_eq!(found, expected.len());
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn transitive_closure_equals_reference_bfs(
+        raw in proptest::collection::vec((0u64..40, 0u64..40), 1..200),
+        source in 0u64..40,
+        threads in 1usize..5,
+    ) {
+        // Build an undirected graph; the table stores both arc directions.
+        let el = EdgeListGraph::undirected_from_edges(raw);
+        let csr = CsrGraph::from_edge_list(&el);
+        let Some(src_internal) = csr.internal_id(source) else {
+            return Ok(()); // Source not in the vertex set: nothing to compare.
+        };
+        let mut arcs = Vec::new();
+        for v in 0..csr.num_vertices() as u32 {
+            for &u in csr.neighbors(v) {
+                arcs.push((csr.external_id(v), csr.external_id(u)));
+            }
+        }
+        let table = EdgeTable::from_arcs(arcs);
+        let (profile, depths) =
+            transitive_closure(&table, source, threads, &RunContext::unbounded()).unwrap();
+        let expected = graphalytics_algos::bfs::bfs(&csr, source);
+        let reachable_expected = expected.iter().filter(|&&d| d >= 0).count();
+        prop_assert_eq!(profile.reachable, reachable_expected);
+        for (v, d) in depths {
+            let internal = csr.internal_id(v).expect("reached vertex exists");
+            prop_assert_eq!(expected[internal as usize], d, "vertex {}", v);
+        }
+        let _ = src_internal;
+    }
+}

@@ -1,0 +1,220 @@
+//! HTML report rendering.
+//!
+//! The Report Generator "produces the main outcome of Graphalytics, a
+//! detailed report" (paper §2.3); the original harness renders it as HTML
+//! for the browser. This module renders a [`SuiteResult`] as a standalone
+//! HTML document: runtime matrices per dataset, the CONN throughput table,
+//! ETL times, and the validation summary, with failure cells highlighted.
+
+use crate::report::validation_counts;
+use crate::runner::{RunStatus, SuiteResult};
+use crate::validator::Validation;
+use std::fmt::Write as _;
+
+/// Escapes text for HTML.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn runtime_cell_html(result: &SuiteResult, platform: &str, dataset: &str, alg: &str) -> String {
+    match result.find(platform, dataset, alg) {
+        Some(r) => match (&r.status, r.runtime_seconds) {
+            (RunStatus::Success, Some(t)) => {
+                let class = if r.validation.is_valid() || r.validation == Validation::Skipped {
+                    "ok"
+                } else {
+                    "invalid"
+                };
+                format!("<td class=\"{class}\">{t:.3}</td>")
+            }
+            (RunStatus::Timeout, _) => "<td class=\"dnf\">DNF</td>".to_string(),
+            (RunStatus::Failed(reason), _) => {
+                format!("<td class=\"fail\" title=\"{}\">—</td>", escape(reason))
+            }
+            _ => "<td></td>".to_string(),
+        },
+        None => "<td></td>".to_string(),
+    }
+}
+
+/// Renders the full HTML report document.
+pub fn html_report(result: &SuiteResult, title: &str) -> String {
+    let platforms = result.platforms();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\">\
+         <title>Graphalytics — {t}</title><style>\
+         body{{font-family:sans-serif;margin:2em}}\
+         table{{border-collapse:collapse;margin:1em 0}}\
+         th,td{{border:1px solid #999;padding:4px 10px;text-align:right}}\
+         th:first-child,td:first-child{{text-align:left}}\
+         td.fail{{background:#fdd}}td.dnf{{background:#ffd}}\
+         td.invalid{{background:#f99}}\
+         caption{{font-weight:bold;text-align:left;padding:4px 0}}\
+         </style></head><body><h1>Graphalytics benchmark report — {t}</h1>",
+        t = escape(title)
+    );
+
+    for dataset in result.datasets() {
+        let _ = write!(
+            out,
+            "<table><caption>Runtimes [s] — {}</caption><tr><th>Algorithm</th>",
+            escape(&dataset)
+        );
+        for p in &platforms {
+            let _ = write!(out, "<th>{}</th>", escape(p));
+        }
+        out.push_str("</tr>");
+        for alg in result.algorithms() {
+            let _ = write!(out, "<tr><td>{}</td>", escape(&alg));
+            for p in &platforms {
+                out.push_str(&runtime_cell_html(result, p, &dataset, &alg));
+            }
+            out.push_str("</tr>");
+        }
+        out.push_str("</table>");
+    }
+
+    if result.algorithms().iter().any(|a| a == "CONN") {
+        out.push_str("<table><caption>CONN throughput [kTEPS]</caption><tr><th>Dataset</th>");
+        for p in &platforms {
+            let _ = write!(out, "<th>{}</th>", escape(p));
+        }
+        out.push_str("</tr>");
+        for dataset in result.datasets() {
+            let _ = write!(out, "<tr><td>{}</td>", escape(&dataset));
+            for p in &platforms {
+                let cell = match result.find(p, &dataset, "CONN") {
+                    Some(r) if r.status.is_success() => match r.teps {
+                        Some(t) => format!("<td>{:.0}</td>", t / 1e3),
+                        None => "<td class=\"fail\">—</td>".to_string(),
+                    },
+                    Some(_) => "<td class=\"fail\">—</td>".to_string(),
+                    None => "<td></td>".to_string(),
+                };
+                out.push_str(&cell);
+            }
+            out.push_str("</tr>");
+        }
+        out.push_str("</table>");
+    }
+
+    if !result.loads.is_empty() {
+        out.push_str(
+            "<table><caption>ETL (graph load) times</caption>\
+             <tr><th>Platform</th><th>Dataset</th><th>Load [s]</th></tr>",
+        );
+        for l in &result.loads {
+            let cell = match l.load_seconds {
+                Some(t) => format!("{t:.4}"),
+                None => format!("failed: {}", escape(l.error.as_deref().unwrap_or("?"))),
+            };
+            let _ = write!(
+                out,
+                "<tr><td>{}</td><td>{}</td><td>{}</td></tr>",
+                escape(&l.platform),
+                escape(&l.dataset),
+                cell
+            );
+        }
+        out.push_str("</table>");
+    }
+
+    let (valid, invalid, skipped) = validation_counts(result);
+    let _ = write!(
+        out,
+        "<p>Validation: {valid} valid, {invalid} invalid, {skipped} skipped.</p>\
+         </body></html>"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{LoadRecord, RunRecord};
+
+    fn record(platform: &str, alg: &str, status: RunStatus) -> RunRecord {
+        let ok = matches!(status, RunStatus::Success);
+        RunRecord {
+            platform: platform.into(),
+            dataset: "Patents".into(),
+            algorithm: alg.into(),
+            status,
+            runtime_seconds: ok.then_some(1.5),
+            repetition_seconds: vec![],
+            teps: ok.then_some(2_000.0),
+            validation: if ok {
+                Validation::Valid
+            } else {
+                Validation::Skipped
+            },
+            output_summary: String::new(),
+            peak_rss_bytes: 0,
+            avg_cpu_utilization: 0.0,
+        }
+    }
+
+    fn sample() -> SuiteResult {
+        SuiteResult {
+            runs: vec![
+                record("Giraph", "CONN", RunStatus::Success),
+                record("GraphX", "CONN", RunStatus::Failed("oom <2>".into())),
+                record("MapReduce", "CONN", RunStatus::Timeout),
+            ],
+            loads: vec![LoadRecord {
+                platform: "Giraph".into(),
+                dataset: "Patents".into(),
+                load_seconds: Some(0.01),
+                error: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_complete_document() {
+        let html = html_report(&sample(), "test & demo");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>"));
+        assert!(html.contains("test &amp; demo"));
+        assert!(html.contains("Runtimes [s] — Patents"));
+        assert!(html.contains("CONN throughput"));
+        assert!(html.contains("ETL (graph load) times"));
+        assert!(html.contains("Validation: 1 valid, 0 invalid, 2 skipped."));
+    }
+
+    #[test]
+    fn failure_cells_are_marked_and_escaped() {
+        let html = html_report(&sample(), "t");
+        assert!(html.contains("class=\"fail\" title=\"oom &lt;2&gt;\""));
+        assert!(html.contains("class=\"dnf\">DNF"));
+        assert!(html.contains("class=\"ok\">1.500"));
+    }
+
+    #[test]
+    fn escape_covers_special_characters() {
+        assert_eq!(escape("a<b>&\"c"), "a&lt;b&gt;&amp;&quot;c");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn balanced_tags() {
+        let html = html_report(&sample(), "t");
+        assert_eq!(html.matches("<table>").count(), html.matches("</table>").count());
+        assert_eq!(html.matches("<tr>").count(), html.matches("</tr>").count());
+        let td_open = html.matches("<td").count();
+        let td_close = html.matches("</td>").count();
+        assert_eq!(td_open, td_close);
+    }
+}

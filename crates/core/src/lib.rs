@@ -1,0 +1,39 @@
+//! # graphalytics-core
+//!
+//! The Graphalytics Benchmark Core (paper §2.3, Figure 2): the harness that
+//! "binds together Graphalytics".
+//!
+//! * [`platform`] — the [`Platform`](platform::Platform) integration API
+//!   ("platform-specific algorithm implementation" modules plug in here);
+//! * [`datasets`] — the Datasets database (preconfigured graphs + Datagen);
+//! * [`runner`] — the benchmark orchestrator (all platforms × datasets ×
+//!   algorithms, with timeouts, repetitions, monitoring, validation);
+//! * [`validator`] — the Output Validator;
+//! * [`monitor`] — the System Monitor;
+//! * [`report`] — the Report Generator (Figure 4 / Figure 5 style tables,
+//!   JSON);
+//! * [`results`] — the Results database (JSONL submissions);
+//! * [`metrics`] — runtime and TEPS accounting;
+//! * [`quality`] — code-quality reports (§3.5's SonarQube stand-in);
+//! * [`json`] — the minimal JSON model used by reports and results.
+
+pub mod config;
+pub mod datasets;
+pub mod html;
+pub mod json;
+pub mod metrics;
+pub mod monitor;
+pub mod platform;
+pub mod quality;
+pub mod reference_platform;
+pub mod report;
+pub mod results;
+pub mod runner;
+pub mod validator;
+
+pub use config::BenchmarkSpec;
+pub use datasets::{Dataset, DatasetRepository, DatasetSpec};
+pub use reference_platform::ReferencePlatform;
+pub use platform::{GraphHandle, Platform, PlatformError, RunContext};
+pub use runner::{BenchmarkConfig, BenchmarkSuite, RunRecord, RunStatus, SuiteResult};
+pub use validator::{OutputValidator, Validation};

@@ -1,0 +1,169 @@
+//! System Monitor: "responsible for gathering resource utilization
+//! statistics from the SUT" (paper §2.3, Figure 2).
+//!
+//! A sampling thread reads the process's resident set size and CPU time
+//! from `/proc` at a fixed interval for the duration of a benchmark run.
+//! On platforms without `/proc` the monitor degrades to wall-clock-only
+//! reports rather than failing the benchmark.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One resource sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Seconds since monitoring started.
+    pub at_seconds: f64,
+    /// Resident set size in bytes (0 when unavailable).
+    pub rss_bytes: u64,
+    /// Cumulative process CPU seconds (user + system; 0 when unavailable).
+    pub cpu_seconds: f64,
+}
+
+/// Aggregated view of a monitoring session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorReport {
+    /// All samples in order.
+    pub samples: Vec<Sample>,
+    /// Wall-clock duration monitored.
+    pub wall_seconds: f64,
+    /// Peak resident set observed.
+    pub peak_rss_bytes: u64,
+    /// CPU seconds consumed during the window.
+    pub cpu_seconds: f64,
+    /// Mean CPU utilization (CPU seconds / wall seconds; >1 on multicore).
+    pub avg_cpu_utilization: f64,
+}
+
+/// A running monitor; call [`SystemMonitor::stop`] to collect the report.
+pub struct SystemMonitor {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<Vec<Sample>>,
+    started: Instant,
+    cpu_at_start: f64,
+}
+
+impl SystemMonitor {
+    /// Starts sampling every `interval`.
+    pub fn start(interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let started = Instant::now();
+        let cpu_at_start = read_cpu_seconds().unwrap_or(0.0);
+        let handle = std::thread::spawn(move || {
+            let mut samples = Vec::new();
+            let t0 = Instant::now();
+            while !stop2.load(Ordering::Relaxed) {
+                samples.push(Sample {
+                    at_seconds: t0.elapsed().as_secs_f64(),
+                    rss_bytes: read_rss_bytes().unwrap_or(0),
+                    cpu_seconds: read_cpu_seconds().unwrap_or(0.0),
+                });
+                std::thread::sleep(interval);
+            }
+            samples
+        });
+        Self {
+            stop,
+            handle,
+            started,
+            cpu_at_start,
+        }
+    }
+
+    /// Stops sampling and aggregates.
+    pub fn stop(self) -> MonitorReport {
+        self.stop.store(true, Ordering::Relaxed);
+        let samples = self.handle.join().unwrap_or_default();
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        let peak_rss_bytes = samples.iter().map(|s| s.rss_bytes).max().unwrap_or(0);
+        let cpu_end = read_cpu_seconds().unwrap_or(self.cpu_at_start);
+        let cpu_seconds = (cpu_end - self.cpu_at_start).max(0.0);
+        MonitorReport {
+            samples,
+            wall_seconds,
+            peak_rss_bytes,
+            cpu_seconds,
+            avg_cpu_utilization: if wall_seconds > 0.0 {
+                cpu_seconds / wall_seconds
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Resident set size from `/proc/self/statm` (page-granular).
+pub fn read_rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let rss_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(rss_pages * page_size())
+}
+
+/// Cumulative user+system CPU seconds from `/proc/self/stat`.
+pub fn read_cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Fields 14 and 15 (utime, stime) count clock ticks; the command name
+    // (field 2) can contain spaces but is parenthesized — split after ')'.
+    let after = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    let utime: f64 = fields.get(11)?.parse().ok()?;
+    let stime: f64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) / clock_ticks_per_second())
+}
+
+fn page_size() -> u64 {
+    4096 // Linux default; only used to scale a monitoring statistic.
+}
+
+fn clock_ticks_per_second() -> f64 {
+    100.0 // Linux USER_HZ.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitor_collects_samples_and_cpu() {
+        let monitor = SystemMonitor::start(Duration::from_millis(5));
+        // Burn CPU so utilization is observable.
+        let mut acc = 0u64;
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_millis(60) {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        std::hint::black_box(acc);
+        let report = monitor.stop();
+        assert!(!report.samples.is_empty());
+        assert!(report.wall_seconds >= 0.05);
+        assert!(report.peak_rss_bytes > 0, "proc should be readable on Linux");
+        assert!(report.cpu_seconds > 0.0);
+        assert!(report.avg_cpu_utilization > 0.1);
+    }
+
+    #[test]
+    fn samples_are_monotone_in_time() {
+        let monitor = SystemMonitor::start(Duration::from_millis(2));
+        std::thread::sleep(Duration::from_millis(20));
+        let report = monitor.stop();
+        assert!(report
+            .samples
+            .windows(2)
+            .all(|w| w[0].at_seconds <= w[1].at_seconds));
+        assert!(report
+            .samples
+            .windows(2)
+            .all(|w| w[0].cpu_seconds <= w[1].cpu_seconds));
+    }
+
+    #[test]
+    fn proc_readers_return_plausible_values() {
+        let rss = read_rss_bytes().expect("linux /proc");
+        assert!(rss > 1 << 20, "rss should exceed 1 MiB: {rss}");
+        let cpu = read_cpu_seconds().expect("linux /proc");
+        assert!(cpu >= 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! The platform integration API — the heart of the "advanced benchmarking
+//! harness" (paper §2.3).
+//!
+//! "Adding a new platform to Graphalytics consists of implementing the
+//! algorithms, adding a dataset loading method, providing a workload
+//! processing interface, and logging the information required for results
+//! reporting." The [`Platform`] trait is exactly that contract: `load_graph`
+//! is the dataset-loading/ETL step, `run` is the workload-processing
+//! interface, and the harness handles monitoring and reporting around it.
+
+use std::time::{Duration, Instant};
+
+use graphalytics_algos::{Algorithm, Output};
+use graphalytics_graph::CsrGraph;
+
+/// Opaque handle to a graph loaded into a platform's own storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphHandle(pub u64);
+
+/// Errors a platform can produce while loading or running.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// The platform ran out of its configured memory budget — how Fig. 4's
+    /// "missing values indicate failures" happen for in-memory platforms.
+    OutOfMemory {
+        /// Bytes the operation needed.
+        required: usize,
+        /// Bytes the platform had available.
+        budget: usize,
+    },
+    /// The cooperative deadline expired mid-run (MapReduce's DNF entries).
+    Timeout,
+    /// The workload is not supported by this platform.
+    Unsupported(String),
+    /// Unknown graph handle or other usage error.
+    InvalidHandle,
+    /// Internal failure with a description.
+    Internal(String),
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::OutOfMemory { required, budget } => {
+                write!(f, "out of memory: needed {required} B, budget {budget} B")
+            }
+            PlatformError::Timeout => write!(f, "timed out"),
+            PlatformError::Unsupported(what) => write!(f, "unsupported workload: {what}"),
+            PlatformError::InvalidHandle => write!(f, "invalid graph handle"),
+            PlatformError::Internal(msg) => write!(f, "internal platform error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// Per-run context handed to platforms: the cooperative deadline plus
+/// counters the platform reports back for the harness's accounting.
+#[derive(Debug, Clone)]
+pub struct RunContext {
+    deadline: Option<Instant>,
+}
+
+impl RunContext {
+    /// No deadline.
+    pub fn unbounded() -> Self {
+        Self { deadline: None }
+    }
+
+    /// A deadline `timeout` from now. Platforms check it between supersteps
+    /// / jobs / iterations and abort with [`PlatformError::Timeout`].
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self {
+            deadline: Some(Instant::now() + timeout),
+        }
+    }
+
+    /// True when the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Returns `Err(Timeout)` when the deadline has passed — the one-liner
+    /// platforms call at iteration boundaries.
+    pub fn check_deadline(&self) -> Result<(), PlatformError> {
+        if self.expired() {
+            Err(PlatformError::Timeout)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Default for RunContext {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+/// A graph-processing platform under test.
+///
+/// Implementations translate the canonical [`CsrGraph`] into their own
+/// storage at load time ("ETL"; the paper's runtime metric deliberately
+/// excludes it) and run workload algorithms against that storage, returning
+/// outputs in the canonical graph's internal-id order so the Output
+/// Validator can compare platforms directly.
+pub trait Platform: Send {
+    /// Platform name as shown in reports ("Giraph", "GraphX", ...).
+    fn name(&self) -> &'static str;
+
+    /// ETL: imports the graph into platform storage.
+    fn load_graph(&mut self, graph: &CsrGraph) -> Result<GraphHandle, PlatformError>;
+
+    /// Runs one algorithm against a previously loaded graph.
+    fn run(
+        &mut self,
+        handle: GraphHandle,
+        algorithm: &Algorithm,
+        ctx: &RunContext,
+    ) -> Result<Output, PlatformError>;
+
+    /// Frees the platform storage for a graph. Unknown handles are ignored.
+    fn unload(&mut self, handle: GraphHandle);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_expiry() {
+        let ctx = RunContext::with_timeout(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(ctx.expired());
+        assert_eq!(ctx.check_deadline(), Err(PlatformError::Timeout));
+        let open = RunContext::unbounded();
+        assert!(!open.expired());
+        assert!(open.check_deadline().is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PlatformError::OutOfMemory {
+            required: 100,
+            budget: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(PlatformError::Timeout.to_string().contains("timed out"));
+        assert!(PlatformError::Unsupported("EVO".into())
+            .to_string()
+            .contains("EVO"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Code-quality monitoring (paper §3.5).
+//!
+//! "In Graphalytics, the code for the reference implementations is
+//! accompanied by code quality reports, such as code complexity, bugs
+//! discovered through static analysis, etc." The paper's pipeline uses
+//! SonarQube and Jenkins; this module is the in-repo substitute: a small
+//! static analyzer over Rust sources producing per-crate metrics — lines
+//! of code, comment density, test density, function count and length, a
+//! cyclomatic-complexity estimate, and `unwrap()`/`panic!()` density in
+//! non-test code (a Rust proxy for "potential bugs").
+
+use std::path::{Path, PathBuf};
+
+use graphalytics_graph::GraphError;
+
+/// Metrics for one source tree (usually one crate).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QualityMetrics {
+    /// Name of the analyzed unit.
+    pub name: String,
+    /// Files analyzed.
+    pub files: usize,
+    /// Non-blank, non-comment lines of code.
+    pub code_lines: usize,
+    /// Comment lines (`//`, `///`, `//!`, and block comment lines).
+    pub comment_lines: usize,
+    /// `#[test]` functions found.
+    pub test_functions: usize,
+    /// `fn` items found.
+    pub functions: usize,
+    /// Branch points (`if`, `match` arms, loops, `&&`, `||`, `?`) — summed
+    /// cyclomatic-complexity estimate.
+    pub branch_points: usize,
+    /// `unwrap()`/`expect(`/`panic!(` occurrences outside `#[cfg(test)]`
+    /// modules (best-effort: everything before the first test module).
+    pub unwraps_non_test: usize,
+}
+
+impl QualityMetrics {
+    /// Comment density: comment lines per code line.
+    pub fn comment_density(&self) -> f64 {
+        if self.code_lines == 0 {
+            0.0
+        } else {
+            self.comment_lines as f64 / self.code_lines as f64
+        }
+    }
+
+    /// Mean branch points per function — the complexity indicator.
+    pub fn mean_complexity(&self) -> f64 {
+        if self.functions == 0 {
+            0.0
+        } else {
+            self.branch_points as f64 / self.functions as f64
+        }
+    }
+
+    /// Potential-bug density: unwraps per 1000 code lines.
+    pub fn unwrap_density(&self) -> f64 {
+        if self.code_lines == 0 {
+            0.0
+        } else {
+            1000.0 * self.unwraps_non_test as f64 / self.code_lines as f64
+        }
+    }
+}
+
+/// Analyzes all `.rs` files under `root` (recursively).
+pub fn analyze_tree(name: &str, root: &Path) -> Result<QualityMetrics, GraphError> {
+    let mut metrics = QualityMetrics {
+        name: name.to_string(),
+        ..Default::default()
+    };
+    let mut stack = vec![root.to_path_buf()];
+    let mut files: Vec<PathBuf> = Vec::new();
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    for path in files {
+        let source = std::fs::read_to_string(&path)?;
+        analyze_source(&source, &mut metrics);
+        metrics.files += 1;
+    }
+    Ok(metrics)
+}
+
+/// Analyzes one source string into `metrics` (exposed for tests).
+pub fn analyze_source(source: &str, metrics: &mut QualityMetrics) {
+    let mut in_block_comment = false;
+    let mut seen_test_module = false;
+    for line in source.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if in_block_comment {
+            metrics.comment_lines += 1;
+            if trimmed.contains("*/") {
+                in_block_comment = false;
+            }
+            continue;
+        }
+        if trimmed.starts_with("/*") {
+            metrics.comment_lines += 1;
+            if !trimmed.contains("*/") {
+                in_block_comment = true;
+            }
+            continue;
+        }
+        if trimmed.starts_with("//") {
+            metrics.comment_lines += 1;
+            continue;
+        }
+        metrics.code_lines += 1;
+        if trimmed.contains("#[cfg(test)]") {
+            seen_test_module = true;
+        }
+        if trimmed.contains("#[test]") {
+            metrics.test_functions += 1;
+        }
+        // Function headers: `fn name(` — skip mentions in strings/docs by
+        // requiring the keyword position.
+        if trimmed.starts_with("fn ")
+            || trimmed.contains(" fn ")
+            || trimmed.starts_with("pub fn ")
+        {
+            metrics.functions += 1;
+        }
+        metrics.branch_points += count_branches(trimmed);
+        if !seen_test_module
+            && (trimmed.contains(".unwrap()")
+                || trimmed.contains(".expect(")
+                || trimmed.contains("panic!("))
+        {
+            metrics.unwraps_non_test += 1;
+        }
+    }
+}
+
+fn count_branches(line: &str) -> usize {
+    let mut count = 0;
+    for keyword in ["if ", "while ", "for ", "match ", "=> "] {
+        count += line.matches(keyword).count();
+    }
+    count += line.matches("&&").count();
+    count += line.matches("||").count();
+    count
+}
+
+/// Renders a text report across several analyzed units.
+pub fn quality_report(units: &[QualityMetrics]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>6} {:>8} {:>9} {:>7} {:>6} {:>10} {:>9}",
+        "unit", "files", "code", "comments", "tests", "fns", "complexity", "unwrap/k"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(88));
+    for m in units {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6} {:>8} {:>9} {:>7} {:>6} {:>10.1} {:>9.1}",
+            m.name,
+            m.files,
+            m.code_lines,
+            m.comment_lines,
+            m.test_functions,
+            m.functions,
+            m.mean_complexity(),
+            m.unwrap_density()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+//! Module docs.
+
+/// Doc comment.
+pub fn decide(x: i32) -> i32 {
+    // Inline comment.
+    if x > 0 && x < 10 {
+        x.checked_add(1).unwrap()
+    } else {
+        0
+    }
+}
+
+/* block
+   comment */
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert_eq!(super::decide(1), 2);
+        Some(1).unwrap();
+    }
+}
+"#;
+
+    #[test]
+    fn counts_basic_metrics() {
+        let mut m = QualityMetrics::default();
+        analyze_source(SAMPLE, &mut m);
+        assert_eq!(m.test_functions, 1);
+        assert!(m.functions >= 2, "decide + t: {}", m.functions);
+        assert!(m.comment_lines >= 5, "{}", m.comment_lines);
+        assert!(m.code_lines >= 10);
+        // The unwrap in the test module must not count.
+        assert_eq!(m.unwraps_non_test, 1);
+        assert!(m.branch_points >= 2); // if + &&.
+    }
+
+    #[test]
+    fn density_math() {
+        let m = QualityMetrics {
+            code_lines: 1000,
+            comment_lines: 250,
+            functions: 10,
+            branch_points: 35,
+            unwraps_non_test: 4,
+            ..Default::default()
+        };
+        assert!((m.comment_density() - 0.25).abs() < 1e-12);
+        assert!((m.mean_complexity() - 3.5).abs() < 1e-12);
+        assert!((m.unwrap_density() - 4.0).abs() < 1e-12);
+        let empty = QualityMetrics::default();
+        assert_eq!(empty.comment_density(), 0.0);
+        assert_eq!(empty.mean_complexity(), 0.0);
+    }
+
+    #[test]
+    fn analyzes_this_crate() {
+        let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+        let m = analyze_tree("core", &src_dir).unwrap();
+        assert!(m.files >= 5);
+        assert!(m.code_lines > 500);
+        assert!(m.test_functions > 10);
+        assert!(m.comment_density() > 0.05, "{}", m.comment_density());
+    }
+
+    #[test]
+    fn report_renders_rows() {
+        let m = QualityMetrics {
+            name: "demo".into(),
+            files: 1,
+            code_lines: 100,
+            ..Default::default()
+        };
+        let report = quality_report(&[m]);
+        assert!(report.contains("demo"));
+        assert!(report.contains("unit"));
+    }
+}

@@ -1,0 +1,100 @@
+//! The reference platform: the oracle algorithms exposed through the
+//! [`Platform`] API.
+//!
+//! Serves two purposes: a correctness baseline any new platform can be
+//! diffed against inside a benchmark run, and the minimal example of a
+//! platform integration (it is the "single-threaded, no-frills" entry in
+//! comparison tables).
+
+use std::sync::Arc;
+
+use graphalytics_algos::{reference, Algorithm, Output};
+use graphalytics_graph::CsrGraph;
+use rustc_hash::FxHashMap;
+
+use crate::platform::{GraphHandle, Platform, PlatformError, RunContext};
+
+/// Sequential oracle platform.
+#[derive(Default)]
+pub struct ReferencePlatform {
+    graphs: FxHashMap<u64, Arc<CsrGraph>>,
+    next_handle: u64,
+}
+
+impl ReferencePlatform {
+    /// Creates the platform.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Platform for ReferencePlatform {
+    fn name(&self) -> &'static str {
+        "Reference"
+    }
+
+    fn load_graph(&mut self, graph: &CsrGraph) -> Result<GraphHandle, PlatformError> {
+        let handle = GraphHandle(self.next_handle);
+        self.next_handle += 1;
+        self.graphs.insert(handle.0, Arc::new(graph.clone()));
+        Ok(handle)
+    }
+
+    fn run(
+        &mut self,
+        handle: GraphHandle,
+        algorithm: &Algorithm,
+        ctx: &RunContext,
+    ) -> Result<Output, PlatformError> {
+        ctx.check_deadline()?;
+        let graph = self
+            .graphs
+            .get(&handle.0)
+            .ok_or(PlatformError::InvalidHandle)?;
+        Ok(reference(graph, algorithm))
+    }
+
+    fn unload(&mut self, handle: GraphHandle) {
+        self.graphs.remove(&handle.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalytics_graph::EdgeListGraph;
+
+    #[test]
+    fn runs_every_kernel_and_validates_against_itself() {
+        let g = CsrGraph::from_edge_list(&EdgeListGraph::undirected_from_edges(vec![
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (3, 4),
+        ]));
+        let mut p = ReferencePlatform::new();
+        let handle = p.load_graph(&g).unwrap();
+        for alg in Algorithm::paper_workload() {
+            let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
+            assert!(reference(&g, &alg).equivalent(&out));
+        }
+        p.unload(handle);
+        assert_eq!(
+            p.run(handle, &Algorithm::Conn, &RunContext::unbounded()),
+            Err(PlatformError::InvalidHandle)
+        );
+    }
+
+    #[test]
+    fn respects_deadlines() {
+        let g = CsrGraph::from_edge_list(&EdgeListGraph::undirected_from_edges(vec![(0, 1)]));
+        let mut p = ReferencePlatform::new();
+        let handle = p.load_graph(&g).unwrap();
+        let ctx = RunContext::with_timeout(std::time::Duration::from_nanos(1));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert_eq!(
+            p.run(handle, &Algorithm::Conn, &ctx),
+            Err(PlatformError::Timeout)
+        );
+    }
+}

@@ -1,0 +1,505 @@
+//! Benchmark Core: orchestrates runs across all combinations of platforms,
+//! datasets, and algorithms (paper §2.3).
+//!
+//! "By default, Graphalytics runs all the algorithms implemented on all
+//! configured graphs" — [`BenchmarkSuite::run`] is that cross product, with
+//! per-run timeouts, repetitions, output validation, and resource
+//! monitoring. "The runtime measures the complete execution of an
+//! algorithm, from job submission to result availability, but does not
+//! include ETL" (§3.3): `load_graph` time is recorded separately from
+//! per-algorithm runtimes.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use graphalytics_algos::Algorithm;
+use graphalytics_graph::CsrGraph;
+
+use crate::datasets::Dataset;
+use crate::metrics;
+use crate::monitor::SystemMonitor;
+use crate::platform::{Platform, PlatformError, RunContext};
+use crate::validator::{OutputValidator, Validation};
+
+/// Suite-level configuration.
+#[derive(Debug, Clone)]
+pub struct BenchmarkConfig {
+    /// Cooperative per-run timeout (None = unbounded).
+    pub timeout: Option<Duration>,
+    /// Timed repetitions per (platform, dataset, algorithm); the reported
+    /// runtime is the median.
+    pub repetitions: usize,
+    /// Whether to validate outputs against the reference implementation.
+    pub validate: bool,
+    /// Resource-monitor sampling interval.
+    pub monitor_interval: Duration,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        Self {
+            timeout: None,
+            repetitions: 1,
+            validate: true,
+            monitor_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Outcome status of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunStatus {
+    /// Completed and produced output.
+    Success,
+    /// The platform failed (the "missing values" of Figure 4).
+    Failed(String),
+    /// The cooperative deadline expired.
+    Timeout,
+}
+
+impl RunStatus {
+    /// True for [`RunStatus::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, RunStatus::Success)
+    }
+}
+
+/// The record of one (platform, dataset, algorithm) cell.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Platform name.
+    pub platform: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm acronym.
+    pub algorithm: String,
+    /// Outcome.
+    pub status: RunStatus,
+    /// Median runtime over repetitions (seconds); None on failure.
+    pub runtime_seconds: Option<f64>,
+    /// All repetition runtimes.
+    pub repetition_seconds: Vec<f64>,
+    /// Traversed-edges-per-second metric, when the run succeeded.
+    pub teps: Option<f64>,
+    /// Output validation verdict.
+    pub validation: Validation,
+    /// Short description of the produced output.
+    pub output_summary: String,
+    /// Peak resident set during the run (bytes; 0 when unavailable).
+    pub peak_rss_bytes: u64,
+    /// Mean CPU utilization during the run (cores).
+    pub avg_cpu_utilization: f64,
+}
+
+/// ETL record per (platform, dataset).
+#[derive(Debug, Clone)]
+pub struct LoadRecord {
+    /// Platform name.
+    pub platform: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Load (ETL) time in seconds, when successful.
+    pub load_seconds: Option<f64>,
+    /// Load failure, if any.
+    pub error: Option<String>,
+}
+
+/// Everything a suite run produced.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteResult {
+    /// One record per (platform, dataset, algorithm).
+    pub runs: Vec<RunRecord>,
+    /// One record per (platform, dataset).
+    pub loads: Vec<LoadRecord>,
+}
+
+impl SuiteResult {
+    /// Looks up a run record.
+    pub fn find(&self, platform: &str, dataset: &str, algorithm: &str) -> Option<&RunRecord> {
+        self.runs.iter().find(|r| {
+            r.platform == platform && r.dataset == dataset && r.algorithm == algorithm
+        })
+    }
+
+    /// All distinct platform names, in first-seen order.
+    pub fn platforms(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for r in &self.runs {
+            if !seen.contains(&r.platform) {
+                seen.push(r.platform.clone());
+            }
+        }
+        seen
+    }
+
+    /// All distinct dataset names, in first-seen order.
+    pub fn datasets(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for r in &self.runs {
+            if !seen.contains(&r.dataset) {
+                seen.push(r.dataset.clone());
+            }
+        }
+        seen
+    }
+
+    /// All distinct algorithm names, in first-seen order.
+    pub fn algorithms(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for r in &self.runs {
+            if !seen.contains(&r.algorithm) {
+                seen.push(r.algorithm.clone());
+            }
+        }
+        seen
+    }
+}
+
+/// The benchmark suite: datasets × algorithms × platforms.
+pub struct BenchmarkSuite {
+    datasets: Vec<Dataset>,
+    algorithms: Vec<Algorithm>,
+    config: BenchmarkConfig,
+    validator: OutputValidator,
+}
+
+impl BenchmarkSuite {
+    /// Creates a suite over the given workload.
+    pub fn new(datasets: Vec<Dataset>, algorithms: Vec<Algorithm>, config: BenchmarkConfig) -> Self {
+        Self {
+            datasets,
+            algorithms,
+            config,
+            validator: OutputValidator::new(),
+        }
+    }
+
+    /// Runs every algorithm on every dataset for every platform.
+    ///
+    /// A platform that fails to *load* a dataset gets a failure record for
+    /// every algorithm on that dataset (that is how Neo4j/GraphX's
+    /// too-large-graph failures appear in Figure 4).
+    pub fn run(&self, platforms: &mut [Box<dyn Platform>]) -> SuiteResult {
+        let mut result = SuiteResult::default();
+        for dataset in &self.datasets {
+            let graph = match dataset.load() {
+                Ok(g) => g,
+                Err(e) => {
+                    for platform in platforms.iter() {
+                        result.loads.push(LoadRecord {
+                            platform: platform.name().to_string(),
+                            dataset: dataset.name.clone(),
+                            load_seconds: None,
+                            error: Some(format!("dataset generation failed: {e}")),
+                        });
+                    }
+                    continue;
+                }
+            };
+            for platform in platforms.iter_mut() {
+                self.run_platform_on_dataset(platform.as_mut(), dataset, &graph, &mut result);
+            }
+        }
+        result
+    }
+
+    fn run_platform_on_dataset(
+        &self,
+        platform: &mut dyn Platform,
+        dataset: &Dataset,
+        graph: &Arc<CsrGraph>,
+        result: &mut SuiteResult,
+    ) {
+        let load_started = Instant::now();
+        let handle = match platform.load_graph(graph) {
+            Ok(h) => {
+                result.loads.push(LoadRecord {
+                    platform: platform.name().to_string(),
+                    dataset: dataset.name.clone(),
+                    load_seconds: Some(load_started.elapsed().as_secs_f64()),
+                    error: None,
+                });
+                h
+            }
+            Err(e) => {
+                result.loads.push(LoadRecord {
+                    platform: platform.name().to_string(),
+                    dataset: dataset.name.clone(),
+                    load_seconds: None,
+                    error: Some(e.to_string()),
+                });
+                // Every algorithm becomes a failure cell.
+                for alg in &self.algorithms {
+                    result.runs.push(RunRecord {
+                        platform: platform.name().to_string(),
+                        dataset: dataset.name.clone(),
+                        algorithm: alg.name().to_string(),
+                        status: RunStatus::Failed(format!("load failed: {e}")),
+                        runtime_seconds: None,
+                        repetition_seconds: Vec::new(),
+                        teps: None,
+                        validation: Validation::Skipped,
+                        output_summary: String::new(),
+                        peak_rss_bytes: 0,
+                        avg_cpu_utilization: 0.0,
+                    });
+                }
+                return;
+            }
+        };
+        for alg in &self.algorithms {
+            result
+                .runs
+                .push(self.run_one(platform, handle, dataset, graph, alg));
+        }
+        platform.unload(handle);
+    }
+
+    fn run_one(
+        &self,
+        platform: &mut dyn Platform,
+        handle: crate::platform::GraphHandle,
+        dataset: &Dataset,
+        graph: &Arc<CsrGraph>,
+        alg: &Algorithm,
+    ) -> RunRecord {
+        let mut record = RunRecord {
+            platform: platform.name().to_string(),
+            dataset: dataset.name.clone(),
+            algorithm: alg.name().to_string(),
+            status: RunStatus::Success,
+            runtime_seconds: None,
+            repetition_seconds: Vec::new(),
+            teps: None,
+            validation: Validation::Skipped,
+            output_summary: String::new(),
+            peak_rss_bytes: 0,
+            avg_cpu_utilization: 0.0,
+        };
+        let reps = self.config.repetitions.max(1);
+        let monitor = SystemMonitor::start(self.config.monitor_interval);
+        let mut last_output = None;
+        for _ in 0..reps {
+            let ctx = match self.config.timeout {
+                Some(t) => RunContext::with_timeout(t),
+                None => RunContext::unbounded(),
+            };
+            let started = Instant::now();
+            match platform.run(handle, alg, &ctx) {
+                Ok(output) => {
+                    record
+                        .repetition_seconds
+                        .push(started.elapsed().as_secs_f64());
+                    last_output = Some(output);
+                }
+                Err(PlatformError::Timeout) => {
+                    record.status = RunStatus::Timeout;
+                    break;
+                }
+                Err(e) => {
+                    record.status = RunStatus::Failed(e.to_string());
+                    break;
+                }
+            }
+        }
+        let mon = monitor.stop();
+        record.peak_rss_bytes = mon.peak_rss_bytes;
+        record.avg_cpu_utilization = mon.avg_cpu_utilization;
+        if let (RunStatus::Success, Some(output)) = (&record.status, &last_output) {
+            record.runtime_seconds = Some(median(&record.repetition_seconds));
+            record.output_summary = output.summary();
+            let traversed = metrics::edges_traversed(graph, output);
+            record.teps = record.runtime_seconds.map(|t| metrics::teps(traversed, t));
+            record.validation = if self.config.validate {
+                self.validator.validate(graph, alg, output)
+            } else {
+                Validation::Skipped
+            };
+        }
+        record
+    }
+}
+
+/// Median of a non-empty slice (mean of the middle pair for even lengths).
+pub fn median(xs: &[f64]) -> f64 {
+    debug_assert!(!xs.is_empty());
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::GraphHandle;
+    use graphalytics_algos::{reference, Output};
+
+    /// A correct platform that just runs the reference implementation.
+    struct RefPlatform {
+        graphs: Vec<Arc<CsrGraph>>,
+    }
+
+    impl Platform for RefPlatform {
+        fn name(&self) -> &'static str {
+            "Reference"
+        }
+        fn load_graph(&mut self, graph: &CsrGraph) -> Result<GraphHandle, PlatformError> {
+            self.graphs.push(Arc::new(graph.clone()));
+            Ok(GraphHandle(self.graphs.len() as u64 - 1))
+        }
+        fn run(
+            &mut self,
+            handle: GraphHandle,
+            algorithm: &Algorithm,
+            _ctx: &RunContext,
+        ) -> Result<Output, PlatformError> {
+            let g = self.graphs.get(handle.0 as usize).ok_or(PlatformError::InvalidHandle)?;
+            Ok(reference(g, algorithm))
+        }
+        fn unload(&mut self, _handle: GraphHandle) {}
+    }
+
+    /// A platform that always fails to load.
+    struct BrokenPlatform;
+
+    impl Platform for BrokenPlatform {
+        fn name(&self) -> &'static str {
+            "Broken"
+        }
+        fn load_graph(&mut self, graph: &CsrGraph) -> Result<GraphHandle, PlatformError> {
+            Err(PlatformError::OutOfMemory {
+                required: graph.memory_footprint(),
+                budget: 1,
+            })
+        }
+        fn run(
+            &mut self,
+            _handle: GraphHandle,
+            _algorithm: &Algorithm,
+            _ctx: &RunContext,
+        ) -> Result<Output, PlatformError> {
+            Err(PlatformError::InvalidHandle)
+        }
+        fn unload(&mut self, _handle: GraphHandle) {}
+    }
+
+    /// A platform that respects the cooperative deadline by sleeping.
+    struct SlowPlatform;
+
+    impl Platform for SlowPlatform {
+        fn name(&self) -> &'static str {
+            "Slow"
+        }
+        fn load_graph(&mut self, _graph: &CsrGraph) -> Result<GraphHandle, PlatformError> {
+            Ok(GraphHandle(0))
+        }
+        fn run(
+            &mut self,
+            _handle: GraphHandle,
+            _algorithm: &Algorithm,
+            ctx: &RunContext,
+        ) -> Result<Output, PlatformError> {
+            for _ in 0..50 {
+                std::thread::sleep(Duration::from_millis(2));
+                ctx.check_deadline()?;
+            }
+            Ok(Output::Components(vec![]))
+        }
+        fn unload(&mut self, _handle: GraphHandle) {}
+    }
+
+    fn suite(algorithms: Vec<Algorithm>, config: BenchmarkConfig) -> BenchmarkSuite {
+        BenchmarkSuite::new(vec![Dataset::graph500(6)], algorithms, config)
+    }
+
+    #[test]
+    fn reference_platform_passes_validation() {
+        let s = suite(
+            vec![Algorithm::Stats, Algorithm::default_bfs(), Algorithm::Conn],
+            BenchmarkConfig::default(),
+        );
+        let mut platforms: Vec<Box<dyn Platform>> =
+            vec![Box::new(RefPlatform { graphs: vec![] })];
+        let result = s.run(&mut platforms);
+        assert_eq!(result.runs.len(), 3);
+        for r in &result.runs {
+            assert!(r.status.is_success(), "{r:?}");
+            assert!(r.validation.is_valid(), "{r:?}");
+            assert!(r.runtime_seconds.unwrap() >= 0.0);
+            assert!(r.teps.unwrap() > 0.0);
+        }
+        assert_eq!(result.loads.len(), 1);
+        assert!(result.loads[0].load_seconds.is_some());
+    }
+
+    #[test]
+    fn load_failure_marks_all_algorithms_failed() {
+        let s = suite(
+            vec![Algorithm::Stats, Algorithm::Conn],
+            BenchmarkConfig::default(),
+        );
+        let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(BrokenPlatform)];
+        let result = s.run(&mut platforms);
+        assert_eq!(result.runs.len(), 2);
+        for r in &result.runs {
+            assert!(matches!(r.status, RunStatus::Failed(_)), "{r:?}");
+            assert_eq!(r.validation, Validation::Skipped);
+        }
+        assert!(result.loads[0].error.as_deref().unwrap().contains("memory"));
+    }
+
+    #[test]
+    fn timeout_is_recorded() {
+        let s = suite(
+            vec![Algorithm::Conn],
+            BenchmarkConfig {
+                timeout: Some(Duration::from_millis(10)),
+                ..Default::default()
+            },
+        );
+        let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(SlowPlatform)];
+        let result = s.run(&mut platforms);
+        assert_eq!(result.runs[0].status, RunStatus::Timeout);
+        assert!(result.runs[0].runtime_seconds.is_none());
+    }
+
+    #[test]
+    fn repetitions_collect_multiple_timings() {
+        let s = suite(
+            vec![Algorithm::Stats],
+            BenchmarkConfig {
+                repetitions: 3,
+                ..Default::default()
+            },
+        );
+        let mut platforms: Vec<Box<dyn Platform>> =
+            vec![Box::new(RefPlatform { graphs: vec![] })];
+        let result = s.run(&mut platforms);
+        assert_eq!(result.runs[0].repetition_seconds.len(), 3);
+    }
+
+    #[test]
+    fn suite_result_lookups() {
+        let s = suite(vec![Algorithm::Stats], BenchmarkConfig::default());
+        let mut platforms: Vec<Box<dyn Platform>> =
+            vec![Box::new(RefPlatform { graphs: vec![] })];
+        let result = s.run(&mut platforms);
+        assert!(result.find("Reference", "Graph500 6", "STATS").is_some());
+        assert!(result.find("Reference", "Graph500 6", "BFS").is_none());
+        assert_eq!(result.platforms(), vec!["Reference"]);
+        assert_eq!(result.datasets(), vec!["Graph500 6"]);
+        assert_eq!(result.algorithms(), vec!["STATS"]);
+    }
+
+    #[test]
+    fn median_math() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 2.0, 9.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+}

@@ -1,0 +1,19 @@
+//! # graphalytics-dataflow
+//!
+//! A Spark/GraphX-style dataflow engine (paper §3.2): partitioned datasets
+//! with parallel narrow transformations and hash-shuffle wide
+//! transformations, executor memory accounting that reproduces GraphX's
+//! out-of-memory failures, and a GraphX-like graph layer implementing the
+//! Graphalytics workload as iterative join/shuffle jobs.
+//!
+//! * [`rdd`] — datasets, shuffles, the memory manager;
+//! * [`graphx`] — the graph layer ([`GraphFrame`]);
+//! * [`platform`] — the [`GraphXPlatform`] harness adapter.
+
+pub mod graphx;
+pub mod platform;
+pub mod rdd;
+
+pub use graphx::GraphFrame;
+pub use platform::{GraphXConfig, GraphXPlatform};
+pub use rdd::{Dataset, MemoryManager, ShuffleStats, SparkContext};

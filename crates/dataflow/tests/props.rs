@@ -1,0 +1,116 @@
+//! Property tests for the dataflow engine: dataset transformations agree
+//! with their `Vec` equivalents, shuffles preserve multisets, memory
+//! accounting balances, and the GraphX layer matches the reference.
+
+use graphalytics_core::platform::RunContext;
+use graphalytics_dataflow::{Dataset, GraphFrame, SparkContext};
+use graphalytics_graph::{CsrGraph, EdgeListGraph};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn map_filter_agree_with_vec(
+        items in proptest::collection::vec(any::<u32>(), 0..500),
+        partitions in 1usize..8,
+    ) {
+        let ctx = SparkContext::new(partitions, None);
+        let ds = Dataset::from_vec(&ctx, items.clone()).unwrap();
+        let mapped = ds.map(|&x| x.wrapping_mul(3)).unwrap();
+        let filtered = mapped.filter(|&x| x % 2 == 0).unwrap();
+        let mut got = filtered.collect();
+        got.sort_unstable();
+        let mut expected: Vec<u32> = items
+            .iter()
+            .map(|&x| x.wrapping_mul(3))
+            .filter(|&x| x % 2 == 0)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn reduce_by_key_agrees_with_btreemap(
+        pairs in proptest::collection::vec((0u32..20, 0u64..100), 0..500),
+        partitions in 1usize..8,
+    ) {
+        let ctx = SparkContext::new(partitions, None);
+        let ds = Dataset::from_vec(&ctx, pairs.clone()).unwrap();
+        let reduced = ds.reduce_by_key(|a, b| a + b).unwrap();
+        let mut got: Vec<(u32, u64)> = reduced.collect();
+        got.sort_unstable();
+        let mut expected: BTreeMap<u32, u64> = BTreeMap::new();
+        for (k, v) in pairs {
+            *expected.entry(k).or_default() += v;
+        }
+        prop_assert_eq!(got, expected.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_by_key_preserves_multisets(
+        pairs in proptest::collection::vec((0u32..10, 0u32..50), 0..300),
+        partitions in 1usize..6,
+    ) {
+        let ctx = SparkContext::new(partitions, None);
+        let ds = Dataset::from_vec(&ctx, pairs.clone()).unwrap();
+        let grouped = ds.group_by_key().unwrap();
+        let mut got: BTreeMap<u32, Vec<u32>> = grouped.collect().into_iter().collect();
+        got.values_mut().for_each(|v| v.sort_unstable());
+        let mut expected: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (k, v) in pairs {
+            expected.entry(k).or_default().push(v);
+        }
+        expected.values_mut().for_each(|v| v.sort_unstable());
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn join_agrees_with_nested_loops(
+        left in proptest::collection::vec((0u32..12, 0u16..50), 0..120),
+        right in proptest::collection::vec((0u32..12, 0u16..50), 0..120),
+    ) {
+        let ctx = SparkContext::new(4, None);
+        let l = Dataset::from_vec(&ctx, left.clone()).unwrap();
+        let r = Dataset::from_vec(&ctx, right.clone()).unwrap();
+        let mut got = l.join(&r).unwrap().collect();
+        got.sort_unstable();
+        let mut expected = Vec::new();
+        for &(lk, lv) in &left {
+            for &(rk, rv) in &right {
+                if lk == rk {
+                    expected.push((lk, (lv, rv)));
+                }
+            }
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn memory_returns_to_baseline_after_drop(
+        items in proptest::collection::vec(any::<u64>(), 1..300),
+    ) {
+        let ctx = SparkContext::new(3, None);
+        let before = ctx.memory.used();
+        {
+            let ds = Dataset::from_vec(&ctx, items).unwrap();
+            let _m = ds.map(|&x| x).unwrap();
+            prop_assert!(ctx.memory.used() > before);
+        }
+        prop_assert_eq!(ctx.memory.used(), before);
+    }
+
+    #[test]
+    fn graphx_conn_matches_reference(
+        raw in proptest::collection::vec((0u64..25, 0u64..25), 1..120),
+    ) {
+        let el = EdgeListGraph::undirected_from_edges(raw);
+        let csr = CsrGraph::from_edge_list(&el);
+        let ctx = SparkContext::new(4, None);
+        let frame = GraphFrame::from_csr(&ctx, &csr).unwrap();
+        let labels = frame.connected_components(&RunContext::unbounded()).unwrap();
+        prop_assert_eq!(labels, graphalytics_algos::conn::connected_components(&csr));
+    }
+}

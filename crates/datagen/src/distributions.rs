@@ -1,0 +1,369 @@
+//! Degree-distribution plugins for the data generator.
+//!
+//! Paper §2.2 ("Multiple degree distributions"): stock LDBC Datagen only
+//! supports the degree distribution observed at Facebook; Graphalytics
+//! extends it "with the capability to dynamically reproduce different
+//! distributions by means of plugins", with Zeta and Geometric implemented
+//! first and an empirical plugin "to feed Datagen with empirical data".
+//! This module is that plugin architecture: [`DegreePlugin`] is the plugin
+//! trait, with Facebook-like, Zeta, Geometric, Weibull, Poisson, and
+//! Empirical implementations.
+
+use graphalytics_graph::rng::Xoshiro256;
+
+/// A pluggable target-degree sampler.
+///
+/// Implementations must be deterministic functions of the RNG stream so that
+/// generation stays reproducible (same seed ⇒ same graph).
+pub trait DegreePlugin: Send + Sync {
+    /// Draws one target degree. May exceed practical bounds; the generator
+    /// clamps to `[min_degree, n-1]`.
+    fn sample(&self, rng: &mut Xoshiro256) -> u64;
+
+    /// Plugin name for configuration files and reports.
+    fn name(&self) -> &'static str;
+
+    /// Expected mean degree, used for capacity pre-sizing (approximate is
+    /// fine; `None` when unknown).
+    fn mean(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Zeta (power-law) degrees: `P(k) ∝ k^-s`. The paper's Figure 1 uses
+/// `s = 1.7`.
+#[derive(Debug, Clone, Copy)]
+pub struct ZetaPlugin {
+    /// Exponent `s > 1`.
+    pub s: f64,
+}
+
+impl DegreePlugin for ZetaPlugin {
+    fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        rng.zeta(self.s)
+    }
+
+    fn name(&self) -> &'static str {
+        "zeta"
+    }
+
+    fn mean(&self) -> Option<f64> {
+        if self.s > 2.0 {
+            use graphalytics_graph::distfit::riemann_zeta;
+            Some(riemann_zeta(self.s - 1.0) / riemann_zeta(self.s))
+        } else {
+            None // Infinite mean; generator clamps the tail.
+        }
+    }
+}
+
+/// Geometric degrees on `{1, 2, ...}`. The paper's Figure 1 uses `p = 0.12`.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricPlugin {
+    /// Success probability `0 < p ≤ 1`.
+    pub p: f64,
+}
+
+impl DegreePlugin for GeometricPlugin {
+    fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        rng.geometric(self.p)
+    }
+
+    fn name(&self) -> &'static str {
+        "geometric"
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.p)
+    }
+}
+
+/// Poisson degrees (mean `lambda`), shifted to a minimum of 1 so every
+/// person participates in the network.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonPlugin {
+    /// Mean of the unshifted Poisson.
+    pub lambda: f64,
+}
+
+impl DegreePlugin for PoissonPlugin {
+    fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        rng.poisson(self.lambda).max(1)
+    }
+
+    fn name(&self) -> &'static str {
+        "poisson"
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.lambda)
+    }
+}
+
+/// Weibull degrees (continuous draw, rounded up to ≥ 1). Covers the
+/// heavier-than-geometric, lighter-than-power-law regime seen in several
+/// real graphs.
+#[derive(Debug, Clone, Copy)]
+pub struct WeibullPlugin {
+    /// Scale parameter.
+    pub lambda: f64,
+    /// Shape parameter.
+    pub shape: f64,
+}
+
+impl DegreePlugin for WeibullPlugin {
+    fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        (rng.weibull(self.lambda, self.shape).round() as u64).max(1)
+    }
+
+    fn name(&self) -> &'static str {
+        "weibull"
+    }
+
+    fn mean(&self) -> Option<f64> {
+        // lambda * Gamma(1 + 1/shape).
+        Some(self.lambda * graphalytics_graph::rng::ln_gamma(1.0 + 1.0 / self.shape).exp())
+    }
+}
+
+/// Facebook-like degrees, after Ugander et al., "The anatomy of the Facebook
+/// social graph" (the distribution stock Datagen reproduces). Approximated
+/// as a discretized log-normal, scaled by `target_mean` so that reduced-
+/// scale graphs keep the same shape at proportionally smaller degrees.
+#[derive(Debug, Clone, Copy)]
+pub struct FacebookPlugin {
+    /// Desired mean degree (Facebook's global mean is ~190; scaled-down
+    /// benchmark graphs use much smaller values).
+    pub target_mean: f64,
+}
+
+impl FacebookPlugin {
+    /// Log-normal sigma matching the heavy but bounded FB degree spread.
+    const SIGMA: f64 = 1.0;
+}
+
+impl DegreePlugin for FacebookPlugin {
+    fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        // For LogNormal(mu, sigma), mean = exp(mu + sigma^2/2).
+        let mu = self.target_mean.ln() - Self::SIGMA * Self::SIGMA / 2.0;
+        let x = (mu + Self::SIGMA * rng.gaussian()).exp();
+        (x.round() as u64).max(1)
+    }
+
+    fn name(&self) -> &'static str {
+        "facebook"
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.target_mean)
+    }
+}
+
+/// Empirical degrees: inverse-CDF sampling from an observed degree
+/// histogram, "in a similar way Datagen already does for the Facebook
+/// distribution" (paper §2.2). Feed it `metrics::degree_histogram` output
+/// from any real graph to mimic that graph's degrees.
+#[derive(Debug, Clone)]
+pub struct EmpiricalPlugin {
+    degrees: Vec<u64>,
+    cumulative: Vec<u64>,
+    total: u64,
+    mean: f64,
+}
+
+impl EmpiricalPlugin {
+    /// Builds the plugin from `(degree, count)` pairs. Zero-count entries
+    /// are ignored. Returns `None` when no positive counts exist.
+    pub fn from_histogram(hist: &[(usize, usize)]) -> Option<Self> {
+        let mut degrees = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut total = 0u64;
+        let mut weighted = 0u128;
+        for &(degree, count) in hist {
+            if count == 0 {
+                continue;
+            }
+            total += count as u64;
+            weighted += (degree as u128) * (count as u128);
+            degrees.push(degree as u64);
+            cumulative.push(total);
+        }
+        if total == 0 {
+            return None;
+        }
+        Some(Self {
+            degrees,
+            cumulative,
+            total,
+            mean: weighted as f64 / total as f64,
+        })
+    }
+}
+
+impl DegreePlugin for EmpiricalPlugin {
+    fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        let target = rng.next_bounded(self.total) + 1;
+        let idx = self.cumulative.partition_point(|&c| c < target);
+        self.degrees[idx.min(self.degrees.len() - 1)]
+    }
+
+    fn name(&self) -> &'static str {
+        "empirical"
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.mean)
+    }
+}
+
+/// Configuration-friendly enumeration of the built-in plugins, convertible
+/// into a boxed [`DegreePlugin`]. Third-party plugins implement the trait
+/// directly.
+#[derive(Debug, Clone)]
+pub enum DegreeDistribution {
+    /// Zeta with exponent `s`.
+    Zeta(f64),
+    /// Geometric with success probability `p`.
+    Geometric(f64),
+    /// Poisson with mean `lambda`.
+    Poisson(f64),
+    /// Weibull with `(scale, shape)`.
+    Weibull(f64, f64),
+    /// Facebook-like with target mean degree.
+    Facebook(f64),
+    /// Empirical histogram of `(degree, count)` pairs.
+    Empirical(Vec<(usize, usize)>),
+}
+
+impl DegreeDistribution {
+    /// Instantiates the plugin. Panics only for empty empirical histograms,
+    /// which are a configuration error.
+    pub fn build(&self) -> Box<dyn DegreePlugin> {
+        match self {
+            DegreeDistribution::Zeta(s) => Box::new(ZetaPlugin { s: *s }),
+            DegreeDistribution::Geometric(p) => Box::new(GeometricPlugin { p: *p }),
+            DegreeDistribution::Poisson(lambda) => Box::new(PoissonPlugin { lambda: *lambda }),
+            DegreeDistribution::Weibull(lambda, shape) => Box::new(WeibullPlugin {
+                lambda: *lambda,
+                shape: *shape,
+            }),
+            DegreeDistribution::Facebook(mean) => {
+                Box::new(FacebookPlugin { target_mean: *mean })
+            }
+            DegreeDistribution::Empirical(hist) => Box::new(
+                EmpiricalPlugin::from_histogram(hist)
+                    .expect("empirical degree histogram must be non-empty"),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(plugin: &dyn DegreePlugin, n: usize, seed: u64) -> f64 {
+        let mut rng = Xoshiro256::new(seed);
+        (0..n).map(|_| plugin.sample(&mut rng)).sum::<u64>() as f64 / n as f64
+    }
+
+    #[test]
+    fn geometric_plugin_mean() {
+        let p = GeometricPlugin { p: 0.12 };
+        let mean = sample_mean(&p, 30_000, 1);
+        assert!((mean - p.mean().unwrap()).abs() < 0.2, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_plugin_positive_support() {
+        let p = PoissonPlugin { lambda: 0.2 };
+        let mut rng = Xoshiro256::new(2);
+        for _ in 0..1000 {
+            assert!(p.sample(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn zeta_plugin_heavy_tail() {
+        let p = ZetaPlugin { s: 1.7 };
+        let mut rng = Xoshiro256::new(3);
+        let samples: Vec<u64> = (0..30_000).map(|_| p.sample(&mut rng)).collect();
+        let max = *samples.iter().max().unwrap();
+        let ones = samples.iter().filter(|&&s| s == 1).count();
+        assert!(max > 1000, "power law should have a heavy tail, max={max}");
+        assert!(ones as f64 / samples.len() as f64 > 0.4);
+    }
+
+    #[test]
+    fn facebook_plugin_respects_target_mean() {
+        let p = FacebookPlugin { target_mean: 30.0 };
+        let mean = sample_mean(&p, 40_000, 4);
+        assert!((mean - 30.0).abs() < 2.0, "mean={mean}");
+    }
+
+    #[test]
+    fn weibull_plugin_minimum_one() {
+        let p = WeibullPlugin {
+            lambda: 0.2,
+            shape: 0.8,
+        };
+        let mut rng = Xoshiro256::new(5);
+        assert!((0..1000).all(|_| p.sample(&mut rng) >= 1));
+    }
+
+    #[test]
+    fn empirical_plugin_reproduces_histogram() {
+        let hist = vec![(1, 700), (5, 200), (50, 100)];
+        let p = EmpiricalPlugin::from_histogram(&hist).unwrap();
+        let mut rng = Xoshiro256::new(6);
+        let mut counts = std::collections::HashMap::new();
+        let n = 50_000;
+        for _ in 0..n {
+            *counts.entry(p.sample(&mut rng)).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 3);
+        let frac1 = counts[&1] as f64 / n as f64;
+        assert!((frac1 - 0.7).abs() < 0.02, "frac1={frac1}");
+        let frac50 = counts[&50] as f64 / n as f64;
+        assert!((frac50 - 0.1).abs() < 0.01, "frac50={frac50}");
+        assert!((p.mean().unwrap() - (700.0 + 1000.0 + 5000.0) / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_plugin_rejects_empty() {
+        assert!(EmpiricalPlugin::from_histogram(&[]).is_none());
+        assert!(EmpiricalPlugin::from_histogram(&[(3, 0)]).is_none());
+    }
+
+    #[test]
+    fn enum_builds_matching_plugin() {
+        assert_eq!(DegreeDistribution::Zeta(1.7).build().name(), "zeta");
+        assert_eq!(
+            DegreeDistribution::Geometric(0.12).build().name(),
+            "geometric"
+        );
+        assert_eq!(DegreeDistribution::Poisson(5.0).build().name(), "poisson");
+        assert_eq!(
+            DegreeDistribution::Weibull(2.0, 1.0).build().name(),
+            "weibull"
+        );
+        assert_eq!(
+            DegreeDistribution::Facebook(20.0).build().name(),
+            "facebook"
+        );
+        assert_eq!(
+            DegreeDistribution::Empirical(vec![(2, 5)]).build().name(),
+            "empirical"
+        );
+    }
+
+    #[test]
+    fn plugins_are_deterministic() {
+        let p = ZetaPlugin { s: 2.0 };
+        let mut a = Xoshiro256::new(77);
+        let mut b = Xoshiro256::new(77);
+        for _ in 0..100 {
+            assert_eq!(p.sample(&mut a), p.sample(&mut b));
+        }
+    }
+}

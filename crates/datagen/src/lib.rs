@@ -1,0 +1,30 @@
+//! # graphalytics-datagen
+//!
+//! Reproduction of the LDBC SNB data generator (Datagen) as extended by the
+//! Graphalytics paper (§2.2):
+//!
+//! * [`persons`] — correlated person/attribute generation (S3G2 lineage);
+//! * [`distributions`] — pluggable degree distributions (Facebook-like,
+//!   Zeta, Geometric, Weibull, Poisson, Empirical);
+//! * [`generator`] — windowed correlated edge generation of the
+//!   person-knows-person graph, block-parallel and deterministic;
+//! * [`rewire`] — hill-climbing degree-preserving rewiring toward target
+//!   clustering coefficient / assortativity;
+//! * [`cluster`] — single-node vs. cluster deployment modes (Figure 3);
+//! * [`rmat`] — R-MAT/Graph500 generator for the Graph500 datasets;
+//! * [`realworld`] — calibrated stand-ins for the Table 1 SNAP graphs.
+
+pub mod cluster;
+pub mod distributions;
+pub mod generator;
+pub mod persons;
+pub mod realworld;
+pub mod rewire;
+pub mod rmat;
+
+pub use cluster::{generate_to_disk, GenerationMode, GenerationStats};
+pub use distributions::{DegreeDistribution, DegreePlugin};
+pub use generator::{generate, DatagenConfig};
+pub use realworld::RealWorldGraph;
+pub use rewire::{rewire, RewireReport, RewireTargets};
+pub use rmat::RmatConfig;

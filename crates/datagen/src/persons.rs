@@ -1,0 +1,188 @@
+//! Person generation with correlated attributes.
+//!
+//! Datagen "simulates the activity of a social network realistically, where
+//! nodes are structurally correlated based on their attributes" (paper §2.2,
+//! after S3G2). We generate persons with country, university, interest, and
+//! birth-year attributes whose joint distribution is correlated: university
+//! choice is conditioned on country, interest is weakly conditioned on
+//! university. The edge generator then sorts persons by attribute-derived
+//! similarity keys, which is what produces community structure in the
+//! output graph.
+
+use graphalytics_graph::rng::Xoshiro256;
+
+/// Number of countries in the synthetic world.
+pub const NUM_COUNTRIES: u32 = 32;
+/// Universities per country.
+pub const UNIS_PER_COUNTRY: u32 = 8;
+/// Number of interest tags.
+pub const NUM_INTERESTS: u32 = 256;
+/// Birth-year range (inclusive).
+pub const BIRTH_YEARS: (u32, u32) = (1950, 2005);
+
+/// A synthetic social-network member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Person {
+    /// Dense person id, equal to the vertex id in the output graph.
+    pub id: u64,
+    /// Country of residence (Zipf-distributed populations).
+    pub country: u32,
+    /// University, correlated with country: 90% of people attend a
+    /// university in their own country.
+    pub university: u32,
+    /// Main interest tag, weakly correlated with university.
+    pub interest: u32,
+    /// Birth year.
+    pub birth_year: u32,
+}
+
+impl Person {
+    /// Deterministically generates the person with the given id.
+    ///
+    /// Uses an RNG substream keyed by `(seed, id)`, so person `i` is
+    /// identical regardless of generation order or parallelism — the
+    /// property that makes block-parallel generation deterministic.
+    pub fn generate(seed: u64, id: u64) -> Self {
+        let mut rng = Xoshiro256::substream(seed ^ 0x5045_5253, id);
+        // Country populations are Zipf-ish: country c has weight 1/(c+1).
+        let country = sample_zipf_index(&mut rng, NUM_COUNTRIES);
+        let university = if rng.bernoulli(0.9) {
+            country * UNIS_PER_COUNTRY + (rng.next_bounded(UNIS_PER_COUNTRY as u64) as u32)
+        } else {
+            let other = sample_zipf_index(&mut rng, NUM_COUNTRIES);
+            other * UNIS_PER_COUNTRY + (rng.next_bounded(UNIS_PER_COUNTRY as u64) as u32)
+        };
+        // Interests cluster around a university-anchored tag.
+        let anchor = (university.wrapping_mul(2_654_435_761)) % NUM_INTERESTS;
+        let interest = if rng.bernoulli(0.6) {
+            (anchor + rng.next_bounded(8) as u32) % NUM_INTERESTS
+        } else {
+            rng.next_bounded(NUM_INTERESTS as u64) as u32
+        };
+        let birth_year =
+            BIRTH_YEARS.0 + rng.next_bounded((BIRTH_YEARS.1 - BIRTH_YEARS.0 + 1) as u64) as u32;
+        Self {
+            id,
+            country,
+            university,
+            interest,
+            birth_year,
+        }
+    }
+
+    /// Correlation key for the university-dimension edge pass: people from
+    /// the same university and similar age sort near each other.
+    pub fn university_key(&self) -> u64 {
+        ((self.university as u64) << 32) | self.birth_year as u64
+    }
+
+    /// Correlation key for the interest-dimension edge pass.
+    pub fn interest_key(&self) -> u64 {
+        ((self.interest as u64) << 32) | self.birth_year as u64
+    }
+}
+
+/// Samples index `0..n` with probability ∝ `1/(i+1)` (discrete Zipf with
+/// s = 1 over a finite support), via inverse CDF on precomputed harmonic
+/// weights — cheap enough to recompute because `n` is small.
+fn sample_zipf_index(rng: &mut Xoshiro256, n: u32) -> u32 {
+    debug_assert!(n > 0);
+    // H(n) ~ ln(n) + gamma; use exact partial sums for small n.
+    let mut total = 0.0f64;
+    for i in 0..n {
+        total += 1.0 / (i as f64 + 1.0);
+    }
+    let mut target = rng.next_f64() * total;
+    for i in 0..n {
+        target -= 1.0 / (i as f64 + 1.0);
+        if target < 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+/// Generates the full person table for ids `0..n`.
+pub fn generate_persons(seed: u64, n: usize) -> Vec<Person> {
+    (0..n as u64).map(|id| Person::generate(seed, id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_order_independent() {
+        let a = Person::generate(1, 500);
+        let _ = Person::generate(1, 0);
+        let b = Person::generate(1, 500);
+        assert_eq!(a, b);
+        let c = Person::generate(2, 500);
+        assert_ne!(a, c, "different seeds should give different persons");
+    }
+
+    #[test]
+    fn attributes_in_range() {
+        for p in generate_persons(7, 2000) {
+            assert!(p.country < NUM_COUNTRIES);
+            assert!(p.university < NUM_COUNTRIES * UNIS_PER_COUNTRY);
+            assert!(p.interest < NUM_INTERESTS);
+            assert!((BIRTH_YEARS.0..=BIRTH_YEARS.1).contains(&p.birth_year));
+        }
+    }
+
+    #[test]
+    fn university_correlates_with_country() {
+        let persons = generate_persons(3, 5000);
+        let own = persons
+            .iter()
+            .filter(|p| p.university / UNIS_PER_COUNTRY == p.country)
+            .count();
+        let frac = own as f64 / persons.len() as f64;
+        assert!(frac > 0.85, "frac={frac}");
+    }
+
+    #[test]
+    fn country_populations_are_skewed() {
+        let persons = generate_persons(4, 20_000);
+        let mut counts = vec![0usize; NUM_COUNTRIES as usize];
+        for p in &persons {
+            counts[p.country as usize] += 1;
+        }
+        assert!(counts[0] > counts[(NUM_COUNTRIES - 1) as usize] * 4);
+    }
+
+    #[test]
+    fn keys_group_similar_people() {
+        let a = Person {
+            id: 0,
+            country: 1,
+            university: 9,
+            interest: 4,
+            birth_year: 1990,
+        };
+        let b = Person {
+            id: 1,
+            university: 9,
+            birth_year: 1991,
+            ..a
+        };
+        let c = Person {
+            id: 2,
+            university: 200,
+            ..a
+        };
+        assert!(a.university_key().abs_diff(b.university_key()) < 100);
+        assert!(a.university_key().abs_diff(c.university_key()) > 1 << 32);
+    }
+
+    #[test]
+    fn zipf_index_covers_support() {
+        let mut rng = Xoshiro256::new(9);
+        let mut seen = vec![false; 8];
+        for _ in 0..5000 {
+            seen[sample_zipf_index(&mut rng, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

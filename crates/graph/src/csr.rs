@@ -1,0 +1,366 @@
+//! Compressed sparse row (CSR) adjacency — the computation-side graph
+//! representation.
+//!
+//! Per the "large graph memory footprint" choke point (paper §2.1), all
+//! adjacency is stored in flat arrays: an offsets array of `n + 1` entries
+//! and a targets array of one `u32` per directed arc. Internal vertex
+//! indices are dense `u32`s; a sorted table maps external [`VertexId`]s to
+//! internal indices (with an O(1) fast path when external ids are already
+//! dense `0..n`).
+
+use crate::edgelist::{EdgeListGraph, VertexId};
+use crate::GraphError;
+
+/// Dense internal vertex index.
+pub type Vid = u32;
+
+/// A CSR graph. For undirected graphs every edge is materialized as two
+/// arcs, so `neighbors(v)` is symmetric. For directed graphs both out- and
+/// in-adjacency are stored to support reverse traversal (needed by several
+/// platform engines).
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// Sorted external ids; `ext_ids[i]` is the external id of internal `i`.
+    ext_ids: Vec<VertexId>,
+    /// True when `ext_ids == 0..n`, enabling O(1) id lookups.
+    dense_ids: bool,
+    /// Out-adjacency offsets (`n + 1` entries).
+    out_offsets: Vec<usize>,
+    /// Out-adjacency targets, sorted within each vertex's range.
+    out_targets: Vec<Vid>,
+    /// In-adjacency offsets; empty for undirected graphs.
+    in_offsets: Vec<usize>,
+    /// In-adjacency sources; empty for undirected graphs.
+    in_targets: Vec<Vid>,
+    /// Logical edge count (undirected edges count once).
+    num_edges: usize,
+    directed: bool,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an edge list.
+    pub fn from_edge_list(g: &EdgeListGraph) -> Self {
+        let ext_ids = g.vertices().to_vec();
+        let n = ext_ids.len();
+        let dense_ids = ext_ids.iter().enumerate().all(|(i, &v)| v == i as u64);
+        let lookup = |v: VertexId| -> Vid {
+            if dense_ids {
+                v as Vid
+            } else {
+                // Edge endpoints are guaranteed present by EdgeListGraph.
+                ext_ids.binary_search(&v).expect("endpoint in vertex set") as Vid
+            }
+        };
+
+        let directed = g.is_directed();
+        let mut out_deg = vec![0usize; n];
+        let mut in_deg = vec![0usize; if directed { n } else { 0 }];
+        for &(s, t) in g.edges() {
+            let (si, ti) = (lookup(s) as usize, lookup(t) as usize);
+            out_deg[si] += 1;
+            if directed {
+                in_deg[ti] += 1;
+            } else {
+                out_deg[ti] += 1;
+            }
+        }
+
+        let mut out_offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            out_offsets[i + 1] = out_offsets[i] + out_deg[i];
+        }
+        let mut out_targets = vec![0 as Vid; out_offsets[n]];
+        let mut cursor = out_offsets.clone();
+        let (mut in_offsets, mut in_targets, mut in_cursor) = if directed {
+            let mut off = vec![0usize; n + 1];
+            for i in 0..n {
+                off[i + 1] = off[i] + in_deg[i];
+            }
+            let tg = vec![0 as Vid; off[n]];
+            let cur = off.clone();
+            (off, tg, cur)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+
+        for &(s, t) in g.edges() {
+            let (si, ti) = (lookup(s), lookup(t));
+            out_targets[cursor[si as usize]] = ti;
+            cursor[si as usize] += 1;
+            if directed {
+                in_targets[in_cursor[ti as usize]] = si;
+                in_cursor[ti as usize] += 1;
+            } else {
+                out_targets[cursor[ti as usize]] = si;
+                cursor[ti as usize] += 1;
+            }
+        }
+
+        // Sort each adjacency run: enables binary-search membership tests
+        // and the merge-based triangle counting in `metrics`.
+        for v in 0..n {
+            out_targets[out_offsets[v]..out_offsets[v + 1]].sort_unstable();
+        }
+        if directed {
+            for v in 0..n {
+                in_targets[in_offsets[v]..in_offsets[v + 1]].sort_unstable();
+            }
+        } else {
+            in_offsets = Vec::new();
+            in_targets = Vec::new();
+        }
+
+        Self {
+            ext_ids,
+            dense_ids,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+            num_edges: g.num_edges(),
+            directed,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.ext_ids.len()
+    }
+
+    /// Logical edge count (undirected edges count once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of stored arcs (2·E for undirected, E for directed out-side).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// External id of internal vertex `v`.
+    #[inline]
+    pub fn external_id(&self, v: Vid) -> VertexId {
+        self.ext_ids[v as usize]
+    }
+
+    /// Internal index of external id `v`, if present.
+    #[inline]
+    pub fn internal_id(&self, v: VertexId) -> Option<Vid> {
+        if self.dense_ids {
+            if (v as usize) < self.ext_ids.len() {
+                Some(v as Vid)
+            } else {
+                None
+            }
+        } else {
+            self.ext_ids.binary_search(&v).ok().map(|i| i as Vid)
+        }
+    }
+
+    /// Out-neighbors (all neighbors for undirected graphs), sorted.
+    #[inline]
+    pub fn neighbors(&self, v: Vid) -> &[Vid] {
+        &self.out_targets[self.out_offsets[v as usize]..self.out_offsets[v as usize + 1]]
+    }
+
+    /// In-neighbors. For undirected graphs this equals [`Self::neighbors`].
+    #[inline]
+    pub fn in_neighbors(&self, v: Vid) -> &[Vid] {
+        if self.directed {
+            &self.in_targets[self.in_offsets[v as usize]..self.in_offsets[v as usize + 1]]
+        } else {
+            self.neighbors(v)
+        }
+    }
+
+    /// Out-degree (total degree for undirected graphs).
+    #[inline]
+    pub fn degree(&self, v: Vid) -> usize {
+        self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]
+    }
+
+    /// In-degree.
+    #[inline]
+    pub fn in_degree(&self, v: Vid) -> usize {
+        if self.directed {
+            self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]
+        } else {
+            self.degree(v)
+        }
+    }
+
+    /// Membership test via binary search over the sorted adjacency run.
+    #[inline]
+    pub fn has_arc(&self, s: Vid, t: Vid) -> bool {
+        self.neighbors(s).binary_search(&t).is_ok()
+    }
+
+    /// Iterator over all internal vertex indices.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = Vid> + '_ {
+        (0..self.num_vertices() as Vid).filter(move |_| true)
+    }
+
+    /// Degree sequence (out-degrees), indexed by internal id.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.num_vertices() as Vid)
+            .map(|v| self.degree(v))
+            .collect()
+    }
+
+    /// Approximate resident memory of the structure in bytes, used by the
+    /// platform engines' memory-budget accounting.
+    pub fn memory_footprint(&self) -> usize {
+        self.ext_ids.len() * std::mem::size_of::<VertexId>()
+            + (self.out_offsets.len() + self.in_offsets.len()) * std::mem::size_of::<usize>()
+            + (self.out_targets.len() + self.in_targets.len()) * std::mem::size_of::<Vid>()
+    }
+
+    /// Converts back to an edge list (used in round-trip tests and by the
+    /// rewiring post-processor).
+    pub fn to_edge_list(&self) -> EdgeListGraph {
+        let mut edges = Vec::with_capacity(self.num_edges);
+        for v in 0..self.num_vertices() as Vid {
+            for &t in self.neighbors(v) {
+                if self.directed || v < t {
+                    edges.push((self.external_id(v), self.external_id(t)));
+                }
+            }
+        }
+        EdgeListGraph::new(self.ext_ids.clone(), edges, self.directed)
+    }
+
+    /// Structural invariant checks for tests and the validator.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let n = self.num_vertices();
+        if self.out_offsets.len() != n + 1 {
+            return Err(GraphError::Invariant("bad offsets length".into()));
+        }
+        if self.out_offsets[n] != self.out_targets.len() {
+            return Err(GraphError::Invariant("offsets/targets mismatch".into()));
+        }
+        for v in 0..n as Vid {
+            let run = self.neighbors(v);
+            if run.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(GraphError::Invariant(format!(
+                    "adjacency of {v} not strictly sorted"
+                )));
+            }
+            if run.iter().any(|&t| t as usize >= n) {
+                return Err(GraphError::Invariant(format!(
+                    "adjacency of {v} references out-of-range vertex"
+                )));
+            }
+            if !self.directed {
+                for &t in run {
+                    if !self.has_arc(t, v) {
+                        return Err(GraphError::Invariant(format!(
+                            "undirected arc ({v}, {t}) missing reverse"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> CsrGraph {
+        // 0 - 1 - 2 - 3 undirected path.
+        CsrGraph::from_edge_list(&EdgeListGraph::undirected_from_edges(vec![
+            (0, 1),
+            (1, 2),
+            (2, 3),
+        ]))
+    }
+
+    #[test]
+    fn undirected_symmetry() {
+        let g = path_graph();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.in_neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn directed_in_out() {
+        let g = CsrGraph::from_edge_list(&EdgeListGraph::directed_from_edges(vec![
+            (0, 1),
+            (0, 2),
+            (2, 1),
+        ]));
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[Vid]);
+        assert_eq!(g.in_neighbors(1), &[0, 2]);
+        assert_eq!(g.in_degree(1), 2);
+        assert_eq!(g.degree(1), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn sparse_external_ids_map_correctly() {
+        let g = CsrGraph::from_edge_list(&EdgeListGraph::undirected_from_edges(vec![
+            (100, 200),
+            (200, 300),
+        ]));
+        assert_eq!(g.num_vertices(), 3);
+        let v100 = g.internal_id(100).unwrap();
+        let v200 = g.internal_id(200).unwrap();
+        assert!(g.has_arc(v100, v200));
+        assert_eq!(g.external_id(v200), 200);
+        assert_eq!(g.internal_id(150), None);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn dense_id_fast_path() {
+        let g = path_graph();
+        assert_eq!(g.internal_id(2), Some(2));
+        assert_eq!(g.internal_id(99), None);
+    }
+
+    #[test]
+    fn round_trip_edge_list() {
+        let el = EdgeListGraph::undirected_from_edges(vec![(5, 1), (1, 3), (3, 5), (7, 1)]);
+        let csr = CsrGraph::from_edge_list(&el);
+        assert_eq!(csr.to_edge_list(), el);
+        let dir = EdgeListGraph::directed_from_edges(vec![(5, 1), (1, 3), (3, 5)]);
+        let csr = CsrGraph::from_edge_list(&dir);
+        assert_eq!(csr.to_edge_list(), dir);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_adjacency() {
+        let el = EdgeListGraph::new(vec![0, 1, 2, 9], vec![(0, 1)], false);
+        let g = CsrGraph::from_edge_list(&el);
+        let v9 = g.internal_id(9).unwrap();
+        assert_eq!(g.neighbors(v9), &[] as &[Vid]);
+        assert_eq!(g.degree(v9), 0);
+    }
+
+    #[test]
+    fn memory_footprint_is_positive_and_scales() {
+        let small = path_graph();
+        let big = CsrGraph::from_edge_list(&EdgeListGraph::undirected_from_edges(
+            (0..100).map(|i| (i, i + 1)).collect(),
+        ));
+        assert!(big.memory_footprint() > small.memory_footprint());
+    }
+}

@@ -1,0 +1,217 @@
+//! Distance statistics: effective diameter estimation and degree
+//! percentiles.
+//!
+//! The EVO kernel's forest-fire model comes from "Graphs over time:
+//! densification laws, shrinking diameters" (Leskovec et al., the paper's
+//! [11]); this module provides the measurement side — the (effective)
+//! diameter — so EVO's shrinking-diameter effect can be validated, and
+//! degree percentiles for dataset characterization reports.
+
+use crate::csr::{CsrGraph, Vid};
+use crate::rng::Xoshiro256;
+
+/// Distribution of shortest-path distances from sampled sources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceStats {
+    /// `histogram[d]` = number of (source, target) pairs at distance `d`.
+    pub histogram: Vec<usize>,
+    /// Sources sampled.
+    pub sources: usize,
+    /// Reachable pairs observed.
+    pub reachable_pairs: usize,
+}
+
+impl DistanceStats {
+    /// The distance within which `quantile` (e.g. 0.9) of reachable pairs
+    /// fall — the "effective diameter" with linear interpolation.
+    pub fn effective_diameter(&self, quantile: f64) -> f64 {
+        if self.reachable_pairs == 0 {
+            return 0.0;
+        }
+        let target = quantile.clamp(0.0, 1.0) * self.reachable_pairs as f64;
+        let mut cumulative = 0usize;
+        for (d, &count) in self.histogram.iter().enumerate() {
+            let next = cumulative + count;
+            if next as f64 >= target {
+                if count == 0 {
+                    return d as f64;
+                }
+                // Interpolate inside this distance bucket.
+                let into = (target - cumulative as f64) / count as f64;
+                return (d as f64 - 1.0 + into).max(0.0);
+            }
+            cumulative = next;
+        }
+        (self.histogram.len() - 1) as f64
+    }
+
+    /// Maximum observed distance (a lower bound on the true diameter).
+    pub fn max_distance(&self) -> usize {
+        self.histogram
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+    }
+
+    /// Mean distance over reachable pairs.
+    pub fn mean_distance(&self) -> f64 {
+        if self.reachable_pairs == 0 {
+            return 0.0;
+        }
+        let total: usize = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d * c)
+            .sum();
+        total as f64 / self.reachable_pairs as f64
+    }
+}
+
+/// Estimates the distance distribution by exact BFS from `samples` sources
+/// picked deterministically from `seed`. With `samples >= n` every vertex
+/// is used and the result is exact.
+pub fn sample_distances(g: &CsrGraph, samples: usize, seed: u64) -> DistanceStats {
+    let n = g.num_vertices();
+    let mut stats = DistanceStats {
+        histogram: Vec::new(),
+        sources: 0,
+        reachable_pairs: 0,
+    };
+    if n == 0 || samples == 0 {
+        return stats;
+    }
+    let mut rng = Xoshiro256::new(seed ^ 0x4449_414D);
+    let sources: Vec<usize> = if samples >= n {
+        (0..n).collect()
+    } else {
+        rng.sample_distinct(n, samples)
+    };
+    let mut depths = vec![-1i64; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &src in &sources {
+        stats.sources += 1;
+        depths.iter_mut().for_each(|d| *d = -1);
+        depths[src] = 0;
+        queue.clear();
+        queue.push_back(src as Vid);
+        while let Some(v) = queue.pop_front() {
+            let next = depths[v as usize] + 1;
+            for &u in g.neighbors(v) {
+                if depths[u as usize] < 0 {
+                    depths[u as usize] = next;
+                    queue.push_back(u);
+                }
+            }
+        }
+        for &d in depths.iter() {
+            if d > 0 {
+                let d = d as usize;
+                if d >= stats.histogram.len() {
+                    stats.histogram.resize(d + 1, 0);
+                }
+                stats.histogram[d] += 1;
+                stats.reachable_pairs += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Degree percentiles `(p50, p90, p99, max)` for dataset characterization.
+pub fn degree_percentiles(g: &CsrGraph) -> (usize, usize, usize, usize) {
+    let mut degrees = g.degrees();
+    if degrees.is_empty() {
+        return (0, 0, 0, 0);
+    }
+    degrees.sort_unstable();
+    let pick = |q: f64| degrees[((degrees.len() - 1) as f64 * q).round() as usize];
+    (
+        pick(0.50),
+        pick(0.90),
+        pick(0.99),
+        *degrees.last().expect("non-empty"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeListGraph;
+
+    fn csr(edges: Vec<(u64, u64)>) -> CsrGraph {
+        CsrGraph::from_edge_list(&EdgeListGraph::undirected_from_edges(edges))
+    }
+
+    #[test]
+    fn path_distances_exact() {
+        // Path of 5 vertices; exact (samples >= n).
+        let g = csr((0..4).map(|i| (i, i + 1)).collect());
+        let stats = sample_distances(&g, 10, 1);
+        assert_eq!(stats.sources, 5);
+        // Pairs at distance 1: 8 (ordered), 2: 6, 3: 4, 4: 2.
+        assert_eq!(stats.histogram[1..], [8, 6, 4, 2]);
+        assert_eq!(stats.max_distance(), 4);
+        assert!((stats.mean_distance() - 2.0).abs() < 1e-12);
+        assert!(stats.effective_diameter(1.0) >= 3.0);
+    }
+
+    #[test]
+    fn clique_has_diameter_one() {
+        let mut edges = Vec::new();
+        for i in 0..6u64 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+            }
+        }
+        let g = csr(edges);
+        let stats = sample_distances(&g, 6, 2);
+        assert_eq!(stats.max_distance(), 1);
+        assert!(stats.effective_diameter(0.9) <= 1.0);
+    }
+
+    #[test]
+    fn effective_diameter_monotone_in_quantile() {
+        let g = csr((0..30).map(|i| (i, i + 1)).collect());
+        let stats = sample_distances(&g, 31, 3);
+        let d50 = stats.effective_diameter(0.5);
+        let d90 = stats.effective_diameter(0.9);
+        assert!(d50 <= d90, "{d50} vs {d90}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let g = csr((0..100).map(|i| (i, (i * 13 + 1) % 100)).collect());
+        let a = sample_distances(&g, 10, 7);
+        let b = sample_distances(&g, 10, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.sources, 10);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_excluded() {
+        let g = csr(vec![(0, 1), (2, 3)]);
+        let stats = sample_distances(&g, 4, 5);
+        // Each component contributes 2 ordered pairs at distance 1.
+        assert_eq!(stats.reachable_pairs, 4);
+        assert_eq!(stats.max_distance(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = csr(vec![]);
+        let stats = sample_distances(&g, 5, 1);
+        assert_eq!(stats.reachable_pairs, 0);
+        assert_eq!(stats.effective_diameter(0.9), 0.0);
+        assert_eq!(degree_percentiles(&g), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn percentiles_on_star() {
+        let g = csr((1..=10).map(|i| (0, i)).collect());
+        let (p50, p90, p99, max) = degree_percentiles(&g);
+        assert_eq!(p50, 1);
+        assert_eq!(max, 10);
+        assert!(p90 <= p99 && p99 <= max);
+    }
+}

@@ -1,0 +1,199 @@
+//! Edge-list graph representation — the interchange format between the data
+//! generator, file I/O, and the platform loaders.
+
+use crate::GraphError;
+
+/// External vertex identifier, as found in dataset files.
+pub type VertexId = u64;
+
+/// A directed or undirected edge between two external vertex ids.
+pub type Edge = (VertexId, VertexId);
+
+/// A graph held as a flat list of edges plus an explicit vertex set.
+///
+/// This is the "wire" representation: cheap to produce from generators and
+/// files, and convertible to [`crate::CsrGraph`] for computation. Vertices
+/// with no incident edges are representable (they appear in `vertices` only),
+/// which matters for STATS and for validation of per-vertex outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeListGraph {
+    /// Sorted, deduplicated external vertex ids.
+    vertices: Vec<VertexId>,
+    /// Edges as (source, target) pairs of external ids.
+    edges: Vec<Edge>,
+    /// Whether edges are directed. Undirected graphs store each edge once,
+    /// in canonical (min, max) order.
+    directed: bool,
+}
+
+impl EdgeListGraph {
+    /// Builds a graph from explicit vertex and edge sets.
+    ///
+    /// Self-loops are dropped, duplicate edges are dropped, and endpoints are
+    /// added to the vertex set if missing. For undirected graphs, edges are
+    /// canonicalized so `(a, b)` and `(b, a)` are the same edge.
+    pub fn new(vertices: Vec<VertexId>, edges: Vec<Edge>, directed: bool) -> Self {
+        let mut vertices = vertices;
+        let mut edges: Vec<Edge> = edges
+            .into_iter()
+            .filter(|&(s, t)| s != t)
+            .map(|(s, t)| {
+                if directed || s <= t {
+                    (s, t)
+                } else {
+                    (t, s)
+                }
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        vertices.extend(edges.iter().flat_map(|&(s, t)| [s, t]));
+        vertices.sort_unstable();
+        vertices.dedup();
+        Self {
+            vertices,
+            edges,
+            directed,
+        }
+    }
+
+    /// Builds an undirected graph from edges alone (vertex set inferred).
+    pub fn undirected_from_edges(edges: Vec<Edge>) -> Self {
+        Self::new(Vec::new(), edges, false)
+    }
+
+    /// Builds a directed graph from edges alone (vertex set inferred).
+    pub fn directed_from_edges(edges: Vec<Edge>) -> Self {
+        Self::new(Vec::new(), edges, true)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of (logical) edges: undirected edges count once.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph is directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// The sorted vertex-id slice.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// The edge slice (canonicalized, sorted, deduplicated).
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// True if the external id belongs to this graph.
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// True if the edge exists (respecting directedness).
+    pub fn contains_edge(&self, s: VertexId, t: VertexId) -> bool {
+        let key = if self.directed || s <= t { (s, t) } else { (t, s) };
+        self.edges.binary_search(&key).is_ok()
+    }
+
+    /// Returns an undirected copy: directed edges are canonicalized and
+    /// deduplicated; undirected graphs are returned as-is.
+    pub fn to_undirected(&self) -> Self {
+        if !self.directed {
+            return self.clone();
+        }
+        Self::new(self.vertices.clone(), self.edges.clone(), false)
+    }
+
+    /// Checks structural invariants; used by tests and the output validator.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.vertices.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(GraphError::Invariant(
+                "vertex list not strictly sorted".into(),
+            ));
+        }
+        if self.edges.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(GraphError::Invariant("edge list not strictly sorted".into()));
+        }
+        for &(s, t) in &self.edges {
+            if s == t {
+                return Err(GraphError::Invariant(format!("self loop at {s}")));
+            }
+            if !self.directed && s > t {
+                return Err(GraphError::Invariant(format!(
+                    "non-canonical undirected edge ({s}, {t})"
+                )));
+            }
+            if !self.contains_vertex(s) || !self.contains_vertex(t) {
+                return Err(GraphError::Invariant(format!(
+                    "edge ({s}, {t}) references unknown vertex"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_canonicalizes_undirected() {
+        let g = EdgeListGraph::undirected_from_edges(vec![(2, 1), (1, 2), (3, 3), (0, 1)]);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(g.vertices(), &[0, 1, 2]);
+        assert_eq!(g.num_edges(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn directed_keeps_orientation() {
+        let g = EdgeListGraph::directed_from_edges(vec![(2, 1), (1, 2)]);
+        assert_eq!(g.edges(), &[(1, 2), (2, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn isolated_vertices_survive() {
+        let g = EdgeListGraph::new(vec![9, 5], vec![(1, 2)], false);
+        assert_eq!(g.vertices(), &[1, 2, 5, 9]);
+        assert_eq!(g.num_vertices(), 4);
+        assert!(g.contains_vertex(9));
+        assert!(!g.contains_vertex(3));
+    }
+
+    #[test]
+    fn contains_edge_respects_directedness() {
+        let und = EdgeListGraph::undirected_from_edges(vec![(1, 2)]);
+        assert!(und.contains_edge(1, 2));
+        assert!(und.contains_edge(2, 1));
+        let dir = EdgeListGraph::directed_from_edges(vec![(1, 2)]);
+        assert!(dir.contains_edge(1, 2));
+        assert!(!dir.contains_edge(2, 1));
+    }
+
+    #[test]
+    fn to_undirected_merges_reciprocal_edges() {
+        let dir = EdgeListGraph::directed_from_edges(vec![(1, 2), (2, 1), (2, 3)]);
+        let und = dir.to_undirected();
+        assert_eq!(und.edges(), &[(1, 2), (2, 3)]);
+        assert!(!und.is_directed());
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = EdgeListGraph::undirected_from_edges(vec![]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        g.validate().unwrap();
+    }
+}

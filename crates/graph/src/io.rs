@@ -1,0 +1,159 @@
+//! Graphalytics dataset file format.
+//!
+//! Graphalytics datasets are stored as two plain-text files:
+//!
+//! * `<name>.v` — one vertex id per line;
+//! * `<name>.e` — one edge per line as `source<space>target`, optionally
+//!   followed by a weight (ignored by the unweighted kernels).
+//!
+//! The harness's dataset repository (`core::datasets`) reads and writes this
+//! format; generators produce it.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::edgelist::{Edge, EdgeListGraph, VertexId};
+use crate::GraphError;
+
+/// Writes the `.v` and `.e` files for a graph at `prefix` (i.e. produces
+/// `prefix.v` and `prefix.e`).
+pub fn write_graph(g: &EdgeListGraph, prefix: &Path) -> Result<(), GraphError> {
+    let v_path = prefix.with_extension("v");
+    let e_path = prefix.with_extension("e");
+    let mut vw = BufWriter::new(File::create(&v_path)?);
+    for &v in g.vertices() {
+        writeln!(vw, "{v}")?;
+    }
+    vw.flush()?;
+    let mut ew = BufWriter::new(File::create(&e_path)?);
+    for &(s, t) in g.edges() {
+        writeln!(ew, "{s} {t}")?;
+    }
+    ew.flush()?;
+    Ok(())
+}
+
+/// Reads a graph stored by [`write_graph`] (or by the original Graphalytics
+/// toolchain) from `prefix.v` / `prefix.e`.
+pub fn read_graph(prefix: &Path, directed: bool) -> Result<EdgeListGraph, GraphError> {
+    let vertices = read_vertex_file(&prefix.with_extension("v"))?;
+    let edges = read_edge_file(&prefix.with_extension("e"))?;
+    Ok(EdgeListGraph::new(vertices, edges, directed))
+}
+
+/// Reads a `.v` vertex file: one decimal vertex id per non-empty line;
+/// `#`-prefixed lines are comments.
+pub fn read_vertex_file(path: &Path) -> Result<Vec<VertexId>, GraphError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut vertices = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let id = line
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| parse_err(path, lineno, line))?
+            .parse::<VertexId>()
+            .map_err(|_| parse_err(path, lineno, line))?;
+        vertices.push(id);
+    }
+    Ok(vertices)
+}
+
+/// Reads a `.e` edge file: `src dst [weight]` per non-empty line;
+/// `#`-prefixed lines are comments. Weights are accepted and discarded.
+pub fn read_edge_file(path: &Path) -> Result<Vec<Edge>, GraphError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut edges = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let src = parts
+            .next()
+            .and_then(|p| p.parse::<VertexId>().ok())
+            .ok_or_else(|| parse_err(path, lineno, line))?;
+        let dst = parts
+            .next()
+            .and_then(|p| p.parse::<VertexId>().ok())
+            .ok_or_else(|| parse_err(path, lineno, line))?;
+        edges.push((src, dst));
+    }
+    Ok(edges)
+}
+
+fn parse_err(path: &Path, lineno: usize, line: &str) -> GraphError {
+    GraphError::Parse {
+        file: path.display().to_string(),
+        line: lineno + 1,
+        content: line.chars().take(60).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gx-io-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_undirected() {
+        let dir = tmpdir("rt");
+        let g = EdgeListGraph::new(vec![7], vec![(0, 1), (1, 2), (0, 2)], false);
+        let prefix = dir.join("g1");
+        write_graph(&g, &prefix).unwrap();
+        let back = read_graph(&prefix, false).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn round_trip_directed() {
+        let dir = tmpdir("rtd");
+        let g = EdgeListGraph::directed_from_edges(vec![(1, 0), (0, 1), (2, 0)]);
+        let prefix = dir.join("g2");
+        write_graph(&g, &prefix).unwrap();
+        let back = read_graph(&prefix, true).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_weights() {
+        let dir = tmpdir("cmt");
+        let epath = dir.join("w.e");
+        std::fs::write(&epath, "# header\n\n0 1 0.5\n 1 2 \n").unwrap();
+        let edges = read_edge_file(&epath).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+        let vpath = dir.join("w.v");
+        std::fs::write(&vpath, "# ids\n3\n\n4\n").unwrap();
+        assert_eq!(read_vertex_file(&vpath).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn reports_parse_error_with_location() {
+        let dir = tmpdir("err");
+        let epath = dir.join("bad.e");
+        std::fs::write(&epath, "0 1\nnot an edge\n").unwrap();
+        let err = read_edge_file(&epath).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_vertex_file(Path::new("/nonexistent/xyz.v")).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

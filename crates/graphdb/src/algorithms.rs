@@ -1,0 +1,285 @@
+//! The Graphalytics workload over the record-store traversal API.
+//!
+//! Neo4j runs graph algorithms as single-machine procedures over its
+//! stores; these implementations do the same — single-threaded walks over
+//! the relationship chains. "Its performance is generally the best due to
+//! its non-distributed nature" (paper §3.2) at the scales it can hold.
+
+use graphalytics_core::platform::{PlatformError, RunContext};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+use crate::store::GraphStore;
+
+/// BFS depths from an internal source node (None ⇒ all unreachable).
+pub fn bfs(
+    store: &GraphStore,
+    source: Option<u32>,
+    ctx: &RunContext,
+) -> Result<Vec<i64>, PlatformError> {
+    let n = store.nodes.len();
+    let mut depths = vec![-1i64; n];
+    let Some(src) = source else {
+        return Ok(depths);
+    };
+    let mut queue = VecDeque::new();
+    depths[src as usize] = 0;
+    queue.push_back(src);
+    let mut visited = 0usize;
+    while let Some(v) = queue.pop_front() {
+        visited += 1;
+        if visited % 4096 == 0 {
+            ctx.check_deadline()?;
+        }
+        let next = depths[v as usize] + 1;
+        for (_, u) in store.neighbors(v) {
+            if depths[u as usize] < 0 {
+                depths[u as usize] = next;
+                queue.push_back(u);
+            }
+        }
+    }
+    Ok(depths)
+}
+
+/// Connected components: BFS sweeps over the chains, labeling by minimum
+/// node id (the canonical CONN labeling).
+pub fn connected_components(
+    store: &GraphStore,
+    ctx: &RunContext,
+) -> Result<Vec<u32>, PlatformError> {
+    let n = store.nodes.len();
+    let mut labels = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    for start in 0..n as u32 {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        ctx.check_deadline()?;
+        labels[start as usize] = start;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for (_, u) in store.neighbors(v) {
+                if labels[u as usize] == u32::MAX {
+                    labels[u as usize] = start;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    Ok(labels)
+}
+
+/// Sorted, deduplicated adjacency materialized from the chains — Neo4j's
+/// graph-algorithm library does the same projection before running
+/// analytics.
+pub fn project_adjacency(store: &GraphStore) -> Vec<Vec<u32>> {
+    let n = store.nodes.len();
+    let mut adjacency = vec![Vec::new(); n];
+    for v in 0..n as u32 {
+        let mut neighbors: Vec<u32> = store.neighbors(v).map(|(_, o)| o).collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        adjacency[v as usize] = neighbors;
+    }
+    adjacency
+}
+
+/// Mean local clustering coefficient over the projected adjacency.
+pub fn mean_local_cc(store: &GraphStore, ctx: &RunContext) -> Result<f64, PlatformError> {
+    let n = store.nodes.len();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let adjacency = project_adjacency(store);
+    let mut sum = 0.0;
+    for (v, mine) in adjacency.iter().enumerate() {
+        if v % 4096 == 0 {
+            ctx.check_deadline()?;
+        }
+        let d = mine.len();
+        if d < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for &u in mine {
+            let theirs = &adjacency[u as usize];
+            links += sorted_intersection(mine, theirs);
+        }
+        let triangles = links / 2;
+        sum += triangles as f64 / (d * (d - 1) / 2) as f64;
+    }
+    Ok(sum / n as f64)
+}
+
+fn sorted_intersection(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Community detection: the deterministic Leung spec over the chains.
+pub fn community_detection(
+    store: &GraphStore,
+    iterations: usize,
+    hop_attenuation: f64,
+    degree_exponent: f64,
+    ctx: &RunContext,
+) -> Result<Vec<u32>, PlatformError> {
+    let n = store.nodes.len();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut scores: Vec<f64> = vec![1.0; n];
+    let mut next_labels = labels.clone();
+    let mut next_scores = scores.clone();
+    let mut weight: FxHashMap<u32, (Vec<f64>, f64)> = FxHashMap::default();
+    for _ in 0..iterations {
+        ctx.check_deadline()?;
+        let mut changed = false;
+        for v in 0..n as u32 {
+            weight.clear();
+            let mut any = false;
+            for (_, u) in store.neighbors(v) {
+                any = true;
+                let influence = scores[u as usize]
+                    * (store.degree(u) as f64).powf(degree_exponent);
+                let entry = weight.entry(labels[u as usize]).or_insert((Vec::new(), 0.0));
+                entry.0.push(influence);
+                entry.1 = entry.1.max(scores[u as usize]);
+            }
+            if !any {
+                next_labels[v as usize] = labels[v as usize];
+                next_scores[v as usize] = scores[v as usize];
+                continue;
+            }
+            let (best_label, _w, best_score) =
+                graphalytics_algos::cd::argmax_label(&mut weight);
+            if best_label != labels[v as usize] {
+                changed = true;
+                next_labels[v as usize] = best_label;
+                next_scores[v as usize] = best_score * (1.0 - hop_attenuation);
+            } else {
+                next_labels[v as usize] = best_label;
+                next_scores[v as usize] = best_score.max(scores[v as usize]);
+            }
+        }
+        std::mem::swap(&mut labels, &mut next_labels);
+        std::mem::swap(&mut scores, &mut next_scores);
+        if !changed {
+            break;
+        }
+    }
+    Ok(labels)
+}
+
+/// PageRank over the chains.
+pub fn pagerank(
+    store: &GraphStore,
+    iterations: usize,
+    damping: f64,
+    ctx: &RunContext,
+) -> Result<Vec<f64>, PlatformError> {
+    let n = store.nodes.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let inv_n = 1.0 / n as f64;
+    let mut ranks = vec![inv_n; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        ctx.check_deadline()?;
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling = 0.0;
+        for v in 0..n as u32 {
+            let out = store.degree(v);
+            if out == 0 {
+                dangling += ranks[v as usize];
+                continue;
+            }
+            let share = ranks[v as usize] / out as f64;
+            for (_, u) in store.neighbors(v) {
+                next[u as usize] += share;
+            }
+        }
+        let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
+        for x in next.iter_mut() {
+            *x = base + damping * *x;
+        }
+        std::mem::swap(&mut ranks, &mut next);
+    }
+    Ok(ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> GraphStore {
+        // Triangle 0-1-2, tail 2-3, separate pair 4-5.
+        let mut s = GraphStore::new();
+        s.create_nodes(6);
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (2, 3), (4, 5)] {
+            s.create_relationship(a, b);
+        }
+        s
+    }
+
+    #[test]
+    fn bfs_walks_chains() {
+        let s = sample_store();
+        let d = bfs(&s, Some(0), &RunContext::unbounded()).unwrap();
+        assert_eq!(d, vec![0, 1, 1, 2, -1, -1]);
+        let none = bfs(&s, None, &RunContext::unbounded()).unwrap();
+        assert!(none.iter().all(|&x| x == -1));
+    }
+
+    #[test]
+    fn components_are_canonical() {
+        let s = sample_store();
+        let labels = connected_components(&s, &RunContext::unbounded()).unwrap();
+        assert_eq!(labels, vec![0, 0, 0, 0, 4, 4]);
+    }
+
+    #[test]
+    fn lcc_matches_hand_computation() {
+        let s = sample_store();
+        let mean = mean_local_cc(&s, &RunContext::unbounded()).unwrap();
+        // v0: 1, v1: 1, v2: 1/3, v3: 0, v4: 0, v5: 0.
+        let expected = (1.0 + 1.0 + 1.0 / 3.0) / 6.0;
+        assert!((mean - expected).abs() < 1e-12, "{mean}");
+    }
+
+    #[test]
+    fn projection_sorts_and_dedups() {
+        let s = sample_store();
+        let adj = project_adjacency(&s);
+        assert_eq!(adj[2], vec![0, 1, 3]);
+        assert_eq!(adj[4], vec![5]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let s = sample_store();
+        let r = pagerank(&s, 30, 0.85, &RunContext::unbounded()).unwrap();
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+    }
+
+    #[test]
+    fn cd_runs_and_separates_components() {
+        let s = sample_store();
+        let labels = community_detection(&s, 10, 0.05, 0.1, &RunContext::unbounded()).unwrap();
+        assert_ne!(labels[0], labels[4]);
+    }
+}

@@ -1,0 +1,240 @@
+//! The Neo4j platform adapter.
+
+use graphalytics_algos::{Algorithm, Output};
+use graphalytics_core::platform::{GraphHandle, Platform, PlatformError, RunContext};
+use graphalytics_graph::{CsrGraph, Vid};
+use rustc_hash::FxHashMap;
+
+use crate::algorithms;
+use crate::store::GraphStore;
+
+/// Neo4j platform configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Neo4jConfig {
+    /// Page-cache budget in bytes (None = unlimited). Graphs whose stores
+    /// exceed the budget are refused at load time, matching the paper's
+    /// "Neo4j is not able to process graphs larger than the memory of a
+    /// single machine".
+    pub page_cache_budget: Option<usize>,
+}
+
+struct LoadedGraph {
+    store: GraphStore,
+    external_ids: Vec<u64>,
+    num_edges: usize,
+}
+
+/// Neo4j stand-in: an embedded single-machine graph database with
+/// record-store storage and traversal-based algorithms.
+pub struct Neo4jPlatform {
+    config: Neo4jConfig,
+    graphs: FxHashMap<u64, LoadedGraph>,
+    next_handle: u64,
+}
+
+impl Neo4jPlatform {
+    /// Creates the platform.
+    pub fn new(config: Neo4jConfig) -> Self {
+        Self {
+            config,
+            graphs: FxHashMap::default(),
+            next_handle: 0,
+        }
+    }
+
+    /// Default configuration (no page-cache cap).
+    pub fn with_defaults() -> Self {
+        Self::new(Neo4jConfig::default())
+    }
+
+    fn loaded(&self, handle: GraphHandle) -> Result<&LoadedGraph, PlatformError> {
+        self.graphs.get(&handle.0).ok_or(PlatformError::InvalidHandle)
+    }
+}
+
+impl Platform for Neo4jPlatform {
+    fn name(&self) -> &'static str {
+        "Neo4j"
+    }
+
+    fn load_graph(&mut self, graph: &CsrGraph) -> Result<GraphHandle, PlatformError> {
+        // ETL: bulk-import into the record stores.
+        let mut store = GraphStore::new();
+        store.create_nodes(graph.num_vertices());
+        for v in 0..graph.num_vertices() as Vid {
+            for &u in graph.neighbors(v) {
+                if v < u {
+                    store.create_relationship(v, u);
+                }
+            }
+        }
+        store.check_budget(self.config.page_cache_budget)?;
+        let handle = GraphHandle(self.next_handle);
+        self.next_handle += 1;
+        self.graphs.insert(
+            handle.0,
+            LoadedGraph {
+                store,
+                external_ids: (0..graph.num_vertices() as Vid)
+                    .map(|v| graph.external_id(v))
+                    .collect(),
+                num_edges: graph.num_edges(),
+            },
+        );
+        Ok(handle)
+    }
+
+    fn run(
+        &mut self,
+        handle: GraphHandle,
+        algorithm: &Algorithm,
+        ctx: &RunContext,
+    ) -> Result<Output, PlatformError> {
+        let loaded = self.loaded(handle)?;
+        let store = &loaded.store;
+        match algorithm {
+            Algorithm::Stats => Ok(Output::Stats(graphalytics_algos::StatsResult {
+                num_vertices: store.nodes.len(),
+                num_edges: loaded.num_edges,
+                mean_local_cc: algorithms::mean_local_cc(store, ctx)?,
+            })),
+            Algorithm::Bfs { source } => {
+                let source = loaded
+                    .external_ids
+                    .iter()
+                    .position(|&e| e == *source)
+                    .map(|i| i as u32);
+                Ok(Output::Depths(algorithms::bfs(store, source, ctx)?))
+            }
+            Algorithm::Conn => Ok(Output::Components(algorithms::connected_components(
+                store, ctx,
+            )?)),
+            Algorithm::Cd {
+                iterations,
+                hop_attenuation,
+                degree_exponent,
+            } => Ok(Output::Communities(algorithms::community_detection(
+                store,
+                *iterations,
+                *hop_attenuation,
+                *degree_exponent,
+                ctx,
+            )?)),
+            Algorithm::Evo {
+                new_vertices,
+                p_forward,
+                max_burst,
+                seed,
+            } => {
+                ctx.check_deadline()?;
+                let adjacency = algorithms::project_adjacency(store);
+                Ok(Output::Evolution(
+                    graphalytics_algos::evo::forest_fire_over_adjacency(
+                        &adjacency,
+                        &loaded.external_ids,
+                        *new_vertices,
+                        *p_forward,
+                        *max_burst,
+                        *seed,
+                    ),
+                ))
+            }
+            Algorithm::PageRank {
+                iterations,
+                damping,
+            } => Ok(Output::Ranks(algorithms::pagerank(
+                store,
+                *iterations,
+                *damping,
+                ctx,
+            )?)),
+        }
+    }
+
+    fn unload(&mut self, handle: GraphHandle) {
+        self.graphs.remove(&handle.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalytics_algos::reference;
+    use graphalytics_graph::EdgeListGraph;
+    use std::sync::Arc;
+
+    fn test_graph() -> Arc<CsrGraph> {
+        Arc::new(CsrGraph::from_edge_list(
+            &EdgeListGraph::undirected_from_edges(vec![
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (4, 5),
+            ]),
+        ))
+    }
+
+    #[test]
+    fn all_workload_algorithms_validate() {
+        let mut p = Neo4jPlatform::with_defaults();
+        let g = test_graph();
+        let handle = p.load_graph(&g).unwrap();
+        for alg in Algorithm::paper_workload() {
+            let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
+            let expected = reference(&g, &alg);
+            assert!(expected.equivalent(&out), "{alg:?}: got {out:?}");
+        }
+    }
+
+    #[test]
+    fn pagerank_validates() {
+        let mut p = Neo4jPlatform::with_defaults();
+        let g = test_graph();
+        let handle = p.load_graph(&g).unwrap();
+        let alg = Algorithm::default_pagerank();
+        let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
+        assert!(reference(&g, &alg).equivalent(&out));
+    }
+
+    #[test]
+    fn page_cache_budget_rejects_large_graphs() {
+        let mut p = Neo4jPlatform::new(Neo4jConfig {
+            page_cache_budget: Some(100),
+        });
+        let g = test_graph();
+        assert!(matches!(
+            p.load_graph(&g),
+            Err(PlatformError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn sparse_external_ids_work() {
+        let mut p = Neo4jPlatform::with_defaults();
+        let g = Arc::new(CsrGraph::from_edge_list(
+            &EdgeListGraph::undirected_from_edges(vec![(100, 200), (200, 300)]),
+        ));
+        let handle = p.load_graph(&g).unwrap();
+        let out = p
+            .run(
+                handle,
+                &Algorithm::Bfs { source: 200 },
+                &RunContext::unbounded(),
+            )
+            .unwrap();
+        assert!(reference(&g, &Algorithm::Bfs { source: 200 }).equivalent(&out));
+    }
+
+    #[test]
+    fn unload_invalidates_handle() {
+        let mut p = Neo4jPlatform::with_defaults();
+        let g = test_graph();
+        let handle = p.load_graph(&g).unwrap();
+        p.unload(handle);
+        assert_eq!(
+            p.run(handle, &Algorithm::Conn, &RunContext::unbounded()),
+            Err(PlatformError::InvalidHandle)
+        );
+    }
+}

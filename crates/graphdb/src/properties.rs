@@ -1,0 +1,192 @@
+//! The property store: fixed-size key/value records in singly-linked
+//! chains, one chain per node — the third store of Neo4j's record layout
+//! (node store, relationship store, property store).
+//!
+//! The workload kernels are structural and don't read properties, but the
+//! store completes the database model: ETL can attach attributes (the
+//! Datagen persons carry country/university/interest), and the tests pin
+//! the record format.
+//!
+//! Record layout (13 bytes):
+//! `in_use: u8 | key: u32 | value: u32 | next: u32`.
+
+/// Null pointer in property chains.
+pub const NIL: u32 = u32::MAX;
+
+const PROP_RECORD: usize = 13;
+
+/// One decoded property record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropRecord {
+    /// Property key id (interned by the caller).
+    pub key: u32,
+    /// Property value (ids/small ints; larger values would go to a dynamic
+    /// store, which the workload does not need).
+    pub value: u32,
+    /// Next property of the same owner.
+    pub next: u32,
+}
+
+/// The property store plus the per-node chain heads.
+#[derive(Debug, Clone, Default)]
+pub struct PropertyStore {
+    data: Vec<u8>,
+    /// Chain head per node (grown on demand).
+    heads: Vec<u32>,
+}
+
+impl PropertyStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of property records.
+    pub fn len(&self) -> usize {
+        self.data.len() / PROP_RECORD
+    }
+
+    /// True when no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Store bytes (counted against the page-cache budget alongside the
+    /// node and relationship stores).
+    pub fn bytes(&self) -> usize {
+        self.data.len() + self.heads.len() * 4
+    }
+
+    /// Sets `key = value` on `node`: overwrites an existing record for the
+    /// key or prepends a new record to the node's chain.
+    pub fn set(&mut self, node: u32, key: u32, value: u32) {
+        if self.heads.len() <= node as usize {
+            self.heads.resize(node as usize + 1, NIL);
+        }
+        // Overwrite in place when the key exists.
+        let mut cursor = self.heads[node as usize];
+        while cursor != NIL {
+            let record = self.get(cursor);
+            if record.key == key {
+                let o = cursor as usize * PROP_RECORD + 5;
+                self.data[o..o + 4].copy_from_slice(&value.to_le_bytes());
+                return;
+            }
+            cursor = record.next;
+        }
+        let id = self.len() as u32;
+        let mut bytes = [0u8; PROP_RECORD];
+        bytes[0] = 1;
+        bytes[1..5].copy_from_slice(&key.to_le_bytes());
+        bytes[5..9].copy_from_slice(&value.to_le_bytes());
+        bytes[9..13].copy_from_slice(&self.heads[node as usize].to_le_bytes());
+        self.data.extend_from_slice(&bytes);
+        self.heads[node as usize] = id;
+    }
+
+    /// Decodes record `id`.
+    pub fn get(&self, id: u32) -> PropRecord {
+        let o = id as usize * PROP_RECORD;
+        PropRecord {
+            key: u32::from_le_bytes(self.data[o + 1..o + 5].try_into().expect("bounds")),
+            value: u32::from_le_bytes(self.data[o + 5..o + 9].try_into().expect("bounds")),
+            next: u32::from_le_bytes(self.data[o + 9..o + 13].try_into().expect("bounds")),
+        }
+    }
+
+    /// Looks up `key` on `node` by walking the chain.
+    pub fn lookup(&self, node: u32, key: u32) -> Option<u32> {
+        let mut cursor = *self.heads.get(node as usize)?;
+        while cursor != NIL {
+            let record = self.get(cursor);
+            if record.key == key {
+                return Some(record.value);
+            }
+            cursor = record.next;
+        }
+        None
+    }
+
+    /// Iterates `(key, value)` pairs of a node, chain order (most recently
+    /// added first).
+    pub fn properties(&self, node: u32) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let Some(&head) = self.heads.get(node as usize) else {
+            return out;
+        };
+        let mut cursor = head;
+        while cursor != NIL {
+            let record = self.get(cursor);
+            out.push((record.key, record.value));
+            cursor = record.next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_lookup() {
+        let mut store = PropertyStore::new();
+        store.set(3, 1, 100);
+        store.set(3, 2, 200);
+        store.set(7, 1, 700);
+        assert_eq!(store.lookup(3, 1), Some(100));
+        assert_eq!(store.lookup(3, 2), Some(200));
+        assert_eq!(store.lookup(7, 1), Some(700));
+        assert_eq!(store.lookup(3, 9), None);
+        assert_eq!(store.lookup(99, 1), None);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn overwrite_updates_in_place() {
+        let mut store = PropertyStore::new();
+        store.set(0, 5, 1);
+        store.set(0, 5, 2);
+        assert_eq!(store.lookup(0, 5), Some(2));
+        assert_eq!(store.len(), 1, "overwrite must not grow the store");
+    }
+
+    #[test]
+    fn chains_list_all_properties() {
+        let mut store = PropertyStore::new();
+        store.set(1, 10, 1);
+        store.set(1, 20, 2);
+        store.set(1, 30, 3);
+        let props = store.properties(1);
+        assert_eq!(props, vec![(30, 3), (20, 2), (10, 1)]);
+        assert!(store.properties(2).is_empty());
+    }
+
+    #[test]
+    fn record_format_is_13_bytes() {
+        let mut store = PropertyStore::new();
+        store.set(0, 1, 2);
+        assert_eq!(store.bytes(), PROP_RECORD + 4);
+        let r = store.get(0);
+        assert_eq!(r, PropRecord { key: 1, value: 2, next: NIL });
+    }
+
+    #[test]
+    fn attaches_datagen_attributes() {
+        // The intended ETL use: persons' attributes as node properties.
+        use graphalytics_datagen::persons::generate_persons;
+        let persons = generate_persons(9, 50);
+        let mut store = PropertyStore::new();
+        const KEY_COUNTRY: u32 = 0;
+        const KEY_UNIVERSITY: u32 = 1;
+        for p in &persons {
+            store.set(p.id as u32, KEY_COUNTRY, p.country);
+            store.set(p.id as u32, KEY_UNIVERSITY, p.university);
+        }
+        assert_eq!(store.len(), 100);
+        for p in &persons {
+            assert_eq!(store.lookup(p.id as u32, KEY_COUNTRY), Some(p.country));
+            assert_eq!(store.lookup(p.id as u32, KEY_UNIVERSITY), Some(p.university));
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Neo4j-style record stores.
+//!
+//! Neo4j's storage engine keeps nodes and relationships in files of
+//! fixed-size records; each node record points at the head of a doubly-
+//! linked chain of relationship records, and every relationship record
+//! links to the next/previous relationship of *both* its endpoints. This
+//! module reproduces that layout byte for byte in memory:
+//!
+//! * node record (9 bytes): `in_use: u8 | first_rel: u32 | degree: u32`;
+//! * relationship record (21 bytes):
+//!   `in_use: u8 | src: u32 | dst: u32 | src_next: u32 | dst_next: u32`.
+//!
+//! The stores enforce a page budget at load time — Neo4j "is not able to
+//! process graphs larger than the memory of a single machine" (paper
+//! §3.2), which is how its failure cells in Figure 4 arise.
+
+use graphalytics_core::platform::PlatformError;
+
+/// Null pointer inside record chains.
+pub const NIL: u32 = u32::MAX;
+
+const NODE_RECORD: usize = 9;
+const REL_RECORD: usize = 21;
+
+/// The node store: fixed-size records in one byte array.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStore {
+    data: Vec<u8>,
+}
+
+impl NodeStore {
+    /// Number of node records.
+    pub fn len(&self) -> usize {
+        self.data.len() / NODE_RECORD
+    }
+
+    /// True when no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a new node record; returns its id.
+    pub fn create(&mut self) -> u32 {
+        let id = self.len() as u32;
+        let mut record = [0u8; NODE_RECORD];
+        record[0] = 1;
+        record[1..5].copy_from_slice(&NIL.to_le_bytes());
+        record[5..9].copy_from_slice(&0u32.to_le_bytes());
+        self.data.extend_from_slice(&record);
+        id
+    }
+
+    fn offset(&self, id: u32) -> usize {
+        id as usize * NODE_RECORD
+    }
+
+    /// Head of the node's relationship chain.
+    pub fn first_rel(&self, id: u32) -> u32 {
+        let o = self.offset(id);
+        u32::from_le_bytes(self.data[o + 1..o + 5].try_into().expect("record bounds"))
+    }
+
+    /// Sets the head of the node's relationship chain.
+    pub fn set_first_rel(&mut self, id: u32, rel: u32) {
+        let o = self.offset(id);
+        self.data[o + 1..o + 5].copy_from_slice(&rel.to_le_bytes());
+    }
+
+    /// Cached degree of the node.
+    pub fn degree(&self, id: u32) -> u32 {
+        let o = self.offset(id);
+        u32::from_le_bytes(self.data[o + 5..o + 9].try_into().expect("record bounds"))
+    }
+
+    fn bump_degree(&mut self, id: u32) {
+        let o = self.offset(id);
+        let d = self.degree(id) + 1;
+        self.data[o + 5..o + 9].copy_from_slice(&d.to_le_bytes());
+    }
+
+    /// Store size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// One decoded relationship record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelRecord {
+    /// Source node id.
+    pub src: u32,
+    /// Target node id.
+    pub dst: u32,
+    /// Next relationship in the source's chain.
+    pub src_next: u32,
+    /// Next relationship in the target's chain.
+    pub dst_next: u32,
+}
+
+/// The relationship store.
+#[derive(Debug, Clone, Default)]
+pub struct RelationshipStore {
+    data: Vec<u8>,
+}
+
+impl RelationshipStore {
+    /// Number of relationship records.
+    pub fn len(&self) -> usize {
+        self.data.len() / REL_RECORD
+    }
+
+    /// True when no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a record; returns its id.
+    fn create(&mut self, record: RelRecord) -> u32 {
+        let id = self.len() as u32;
+        let mut bytes = [0u8; REL_RECORD];
+        bytes[0] = 1;
+        bytes[1..5].copy_from_slice(&record.src.to_le_bytes());
+        bytes[5..9].copy_from_slice(&record.dst.to_le_bytes());
+        bytes[9..13].copy_from_slice(&record.src_next.to_le_bytes());
+        bytes[13..17].copy_from_slice(&record.dst_next.to_le_bytes());
+        // Bytes 17..21 reserved for a property pointer (unused by the
+        // workload kernels but part of the record format).
+        bytes[17..21].copy_from_slice(&NIL.to_le_bytes());
+        self.data.extend_from_slice(&bytes);
+        id
+    }
+
+    /// Decodes record `id`.
+    pub fn get(&self, id: u32) -> RelRecord {
+        let o = id as usize * REL_RECORD;
+        RelRecord {
+            src: u32::from_le_bytes(self.data[o + 1..o + 5].try_into().expect("bounds")),
+            dst: u32::from_le_bytes(self.data[o + 5..o + 9].try_into().expect("bounds")),
+            src_next: u32::from_le_bytes(self.data[o + 9..o + 13].try_into().expect("bounds")),
+            dst_next: u32::from_le_bytes(self.data[o + 13..o + 17].try_into().expect("bounds")),
+        }
+    }
+
+    /// Store size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// An embedded graph store: node store + relationship store + page budget.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStore {
+    /// Node records.
+    pub nodes: NodeStore,
+    /// Relationship records.
+    pub rels: RelationshipStore,
+}
+
+impl GraphStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates `n` nodes (ids `0..n`).
+    pub fn create_nodes(&mut self, n: usize) {
+        for _ in 0..n {
+            self.nodes.create();
+        }
+    }
+
+    /// Creates an undirected relationship between `a` and `b`, splicing it
+    /// into both nodes' chains (Neo4j's insertion-at-head).
+    pub fn create_relationship(&mut self, a: u32, b: u32) -> u32 {
+        let record = RelRecord {
+            src: a,
+            dst: b,
+            src_next: self.nodes.first_rel(a),
+            dst_next: if a == b { NIL } else { self.nodes.first_rel(b) },
+        };
+        let id = self.rels.create(record);
+        self.nodes.set_first_rel(a, id);
+        self.nodes.bump_degree(a);
+        if a != b {
+            self.nodes.set_first_rel(b, id);
+            self.nodes.bump_degree(b);
+        }
+        id
+    }
+
+    /// Total store bytes (what counts against the page budget).
+    pub fn bytes(&self) -> usize {
+        self.nodes.bytes() + self.rels.bytes()
+    }
+
+    /// Checks the store against a page-cache budget.
+    pub fn check_budget(&self, budget: Option<usize>) -> Result<(), PlatformError> {
+        if let Some(budget) = budget {
+            let required = self.bytes();
+            if required > budget {
+                return Err(PlatformError::OutOfMemory { required, budget });
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates the neighbors of `node` by walking its relationship chain
+    /// (reverse insertion order, like Neo4j).
+    pub fn neighbors(&self, node: u32) -> ChainIter<'_> {
+        ChainIter {
+            store: self,
+            node,
+            rel: self.nodes.first_rel(node),
+        }
+    }
+
+    /// Degree of `node` from the cached counter.
+    pub fn degree(&self, node: u32) -> usize {
+        self.nodes.degree(node) as usize
+    }
+}
+
+/// Iterator over a node's relationship chain, yielding `(rel_id, other)`.
+pub struct ChainIter<'a> {
+    store: &'a GraphStore,
+    node: u32,
+    rel: u32,
+}
+
+impl Iterator for ChainIter<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rel == NIL {
+            return None;
+        }
+        let id = self.rel;
+        let record = self.store.rels.get(id);
+        let (other, next) = if record.src == self.node {
+            (record.dst, record.src_next)
+        } else {
+            (record.src, record.dst_next)
+        };
+        self.rel = next;
+        Some((id, other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> GraphStore {
+        let mut s = GraphStore::new();
+        s.create_nodes(4);
+        s.create_relationship(0, 1);
+        s.create_relationship(0, 2);
+        s.create_relationship(1, 2);
+        s.create_relationship(2, 3);
+        s
+    }
+
+    #[test]
+    fn record_sizes_are_fixed() {
+        let s = sample_store();
+        assert_eq!(s.nodes.bytes(), 4 * NODE_RECORD);
+        assert_eq!(s.rels.bytes(), 4 * REL_RECORD);
+        assert_eq!(s.nodes.len(), 4);
+        assert_eq!(s.rels.len(), 4);
+    }
+
+    #[test]
+    fn chains_enumerate_neighbors_both_directions() {
+        let s = sample_store();
+        let mut n0: Vec<u32> = s.neighbors(0).map(|(_, o)| o).collect();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+        let mut n2: Vec<u32> = s.neighbors(2).map(|(_, o)| o).collect();
+        n2.sort_unstable();
+        assert_eq!(n2, vec![0, 1, 3]);
+        let n3: Vec<u32> = s.neighbors(3).map(|(_, o)| o).collect();
+        assert_eq!(n3, vec![2]);
+    }
+
+    #[test]
+    fn chain_order_is_reverse_insertion() {
+        let s = sample_store();
+        let order: Vec<u32> = s.neighbors(0).map(|(_, o)| o).collect();
+        // Edges inserted (0,1) then (0,2): head insertion gives [2, 1].
+        assert_eq!(order, vec![2, 1]);
+    }
+
+    #[test]
+    fn degrees_are_cached() {
+        let s = sample_store();
+        assert_eq!(s.degree(0), 2);
+        assert_eq!(s.degree(2), 3);
+        assert_eq!(s.degree(3), 1);
+    }
+
+    #[test]
+    fn self_loops_count_once_in_chain() {
+        let mut s = GraphStore::new();
+        s.create_nodes(1);
+        s.create_relationship(0, 0);
+        let neighbors: Vec<u32> = s.neighbors(0).map(|(_, o)| o).collect();
+        assert_eq!(neighbors, vec![0]);
+        assert_eq!(s.degree(0), 1);
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let s = sample_store();
+        assert!(s.check_budget(None).is_ok());
+        assert!(s.check_budget(Some(s.bytes())).is_ok());
+        assert!(matches!(
+            s.check_budget(Some(s.bytes() - 1)),
+            Err(PlatformError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn rel_records_round_trip() {
+        let s = sample_store();
+        let r = s.rels.get(0);
+        assert_eq!(r.src, 0);
+        assert_eq!(r.dst, 1);
+        assert_eq!(r.src_next, NIL);
+        assert_eq!(r.dst_next, NIL);
+        let r3 = s.rels.get(3);
+        assert_eq!((r3.src, r3.dst), (2, 3));
+    }
+}

@@ -1,0 +1,721 @@
+//! The Graphalytics workload as iterative MapReduce job chains.
+//!
+//! Every kernel is a driver loop over [`run_job`] invocations; state between
+//! iterations lives in files, and every iteration re-reads the edge files —
+//! the structural reason MapReduce graph processing is "two orders of
+//! magnitude slower than Giraph and GraphX" (paper §3.3) while never
+//! running out of memory.
+//!
+//! Record formats (key `\t` value):
+//! * edge files: key = vertex, value = `E <neighbor>` (one record per arc);
+//! * label/state files: value = `L <label>` (CONN), `D <depth>` (BFS),
+//!   `S <label> <score>` (CD), `R <rank>` (PageRank), `N <n1,n2,...>`
+//!   (adjacency lists).
+
+use std::path::{Path, PathBuf};
+
+use graphalytics_core::platform::{PlatformError, RunContext};
+use rustc_hash::FxHashMap;
+
+use crate::job::{
+    read_output, run_job, write_records, Emitter, JobConfig, Mapper, Record, ReduceContext,
+    Reducer,
+};
+
+/// Identity mapper: inputs are already keyed correctly.
+struct IdentityMapper;
+
+impl Mapper for IdentityMapper {
+    fn map(&self, key: &str, value: &str, out: &mut Emitter) {
+        out.emit(key, value);
+    }
+}
+
+fn internal_err(what: &str) -> PlatformError {
+    PlatformError::Internal(format!("malformed record: {what}"))
+}
+
+/// Parses per-vertex output values of the form `v -> "X payload"` into a
+/// dense vector indexed by vertex id.
+fn collect_per_vertex<T>(
+    records: &[Record],
+    n: usize,
+    tag: &str,
+    parse: impl Fn(&str) -> Option<T>,
+    default: T,
+) -> Result<Vec<T>, PlatformError>
+where
+    T: Clone,
+{
+    let mut out = vec![default; n];
+    for (k, v) in records {
+        let Some(rest) = v.strip_prefix(tag) else {
+            continue;
+        };
+        let idx: usize = k.parse().map_err(|_| internal_err(k))?;
+        if idx >= n {
+            return Err(internal_err(k));
+        }
+        out[idx] = parse(rest.trim()).ok_or_else(|| internal_err(v))?;
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- CONN --
+
+/// Propagation reducer: joins labels with edges at each vertex and emits
+/// label candidates to all neighbors.
+struct PropagateLabels;
+
+impl Reducer for PropagateLabels {
+    fn reduce(&self, key: &str, values: &[String], out: &mut Emitter) {
+        let mut label: Option<&str> = None;
+        let mut neighbors = Vec::new();
+        for v in values {
+            if let Some(l) = v.strip_prefix("L ") {
+                label = Some(l);
+            } else if let Some(n) = v.strip_prefix("E ") {
+                neighbors.push(n);
+            }
+        }
+        let Some(label) = label else { return };
+        out.emit(key, format!("L {label}"));
+        for n in neighbors {
+            out.emit(n, format!("C {label}"));
+        }
+    }
+}
+
+/// Update reducer: takes the own label plus candidates, keeps the minimum,
+/// and counts changes.
+struct UpdateMinLabel;
+
+impl crate::job::CountingReducer for UpdateMinLabel {
+    fn reduce(&self, key: &str, values: &[String], ctx: &mut ReduceContext<'_>) {
+        let mut own: Option<u64> = None;
+        let mut best: Option<u64> = None;
+        for v in values {
+            if let Some(l) = v.strip_prefix("L ") {
+                own = l.trim().parse().ok();
+            } else if let Some(c) = v.strip_prefix("C ") {
+                let c: Option<u64> = c.trim().parse().ok();
+                best = match (best, c) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
+        let Some(own) = own else { return };
+        let new = best.map_or(own, |b| b.min(own));
+        if new < own {
+            *ctx.counters.entry("changed".into()).or_insert(0) += 1;
+        }
+        ctx.out.emit(key, format!("L {new}"));
+    }
+}
+
+/// Connected components: alternate propagate/update jobs until no label
+/// changes. `edge_files` hold `E`-tagged arcs; `n` is the vertex count.
+pub fn connected_components(
+    config: &JobConfig,
+    edge_files: &[PathBuf],
+    n: usize,
+    ctx: &RunContext,
+) -> Result<Vec<u32>, PlatformError> {
+    // Initial labels: own id.
+    let mut labels_file = config.work_dir.join("conn-labels-0");
+    let init: Vec<Record> = (0..n)
+        .map(|v| (v.to_string(), format!("L {v}")))
+        .collect();
+    write_records(&labels_file, &init)?;
+    let mut iteration = 0usize;
+    loop {
+        ctx.check_deadline()?;
+        let mut inputs = edge_files.to_vec();
+        inputs.push(labels_file.clone());
+        let prop_dir = config.work_dir.join(format!("conn-prop-{iteration}"));
+        run_job(
+            config,
+            &format!("conn-prop-{iteration}"),
+            &inputs,
+            &IdentityMapper,
+            &PropagateLabels,
+            &prop_dir,
+        )?;
+        ctx.check_deadline()?;
+        let prop_files = part_files(&prop_dir)?;
+        let update_dir = config.work_dir.join(format!("conn-update-{iteration}"));
+        let counters = run_job(
+            config,
+            &format!("conn-update-{iteration}"),
+            &prop_files,
+            &IdentityMapper,
+            &UpdateMinLabel,
+            &update_dir,
+        )?;
+        // Concatenate the update output into the next labels file.
+        let records = read_output(&update_dir)?;
+        labels_file = config.work_dir.join(format!("conn-labels-{}", iteration + 1));
+        write_records(&labels_file, &records)?;
+        if counters.user_counter("changed") == 0 {
+            let labels = collect_per_vertex(&records, n, "L", |s| s.parse().ok(), 0u32)?;
+            return Ok(labels);
+        }
+        iteration += 1;
+    }
+}
+
+// ----------------------------------------------------------------- BFS --
+
+/// BFS propagate: vertices with a depth send `depth + 1` to neighbors.
+struct PropagateDepths;
+
+impl Reducer for PropagateDepths {
+    fn reduce(&self, key: &str, values: &[String], out: &mut Emitter) {
+        let mut depth: Option<i64> = None;
+        let mut neighbors = Vec::new();
+        for v in values {
+            if let Some(d) = v.strip_prefix("D ") {
+                depth = d.trim().parse().ok();
+            } else if let Some(n) = v.strip_prefix("E ") {
+                neighbors.push(n);
+            }
+        }
+        let Some(depth) = depth else { return };
+        out.emit(key, format!("D {depth}"));
+        if depth >= 0 {
+            for n in neighbors {
+                out.emit(n, format!("C {}", depth + 1));
+            }
+        }
+    }
+}
+
+/// BFS update: unreached vertices adopt the minimum candidate depth.
+struct UpdateDepths;
+
+impl crate::job::CountingReducer for UpdateDepths {
+    fn reduce(&self, key: &str, values: &[String], ctx: &mut ReduceContext<'_>) {
+        let mut own: Option<i64> = None;
+        let mut best: Option<i64> = None;
+        for v in values {
+            if let Some(d) = v.strip_prefix("D ") {
+                own = d.trim().parse().ok();
+            } else if let Some(c) = v.strip_prefix("C ") {
+                let c: Option<i64> = c.trim().parse().ok();
+                best = match (best, c) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
+        let Some(own) = own else { return };
+        let new = if own < 0 { best.unwrap_or(own) } else { own };
+        if new != own {
+            *ctx.counters.entry("changed".into()).or_insert(0) += 1;
+        }
+        ctx.out.emit(key, format!("D {new}"));
+    }
+}
+
+/// BFS from `source` (internal id; `None` = unreachable everywhere).
+pub fn bfs(
+    config: &JobConfig,
+    edge_files: &[PathBuf],
+    n: usize,
+    source: Option<u32>,
+    ctx: &RunContext,
+) -> Result<Vec<i64>, PlatformError> {
+    let mut depth_file = config.work_dir.join("bfs-depths-0");
+    let init: Vec<Record> = (0..n)
+        .map(|v| {
+            let d = if Some(v as u32) == source { 0 } else { -1 };
+            (v.to_string(), format!("D {d}"))
+        })
+        .collect();
+    write_records(&depth_file, &init)?;
+    let mut iteration = 0usize;
+    loop {
+        ctx.check_deadline()?;
+        let mut inputs = edge_files.to_vec();
+        inputs.push(depth_file.clone());
+        let prop_dir = config.work_dir.join(format!("bfs-prop-{iteration}"));
+        run_job(
+            config,
+            &format!("bfs-prop-{iteration}"),
+            &inputs,
+            &IdentityMapper,
+            &PropagateDepths,
+            &prop_dir,
+        )?;
+        ctx.check_deadline()?;
+        let update_dir = config.work_dir.join(format!("bfs-update-{iteration}"));
+        let counters = run_job(
+            config,
+            &format!("bfs-update-{iteration}"),
+            &part_files(&prop_dir)?,
+            &IdentityMapper,
+            &UpdateDepths,
+            &update_dir,
+        )?;
+        let records = read_output(&update_dir)?;
+        depth_file = config.work_dir.join(format!("bfs-depths-{}", iteration + 1));
+        write_records(&depth_file, &records)?;
+        if counters.user_counter("changed") == 0 {
+            return collect_per_vertex(&records, n, "D", |s| s.parse().ok(), -1i64);
+        }
+        iteration += 1;
+    }
+}
+
+// ------------------------------------------------------------------ CD --
+
+/// CD propagate: each vertex ships `(label, score, influence)` to all
+/// neighbors; influence uses the vertex's degree (the count of E records).
+struct PropagateCommunities {
+    degree_exponent: f64,
+}
+
+impl Reducer for PropagateCommunities {
+    fn reduce(&self, key: &str, values: &[String], out: &mut Emitter) {
+        let mut state: Option<(u64, f64)> = None;
+        let mut neighbors = Vec::new();
+        for v in values {
+            if let Some(s) = v.strip_prefix("S ") {
+                let mut parts = s.split_whitespace();
+                let label = parts.next().and_then(|x| x.parse().ok());
+                let score = parts.next().and_then(|x| x.parse().ok());
+                if let (Some(l), Some(sc)) = (label, score) {
+                    state = Some((l, sc));
+                }
+            } else if let Some(n) = v.strip_prefix("E ") {
+                neighbors.push(n);
+            }
+        }
+        let Some((label, score)) = state else { return };
+        out.emit(key, format!("S {label} {score}"));
+        let influence = score * (neighbors.len() as f64).powf(self.degree_exponent);
+        for n in &neighbors {
+            out.emit(*n, format!("C {label} {score} {influence}"));
+        }
+    }
+}
+
+/// CD update: the canonical arg-max from the shared spec.
+struct UpdateCommunities {
+    hop_attenuation: f64,
+}
+
+impl crate::job::CountingReducer for UpdateCommunities {
+    fn reduce(&self, key: &str, values: &[String], ctx: &mut ReduceContext<'_>) {
+        let mut own: Option<(u32, f64)> = None;
+        let mut weight: FxHashMap<u32, (Vec<f64>, f64)> = FxHashMap::default();
+        for v in values {
+            if let Some(s) = v.strip_prefix("S ") {
+                let mut parts = s.split_whitespace();
+                if let (Some(l), Some(sc)) = (
+                    parts.next().and_then(|x| x.parse().ok()),
+                    parts.next().and_then(|x| x.parse().ok()),
+                ) {
+                    own = Some((l, sc));
+                }
+            } else if let Some(c) = v.strip_prefix("C ") {
+                let mut parts = c.split_whitespace();
+                let label: Option<u32> = parts.next().and_then(|x| x.parse().ok());
+                let score: Option<f64> = parts.next().and_then(|x| x.parse().ok());
+                let influence: Option<f64> = parts.next().and_then(|x| x.parse().ok());
+                if let (Some(l), Some(s), Some(i)) = (label, score, influence) {
+                    let entry = weight.entry(l).or_insert((Vec::new(), 0.0));
+                    entry.0.push(i);
+                    entry.1 = entry.1.max(s);
+                }
+            }
+        }
+        let Some((own_label, own_score)) = own else { return };
+        if weight.is_empty() {
+            ctx.out.emit(key, format!("S {own_label} {own_score}"));
+            return;
+        }
+        let (best_label, _w, best_score) = graphalytics_algos::cd::argmax_label(&mut weight);
+        let (new_label, new_score) = if best_label != own_label {
+            *ctx.counters.entry("changed".into()).or_insert(0) += 1;
+            (best_label, best_score * (1.0 - self.hop_attenuation))
+        } else {
+            (own_label, best_score.max(own_score))
+        };
+        ctx.out.emit(key, format!("S {new_label} {new_score}"));
+    }
+}
+
+/// Community detection: `iterations` propagate/update rounds with the
+/// reference's early stop.
+pub fn community_detection(
+    config: &JobConfig,
+    edge_files: &[PathBuf],
+    n: usize,
+    iterations: usize,
+    hop_attenuation: f64,
+    degree_exponent: f64,
+    ctx: &RunContext,
+) -> Result<Vec<u32>, PlatformError> {
+    let mut state_file = config.work_dir.join("cd-state-0");
+    let init: Vec<Record> = (0..n)
+        .map(|v| (v.to_string(), format!("S {v} 1")))
+        .collect();
+    write_records(&state_file, &init)?;
+    let mut final_records = init;
+    for round in 0..iterations {
+        ctx.check_deadline()?;
+        let mut inputs = edge_files.to_vec();
+        inputs.push(state_file.clone());
+        let prop_dir = config.work_dir.join(format!("cd-prop-{round}"));
+        run_job(
+            config,
+            &format!("cd-prop-{round}"),
+            &inputs,
+            &IdentityMapper,
+            &PropagateCommunities { degree_exponent },
+            &prop_dir,
+        )?;
+        ctx.check_deadline()?;
+        let update_dir = config.work_dir.join(format!("cd-update-{round}"));
+        let counters = run_job(
+            config,
+            &format!("cd-update-{round}"),
+            &part_files(&prop_dir)?,
+            &IdentityMapper,
+            &UpdateCommunities { hop_attenuation },
+            &update_dir,
+        )?;
+        final_records = read_output(&update_dir)?;
+        state_file = config.work_dir.join(format!("cd-state-{}", round + 1));
+        write_records(&state_file, &final_records)?;
+        if counters.user_counter("changed") == 0 {
+            break;
+        }
+    }
+    collect_per_vertex(
+        &final_records,
+        n,
+        "S",
+        |s| s.split_whitespace().next()?.parse().ok(),
+        0u32,
+    )
+}
+
+// --------------------------------------------------------------- STATS --
+
+/// Builds sorted adjacency lists.
+struct AdjacencyReducer;
+
+impl Reducer for AdjacencyReducer {
+    fn reduce(&self, key: &str, values: &[String], out: &mut Emitter) {
+        let mut neighbors: Vec<u64> = values
+            .iter()
+            .filter_map(|v| v.strip_prefix("E "))
+            .filter_map(|n| n.trim().parse().ok())
+            .collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        let list = neighbors
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        out.emit(key, format!("N {list}"));
+    }
+}
+
+/// Ships each adjacency list to every neighbor (map side) so the reducer
+/// at each vertex can intersect.
+struct ShipListsMapper;
+
+impl Mapper for ShipListsMapper {
+    fn map(&self, key: &str, value: &str, out: &mut Emitter) {
+        let Some(list) = value.strip_prefix("N ") else {
+            return;
+        };
+        out.emit(key, format!("OWN {list}"));
+        for n in list.split(',').filter(|s| !s.is_empty()) {
+            out.emit(n, format!("NB {list}"));
+        }
+    }
+}
+
+/// Computes the local clustering coefficient per vertex.
+struct LccReducer;
+
+impl Reducer for LccReducer {
+    fn reduce(&self, key: &str, values: &[String], out: &mut Emitter) {
+        let mut own: Vec<u64> = Vec::new();
+        let mut received: Vec<Vec<u64>> = Vec::new();
+        for v in values {
+            if let Some(list) = v.strip_prefix("OWN ") {
+                own = parse_list(list);
+            } else if let Some(list) = v.strip_prefix("NB ") {
+                received.push(parse_list(list));
+            }
+        }
+        let d = own.len();
+        if d < 2 {
+            out.emit(key, "LCC 0".to_string());
+            return;
+        }
+        let mut links = 0usize;
+        for list in &received {
+            links += sorted_intersection_u64(&own, list);
+        }
+        let triangles = links / 2;
+        let lcc = triangles as f64 / (d * (d - 1) / 2) as f64;
+        out.emit(key, format!("LCC {lcc}"));
+    }
+}
+
+fn parse_list(list: &str) -> Vec<u64> {
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+fn sorted_intersection_u64(a: &[u64], b: &[u64]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// STATS: adjacency job, then the list-shipping triangle job; the mean is
+/// computed client-side from the per-vertex LCC records.
+pub fn mean_local_cc(
+    config: &JobConfig,
+    edge_files: &[PathBuf],
+    n: usize,
+    ctx: &RunContext,
+) -> Result<f64, PlatformError> {
+    if n == 0 {
+        return Ok(0.0);
+    }
+    ctx.check_deadline()?;
+    let adj_dir = config.work_dir.join("stats-adjacency");
+    run_job(
+        config,
+        "stats-adjacency",
+        edge_files,
+        &IdentityMapper,
+        &AdjacencyReducer,
+        &adj_dir,
+    )?;
+    ctx.check_deadline()?;
+    let lcc_dir = config.work_dir.join("stats-lcc");
+    run_job(
+        config,
+        "stats-lcc",
+        &part_files(&adj_dir)?,
+        &ShipListsMapper,
+        &LccReducer,
+        &lcc_dir,
+    )?;
+    let records = read_output(&lcc_dir)?;
+    let mut sum = 0.0f64;
+    for (_k, v) in &records {
+        if let Some(x) = v.strip_prefix("LCC ") {
+            sum += x.trim().parse::<f64>().unwrap_or(0.0);
+        }
+    }
+    Ok(sum / n as f64)
+}
+
+// ------------------------------------------------------------ PageRank --
+
+/// PR propagate: each vertex sends `rank / degree` to neighbors; dangling
+/// rank goes into a user counter (micro-units) the driver carries to the
+/// next round through the job configuration.
+struct PropagateRank;
+
+impl crate::job::CountingReducer for PropagateRank {
+    fn reduce(&self, key: &str, values: &[String], ctx: &mut ReduceContext<'_>) {
+        let mut rank: Option<f64> = None;
+        let mut neighbors = Vec::new();
+        for v in values {
+            if let Some(r) = v.strip_prefix("R ") {
+                rank = r.trim().parse().ok();
+            } else if let Some(n) = v.strip_prefix("E ") {
+                neighbors.push(n);
+            }
+        }
+        let Some(rank) = rank else { return };
+        ctx.out.emit(key, format!("R {rank}"));
+        if neighbors.is_empty() {
+            // Fixed-point micro-units so the counter is an integer.
+            let micros = (rank * 1e12).round() as i64;
+            *ctx.counters.entry("dangling_micros".into()).or_insert(0) += micros;
+        } else {
+            let share = rank / neighbors.len() as f64;
+            for n in neighbors {
+                ctx.out.emit(n, format!("C {share}"));
+            }
+        }
+    }
+}
+
+/// PR update with the round's dangling mass injected by the driver.
+struct UpdateRank {
+    damping: f64,
+    n: f64,
+    dangling: f64,
+}
+
+impl Reducer for UpdateRank {
+    fn reduce(&self, key: &str, values: &[String], out: &mut Emitter) {
+        let mut seen = false;
+        let mut contributions: Vec<f64> = Vec::new();
+        for v in values {
+            if v.starts_with("R ") {
+                seen = true;
+            } else if let Some(c) = v.strip_prefix("C ") {
+                if let Ok(x) = c.trim().parse::<f64>() {
+                    contributions.push(x);
+                }
+            }
+        }
+        if !seen {
+            return;
+        }
+        contributions.sort_by(|a, b| a.total_cmp(b));
+        let received: f64 = contributions.iter().sum();
+        let base = (1.0 - self.damping) / self.n + self.damping * self.dangling / self.n;
+        let rank = base + self.damping * received;
+        out.emit(key, format!("R {rank}"));
+    }
+}
+
+/// PageRank: fixed iteration count.
+pub fn pagerank(
+    config: &JobConfig,
+    edge_files: &[PathBuf],
+    n: usize,
+    iterations: usize,
+    damping: f64,
+    ctx: &RunContext,
+) -> Result<Vec<f64>, PlatformError> {
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut rank_file = config.work_dir.join("pr-ranks-0");
+    let init: Vec<Record> = (0..n)
+        .map(|v| (v.to_string(), format!("R {}", 1.0 / n as f64)))
+        .collect();
+    write_records(&rank_file, &init)?;
+    let mut final_records = init;
+    for round in 0..iterations {
+        ctx.check_deadline()?;
+        let mut inputs = edge_files.to_vec();
+        inputs.push(rank_file.clone());
+        let prop_dir = config.work_dir.join(format!("pr-prop-{round}"));
+        let counters = run_job(
+            config,
+            &format!("pr-prop-{round}"),
+            &inputs,
+            &IdentityMapper,
+            &PropagateRank,
+            &prop_dir,
+        )?;
+        let dangling = counters.user_counter("dangling_micros") as f64 / 1e12;
+        ctx.check_deadline()?;
+        let update_dir = config.work_dir.join(format!("pr-update-{round}"));
+        run_job(
+            config,
+            &format!("pr-update-{round}"),
+            &part_files(&prop_dir)?,
+            &IdentityMapper,
+            &UpdateRank {
+                damping,
+                n: n as f64,
+                dangling,
+            },
+            &update_dir,
+        )?;
+        final_records = read_output(&update_dir)?;
+        rank_file = config.work_dir.join(format!("pr-ranks-{}", round + 1));
+        write_records(&rank_file, &final_records)?;
+    }
+    collect_per_vertex(&final_records, n, "R", |s| s.parse().ok(), 1.0 / n as f64)
+}
+
+// ----------------------------------------------------------------- EVO --
+
+/// EVO: one adjacency job, then the spec'd forest-fire walk runs in the
+/// driver over the job output (the Hadoop pattern for small sequential
+/// post-processing).
+pub fn forest_fire(
+    config: &JobConfig,
+    edge_files: &[PathBuf],
+    external_ids: &[u64],
+    new_vertices: usize,
+    p_forward: f64,
+    max_burst: usize,
+    seed: u64,
+    ctx: &RunContext,
+) -> Result<Vec<(u64, u64)>, PlatformError> {
+    let n = external_ids.len();
+    if n == 0 || new_vertices == 0 {
+        return Ok(Vec::new());
+    }
+    ctx.check_deadline()?;
+    let adj_dir = config.work_dir.join("evo-adjacency");
+    run_job(
+        config,
+        "evo-adjacency",
+        edge_files,
+        &IdentityMapper,
+        &AdjacencyReducer,
+        &adj_dir,
+    )?;
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (k, v) in read_output(&adj_dir)? {
+        let Some(list) = v.strip_prefix("N ") else {
+            continue;
+        };
+        let idx: usize = k.parse().map_err(|_| internal_err(&k))?;
+        if idx >= n {
+            return Err(internal_err(&k));
+        }
+        adjacency[idx] = parse_list(list).into_iter().map(|x| x as u32).collect();
+    }
+    ctx.check_deadline()?;
+    Ok(graphalytics_algos::evo::forest_fire_over_adjacency(
+        &adjacency,
+        external_ids,
+        new_vertices,
+        p_forward,
+        max_burst,
+        seed,
+    ))
+}
+
+/// Lists the part files of a completed job's output directory.
+pub fn part_files(dir: &Path) -> Result<Vec<PathBuf>, PlatformError> {
+    let mut parts: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| PlatformError::Internal(format!("i/o: {e}")))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|name| name.to_string_lossy().starts_with("part-"))
+        })
+        .collect();
+    parts.sort();
+    Ok(parts)
+}

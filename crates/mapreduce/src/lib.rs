@@ -1,0 +1,16 @@
+//! # graphalytics-mapreduce
+//!
+//! A disk-backed MapReduce runtime and the Graphalytics workload as
+//! iterative job chains — the Hadoop MapReduce v2 stand-in (paper §3.2).
+//!
+//! * [`job`] — the runtime: map tasks, sort/spill, shuffle partitions,
+//!   reduce tasks, counters; all intermediates cross real files;
+//! * [`algorithms`] — the kernels as propagate/update job chains;
+//! * [`platform`] — the [`MapReducePlatform`] harness adapter.
+
+pub mod algorithms;
+pub mod job;
+pub mod platform;
+
+pub use job::{run_job, Emitter, JobConfig, JobCounters, Mapper, Reducer};
+pub use platform::{MapReduceConfig, MapReducePlatform};

@@ -1,0 +1,329 @@
+//! The Hadoop MapReduce platform adapter.
+
+use std::path::PathBuf;
+
+use graphalytics_algos::{Algorithm, Output};
+use graphalytics_core::platform::{GraphHandle, Platform, PlatformError, RunContext};
+use graphalytics_graph::{CsrGraph, Vid};
+use rustc_hash::FxHashMap;
+
+use crate::algorithms;
+use crate::job::{write_records, JobConfig, Record};
+
+/// MapReduce platform configuration.
+#[derive(Debug, Clone)]
+pub struct MapReduceConfig {
+    /// Concurrent map tasks per job.
+    pub map_tasks: usize,
+    /// Reduce partitions per job.
+    pub reduce_tasks: usize,
+    /// Edge input splits written at ETL time (HDFS block count).
+    pub input_splits: usize,
+    /// Root scratch directory ("HDFS"); default under the system temp dir.
+    pub work_root: PathBuf,
+}
+
+impl Default for MapReduceConfig {
+    fn default() -> Self {
+        Self {
+            map_tasks: 4,
+            reduce_tasks: 4,
+            input_splits: 4,
+            work_root: std::env::temp_dir().join(format!("gx-hadoop-{}", std::process::id())),
+        }
+    }
+}
+
+struct LoadedGraph {
+    edge_files: Vec<PathBuf>,
+    num_vertices: usize,
+    external_ids: Vec<u64>,
+    work_dir: PathBuf,
+}
+
+/// Hadoop MapReduce stand-in: every kernel is an iterative chain of
+/// disk-backed map/sort/shuffle/reduce jobs. Slow, but it never runs out
+/// of memory — the paper's "does not crash even when processing the
+/// largest workload".
+pub struct MapReducePlatform {
+    config: MapReduceConfig,
+    graphs: FxHashMap<u64, LoadedGraph>,
+    next_handle: u64,
+}
+
+impl MapReducePlatform {
+    /// Creates the platform.
+    pub fn new(config: MapReduceConfig) -> Self {
+        Self {
+            config,
+            graphs: FxHashMap::default(),
+            next_handle: 0,
+        }
+    }
+
+    /// Default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(MapReduceConfig::default())
+    }
+
+    fn loaded(&self, handle: GraphHandle) -> Result<&LoadedGraph, PlatformError> {
+        self.graphs.get(&handle.0).ok_or(PlatformError::InvalidHandle)
+    }
+
+    /// A fresh job scratch dir per run (jobs of different algorithms must
+    /// not collide).
+    fn job_config(&self, loaded: &LoadedGraph, tag: &str) -> Result<JobConfig, PlatformError> {
+        let work_dir = loaded.work_dir.join(format!("run-{tag}-{}", next_run_id()));
+        std::fs::create_dir_all(&work_dir)
+            .map_err(|e| PlatformError::Internal(format!("i/o: {e}")))?;
+        Ok(JobConfig {
+            map_tasks: self.config.map_tasks,
+            reduce_tasks: self.config.reduce_tasks,
+            work_dir,
+        })
+    }
+}
+
+fn next_run_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Platform for MapReducePlatform {
+    fn name(&self) -> &'static str {
+        "MapReduce"
+    }
+
+    fn load_graph(&mut self, graph: &CsrGraph) -> Result<GraphHandle, PlatformError> {
+        // ETL: write the arc records as `input_splits` HDFS-style files.
+        let handle = GraphHandle(self.next_handle);
+        self.next_handle += 1;
+        let work_dir = self.config.work_root.join(format!("graph-{}", handle.0));
+        std::fs::create_dir_all(&work_dir)
+            .map_err(|e| PlatformError::Internal(format!("i/o: {e}")))?;
+        let splits = self.config.input_splits.max(1);
+        let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); splits];
+        for v in 0..graph.num_vertices() as Vid {
+            let bucket = v as usize % splits;
+            for &u in graph.neighbors(v) {
+                buckets[bucket].push((v.to_string(), format!("E {u}")));
+            }
+        }
+        let mut edge_files = Vec::new();
+        for (i, bucket) in buckets.iter().enumerate() {
+            let path = work_dir.join(format!("edges-{i:05}"));
+            write_records(&path, bucket)?;
+            edge_files.push(path);
+        }
+        let external_ids = (0..graph.num_vertices() as Vid)
+            .map(|v| graph.external_id(v))
+            .collect();
+        self.graphs.insert(
+            handle.0,
+            LoadedGraph {
+                edge_files,
+                num_vertices: graph.num_vertices(),
+                external_ids,
+                work_dir,
+            },
+        );
+        Ok(handle)
+    }
+
+    fn run(
+        &mut self,
+        handle: GraphHandle,
+        algorithm: &Algorithm,
+        ctx: &RunContext,
+    ) -> Result<Output, PlatformError> {
+        let loaded = self.loaded(handle)?;
+        let n = loaded.num_vertices;
+        match algorithm {
+            Algorithm::Stats => {
+                let config = self.job_config(loaded, "stats")?;
+                let mean = algorithms::mean_local_cc(&config, &loaded.edge_files, n, ctx)?;
+                // |V| and |E| come from the input manifests; only the
+                // clustering coefficient needs jobs.
+                let num_edges = loaded
+                    .edge_files
+                    .iter()
+                    .map(|f| crate::job::read_records(f).map(|r| r.len()).unwrap_or(0))
+                    .sum::<usize>()
+                    / 2;
+                Ok(Output::Stats(graphalytics_algos::StatsResult {
+                    num_vertices: n,
+                    num_edges,
+                    mean_local_cc: mean,
+                }))
+            }
+            Algorithm::Bfs { source } => {
+                let config = self.job_config(loaded, "bfs")?;
+                // Map the external source id to an internal one.
+                let source = loaded
+                    .external_ids
+                    .iter()
+                    .position(|&e| e == *source)
+                    .map(|i| i as u32);
+                Ok(Output::Depths(algorithms::bfs(
+                    &config,
+                    &loaded.edge_files,
+                    n,
+                    source,
+                    ctx,
+                )?))
+            }
+            Algorithm::Conn => {
+                let config = self.job_config(loaded, "conn")?;
+                Ok(Output::Components(algorithms::connected_components(
+                    &config,
+                    &loaded.edge_files,
+                    n,
+                    ctx,
+                )?))
+            }
+            Algorithm::Cd {
+                iterations,
+                hop_attenuation,
+                degree_exponent,
+            } => {
+                let config = self.job_config(loaded, "cd")?;
+                Ok(Output::Communities(algorithms::community_detection(
+                    &config,
+                    &loaded.edge_files,
+                    n,
+                    *iterations,
+                    *hop_attenuation,
+                    *degree_exponent,
+                    ctx,
+                )?))
+            }
+            Algorithm::Evo {
+                new_vertices,
+                p_forward,
+                max_burst,
+                seed,
+            } => {
+                let config = self.job_config(loaded, "evo")?;
+                Ok(Output::Evolution(algorithms::forest_fire(
+                    &config,
+                    &loaded.edge_files,
+                    &loaded.external_ids,
+                    *new_vertices,
+                    *p_forward,
+                    *max_burst,
+                    *seed,
+                    ctx,
+                )?))
+            }
+            Algorithm::PageRank {
+                iterations,
+                damping,
+            } => {
+                let config = self.job_config(loaded, "pr")?;
+                Ok(Output::Ranks(algorithms::pagerank(
+                    &config,
+                    &loaded.edge_files,
+                    n,
+                    *iterations,
+                    *damping,
+                    ctx,
+                )?))
+            }
+        }
+    }
+
+    fn unload(&mut self, handle: GraphHandle) {
+        if let Some(loaded) = self.graphs.remove(&handle.0) {
+            let _ = std::fs::remove_dir_all(&loaded.work_dir);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalytics_algos::reference;
+    use graphalytics_graph::EdgeListGraph;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn test_graph() -> Arc<CsrGraph> {
+        Arc::new(CsrGraph::from_edge_list(
+            &EdgeListGraph::undirected_from_edges(vec![
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (4, 5),
+            ]),
+        ))
+    }
+
+    #[test]
+    fn all_workload_algorithms_validate() {
+        let mut p = MapReducePlatform::with_defaults();
+        let g = test_graph();
+        let handle = p.load_graph(&g).unwrap();
+        for alg in Algorithm::paper_workload() {
+            let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
+            let expected = reference(&g, &alg);
+            assert!(expected.equivalent(&out), "{alg:?}: got {out:?}");
+        }
+        p.unload(handle);
+    }
+
+    #[test]
+    fn pagerank_validates() {
+        let mut p = MapReducePlatform::with_defaults();
+        let g = test_graph();
+        let handle = p.load_graph(&g).unwrap();
+        let alg = Algorithm::default_pagerank();
+        let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
+        assert!(reference(&g, &alg).equivalent(&out));
+    }
+
+    #[test]
+    fn timeout_produces_dnf() {
+        let mut p = MapReducePlatform::with_defaults();
+        let g = Arc::new(CsrGraph::from_edge_list(
+            &EdgeListGraph::undirected_from_edges((0..500).map(|i| (i, i + 1)).collect()),
+        ));
+        let handle = p.load_graph(&g).unwrap();
+        // A long path needs many label-propagation iterations; a tiny
+        // deadline must trip between jobs.
+        let ctx = RunContext::with_timeout(Duration::from_millis(1));
+        let err = p.run(handle, &Algorithm::Conn, &ctx).unwrap_err();
+        assert_eq!(err, PlatformError::Timeout);
+    }
+
+    #[test]
+    fn unload_removes_scratch_space() {
+        let mut p = MapReducePlatform::with_defaults();
+        let g = test_graph();
+        let handle = p.load_graph(&g).unwrap();
+        let dir = p.loaded(handle).unwrap().work_dir.clone();
+        assert!(dir.exists());
+        p.unload(handle);
+        assert!(!dir.exists());
+        assert_eq!(
+            p.run(handle, &Algorithm::Conn, &RunContext::unbounded()),
+            Err(PlatformError::InvalidHandle)
+        );
+    }
+
+    #[test]
+    fn bfs_with_missing_source() {
+        let mut p = MapReducePlatform::with_defaults();
+        let g = test_graph();
+        let handle = p.load_graph(&g).unwrap();
+        let out = p
+            .run(
+                handle,
+                &Algorithm::Bfs { source: 999 },
+                &RunContext::unbounded(),
+            )
+            .unwrap();
+        assert_eq!(out, Output::Depths(vec![-1; 6]));
+    }
+}

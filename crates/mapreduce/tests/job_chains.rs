@@ -1,0 +1,205 @@
+//! Direct tests of the MapReduce algorithm job chains (below the Platform
+//! adapter): each kernel's propagate/update jobs against the reference
+//! implementations, convergence behavior, and on-disk state layout.
+
+use graphalytics_core::platform::RunContext;
+use graphalytics_graph::{CsrGraph, EdgeListGraph, Vid};
+use graphalytics_mapreduce::algorithms;
+use graphalytics_mapreduce::job::{write_records, JobConfig, Record};
+use std::path::PathBuf;
+
+struct Fixture {
+    config: JobConfig,
+    edge_files: Vec<PathBuf>,
+    graph: CsrGraph,
+    #[allow(dead_code)]
+    dir: PathBuf,
+}
+
+fn fixture(name: &str, edges: Vec<(u64, u64)>) -> Fixture {
+    let dir = std::env::temp_dir().join(format!("gx-chains-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = CsrGraph::from_edge_list(&EdgeListGraph::undirected_from_edges(edges));
+    // Two splits, arcs tagged "E <dst>" keyed by source, like the platform's ETL.
+    let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); 2];
+    for v in 0..graph.num_vertices() as Vid {
+        for &u in graph.neighbors(v) {
+            buckets[v as usize % 2].push((v.to_string(), format!("E {u}")));
+        }
+    }
+    let mut edge_files = Vec::new();
+    for (i, bucket) in buckets.iter().enumerate() {
+        let path = dir.join(format!("edges-{i}"));
+        write_records(&path, bucket).unwrap();
+        edge_files.push(path);
+    }
+    Fixture {
+        config: JobConfig::new(&dir),
+        edge_files,
+        graph,
+        dir,
+    }
+}
+
+fn sample_edges() -> Vec<(u64, u64)> {
+    // Triangle + tail + second component + a longer path.
+    let mut edges = vec![(0, 1), (1, 2), (0, 2), (2, 3), (4, 5)];
+    edges.extend((6..14).map(|i| (i, i + 1)));
+    edges
+}
+
+#[test]
+fn conn_chain_matches_reference() {
+    let f = fixture("conn", sample_edges());
+    let labels = algorithms::connected_components(
+        &f.config,
+        &f.edge_files,
+        f.graph.num_vertices(),
+        &RunContext::unbounded(),
+    )
+    .unwrap();
+    assert_eq!(
+        labels,
+        graphalytics_algos::conn::connected_components(&f.graph)
+    );
+}
+
+#[test]
+fn bfs_chain_matches_reference_and_needs_diameter_rounds() {
+    let f = fixture("bfs", sample_edges());
+    let depths = algorithms::bfs(
+        &f.config,
+        &f.edge_files,
+        f.graph.num_vertices(),
+        Some(6),
+        &RunContext::unbounded(),
+    )
+    .unwrap();
+    assert_eq!(depths, graphalytics_algos::bfs::bfs(&f.graph, 6));
+    // The long path forces many iterations; state files for each round
+    // must exist on disk (iterative chains keep state in files).
+    let rounds = std::fs::read_dir(&f.dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("bfs-depths-"))
+        .count();
+    assert!(rounds >= 8, "expected many BFS rounds on disk, saw {rounds}");
+}
+
+#[test]
+fn bfs_chain_without_source() {
+    let f = fixture("bfs-nosrc", vec![(0, 1), (1, 2)]);
+    let depths = algorithms::bfs(
+        &f.config,
+        &f.edge_files,
+        3,
+        None,
+        &RunContext::unbounded(),
+    )
+    .unwrap();
+    assert_eq!(depths, vec![-1, -1, -1]);
+}
+
+#[test]
+fn cd_chain_matches_reference() {
+    let f = fixture("cd", sample_edges());
+    let labels = algorithms::community_detection(
+        &f.config,
+        &f.edge_files,
+        f.graph.num_vertices(),
+        10,
+        0.05,
+        0.1,
+        &RunContext::unbounded(),
+    )
+    .unwrap();
+    assert_eq!(
+        labels,
+        graphalytics_algos::cd::community_detection(&f.graph, 10, 0.05, 0.1)
+    );
+}
+
+#[test]
+fn stats_chain_matches_reference() {
+    let f = fixture("stats", sample_edges());
+    let mean = algorithms::mean_local_cc(
+        &f.config,
+        &f.edge_files,
+        f.graph.num_vertices(),
+        &RunContext::unbounded(),
+    )
+    .unwrap();
+    let expected = graphalytics_algos::stats::stats(&f.graph).mean_local_cc;
+    assert!((mean - expected).abs() < 1e-12, "{mean} vs {expected}");
+}
+
+#[test]
+fn pagerank_chain_matches_reference_within_counter_precision() {
+    let f = fixture("pr", sample_edges());
+    let ranks = algorithms::pagerank(
+        &f.config,
+        &f.edge_files,
+        f.graph.num_vertices(),
+        15,
+        0.85,
+        &RunContext::unbounded(),
+    )
+    .unwrap();
+    let expected = graphalytics_algos::pagerank::pagerank(&f.graph, 15, 0.85);
+    for (a, b) in ranks.iter().zip(&expected) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+    let sum: f64 = ranks.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn evo_chain_matches_reference() {
+    let f = fixture("evo", sample_edges());
+    let external: Vec<u64> = (0..f.graph.num_vertices() as Vid)
+        .map(|v| f.graph.external_id(v))
+        .collect();
+    let edges = algorithms::forest_fire(
+        &f.config,
+        &f.edge_files,
+        &external,
+        20,
+        0.4,
+        16,
+        777,
+        &RunContext::unbounded(),
+    )
+    .unwrap();
+    let expected = graphalytics_algos::evo::forest_fire(&f.graph, 20, 0.4, 16, 777);
+    assert_eq!(edges, expected);
+}
+
+#[test]
+fn chains_honor_deadlines_between_jobs() {
+    let f = fixture("deadline", (0..200).map(|i| (i, i + 1)).collect());
+    let ctx = RunContext::with_timeout(std::time::Duration::from_millis(1));
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    let err = algorithms::connected_components(&f.config, &f.edge_files, 201, &ctx).unwrap_err();
+    assert_eq!(err, graphalytics_core::platform::PlatformError::Timeout);
+}
+
+#[test]
+fn isolated_vertices_survive_the_chains() {
+    // Vertex 3 has no edges: it must appear in outputs with its own label.
+    let f = fixture("isolated", vec![(0, 1)]);
+    let labels =
+        algorithms::connected_components(&f.config, &f.edge_files, 4, &RunContext::unbounded())
+            .unwrap();
+    assert_eq!(labels[2], 2);
+    assert_eq!(labels[3], 3);
+    let depths = algorithms::bfs(
+        &f.config,
+        &f.edge_files,
+        4,
+        Some(0),
+        &RunContext::unbounded(),
+    )
+    .unwrap();
+    assert_eq!(depths, vec![0, 1, -1, -1]);
+}

@@ -1,0 +1,21 @@
+//! # graphalytics-pregel
+//!
+//! A Pregel/Giraph-style bulk-synchronous parallel graph-processing engine
+//! (paper §3.2: "Giraph is an Apache open-source project implementing the
+//! Pregel programming model introduced by Google"):
+//!
+//! * [`engine`] — workers, supersteps, message passing with combiners,
+//!   aggregators, vote-to-halt, remote-message accounting;
+//! * [`programs`] — the five workload kernels (plus PageRank) as vertex
+//!   programs;
+//! * [`platform`] — the [`GiraphPlatform`] harness adapter.
+
+pub mod engine;
+pub mod platform;
+pub mod programs;
+
+pub use engine::{
+    run, ComputeContext, PartitionerKind, PregelConfig, PregelResult, PregelStats,
+    VertexProgram,
+};
+pub use platform::GiraphPlatform;

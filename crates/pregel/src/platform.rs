@@ -1,0 +1,222 @@
+//! The Giraph platform adapter: plugs the BSP engine into the harness's
+//! [`Platform`] API.
+
+use std::sync::Arc;
+
+use graphalytics_algos::{Algorithm, Output};
+use graphalytics_core::platform::{GraphHandle, Platform, PlatformError, RunContext};
+use graphalytics_graph::CsrGraph;
+use rustc_hash::FxHashMap;
+
+use crate::engine::{run, PregelConfig};
+use crate::programs::{BfsProgram, CdProgram, ConnProgram, PageRankProgram, StatsProgram};
+
+/// Giraph stand-in: a BSP vertex-centric engine with hash-partitioned
+/// workers.
+pub struct GiraphPlatform {
+    config: PregelConfig,
+    graphs: FxHashMap<u64, Arc<CsrGraph>>,
+    next_handle: u64,
+}
+
+impl GiraphPlatform {
+    /// Creates the platform with the given engine configuration.
+    pub fn new(config: PregelConfig) -> Self {
+        Self {
+            config,
+            graphs: FxHashMap::default(),
+            next_handle: 0,
+        }
+    }
+
+    /// Default configuration (4 workers, no memory cap).
+    pub fn with_defaults() -> Self {
+        Self::new(PregelConfig::default())
+    }
+
+    fn graph(&self, handle: GraphHandle) -> Result<&Arc<CsrGraph>, PlatformError> {
+        self.graphs.get(&handle.0).ok_or(PlatformError::InvalidHandle)
+    }
+}
+
+impl Platform for GiraphPlatform {
+    fn name(&self) -> &'static str {
+        "Giraph"
+    }
+
+    fn load_graph(&mut self, graph: &CsrGraph) -> Result<GraphHandle, PlatformError> {
+        // ETL: Giraph keeps the whole graph in worker memory; enforce the
+        // budget at load time like the JVM heap does.
+        if let Some(budget) = self.config.memory_budget {
+            let need = graph.memory_footprint();
+            if need > budget {
+                return Err(PlatformError::OutOfMemory {
+                    required: need,
+                    budget,
+                });
+            }
+        }
+        let handle = GraphHandle(self.next_handle);
+        self.next_handle += 1;
+        self.graphs.insert(handle.0, Arc::new(graph.clone()));
+        Ok(handle)
+    }
+
+    fn run(
+        &mut self,
+        handle: GraphHandle,
+        algorithm: &Algorithm,
+        ctx: &RunContext,
+    ) -> Result<Output, PlatformError> {
+        let graph = Arc::clone(self.graph(handle)?);
+        match algorithm {
+            Algorithm::Stats => {
+                let result = run(&graph, &StatsProgram, &self.config, ctx)?;
+                let n = graph.num_vertices();
+                let mean = if n == 0 {
+                    0.0
+                } else {
+                    result.states.iter().sum::<f64>() / n as f64
+                };
+                Ok(Output::Stats(graphalytics_algos::StatsResult {
+                    num_vertices: n,
+                    num_edges: graph.num_edges(),
+                    mean_local_cc: mean,
+                }))
+            }
+            Algorithm::Bfs { source } => {
+                let program = BfsProgram {
+                    source: graph.internal_id(*source),
+                };
+                let result = run(&graph, &program, &self.config, ctx)?;
+                Ok(Output::Depths(result.states))
+            }
+            Algorithm::Conn => {
+                let result = run(&graph, &ConnProgram, &self.config, ctx)?;
+                Ok(Output::Components(result.states))
+            }
+            Algorithm::Cd {
+                iterations,
+                hop_attenuation,
+                degree_exponent,
+            } => {
+                let program = CdProgram {
+                    iterations: *iterations,
+                    hop_attenuation: *hop_attenuation,
+                    degree_exponent: *degree_exponent,
+                };
+                let result = run(&graph, &program, &self.config, ctx)?;
+                Ok(Output::Communities(
+                    result.states.iter().map(|s| s.label).collect(),
+                ))
+            }
+            Algorithm::Evo {
+                new_vertices,
+                p_forward,
+                max_burst,
+                seed,
+            } => {
+                // EVO is coordinator-driven (Giraph would run it from
+                // master.compute()): the fires walk the partitioned
+                // adjacency directly.
+                ctx.check_deadline()?;
+                Ok(Output::Evolution(graphalytics_algos::evo::forest_fire(
+                    &graph,
+                    *new_vertices,
+                    *p_forward,
+                    *max_burst,
+                    *seed,
+                )))
+            }
+            Algorithm::PageRank {
+                iterations,
+                damping,
+            } => {
+                let program = PageRankProgram {
+                    iterations: *iterations,
+                    damping: *damping,
+                };
+                let result = run(&graph, &program, &self.config, ctx)?;
+                Ok(Output::Ranks(result.states))
+            }
+        }
+    }
+
+    fn unload(&mut self, handle: GraphHandle) {
+        self.graphs.remove(&handle.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalytics_algos::reference;
+    use graphalytics_graph::EdgeListGraph;
+
+    fn load(platform: &mut GiraphPlatform) -> (GraphHandle, Arc<CsrGraph>) {
+        let g = CsrGraph::from_edge_list(&EdgeListGraph::undirected_from_edges(vec![
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (4, 5),
+        ]));
+        let handle = platform.load_graph(&g).unwrap();
+        (handle, Arc::new(g))
+    }
+
+    #[test]
+    fn all_workload_algorithms_validate() {
+        let mut p = GiraphPlatform::with_defaults();
+        let (handle, graph) = load(&mut p);
+        for alg in Algorithm::paper_workload() {
+            let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
+            let expected = reference(&graph, &alg);
+            assert!(expected.equivalent(&out), "{alg:?}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn pagerank_validates() {
+        let mut p = GiraphPlatform::with_defaults();
+        let (handle, graph) = load(&mut p);
+        let alg = Algorithm::default_pagerank();
+        let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
+        assert!(reference(&graph, &alg).equivalent(&out));
+    }
+
+    #[test]
+    fn invalid_handle_is_reported() {
+        let mut p = GiraphPlatform::with_defaults();
+        let err = p
+            .run(GraphHandle(99), &Algorithm::Conn, &RunContext::unbounded())
+            .unwrap_err();
+        assert_eq!(err, PlatformError::InvalidHandle);
+    }
+
+    #[test]
+    fn unload_frees_handle() {
+        let mut p = GiraphPlatform::with_defaults();
+        let (handle, _) = load(&mut p);
+        p.unload(handle);
+        assert_eq!(
+            p.run(handle, &Algorithm::Conn, &RunContext::unbounded()),
+            Err(PlatformError::InvalidHandle)
+        );
+    }
+
+    #[test]
+    fn memory_budget_rejects_large_graphs_at_load() {
+        let mut p = GiraphPlatform::new(PregelConfig {
+            memory_budget: Some(64),
+            ..Default::default()
+        });
+        let g = CsrGraph::from_edge_list(&EdgeListGraph::undirected_from_edges(
+            (0..100).map(|i| (i, i + 1)).collect(),
+        ));
+        assert!(matches!(
+            p.load_graph(&g),
+            Err(PlatformError::OutOfMemory { .. })
+        ));
+    }
+}

@@ -1,0 +1,351 @@
+//! The Graphalytics workload expressed as Pregel vertex programs.
+
+use crate::engine::{ComputeContext, VertexProgram};
+use graphalytics_graph::{CsrGraph, Vid};
+
+/// BFS: depths propagate level by level; the superstep number *is* the
+/// depth, which is why BFS is the canonical Pregel program.
+pub struct BfsProgram {
+    /// Internal id of the seed vertex; `None` when the seed is absent from
+    /// the graph (all vertices stay unreached).
+    pub source: Option<Vid>,
+}
+
+impl VertexProgram for BfsProgram {
+    type State = i64;
+    type Message = i64;
+
+    fn init(&self, _vertex: Vid, _graph: &CsrGraph) -> i64 {
+        -1
+    }
+
+    fn compute(&self, state: &mut i64, messages: &[i64], ctx: &mut ComputeContext<'_, i64>) {
+        if ctx.superstep == 0 {
+            if Some(ctx.vertex) == self.source {
+                *state = 0;
+                ctx.send_to_neighbors(1);
+            }
+        } else if *state < 0 {
+            if let Some(&depth) = messages.iter().min_by_key(|&&d| d) {
+                *state = depth;
+                ctx.send_to_neighbors(depth + 1);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combiner(&self) -> Option<fn(&mut i64, i64)> {
+        Some(|acc, m| *acc = (*acc).min(m))
+    }
+}
+
+/// CONN: HashMin label propagation — every vertex repeatedly adopts the
+/// minimum label among itself and its neighbors. Converges to the minimum
+/// internal id per component, which is the canonical CONN labeling.
+pub struct ConnProgram;
+
+impl VertexProgram for ConnProgram {
+    type State = u32;
+    type Message = u32;
+
+    fn init(&self, vertex: Vid, _graph: &CsrGraph) -> u32 {
+        vertex
+    }
+
+    fn compute(&self, state: &mut u32, messages: &[u32], ctx: &mut ComputeContext<'_, u32>) {
+        let incoming = messages.iter().copied().min().unwrap_or(*state);
+        let best = incoming.min(*state);
+        if best < *state || ctx.superstep == 0 {
+            *state = best;
+            ctx.send_to_neighbors(best);
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combiner(&self) -> Option<fn(&mut u32, u32)> {
+        Some(|acc, m| *acc = (*acc).min(m))
+    }
+}
+
+/// CD: the deterministic Leung label-propagation spec (see
+/// `graphalytics_algos::cd`) in message-passing form. Messages carry
+/// `(label, score, influence)`; the update rule and tie-breaks are
+/// identical to the reference, so outputs compare exactly.
+pub struct CdProgram {
+    /// Propagation rounds.
+    pub iterations: usize,
+    /// Hop attenuation δ.
+    pub hop_attenuation: f64,
+    /// Degree exponent m.
+    pub degree_exponent: f64,
+}
+
+/// CD vertex state: current label and score.
+#[derive(Debug, Clone, Copy)]
+pub struct CdState {
+    /// Current community label.
+    pub label: u32,
+    /// Current label score (attenuates as labels travel).
+    pub score: f64,
+}
+
+impl VertexProgram for CdProgram {
+    type State = CdState;
+    type Message = (u32, f64, f64); // (label, score, influence)
+
+    fn init(&self, vertex: Vid, _graph: &CsrGraph) -> CdState {
+        CdState {
+            label: vertex,
+            score: 1.0,
+        }
+    }
+
+    fn compute(
+        &self,
+        state: &mut CdState,
+        messages: &[(u32, f64, f64)],
+        ctx: &mut ComputeContext<'_, (u32, f64, f64)>,
+    ) {
+        if self.iterations == 0 {
+            ctx.vote_to_halt();
+            return;
+        }
+        if ctx.superstep == 0 {
+            // Broadcast the initial label.
+            let influence = state.score * (ctx.degree() as f64).powf(self.degree_exponent);
+            ctx.send_to_neighbors((state.label, state.score, influence));
+            return;
+        }
+        // Early convergence, exactly like the reference: when the previous
+        // round changed no label anywhere (aggregate 0), stop before
+        // applying another round.
+        if ctx.superstep >= 2 && ctx.prev_aggregate == 0.0 {
+            ctx.vote_to_halt();
+            return;
+        }
+        if !messages.is_empty() {
+            // Aggregate per label: influence contributions and max score.
+            let mut weight: rustc_hash::FxHashMap<u32, (Vec<f64>, f64)> =
+                rustc_hash::FxHashMap::default();
+            for &(label, score, influence) in messages {
+                let entry = weight.entry(label).or_insert((Vec::new(), 0.0));
+                entry.0.push(influence);
+                entry.1 = entry.1.max(score);
+            }
+            let (best_label, _w, best_score) =
+                graphalytics_algos::cd::argmax_label(&mut weight);
+            if best_label != state.label {
+                state.label = best_label;
+                state.score = best_score * (1.0 - self.hop_attenuation);
+                ctx.aggregate(1.0); // A label changed somewhere this round.
+            } else {
+                state.score = best_score.max(state.score);
+            }
+        }
+        if ctx.superstep < self.iterations {
+            let influence = state.score * (ctx.degree() as f64).powf(self.degree_exponent);
+            ctx.send_to_neighbors((state.label, state.score, influence));
+        } else {
+            ctx.vote_to_halt();
+        }
+    }
+}
+
+/// STATS: the clustering-coefficient half. Superstep 0 sends every vertex's
+/// adjacency list to all its neighbors (an intentionally network-heavy
+/// step — this kernel stresses the network choke point); superstep 1
+/// intersects received lists with the local one to count triangles and
+/// stores the local clustering coefficient.
+pub struct StatsProgram;
+
+impl VertexProgram for StatsProgram {
+    type State = f64; // Local clustering coefficient.
+    type Message = Vec<Vid>;
+
+    fn init(&self, _vertex: Vid, _graph: &CsrGraph) -> f64 {
+        0.0
+    }
+
+    fn compute(
+        &self,
+        state: &mut f64,
+        messages: &[Vec<Vid>],
+        ctx: &mut ComputeContext<'_, Vec<Vid>>,
+    ) {
+        match ctx.superstep {
+            0 => {
+                if ctx.degree() >= 2 {
+                    let mine: Vec<Vid> = ctx.graph.neighbors(ctx.vertex).to_vec();
+                    ctx.send_to_neighbors(mine);
+                } else {
+                    ctx.vote_to_halt();
+                }
+            }
+            _ => {
+                let mine = ctx.graph.neighbors(ctx.vertex);
+                let d = mine.len();
+                if d >= 2 {
+                    let mut links = 0usize;
+                    for their in messages {
+                        links +=
+                            graphalytics_graph::metrics::sorted_intersection_len(mine, their);
+                    }
+                    let triangles = links / 2;
+                    *state = triangles as f64 / (d * (d - 1) / 2) as f64;
+                }
+                ctx.vote_to_halt();
+            }
+        }
+    }
+}
+
+/// PageRank in BSP form with a sum combiner; dangling mass is collected via
+/// the aggregator and redistributed the next superstep, matching the
+/// reference implementation step for step.
+pub struct PageRankProgram {
+    /// Power-iteration count.
+    pub iterations: usize,
+    /// Damping factor.
+    pub damping: f64,
+}
+
+impl VertexProgram for PageRankProgram {
+    type State = f64;
+    type Message = f64;
+
+    fn init(&self, _vertex: Vid, graph: &CsrGraph) -> f64 {
+        1.0 / graph.num_vertices().max(1) as f64
+    }
+
+    fn compute(&self, state: &mut f64, messages: &[f64], ctx: &mut ComputeContext<'_, f64>) {
+        let n = ctx.graph.num_vertices() as f64;
+        if ctx.superstep > 0 {
+            let received: f64 = messages.iter().sum();
+            let base = (1.0 - self.damping) / n + self.damping * ctx.prev_aggregate / n;
+            *state = base + self.damping * received;
+        }
+        if ctx.superstep < self.iterations {
+            let out = ctx.degree();
+            if out == 0 {
+                ctx.aggregate(*state); // Dangling mass.
+            } else {
+                ctx.send_to_neighbors(*state / out as f64);
+            }
+        } else {
+            ctx.vote_to_halt();
+        }
+    }
+
+    fn combiner(&self) -> Option<fn(&mut f64, f64)> {
+        Some(|acc, m| *acc += m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, PregelConfig};
+    use graphalytics_core::platform::RunContext;
+    use graphalytics_graph::EdgeListGraph;
+    use std::sync::Arc;
+
+    fn graph(edges: Vec<(u64, u64)>) -> Arc<CsrGraph> {
+        Arc::new(CsrGraph::from_edge_list(
+            &EdgeListGraph::undirected_from_edges(edges),
+        ))
+    }
+
+    fn run_default<P: VertexProgram>(g: &Arc<CsrGraph>, p: &P) -> Vec<P::State> {
+        run(g, p, &PregelConfig::default(), &RunContext::unbounded())
+            .unwrap()
+            .states
+    }
+
+    #[test]
+    fn bfs_program_matches_reference() {
+        let g = graph(vec![(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let depths = run_default(&g, &BfsProgram { source: Some(0) });
+        assert_eq!(depths, graphalytics_algos::bfs::bfs(&g, 0));
+    }
+
+    #[test]
+    fn bfs_without_source_reaches_nothing() {
+        let g = graph(vec![(0, 1)]);
+        let depths = run_default(&g, &BfsProgram { source: None });
+        assert_eq!(depths, vec![-1, -1]);
+    }
+
+    #[test]
+    fn conn_program_matches_reference() {
+        let g = graph(vec![(0, 1), (2, 3), (3, 4), (5, 6), (6, 0)]);
+        let labels = run_default(&g, &ConnProgram);
+        assert_eq!(labels, graphalytics_algos::conn::connected_components(&g));
+    }
+
+    #[test]
+    fn cd_program_matches_reference() {
+        // Two cliques with a bridge — and an asymmetric tail.
+        let mut edges = Vec::new();
+        for base in [0u64, 6] {
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((5, 6));
+        edges.push((11, 12));
+        edges.push((12, 13));
+        let g = graph(edges);
+        let program = CdProgram {
+            iterations: 10,
+            hop_attenuation: 0.05,
+            degree_exponent: 0.1,
+        };
+        let states = run_default(&g, &program);
+        let labels: Vec<u32> = states.iter().map(|s| s.label).collect();
+        let expected =
+            graphalytics_algos::cd::community_detection(&g, 10, 0.05, 0.1);
+        assert_eq!(labels, expected);
+    }
+
+    #[test]
+    fn stats_program_matches_reference_lcc() {
+        let g = graph(vec![(0, 1), (1, 2), (0, 2), (0, 3), (3, 4)]);
+        let lccs = run_default(&g, &StatsProgram);
+        let mean = lccs.iter().sum::<f64>() / lccs.len() as f64;
+        let expected = graphalytics_algos::stats::stats(&g).mean_local_cc;
+        assert!((mean - expected).abs() < 1e-12, "mean={mean} expected={expected}");
+    }
+
+    #[test]
+    fn pagerank_program_matches_reference() {
+        let g = graph(vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let ranks = run_default(
+            &g,
+            &PageRankProgram {
+                iterations: 20,
+                damping: 0.85,
+            },
+        );
+        let expected = graphalytics_algos::pagerank::pagerank(&g, 20, 0.85);
+        for (a, b) in ranks.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cd_zero_iterations_is_identity() {
+        let g = graph(vec![(0, 1), (1, 2)]);
+        let states = run_default(
+            &g,
+            &CdProgram {
+                iterations: 0,
+                hop_attenuation: 0.05,
+                degree_exponent: 0.1,
+            },
+        );
+        let labels: Vec<u32> = states.iter().map(|s| s.label).collect();
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the BSP engine: program outputs match the reference
+//! implementations on arbitrary graphs, results are invariant under worker
+//! count and partitioner, and engine accounting stays consistent.
+
+use graphalytics_core::platform::RunContext;
+use graphalytics_graph::{CsrGraph, EdgeListGraph};
+use graphalytics_pregel::programs::{BfsProgram, CdProgram, ConnProgram, PageRankProgram};
+use graphalytics_pregel::{run, PartitionerKind, PregelConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_graph() -> impl Strategy<Value = Arc<CsrGraph>> {
+    (2u64..30, proptest::collection::vec((0u64..30, 0u64..30), 0..90)).prop_map(|(n, raw)| {
+        let edges: Vec<(u64, u64)> = raw.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        Arc::new(CsrGraph::from_edge_list(&EdgeListGraph::new(
+            (0..n).collect(),
+            edges,
+            false,
+        )))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn conn_matches_reference_for_any_config(
+        g in arb_graph(),
+        workers in 1usize..6,
+        partitioner_idx in 0usize..3,
+    ) {
+        let partitioner = [
+            PartitionerKind::Hash,
+            PartitionerKind::Range,
+            PartitionerKind::Ldg,
+        ][partitioner_idx];
+        let config = PregelConfig { workers, partitioner, ..Default::default() };
+        let result = run(&g, &ConnProgram, &config, &RunContext::unbounded()).unwrap();
+        prop_assert_eq!(
+            result.states,
+            graphalytics_algos::conn::connected_components(&g)
+        );
+    }
+
+    #[test]
+    fn bfs_matches_reference(g in arb_graph(), source in 0u64..30, workers in 1usize..5) {
+        let config = PregelConfig { workers, ..Default::default() };
+        let program = BfsProgram { source: g.internal_id(source) };
+        let result = run(&g, &program, &config, &RunContext::unbounded()).unwrap();
+        prop_assert_eq!(result.states, graphalytics_algos::bfs::bfs(&g, source));
+    }
+
+    #[test]
+    fn cd_matches_reference(g in arb_graph(), iterations in 0usize..8) {
+        let program = CdProgram {
+            iterations,
+            hop_attenuation: 0.05,
+            degree_exponent: 0.1,
+        };
+        let result = run(&g, &program, &PregelConfig::default(), &RunContext::unbounded())
+            .unwrap();
+        let labels: Vec<u32> = result.states.iter().map(|s| s.label).collect();
+        prop_assert_eq!(
+            labels,
+            graphalytics_algos::cd::community_detection(&g, iterations, 0.05, 0.1)
+        );
+    }
+
+    #[test]
+    fn pagerank_matches_reference(g in arb_graph(), iterations in 1usize..15) {
+        let program = PageRankProgram { iterations, damping: 0.85 };
+        let result = run(&g, &program, &PregelConfig::default(), &RunContext::unbounded())
+            .unwrap();
+        let expected = graphalytics_algos::pagerank::pagerank(&g, iterations, 0.85);
+        for (a, b) in result.states.iter().zip(&expected) {
+            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn stats_accounting_is_consistent(g in arb_graph(), workers in 1usize..5) {
+        let config = PregelConfig { workers, ..Default::default() };
+        let result = run(&g, &ConnProgram, &config, &RunContext::unbounded()).unwrap();
+        let stats = &result.stats;
+        prop_assert!(stats.messages_remote <= stats.messages_total);
+        prop_assert!(stats.max_worker_messages <= stats.messages_total);
+        prop_assert_eq!(stats.active_per_superstep.len(), stats.supersteps);
+        prop_assert_eq!(
+            stats.active_per_superstep.iter().sum::<usize>(),
+            stats.active_total
+        );
+        if workers == 1 {
+            prop_assert_eq!(stats.messages_remote, 0);
+        }
+        prop_assert!(stats.skew_factor(workers) >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,60 @@
+//! A miniature of the paper's Figure 4/5 experiment: all four platforms,
+//! the full five-kernel workload, three datasets, with failure injection —
+//! then the runtime matrix, the CONN kTEPS table, and a submission to the
+//! local results database.
+//!
+//! ```text
+//! cargo run --release --example platform_comparison
+//! ```
+
+use graphalytics::core::report;
+use graphalytics::core::results::ResultsDb;
+use graphalytics::dataflow::GraphXConfig;
+use graphalytics::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    // Reduced-scale counterparts of the paper's three evaluation graphs.
+    let datasets = vec![
+        Dataset::graph500(11),
+        Dataset::real_world(RealWorldGraph::Patents, 400),
+        Dataset::snb(3_000),
+    ];
+
+    // GraphX gets a deliberately tight executor budget so the biggest
+    // dataset fails on it, as in the paper.
+    let mut platforms: Vec<Box<dyn Platform>> = vec![
+        Box::new(GiraphPlatform::with_defaults()),
+        Box::new(GraphXPlatform::new(GraphXConfig {
+            partitions: 4,
+            memory_budget: Some(48 << 20),
+        })),
+        Box::new(MapReducePlatform::with_defaults()),
+        Box::new(Neo4jPlatform::with_defaults()),
+    ];
+
+    let suite = BenchmarkSuite::new(
+        datasets,
+        Algorithm::paper_workload(),
+        BenchmarkConfig {
+            timeout: Some(Duration::from_secs(120)),
+            ..Default::default()
+        },
+    );
+    let result = suite.run(&mut platforms);
+
+    for dataset in result.datasets() {
+        println!("{}", report::runtime_matrix(&result, &dataset));
+    }
+    println!("{}", report::kteps_table(&result, "CONN"));
+
+    let (valid, invalid, skipped) = report::validation_counts(&result);
+    println!("validation: {valid} valid, {invalid} invalid, {skipped} skipped (failed cells)");
+
+    // Submit to the local results database (the paper's envisioned public
+    // results store, §2.3).
+    let db_path = std::env::temp_dir().join("graphalytics-results.jsonl");
+    let db = ResultsDb::open(&db_path).expect("open results db");
+    db.submit(&result.runs).expect("submit results");
+    println!("submitted {} run records to {}", result.runs.len(), db_path.display());
+}

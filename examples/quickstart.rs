@@ -1,0 +1,37 @@
+//! Quickstart: generate a graph, benchmark two platforms on the full
+//! five-kernel workload, validate outputs, and print the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use graphalytics::core::report;
+use graphalytics::prelude::*;
+
+fn main() {
+    // 1. Pick datasets. The Datasets database knows the paper's graphs;
+    //    Graph500 scale 10 is a ~1k-vertex/~15k-edge R-MAT graph.
+    let datasets = vec![Dataset::graph500(10), Dataset::snb(1_000)];
+
+    // 2. Pick the workload: the paper's five kernels.
+    let algorithms = Algorithm::paper_workload();
+
+    // 3. Pick platforms. Each one is a full engine implementing the
+    //    Platform API; the harness treats them uniformly.
+    let mut platforms: Vec<Box<dyn Platform>> = vec![
+        Box::new(GiraphPlatform::with_defaults()),
+        Box::new(Neo4jPlatform::with_defaults()),
+    ];
+
+    // 4. Run the benchmark: all algorithms × all datasets × all platforms,
+    //    with output validation against the reference implementations.
+    let suite = BenchmarkSuite::new(datasets, algorithms, BenchmarkConfig::default());
+    let result = suite.run(&mut platforms);
+
+    // 5. Report.
+    println!("{}", report::full_report(&result, "quickstart"));
+
+    let (valid, invalid, skipped) = report::validation_counts(&result);
+    assert_eq!(invalid, 0, "a platform produced a wrong answer!");
+    println!("all {valid} runs validated ({skipped} skipped)");
+}

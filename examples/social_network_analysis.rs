@@ -1,0 +1,89 @@
+//! Social-network analysis end to end: generate an SNB-style network with
+//! Datagen, check which degree-distribution model fits it, steer its
+//! structure with the rewiring post-processor, and mine communities.
+//!
+//! This is the workload the paper's §2.2 motivates: benchmark users
+//! generating synthetic graphs "to suit the requirements of their
+//! applications".
+//!
+//! ```text
+//! cargo run --release --example social_network_analysis
+//! ```
+
+use graphalytics::algos::cd;
+use graphalytics::datagen::{generate, rewire, DatagenConfig, DegreeDistribution, RewireTargets};
+use graphalytics::graph::{distfit, metrics, CsrGraph};
+
+fn main() {
+    // 1. Generate a 20k-person social network with a power-law degree
+    //    distribution (Zeta, the paper's Figure 1 example).
+    let cfg = DatagenConfig {
+        num_persons: 20_000,
+        seed: 2026,
+        degree_distribution: DegreeDistribution::Zeta(1.7),
+        max_degree: Some(1_000),
+        ..Default::default()
+    };
+    let network = generate(&cfg);
+    let c = metrics::characteristics(&network);
+    println!("generated person-knows-person graph:");
+    println!(
+        "  |V|={} |E|={}  globalCC={:.4}  avgCC={:.4}  assortativity={:+.4}",
+        c.num_vertices, c.num_edges, c.global_cc, c.avg_local_cc, c.assortativity
+    );
+
+    // 2. Fit the observed degree distribution against the four model
+    //    families (§2.2's analysis).
+    let csr = CsrGraph::from_edge_list(&network);
+    let hist = metrics::degree_histogram(&csr);
+    println!("\ndegree-distribution model fits (best first):");
+    for fit in distfit::fit_all(&hist) {
+        println!(
+            "  {:<10} {:?}  logL={:.0}",
+            fit.model.name(),
+            fit.model,
+            fit.log_likelihood
+        );
+    }
+
+    // 3. Steer the structure: push clustering down and flip assortativity,
+    //    preserving every vertex's degree (§2.2's post-processing step).
+    let targets = RewireTargets {
+        global_cc: Some(c.global_cc / 2.0),
+        assortativity: Some(-c.assortativity),
+    };
+    let (rewired, report) = rewire(&network, &targets, 7, 200_000);
+    let c2 = metrics::characteristics(&rewired);
+    println!(
+        "\nafter rewiring ({} proposals, {} accepted):",
+        report.proposed, report.accepted
+    );
+    println!(
+        "  globalCC {:.4} -> {:.4} (target {:.4})",
+        c.global_cc,
+        c2.global_cc,
+        targets.global_cc.unwrap()
+    );
+    println!(
+        "  assortativity {:+.4} -> {:+.4} (target {:+.4})",
+        c.assortativity,
+        c2.assortativity,
+        targets.assortativity.unwrap()
+    );
+
+    // 4. Mine communities on the original network with the CD kernel and
+    //    judge the partition by modularity.
+    let labels = cd::community_detection(&csr, 10, 0.05, 0.1);
+    let mut sizes: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for &l in &labels {
+        *sizes.entry(l).or_default() += 1;
+    }
+    let mut by_size: Vec<usize> = sizes.values().copied().collect();
+    by_size.sort_unstable_by(|a, b| b.cmp(a));
+    println!(
+        "\ncommunity detection: {} communities, largest {:?}, modularity {:.4}",
+        sizes.len(),
+        &by_size[..by_size.len().min(5)],
+        cd::modularity(&csr, &labels)
+    );
+}

@@ -1,0 +1,97 @@
+//! The §2.3 user workflow end to end, programmatically: parse a
+//! properties-file specification, run the suite it describes, and render
+//! every report format.
+
+use graphalytics::core::config::BenchmarkSpec;
+use graphalytics::core::{html, report};
+use graphalytics::prelude::*;
+
+const CONFIG: &str = r"
+# add graphs / choose the workload (paper §2.3)
+graphs = graph500-8, wikipedia-800
+algorithms = stats, bfs:2, conn
+platforms = giraph, neo4j
+repetitions = 2
+timeout_secs = 30
+validate = true
+";
+
+fn run_spec(spec: &BenchmarkSpec) -> SuiteResult {
+    let mut platforms: Vec<Box<dyn Platform>> = spec
+        .platforms
+        .iter()
+        .map(|name| -> Box<dyn Platform> {
+            match name.as_str() {
+                "giraph" => Box::new(GiraphPlatform::with_defaults()),
+                "neo4j" => Box::new(Neo4jPlatform::with_defaults()),
+                other => panic!("test config names unexpected platform {other}"),
+            }
+        })
+        .collect();
+    BenchmarkSuite::new(
+        spec.datasets.clone(),
+        spec.algorithms.clone(),
+        spec.config.clone(),
+    )
+    .run(&mut platforms)
+}
+
+#[test]
+fn properties_file_to_reports() {
+    let spec = BenchmarkSpec::parse(CONFIG).expect("parse");
+    assert_eq!(spec.datasets.len(), 2);
+    assert_eq!(spec.platforms, vec!["giraph", "neo4j"]);
+    let result = run_spec(&spec);
+    assert_eq!(result.runs.len(), 2 * 2 * 3);
+    let (valid, invalid, skipped) = report::validation_counts(&result);
+    assert_eq!((valid, invalid, skipped), (12, 0, 0));
+
+    // Every run used the configured repetition count.
+    assert!(result
+        .runs
+        .iter()
+        .all(|r| r.repetition_seconds.len() == 2));
+
+    // Text report names both datasets; HTML is well formed and marks all
+    // cells ok.
+    let text = report::full_report(&result, "workflow");
+    assert!(text.contains("Graph500 8"));
+    assert!(text.contains("Wikipedia"));
+    let html = html::html_report(&result, "workflow");
+    assert!(html.contains("class=\"ok\""));
+    assert!(!html.contains("class=\"fail\""));
+    assert_eq!(
+        html.matches("<table>").count(),
+        html.matches("</table>").count()
+    );
+
+    // JSON document parses back and carries one entry per run.
+    let json = report::result_to_json(&result, "workflow");
+    let parsed = graphalytics::core::json::parse(&json.to_string_compact()).expect("json");
+    match parsed.get("runs") {
+        Some(graphalytics::core::json::Json::Arr(runs)) => assert_eq!(runs.len(), 12),
+        other => panic!("runs missing: {other:?}"),
+    }
+}
+
+#[test]
+fn config_defaults_run_the_paper_workload() {
+    let spec = BenchmarkSpec::parse("graphs = graph500-7\nplatforms = giraph").expect("parse");
+    let names: Vec<&str> = spec.algorithms.iter().map(|a| a.name()).collect();
+    assert_eq!(names, vec!["STATS", "BFS", "CONN", "CD", "EVO"]);
+    let result = run_spec(&spec);
+    assert!(result.runs.iter().all(|r| r.validation.is_valid()));
+}
+
+#[test]
+fn spec_validation_can_be_disabled() {
+    let spec =
+        BenchmarkSpec::parse("graphs = graph500-7\nplatforms = giraph\nvalidate = false")
+            .expect("parse");
+    let result = run_spec(&spec);
+    assert!(result
+        .runs
+        .iter()
+        .all(|r| r.validation == Validation::Skipped));
+    assert!(result.runs.iter().all(|r| r.status.is_success()));
+}

@@ -1,0 +1,149 @@
+//! Cross-platform output equivalence: every platform must produce outputs
+//! equivalent to the reference implementation for every workload kernel on
+//! a spread of graph shapes — the Output Validator contract end to end.
+
+use graphalytics::prelude::*;
+use graphalytics_algos::reference;
+use std::sync::Arc;
+
+fn platforms() -> Vec<Box<dyn Platform>> {
+    vec![
+        Box::new(GiraphPlatform::with_defaults()),
+        Box::new(GraphXPlatform::with_defaults()),
+        Box::new(MapReducePlatform::with_defaults()),
+        Box::new(Neo4jPlatform::with_defaults()),
+    ]
+}
+
+fn graphs() -> Vec<(&'static str, Arc<CsrGraph>)> {
+    let mut out = Vec::new();
+    // A small Graph500 R-MAT graph (skewed degrees, one giant component).
+    out.push((
+        "graph500-7",
+        Dataset::graph500(7).load().expect("generate"),
+    ));
+    // A Datagen social graph (community structure).
+    out.push(("snb-300", Dataset::snb(300).load().expect("generate")));
+    // A disconnected structured graph.
+    let mut edges = vec![];
+    for base in [0u64, 20, 40] {
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                if (i + j) % 3 != 0 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+    }
+    out.push((
+        "three-clusters",
+        Arc::new(CsrGraph::from_edge_list(
+            &EdgeListGraph::undirected_from_edges(edges),
+        )),
+    ));
+    // A path (worst case for iterative convergence).
+    out.push((
+        "path-64",
+        Arc::new(CsrGraph::from_edge_list(
+            &EdgeListGraph::undirected_from_edges((0..64).map(|i| (i, i + 1)).collect()),
+        )),
+    ));
+    out
+}
+
+#[test]
+fn every_platform_matches_reference_on_every_kernel() {
+    let ctx = RunContext::unbounded();
+    for (graph_name, graph) in graphs() {
+        let mut algorithms = Algorithm::paper_workload();
+        algorithms.push(Algorithm::default_pagerank());
+        // Also BFS from a non-zero seed.
+        algorithms.push(Algorithm::Bfs { source: 3 });
+        for platform in platforms().iter_mut() {
+            let handle = platform
+                .load_graph(&graph)
+                .unwrap_or_else(|e| panic!("{} load {graph_name}: {e}", platform.name()));
+            for alg in &algorithms {
+                let out = platform
+                    .run(handle, alg, &ctx)
+                    .unwrap_or_else(|e| panic!("{} {graph_name} {alg:?}: {e}", platform.name()));
+                let expected = reference(&graph, alg);
+                assert!(
+                    expected.equivalent(&out),
+                    "{} diverges on {graph_name}/{}: expected {} got {}",
+                    platform.name(),
+                    alg.name(),
+                    expected.summary(),
+                    out.summary()
+                );
+            }
+            platform.unload(handle);
+        }
+    }
+}
+
+#[test]
+fn virtuoso_bfs_matches_reference() {
+    let ctx = RunContext::unbounded();
+    for (graph_name, graph) in graphs() {
+        let mut platform = VirtuosoPlatform::with_defaults();
+        let handle = platform.load_graph(&graph).expect("load");
+        for source in [0u64, 3] {
+            let alg = Algorithm::Bfs { source };
+            let out = platform.run(handle, &alg, &ctx).expect("run");
+            assert!(
+                reference(&graph, &alg).equivalent(&out),
+                "virtuoso diverges on {graph_name} from {source}"
+            );
+        }
+    }
+}
+
+#[test]
+fn platforms_agree_with_each_other_exactly_on_deterministic_kernels() {
+    // CD and EVO have fully deterministic specs: outputs must be
+    // *identical* across platforms, not merely equivalent.
+    let ctx = RunContext::unbounded();
+    let graph = Dataset::snb(200).load().expect("generate");
+    let deterministic = [Algorithm::default_cd(), Algorithm::default_evo()];
+    let mut outputs: Vec<Vec<Output>> = Vec::new();
+    for platform in platforms().iter_mut() {
+        let handle = platform.load_graph(&graph).expect("load");
+        let outs: Vec<Output> = deterministic
+            .iter()
+            .map(|alg| platform.run(handle, alg, &ctx).expect("run"))
+            .collect();
+        outputs.push(outs);
+    }
+    for pair in outputs.windows(2) {
+        assert_eq!(pair[0], pair[1]);
+    }
+}
+
+#[test]
+fn empty_and_singleton_graphs_do_not_break_platforms() {
+    let ctx = RunContext::unbounded();
+    let empty = Arc::new(CsrGraph::from_edge_list(
+        &EdgeListGraph::undirected_from_edges(vec![]),
+    ));
+    let singleton = Arc::new(CsrGraph::from_edge_list(&EdgeListGraph::new(
+        vec![5],
+        vec![],
+        false,
+    )));
+    for graph in [empty, singleton] {
+        for platform in platforms().iter_mut() {
+            let handle = platform.load_graph(&graph).expect("load");
+            for alg in Algorithm::paper_workload() {
+                let out = platform
+                    .run(handle, &alg, &ctx)
+                    .unwrap_or_else(|e| panic!("{} {alg:?}: {e}", platform.name()));
+                assert!(
+                    reference(&graph, &alg).equivalent(&out),
+                    "{} {alg:?}",
+                    platform.name()
+                );
+            }
+        }
+    }
+}

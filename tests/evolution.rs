@@ -1,0 +1,104 @@
+//! EVO semantics end to end: the forest-fire model must reproduce the
+//! phenomena it was proposed for (Leskovec et al., the paper's [11]) —
+//! densification and non-growing (effective) diameter — and its outputs
+//! must compose with the rest of the toolchain.
+
+use graphalytics::algos::evo;
+use graphalytics::graph::diameter;
+use graphalytics::prelude::*;
+
+fn base_graph() -> (EdgeListGraph, CsrGraph) {
+    let el = graphalytics::datagen::generate(&graphalytics::datagen::DatagenConfig {
+        num_persons: 1_500,
+        seed: 55,
+        degree_distribution: DegreeDistribution::Geometric(0.15),
+        ..Default::default()
+    });
+    let csr = CsrGraph::from_edge_list(&el);
+    (el, csr)
+}
+
+/// Applies the EVO predictions to the graph, producing the evolved graph.
+fn apply_evolution(el: &EdgeListGraph, new_edges: &[(u64, u64)]) -> EdgeListGraph {
+    let mut edges: Vec<(u64, u64)> = el.edges().to_vec();
+    edges.extend_from_slice(new_edges);
+    EdgeListGraph::new(el.vertices().to_vec(), edges, false)
+}
+
+#[test]
+fn forest_fire_densifies() {
+    let (el, csr) = base_graph();
+    let new_edges = evo::forest_fire(&csr, 300, 0.55, 64, 99);
+    // Densification: mean degree of *new* vertices exceeds 1 (they attach
+    // to whole burned neighborhoods, not single vertices).
+    let mean_new = evo::mean_new_degree(&new_edges, 300);
+    assert!(mean_new > 1.5, "mean new degree {mean_new}");
+    // And the evolved graph's overall mean degree grows.
+    let evolved = apply_evolution(&el, &new_edges);
+    let before = 2.0 * el.num_edges() as f64 / el.num_vertices() as f64;
+    let after = 2.0 * evolved.num_edges() as f64 / evolved.num_vertices() as f64;
+    assert!(
+        after > before * 0.95,
+        "evolution should not thin the graph: {before} -> {after}"
+    );
+}
+
+#[test]
+fn forest_fire_does_not_blow_up_the_diameter() {
+    let (el, csr) = base_graph();
+    let before = diameter::sample_distances(&csr, 30, 7).effective_diameter(0.9);
+    let new_edges = evo::forest_fire(&csr, 400, 0.5, 64, 3);
+    let evolved = CsrGraph::from_edge_list(&apply_evolution(&el, &new_edges));
+    let after = diameter::sample_distances(&evolved, 30, 7).effective_diameter(0.9);
+    // Leskovec's observation: graphs densify and diameters shrink or
+    // stabilize; 25% new vertices must not stretch the 90% diameter by
+    // more than one hop.
+    assert!(
+        after <= before + 1.0,
+        "effective diameter grew {before} -> {after}"
+    );
+}
+
+#[test]
+fn evolution_output_is_loadable_as_a_graph() {
+    let (el, csr) = base_graph();
+    let new_edges = evo::forest_fire(&csr, 50, 0.4, 32, 21);
+    let evolved = apply_evolution(&el, &new_edges);
+    evolved.validate().expect("evolved graph well-formed");
+    // New vertices exist and are connected.
+    assert_eq!(
+        evolved.num_vertices(),
+        el.num_vertices() + 50,
+        "every new vertex appears"
+    );
+    let evolved_csr = CsrGraph::from_edge_list(&evolved);
+    for k in 0..50u64 {
+        let id = 1_500 + k;
+        let internal = evolved_csr.internal_id(id).expect("new vertex present");
+        assert!(evolved_csr.degree(internal) >= 1);
+    }
+}
+
+#[test]
+fn all_platforms_predict_identical_evolution() {
+    let (_, csr) = base_graph();
+    let alg = Algorithm::Evo {
+        new_vertices: 80,
+        p_forward: 0.45,
+        max_burst: 48,
+        seed: 1234,
+    };
+    let ctx = RunContext::unbounded();
+    let expected = graphalytics::algos::reference(&csr, &alg);
+    let mut platforms: Vec<Box<dyn Platform>> = vec![
+        Box::new(GiraphPlatform::with_defaults()),
+        Box::new(GraphXPlatform::with_defaults()),
+        Box::new(MapReducePlatform::with_defaults()),
+        Box::new(Neo4jPlatform::with_defaults()),
+    ];
+    for platform in platforms.iter_mut() {
+        let handle = platform.load_graph(&csr).expect("load");
+        let out = platform.run(handle, &alg, &ctx).expect("run");
+        assert_eq!(out, expected, "{} diverges", platform.name());
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests over the core invariants of the suite, using
+//! randomly generated graphs and parameters.
+
+use graphalytics::prelude::*;
+use graphalytics_algos::{bfs, conn, pagerank, reference};
+use graphalytics_datagen::{rewire, RewireTargets};
+use graphalytics_graph::{metrics, partition, partition::Partitioner};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: an arbitrary small undirected graph as an edge list.
+fn arb_graph() -> impl Strategy<Value = EdgeListGraph> {
+    (2u64..40, proptest::collection::vec((0u64..40, 0u64..40), 0..120)).prop_map(
+        |(n, raw_edges)| {
+            let edges: Vec<(u64, u64)> = raw_edges
+                .into_iter()
+                .map(|(a, b)| (a % n, b % n))
+                .collect();
+            EdgeListGraph::new((0..n).collect(), edges, false)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_round_trips_edge_lists(g in arb_graph()) {
+        let csr = CsrGraph::from_edge_list(&g);
+        prop_assert_eq!(csr.to_edge_list(), g);
+        csr.validate().unwrap();
+    }
+
+    #[test]
+    fn bfs_depths_are_shortest_paths(g in arb_graph(), source in 0u64..40) {
+        let csr = CsrGraph::from_edge_list(&g);
+        let depths = bfs::bfs(&csr, source);
+        // Triangle inequality on every edge: |d(u) - d(v)| <= 1 when both
+        // reached; an edge from a reached to an unreached vertex is
+        // impossible.
+        for v in 0..csr.num_vertices() as u32 {
+            for &u in csr.neighbors(v) {
+                let (dv, du) = (depths[v as usize], depths[u as usize]);
+                match (dv >= 0, du >= 0) {
+                    (true, true) => prop_assert!((dv - du).abs() <= 1),
+                    (true, false) | (false, true) => {
+                        prop_assert!(false, "reached/unreached edge {v}-{u}")
+                    }
+                    (false, false) => {}
+                }
+            }
+        }
+        // The source (when present) has depth 0 and is the only depth-0.
+        if let Some(s) = csr.internal_id(source) {
+            prop_assert_eq!(depths[s as usize], 0);
+            prop_assert_eq!(depths.iter().filter(|&&d| d == 0).count(), 1);
+        }
+    }
+
+    #[test]
+    fn conn_bfs_equals_union_find(g in arb_graph()) {
+        let csr = CsrGraph::from_edge_list(&g);
+        prop_assert_eq!(
+            conn::connected_components(&csr),
+            conn::connected_components_unionfind(&csr)
+        );
+    }
+
+    #[test]
+    fn pagerank_conserves_mass(g in arb_graph(), iters in 1usize..30) {
+        let csr = CsrGraph::from_edge_list(&g);
+        if csr.num_vertices() == 0 {
+            return Ok(());
+        }
+        let ranks = pagerank::pagerank(&csr, iters, 0.85);
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+        prop_assert!(ranks.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn rewiring_preserves_degree_sequence(g in arb_graph(), seed in 0u64..1000) {
+        let csr = CsrGraph::from_edge_list(&g);
+        let mut before = csr.degrees();
+        before.sort_unstable();
+        let (out, _) = rewire(
+            &g,
+            &RewireTargets { global_cc: Some(0.2), assortativity: Some(0.0) },
+            seed,
+            2_000,
+        );
+        let mut after = CsrGraph::from_edge_list(&out).degrees();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn partitioners_cover_and_balance(g in arb_graph(), k in 1usize..6) {
+        let csr = CsrGraph::from_edge_list(&g);
+        for p in [
+            &partition::HashPartitioner as &dyn Partitioner,
+            &partition::RangePartitioner,
+            &partition::LdgPartitioner,
+        ] {
+            let a = p.partition(&csr, k);
+            prop_assert_eq!(a.len(), csr.num_vertices());
+            prop_assert!(a.iter().all(|&x| (x as usize) < k), "{}", p.name());
+            let cut = partition::edge_cut(&csr, &a);
+            prop_assert!(cut <= csr.num_edges());
+            // LDG uses strict capacity: imbalance bounded by ceil(n/k)/avg.
+            if p.name() == "ldg" && !a.is_empty() {
+                let imb = partition::load_imbalance(&a, k);
+                let n = csr.num_vertices() as f64;
+                let bound = (n / k as f64).ceil() / (n / k as f64) + 1e-9;
+                prop_assert!(imb <= bound, "imb={imb} bound={bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn characteristics_are_well_defined(g in arb_graph()) {
+        let c = metrics::characteristics(&g);
+        prop_assert!((0.0..=1.0).contains(&c.global_cc));
+        prop_assert!((0.0..=1.0).contains(&c.avg_local_cc));
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c.assortativity));
+        prop_assert_eq!(c.num_vertices, g.num_vertices());
+        prop_assert_eq!(c.num_edges, g.num_edges());
+    }
+
+    #[test]
+    fn stats_output_consistent_across_platforms(g in arb_graph()) {
+        let csr = Arc::new(CsrGraph::from_edge_list(&g));
+        let expected = reference(&csr, &Algorithm::Stats);
+        let ctx = RunContext::unbounded();
+        let mut giraph = GiraphPlatform::with_defaults();
+        let h = giraph.load_graph(&csr).unwrap();
+        let out = giraph.run(h, &Algorithm::Stats, &ctx).unwrap();
+        prop_assert!(expected.equivalent(&out));
+    }
+
+    #[test]
+    fn evo_produces_fresh_sorted_unique_edges(
+        g in arb_graph(),
+        new_vertices in 0usize..20,
+        seed in 0u64..500,
+    ) {
+        let csr = CsrGraph::from_edge_list(&g);
+        let edges = graphalytics_algos::evo::forest_fire(&csr, new_vertices, 0.4, 16, seed);
+        prop_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        let max_existing = g.vertices().last().copied().unwrap_or(0);
+        for &(src, dst) in &edges {
+            prop_assert!(g.contains_vertex(src));
+            prop_assert!(dst > max_existing);
+        }
+        if csr.num_vertices() > 0 {
+            // Every new vertex burns at least its ambassador.
+            let distinct: std::collections::HashSet<u64> =
+                edges.iter().map(|&(_, d)| d).collect();
+            prop_assert_eq!(distinct.len(), new_vertices);
+        }
+    }
+
+    #[test]
+    fn json_round_trips_arbitrary_strings(s in ".{0,80}") {
+        use graphalytics_core::json::{parse, Json};
+        let doc = Json::obj([("text", Json::from(s.clone()))]);
+        let parsed = parse(&doc.to_string_compact()).expect("parse");
+        prop_assert_eq!(parsed.get("text").and_then(Json::as_str), Some(s.as_str()));
+    }
+}
