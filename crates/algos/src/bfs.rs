@@ -2,7 +2,7 @@
 //! vertex, visiting first all the neighbors of a vertex before moving to the
 //! neighbors of the neighbors" (paper §3.2).
 
-use graphalytics_graph::{CsrGraph, Vid, VertexId};
+use graphalytics_graph::{CsrGraph, VertexId, Vid};
 use std::collections::VecDeque;
 
 /// Depth of every vertex from `source` (an external id); `-1` when
@@ -88,7 +88,10 @@ mod tests {
     #[test]
     fn depths_are_shortest_paths() {
         // Diamond: two paths of length 2 from 0 to 3, plus a long detour.
-        let g = csr(vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 0)], false);
+        let g = csr(
+            vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 0)],
+            false,
+        );
         let d = bfs(&g, 0);
         assert_eq!(d[3], 2);
         assert_eq!(d[5], 1); // Via the 5-0 edge.

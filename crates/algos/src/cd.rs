@@ -50,8 +50,7 @@ pub fn community_detection(
             weight.clear();
             for &u in neigh {
                 let lu = labels[u as usize];
-                let influence =
-                    scores[u as usize] * (g.degree(u) as f64).powf(degree_exponent);
+                let influence = scores[u as usize] * (g.degree(u) as f64).powf(degree_exponent);
                 let entry = weight.entry(lu).or_insert((Vec::new(), 0.0));
                 entry.0.push(influence);
                 entry.1 = entry.1.max(scores[u as usize]);

@@ -91,7 +91,9 @@ pub fn connected_components_unionfind(g: &CsrGraph) -> Vec<u32> {
         let r = uf.find(v) as usize;
         min_of_root[r] = min_of_root[r].min(v);
     }
-    (0..n as u32).map(|v| min_of_root[uf.find(v) as usize]).collect()
+    (0..n as u32)
+        .map(|v| min_of_root[uf.find(v) as usize])
+        .collect()
 }
 
 /// Sizes of all components, descending — used for report summaries.
@@ -130,10 +132,7 @@ mod tests {
     fn directed_uses_weak_connectivity() {
         // 0 -> 1, 2 -> 1: weakly one component despite no directed path
         // between 0 and 2.
-        let g = CsrGraph::from_edge_list(&EdgeListGraph::directed_from_edges(vec![
-            (0, 1),
-            (2, 1),
-        ]));
+        let g = CsrGraph::from_edge_list(&EdgeListGraph::directed_from_edges(vec![(0, 1), (2, 1)]));
         assert_eq!(connected_components(&g), vec![0, 0, 0]);
     }
 

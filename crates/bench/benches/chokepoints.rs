@@ -68,7 +68,9 @@ fn network_partitioning(c: &mut Criterion) {
             partitioner: kind,
             ..Default::default()
         };
-        let stats = pregel_run(&g, &ConnProgram, &config, &ctx).expect("run").stats;
+        let stats = pregel_run(&g, &ConnProgram, &config, &ctx)
+            .expect("run")
+            .stats;
         println!(
             "[chokepoint:network] CONN remote messages with {kind:?}: {} of {}",
             stats.messages_remote, stats.messages_total
@@ -77,7 +79,12 @@ fn network_partitioning(c: &mut Criterion) {
             BenchmarkId::new("conn", format!("{kind:?}")),
             &config,
             |b, config| {
-                b.iter(|| pregel_run(&g, &ConnProgram, config, &ctx).expect("run").stats.supersteps)
+                b.iter(|| {
+                    pregel_run(&g, &ConnProgram, config, &ctx)
+                        .expect("run")
+                        .stats
+                        .supersteps
+                })
             },
         );
     }
@@ -185,7 +192,9 @@ fn execution_skew(c: &mut Criterion) {
         ..Default::default()
     };
     for (name, g) in [("skewed_rmat", &skewed), ("regular_grid", &regular)] {
-        let stats = pregel_run(g, &ConnProgram, &config, &ctx).expect("run").stats;
+        let stats = pregel_run(g, &ConnProgram, &config, &ctx)
+            .expect("run")
+            .stats;
         let tail = stats
             .active_per_superstep
             .iter()
@@ -202,10 +211,20 @@ fn execution_skew(c: &mut Criterion) {
     let mut group = c.benchmark_group("chokepoint_skew");
     group.sample_size(10);
     group.bench_function("conn_skewed", |b| {
-        b.iter(|| pregel_run(&skewed, &ConnProgram, &config, &ctx).expect("run").stats.supersteps)
+        b.iter(|| {
+            pregel_run(&skewed, &ConnProgram, &config, &ctx)
+                .expect("run")
+                .stats
+                .supersteps
+        })
     });
     group.bench_function("conn_regular", |b| {
-        b.iter(|| pregel_run(&regular, &ConnProgram, &config, &ctx).expect("run").stats.supersteps)
+        b.iter(|| {
+            pregel_run(&regular, &ConnProgram, &config, &ctx)
+                .expect("run")
+                .stats
+                .supersteps
+        })
     });
     group.finish();
 }

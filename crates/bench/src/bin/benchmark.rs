@@ -2,18 +2,21 @@
 //! triggers the execution of the benchmark" (§2.3), as a CLI:
 //!
 //! ```text
-//! cargo run --release -p graphalytics-bench --bin benchmark -- run.properties
+//! cargo run --release -p graphalytics-bench --bin benchmark -- \
+//!     [--trace-out trace.jsonl] run.properties
 //! ```
 //!
 //! The properties file selects graphs, algorithms, platforms, timeout, and
 //! repetitions (see `graphalytics_core::config`). "After the execution
 //! completes, the benchmark report is available in the local file system":
 //! the report is printed and written next to the configuration, and the
-//! run records are appended to the results database.
+//! run records are appended to the results database. With `--trace-out`,
+//! the run is traced: spans and metrics are exported as JSONL to the given
+//! path, and a Prometheus text rendering to `<path>.prom`.
 
 use graphalytics_core::config::BenchmarkSpec;
 use graphalytics_core::results::ResultsDb;
-use graphalytics_core::{report, BenchmarkSuite, Platform, ReferencePlatform};
+use graphalytics_core::{report, BenchmarkSuite, Platform, ReferencePlatform, Tracer};
 use graphalytics_dataflow::{GraphXConfig, GraphXPlatform};
 use graphalytics_graphdb::{Neo4jConfig, Neo4jPlatform};
 use graphalytics_mapreduce::MapReducePlatform;
@@ -23,16 +26,12 @@ fn build_platform(name: &str, spec: &BenchmarkSpec) -> Result<Box<dyn Platform>,
     match name {
         "giraph" => Ok(Box::new(GiraphPlatform::new(PregelConfig {
             workers: spec.property_usize("giraph.workers").unwrap_or(4),
-            memory_budget: spec
-                .property_usize("giraph.memory_mb")
-                .map(|mb| mb << 20),
+            memory_budget: spec.property_usize("giraph.memory_mb").map(|mb| mb << 20),
             ..Default::default()
         }))),
         "graphx" => Ok(Box::new(GraphXPlatform::new(GraphXConfig {
             partitions: spec.property_usize("graphx.partitions").unwrap_or(4),
-            memory_budget: spec
-                .property_usize("graphx.memory_mb")
-                .map(|mb| mb << 20),
+            memory_budget: spec.property_usize("graphx.memory_mb").map(|mb| mb << 20),
         }))),
         "mapreduce" | "hadoop" => Ok(Box::new(MapReducePlatform::with_defaults())),
         "neo4j" => Ok(Box::new(Neo4jPlatform::new(Neo4jConfig {
@@ -52,9 +51,26 @@ fn build_platform(name: &str, spec: &BenchmarkSpec) -> Result<Box<dyn Platform>,
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(config_path) = args.get(1) else {
-        eprintln!("usage: benchmark <run.properties>");
+    let mut trace_out: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace-out" {
+            match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+            trace_out = Some(path.to_string());
+        } else {
+            positional.push(arg);
+        }
+    }
+    let Some(config_path) = positional.first() else {
+        eprintln!("usage: benchmark [--trace-out <trace.jsonl>] <run.properties>");
         eprintln!("see graphalytics_core::config for the file format");
         std::process::exit(2);
     };
@@ -104,9 +120,17 @@ fn main() {
         spec.algorithms.clone(),
         spec.config.clone(),
     );
-    let result = suite.run(&mut platforms);
+    // Tracing is only paid for when requested: a disabled tracer makes
+    // every span/metric call a no-op.
+    let tracer = std::sync::Arc::new(if trace_out.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    });
+    let result = suite.run_traced(&mut platforms, &tracer);
 
     let title = config_path.as_str();
+    let report_span = tracer.span("suite.report");
     let text_report = report::full_report(&result, title);
     println!("{text_report}");
 
@@ -137,6 +161,21 @@ fn main() {
             }
         }
         Err(e) => eprintln!("warning: could not open results db {db_path}: {e}"),
+    }
+    drop(report_span);
+
+    if let Some(trace_path) = &trace_out {
+        if let Err(e) = std::fs::write(trace_path, tracer.export_jsonl()) {
+            eprintln!("warning: could not write {trace_path}: {e}");
+        } else {
+            eprintln!("trace written to {trace_path}");
+        }
+        let prom_path = format!("{trace_path}.prom");
+        if let Err(e) = std::fs::write(&prom_path, tracer.metrics().render_prometheus()) {
+            eprintln!("warning: could not write {prom_path}: {e}");
+        } else {
+            eprintln!("metrics written to {prom_path}");
+        }
     }
 
     let (_, invalid, _) = report::validation_counts(&result);

@@ -69,7 +69,9 @@ fn generate_graph(
     match kind {
         "snb" => {
             let distribution = parse_distribution(
-                opts.get("distribution").map(String::as_str).unwrap_or("facebook:16"),
+                opts.get("distribution")
+                    .map(String::as_str)
+                    .unwrap_or("facebook:16"),
             )?;
             let max_degree = get_usize("max_degree", 0);
             let cfg = DatagenConfig {
@@ -113,7 +115,7 @@ fn generate_graph(
                 ));
             };
             let divisor = get_usize("divisor", 40);
-            let (standin, report) = graph.generate_standin(divisor, seed as u64);
+            let (standin, report) = graph.generate_standin(divisor, seed);
             Ok((
                 standin,
                 format!(

@@ -41,10 +41,7 @@ fn series(name: &str, dist: DegreeDistribution, model: DegreeModel, persons: usi
             .find(|&&(d, _)| d == degree)
             .map(|&(_, c)| c)
             .unwrap_or(0);
-        let exp = expected
-            .get(degree - 1)
-            .map(|&(_, e)| e)
-            .unwrap_or(0.0);
+        let exp = expected.get(degree - 1).map(|&(_, e)| e).unwrap_or(0.0);
         rows.push(vec![
             degree.to_string(),
             observed.to_string(),

@@ -68,7 +68,10 @@ fn main() {
     println!("validation: {valid} valid, {invalid} invalid, {skipped} skipped (failed cells)");
     for r in &result.runs {
         if let graphalytics_core::RunStatus::Failed(reason) = &r.status {
-            println!("  failure {}/{}/{}: {reason}", r.platform, r.dataset, r.algorithm);
+            println!(
+                "  failure {}/{}/{}: {reason}",
+                r.platform, r.dataset, r.algorithm
+            );
         }
     }
     assert_eq!(invalid, 0, "output validation failed");

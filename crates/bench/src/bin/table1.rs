@@ -35,17 +35,8 @@ fn main() {
     }
     print_table(
         &[
-            "Dataset",
-            "Nodes(p)",
-            "Edges(p)",
-            "Nodes(m)",
-            "Edges(m)",
-            "GlCC(p)",
-            "GlCC(m)",
-            "AvgCC(p)",
-            "AvgCC(m)",
-            "Asrt(p)",
-            "Asrt(m)",
+            "Dataset", "Nodes(p)", "Edges(p)", "Nodes(m)", "Edges(m)", "GlCC(p)", "GlCC(m)",
+            "AvgCC(p)", "AvgCC(m)", "Asrt(p)", "Asrt(m)",
         ],
         &rows,
     );

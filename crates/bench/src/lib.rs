@@ -57,7 +57,10 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
         println!("{}", line.join("  "));
     };
     print_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    );
     for row in rows {
         print_row(row);
     }

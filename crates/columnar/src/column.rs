@@ -73,7 +73,11 @@ fn pack(values: impl Iterator<Item = u64>, width: u8, len: usize) -> Vec<u64> {
 }
 
 fn unpack(packed: &[u64], width: u8, len: usize, out: &mut Vec<u64>) {
-    let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let mut bit = 0usize;
     for _ in 0..len {
         let word = bit / 64;
@@ -296,7 +300,11 @@ mod tests {
         round_trip(&[42]);
         round_trip(&(0..10_000).collect::<Vec<u64>>()); // Sorted → delta.
         round_trip(&(0..10_000).map(|i| i * 37 % 1000).collect::<Vec<u64>>()); // FOR.
-        round_trip(&(0..5000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect::<Vec<u64>>()); // Plain-ish.
+        round_trip(
+            &(0..5000u64)
+                .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+                .collect::<Vec<u64>>(),
+        ); // Plain-ish.
         round_trip(&vec![7u64; 9000]); // Constant.
     }
 
@@ -322,7 +330,9 @@ mod tests {
 
     #[test]
     fn random_data_does_not_explode() {
-        let values: Vec<u64> = (0..20_000).map(|i: u64| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let values: Vec<u64> = (0..20_000)
+            .map(|i: u64| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
         let c = Column::from_values(&values);
         assert!(c.compressed_bytes() <= c.raw_bytes() + c.num_blocks() * 32);
     }

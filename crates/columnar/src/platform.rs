@@ -61,7 +61,9 @@ impl VirtuosoPlatform {
     }
 
     fn loaded(&self, handle: GraphHandle) -> Result<&LoadedGraph, PlatformError> {
-        self.graphs.get(&handle.0).ok_or(PlatformError::InvalidHandle)
+        self.graphs
+            .get(&handle.0)
+            .ok_or(PlatformError::InvalidHandle)
     }
 
     /// Profile of the most recent transitive execution.
@@ -77,9 +79,8 @@ impl VirtuosoPlatform {
         sql: &str,
         ctx: &RunContext,
     ) -> Result<(usize, TransitiveProfile), PlatformError> {
-        let query = parse_transitive_count(sql).map_err(|e: SqlError| {
-            PlatformError::Unsupported(e.to_string())
-        })?;
+        let query = parse_transitive_count(sql)
+            .map_err(|e: SqlError| PlatformError::Unsupported(e.to_string()))?;
         if query.table != "sp_edge" {
             return Err(PlatformError::Unsupported(format!(
                 "unknown table {}",
@@ -134,20 +135,13 @@ impl Platform for VirtuosoPlatform {
             Algorithm::Bfs { source } => {
                 let loaded = self.loaded(handle)?;
                 let n = loaded.num_vertices;
-                let source_internal = loaded
-                    .external_ids
-                    .iter()
-                    .position(|&e| e == *source);
+                let source_internal = loaded.external_ids.iter().position(|&e| e == *source);
                 let mut depths = vec![-1i64; n];
                 let Some(src) = source_internal else {
                     return Ok(Output::Depths(depths));
                 };
-                let (profile, records) = transitive_closure(
-                    &loaded.table,
-                    src as u64,
-                    self.config.threads,
-                    ctx,
-                )?;
+                let (profile, records) =
+                    transitive_closure(&loaded.table, src as u64, self.config.threads, ctx)?;
                 for (v, d) in records {
                     if (v as usize) < n {
                         depths[v as usize] = d;
@@ -177,13 +171,7 @@ mod tests {
 
     fn test_graph() -> Arc<CsrGraph> {
         Arc::new(CsrGraph::from_edge_list(
-            &EdgeListGraph::undirected_from_edges(vec![
-                (0, 1),
-                (1, 2),
-                (0, 2),
-                (2, 3),
-                (4, 5),
-            ]),
+            &EdgeListGraph::undirected_from_edges(vec![(0, 1), (1, 2), (0, 2), (2, 3), (4, 5)]),
         ))
     }
 

@@ -105,7 +105,11 @@ impl Parser {
 
     fn identifier(&mut self) -> Result<String, SqlError> {
         match self.next() {
-            Some(t) if t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') => {
+            Some(t)
+                if t.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_') =>
+            {
                 Ok(t.to_string())
             }
             Some(t) => Err(SqlError(format!("expected identifier, found {t:?}"))),

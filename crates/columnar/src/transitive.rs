@@ -82,6 +82,8 @@ pub fn transitive_closure(
     ctx: &RunContext,
 ) -> Result<(TransitiveProfile, Vec<DepthRecord>), PlatformError> {
     let p = threads.max(1);
+    let mut op_span = ctx.tracer().span("virtuoso.transitive");
+    op_span.field("source", source as i64).field("threads", p);
     let wall_start = Instant::now();
     let owner = |v: u64| (mix64(v) % p as u64) as usize;
 
@@ -102,6 +104,10 @@ pub fn transitive_closure(
         ctx.check_deadline()?;
         depth += 1;
         profile.rounds += 1;
+        let mut round_span = ctx.tracer().span("virtuoso.round");
+        round_span
+            .field("round", profile.rounds)
+            .field("border", border.iter().map(Vec::len).sum::<usize>());
         // Phase a+b (parallel): column lookups, producing per-destination
         // buffers (the exchange's send side).
         struct PartOut {
@@ -171,7 +177,7 @@ pub fn transitive_closure(
             for (((my_visited, my_depths), (my_border, candidates)), hs) in visited
                 .iter_mut()
                 .zip(depths.iter_mut())
-                .zip(border.iter_mut().zip(incoming.into_iter()))
+                .zip(border.iter_mut().zip(incoming))
                 .zip(hash_seconds.iter_mut())
             {
                 scope.spawn(move |_| {
@@ -194,6 +200,11 @@ pub fn transitive_closure(
     profile.random_lookups = table.lookup_count() - lookups_before;
     profile.reachable = visited.iter().map(FxHashSet::len).sum();
     profile.wall_seconds = wall_start.elapsed().as_secs_f64();
+    op_span
+        .field("reachable", profile.reachable)
+        .field("random_lookups", profile.random_lookups)
+        .field("endpoints_visited", profile.endpoints_visited)
+        .field("rounds", profile.rounds);
     let mut all_depths: Vec<DepthRecord> = depths.into_iter().flatten().collect();
     all_depths.sort_unstable();
     Ok((profile, all_depths))
@@ -216,8 +227,7 @@ mod tests {
     #[test]
     fn reaches_whole_chain_with_correct_depths() {
         let t = chain_table(50);
-        let (profile, depths) =
-            transitive_closure(&t, 0, 4, &RunContext::unbounded()).unwrap();
+        let (profile, depths) = transitive_closure(&t, 0, 4, &RunContext::unbounded()).unwrap();
         assert_eq!(profile.reachable, 51);
         assert_eq!(profile.rounds, 51); // 50 productive + 1 empty-output round.
         let d: std::collections::HashMap<u64, i64> = depths.into_iter().collect();
@@ -242,8 +252,7 @@ mod tests {
         let mut arcs = vec![(0, 1), (1, 0), (5, 6), (6, 5)];
         arcs.sort_unstable();
         let t = EdgeTable::from_arcs(arcs);
-        let (profile, depths) =
-            transitive_closure(&t, 0, 3, &RunContext::unbounded()).unwrap();
+        let (profile, depths) = transitive_closure(&t, 0, 3, &RunContext::unbounded()).unwrap();
         assert_eq!(profile.reachable, 2);
         assert_eq!(depths.len(), 2);
     }
@@ -268,10 +277,40 @@ mod tests {
     }
 
     #[test]
+    fn operator_span_matches_profile() {
+        use graphalytics_core::trace::Tracer;
+        use std::sync::Arc;
+
+        let t = chain_table(20);
+        let tracer = Arc::new(Tracer::new());
+        let ctx = RunContext::unbounded().with_tracer(Arc::clone(&tracer));
+        let (profile, _) = transitive_closure(&t, 0, 2, &ctx).unwrap();
+
+        let spans = tracer.finished_spans();
+        let op = spans
+            .iter()
+            .find(|s| s.name == "virtuoso.transitive")
+            .unwrap();
+        assert_eq!(
+            op.field("reachable").and_then(|f| f.as_i64()),
+            Some(profile.reachable as i64)
+        );
+        assert_eq!(
+            op.field("rounds").and_then(|f| f.as_i64()),
+            Some(profile.rounds as i64)
+        );
+        let rounds: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "virtuoso.round")
+            .collect();
+        assert_eq!(rounds.len(), profile.rounds);
+        assert!(rounds.iter().all(|s| s.parent == Some(op.id)));
+    }
+
+    #[test]
     fn source_not_in_table_is_alone() {
         let t = chain_table(5);
-        let (profile, depths) =
-            transitive_closure(&t, 99, 2, &RunContext::unbounded()).unwrap();
+        let (profile, depths) = transitive_closure(&t, 99, 2, &RunContext::unbounded()).unwrap();
         assert_eq!(profile.reachable, 1);
         assert_eq!(depths, vec![(99, 0)]);
     }

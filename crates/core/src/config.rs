@@ -86,7 +86,10 @@ impl BenchmarkSpec {
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                return Err(err(idx + 1, format!("expected `key = value`, got {line:?}")));
+                return Err(err(
+                    idx + 1,
+                    format!("expected `key = value`, got {line:?}"),
+                ));
             };
             let key = key.trim().to_lowercase();
             if properties
@@ -213,12 +216,18 @@ fn parse_dataset(name: &str) -> Result<Dataset, String> {
             Ok(Dataset::snb(persons))
         }
         "amazon" => Ok(Dataset::real_world(RealWorldGraph::Amazon, param_usize(40))),
-        "youtube" => Ok(Dataset::real_world(RealWorldGraph::Youtube, param_usize(40))),
+        "youtube" => Ok(Dataset::real_world(
+            RealWorldGraph::Youtube,
+            param_usize(40),
+        )),
         "livejournal" => Ok(Dataset::real_world(
             RealWorldGraph::LiveJournal,
             param_usize(40),
         )),
-        "patents" => Ok(Dataset::real_world(RealWorldGraph::Patents, param_usize(40))),
+        "patents" => Ok(Dataset::real_world(
+            RealWorldGraph::Patents,
+            param_usize(40),
+        )),
         "wikipedia" => Ok(Dataset::real_world(
             RealWorldGraph::Wikipedia,
             param_usize(40),
@@ -236,7 +245,10 @@ fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
         "stats" => Ok(Algorithm::Stats),
         "bfs" => {
             let source = param
-                .map(|p| p.parse::<u64>().map_err(|_| format!("bad bfs source {p:?}")))
+                .map(|p| {
+                    p.parse::<u64>()
+                        .map_err(|_| format!("bad bfs source {p:?}"))
+                })
                 .transpose()?
                 .unwrap_or(0);
             Ok(Algorithm::Bfs { source })
@@ -273,7 +285,10 @@ graphx.memory_mb = 11
         assert_eq!(spec.datasets[2].name, "SNB 10000");
         assert_eq!(spec.algorithms.len(), 5);
         assert_eq!(spec.algorithms[1], Algorithm::Bfs { source: 3 });
-        assert_eq!(spec.platforms, vec!["giraph", "graphx", "mapreduce", "neo4j"]);
+        assert_eq!(
+            spec.platforms,
+            vec!["giraph", "graphx", "mapreduce", "neo4j"]
+        );
         assert_eq!(spec.config.repetitions, 2);
         assert_eq!(
             spec.config.timeout,

@@ -131,6 +131,57 @@ pub fn html_report(result: &SuiteResult, title: &str) -> String {
         out.push_str("</table>");
     }
 
+    // Per-run phase timeline: how each run's wall time divides into the
+    // tracer's phases, with the resource peaks sampled alongside.
+    let timed: Vec<_> = result
+        .runs
+        .iter()
+        .filter(|r| !r.timeline.is_empty())
+        .collect();
+    if !timed.is_empty() {
+        let mut phase_names: Vec<String> = Vec::new();
+        for r in &timed {
+            for name in r.timeline.phase_names() {
+                if !phase_names.contains(&name) {
+                    phase_names.push(name);
+                }
+            }
+        }
+        out.push_str(
+            "<table><caption>Per-run phase timeline</caption>\
+             <tr><th>Platform</th><th>Dataset</th><th>Algorithm</th>",
+        );
+        for name in &phase_names {
+            let _ = write!(out, "<th>{} [s]</th>", escape(name));
+        }
+        out.push_str("<th>Wall [s]</th><th>Peak RSS [MiB]</th><th>Avg CPU</th></tr>");
+        for r in &timed {
+            let _ = write!(
+                out,
+                "<tr><td>{}</td><td>{}</td><td>{}</td>",
+                escape(&r.platform),
+                escape(&r.dataset),
+                escape(&r.algorithm)
+            );
+            for name in &phase_names {
+                let secs = r.timeline.phase_seconds(name);
+                if secs > 0.0 {
+                    let _ = write!(out, "<td>{secs:.3}</td>");
+                } else {
+                    out.push_str("<td></td>");
+                }
+            }
+            let _ = write!(
+                out,
+                "<td>{:.3}</td><td>{:.1}</td><td>{:.2}</td></tr>",
+                r.wall_seconds,
+                r.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+                r.avg_cpu_utilization
+            );
+        }
+        out.push_str("</table>");
+    }
+
     let (valid, invalid, skipped) = validation_counts(result);
     let _ = write!(
         out,
@@ -144,6 +195,7 @@ pub fn html_report(result: &SuiteResult, title: &str) -> String {
 mod tests {
     use super::*;
     use crate::runner::{LoadRecord, RunRecord};
+    use crate::trace::RunTimeline;
 
     fn record(platform: &str, alg: &str, status: RunStatus) -> RunRecord {
         let ok = matches!(status, RunStatus::Success);
@@ -163,6 +215,8 @@ mod tests {
             output_summary: String::new(),
             peak_rss_bytes: 0,
             avg_cpu_utilization: 0.0,
+            wall_seconds: 0.0,
+            timeline: RunTimeline::default(),
         }
     }
 
@@ -203,6 +257,30 @@ mod tests {
     }
 
     #[test]
+    fn phase_timeline_table_renders_per_run_breakdown() {
+        let mut result = sample();
+        result.runs[0].wall_seconds = 2.0;
+        result.runs[0].peak_rss_bytes = 3 * 1024 * 1024;
+        result.runs[0].avg_cpu_utilization = 1.25;
+        result.runs[0]
+            .timeline
+            .push(crate::trace::phase::LOAD, 0.0, 0.4);
+        result.runs[0]
+            .timeline
+            .push(crate::trace::phase::EXECUTE, 0.4, 1.5);
+        let html = html_report(&result, "t");
+        assert!(html.contains("Per-run phase timeline"), "{html}");
+        assert!(html.contains("<th>load [s]</th>"), "{html}");
+        assert!(html.contains("<th>execute [s]</th>"), "{html}");
+        assert!(html.contains("<td>0.400</td>"), "{html}");
+        assert!(html.contains("<td>1.500</td>"), "{html}");
+        assert!(html.contains("<td>3.0</td>"), "{html}");
+        assert!(html.contains("<td>1.25</td>"), "{html}");
+        // Runs without a timeline stay out of the table.
+        assert_eq!(html.matches("Per-run phase timeline").count(), 1);
+    }
+
+    #[test]
     fn escape_covers_special_characters() {
         assert_eq!(escape("a<b>&\"c"), "a&lt;b&gt;&amp;&quot;c");
         assert_eq!(escape("plain"), "plain");
@@ -211,7 +289,10 @@ mod tests {
     #[test]
     fn balanced_tags() {
         let html = html_report(&sample(), "t");
-        assert_eq!(html.matches("<table>").count(), html.matches("</table>").count());
+        assert_eq!(
+            html.matches("<table>").count(),
+            html.matches("</table>").count()
+        );
         assert_eq!(html.matches("<tr>").count(), html.matches("</tr>").count());
         let td_open = html.matches("<td").count();
         let td_close = html.matches("</td>").count();

@@ -29,12 +29,7 @@ pub enum Json {
 impl Json {
     /// Convenience object constructor from `(key, value)` pairs.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Inserts into an object; panics on non-objects (programming error).
@@ -322,7 +317,10 @@ mod tests {
         assert!(s.contains("\\n"));
         assert!(s.contains("\\t"));
         assert!(s.contains("\\u0001"));
-        assert_eq!(parse(&s).unwrap(), Json::Str("line1\nline2\ttab\u{1}".into()));
+        assert_eq!(
+            parse(&s).unwrap(),
+            Json::Str("line1\nline2\ttab\u{1}".into())
+        );
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`results`] — the Results database (JSONL submissions);
 //! * [`metrics`] — runtime and TEPS accounting;
 //! * [`quality`] — code-quality reports (§3.5's SonarQube stand-in);
+//! * [`trace`] — structured spans, metrics registry (Prometheus text +
+//!   JSONL export), and per-run phase timelines;
 //! * [`json`] — the minimal JSON model used by reports and results.
 
 pub mod config;
@@ -29,11 +31,13 @@ pub mod reference_platform;
 pub mod report;
 pub mod results;
 pub mod runner;
+pub mod trace;
 pub mod validator;
 
 pub use config::BenchmarkSpec;
 pub use datasets::{Dataset, DatasetRepository, DatasetSpec};
-pub use reference_platform::ReferencePlatform;
 pub use platform::{GraphHandle, Platform, PlatformError, RunContext};
+pub use reference_platform::ReferencePlatform;
 pub use runner::{BenchmarkConfig, BenchmarkSuite, RunRecord, RunStatus, SuiteResult};
+pub use trace::{MetricsRegistry, RunTimeline, Tracer};
 pub use validator::{OutputValidator, Validation};

@@ -61,7 +61,13 @@ impl SystemMonitor {
                     rss_bytes: read_rss_bytes().unwrap_or(0),
                     cpu_seconds: read_cpu_seconds().unwrap_or(0.0),
                 });
-                std::thread::sleep(interval);
+                // Interruptible sleep: stop() joins this thread, so long
+                // sampling intervals must not delay shutdown.
+                let wake = Instant::now() + interval;
+                let quantum = interval.min(Duration::from_millis(5));
+                while Instant::now() < wake && !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(quantum);
+                }
             }
             samples
         });
@@ -73,11 +79,18 @@ impl SystemMonitor {
         }
     }
 
-    /// Stops sampling and aggregates.
+    /// Stops sampling and aggregates. A final sample is taken at stop
+    /// time, so even runs shorter than one sampling interval report a
+    /// non-empty timeline.
     pub fn stop(self) -> MonitorReport {
         self.stop.store(true, Ordering::Relaxed);
-        let samples = self.handle.join().unwrap_or_default();
+        let mut samples = self.handle.join().unwrap_or_default();
         let wall_seconds = self.started.elapsed().as_secs_f64();
+        samples.push(Sample {
+            at_seconds: wall_seconds,
+            rss_bytes: read_rss_bytes().unwrap_or(0),
+            cpu_seconds: read_cpu_seconds().unwrap_or(0.0),
+        });
         let peak_rss_bytes = samples.iter().map(|s| s.rss_bytes).max().unwrap_or(0);
         let cpu_end = read_cpu_seconds().unwrap_or(self.cpu_at_start);
         let cpu_seconds = (cpu_end - self.cpu_at_start).max(0.0);
@@ -95,11 +108,41 @@ impl SystemMonitor {
     }
 }
 
-/// Resident set size from `/proc/self/statm` (page-granular).
+/// Resident set size in bytes. Primary source is `/proc/self/status`'s
+/// `VmRSS:` line, which the kernel reports in kB independent of the page
+/// size; `/proc/self/statm` (page-granular) is the fallback.
 pub fn read_rss_bytes() -> Option<u64> {
+    read_rss_from_status().or_else(read_rss_from_statm)
+}
+
+/// `VmRSS:  1234 kB` from `/proc/self/status` — unit-safe (the kernel
+/// always emits kB here regardless of the architecture's page size).
+fn read_rss_from_status() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vmrss_kb(&status).map(|kb| kb * 1024)
+}
+
+/// Parses the `VmRSS:` value (in kB) out of a `/proc/self/status` body.
+fn parse_vmrss_kb(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let mut parts = line.split_whitespace();
+    let _key = parts.next()?;
+    let value: u64 = parts.next()?.parse().ok()?;
+    match parts.next() {
+        Some("kB") | None => Some(value),
+        Some(_) => None, // Unknown unit; refuse to guess.
+    }
+}
+
+/// Fallback: `/proc/self/statm` field 2 counts pages. There is no
+/// dependency-free way to query the page size, so this assumes the Linux
+/// default of 4 KiB — wrong on 16K/64K-page kernels, which is exactly why
+/// the `VmRSS:` path above is preferred.
+fn read_rss_from_statm() -> Option<u64> {
+    const ASSUMED_PAGE_SIZE: u64 = 4096;
     let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
     let rss_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
-    Some(rss_pages * page_size())
+    Some(rss_pages * ASSUMED_PAGE_SIZE)
 }
 
 /// Cumulative user+system CPU seconds from `/proc/self/stat`.
@@ -111,15 +154,13 @@ pub fn read_cpu_seconds() -> Option<f64> {
     let fields: Vec<&str> = after.split_whitespace().collect();
     let utime: f64 = fields.get(11)?.parse().ok()?;
     let stime: f64 = fields.get(12)?.parse().ok()?;
-    Some((utime + stime) / clock_ticks_per_second())
-}
-
-fn page_size() -> u64 {
-    4096 // Linux default; only used to scale a monitoring statistic.
-}
-
-fn clock_ticks_per_second() -> f64 {
-    100.0 // Linux USER_HZ.
+    // utime/stime are scaled by USER_HZ, which is a kernel *ABI* constant
+    // fixed at 100 on every mainstream Linux architecture (distinct from
+    // the kernel's internal, configurable HZ). Querying it exactly needs
+    // sysconf(_SC_CLK_TCK), i.e. libc — not worth a dependency for a
+    // monitoring statistic, so the assumption stays documented here.
+    const USER_HZ: f64 = 100.0;
+    Some((utime + stime) / USER_HZ)
 }
 
 #[cfg(test)]
@@ -139,7 +180,10 @@ mod tests {
         let report = monitor.stop();
         assert!(!report.samples.is_empty());
         assert!(report.wall_seconds >= 0.05);
-        assert!(report.peak_rss_bytes > 0, "proc should be readable on Linux");
+        assert!(
+            report.peak_rss_bytes > 0,
+            "proc should be readable on Linux"
+        );
         assert!(report.cpu_seconds > 0.0);
         assert!(report.avg_cpu_utilization > 0.1);
     }
@@ -165,5 +209,43 @@ mod tests {
         assert!(rss > 1 << 20, "rss should exceed 1 MiB: {rss}");
         let cpu = read_cpu_seconds().expect("linux /proc");
         assert!(cpu >= 0.0);
+    }
+
+    #[test]
+    fn vmrss_parser_handles_units() {
+        assert_eq!(
+            parse_vmrss_kb("VmPeak:\t 10 kB\nVmRSS:\t 2048 kB\n"),
+            Some(2048)
+        );
+        assert_eq!(parse_vmrss_kb("VmRSS: 7\n"), Some(7));
+        assert_eq!(parse_vmrss_kb("VmRSS: 7 MB\n"), None);
+        assert_eq!(parse_vmrss_kb("VmSize: 7 kB\n"), None);
+        assert_eq!(parse_vmrss_kb(""), None);
+    }
+
+    #[test]
+    fn status_and_statm_roughly_agree() {
+        let status = read_rss_from_status().expect("linux /proc/self/status");
+        let statm = read_rss_from_statm().expect("linux /proc/self/statm");
+        // Both measure the same RSS; allow slack for allocation between
+        // the two reads and for huge-page rounding.
+        let ratio = status as f64 / statm as f64;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "status={status} statm={statm}"
+        );
+    }
+
+    #[test]
+    fn short_runs_still_get_a_final_sample() {
+        // Interval far longer than the monitored window: the sampling
+        // thread contributes its t=0 sample, and stop() must add the
+        // final one so the timeline brackets the run.
+        let monitor = SystemMonitor::start(Duration::from_secs(3600));
+        let report = monitor.stop();
+        assert!(!report.samples.is_empty());
+        let last = report.samples.last().unwrap();
+        assert!(last.rss_bytes > 0);
+        assert!((last.at_seconds - report.wall_seconds).abs() < 0.05);
     }
 }

@@ -8,10 +8,13 @@
 //! is the dataset-loading/ETL step, `run` is the workload-processing
 //! interface, and the harness handles monitoring and reporting around it.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use graphalytics_algos::{Algorithm, Output};
 use graphalytics_graph::CsrGraph;
+
+use crate::trace::Tracer;
 
 /// Opaque handle to a graph loaded into a platform's own storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,17 +57,22 @@ impl std::fmt::Display for PlatformError {
 
 impl std::error::Error for PlatformError {}
 
-/// Per-run context handed to platforms: the cooperative deadline plus
-/// counters the platform reports back for the harness's accounting.
+/// Per-run context handed to platforms: the cooperative deadline plus the
+/// tracer platforms emit spans and metrics into (a disabled tracer when
+/// the harness runs without observability).
 #[derive(Debug, Clone)]
 pub struct RunContext {
     deadline: Option<Instant>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl RunContext {
     /// No deadline.
     pub fn unbounded() -> Self {
-        Self { deadline: None }
+        Self {
+            deadline: None,
+            tracer: None,
+        }
     }
 
     /// A deadline `timeout` from now. Platforms check it between supersteps
@@ -72,7 +80,21 @@ impl RunContext {
     pub fn with_timeout(timeout: Duration) -> Self {
         Self {
             deadline: Some(Instant::now() + timeout),
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer; platform spans (per-superstep, per-job,
+    /// per-operator) land here.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The tracer to emit spans into (a shared disabled tracer when none
+    /// was attached, so call sites never need to branch).
+    pub fn tracer(&self) -> &Tracer {
+        self.tracer.as_deref().unwrap_or(Tracer::noop())
     }
 
     /// True when the deadline has passed.
@@ -136,6 +158,19 @@ mod tests {
         let open = RunContext::unbounded();
         assert!(!open.expired());
         assert!(open.check_deadline().is_ok());
+    }
+
+    #[test]
+    fn context_tracer_defaults_to_noop() {
+        let ctx = RunContext::unbounded();
+        assert!(!ctx.tracer().enabled());
+        let tracer = Arc::new(Tracer::new());
+        let ctx = RunContext::unbounded().with_tracer(Arc::clone(&tracer));
+        assert!(ctx.tracer().enabled());
+        {
+            let _s = ctx.tracer().span("x");
+        }
+        assert_eq!(tracer.finished_spans().len(), 1);
     }
 
     #[test]

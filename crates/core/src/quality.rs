@@ -132,9 +132,7 @@ pub fn analyze_source(source: &str, metrics: &mut QualityMetrics) {
         }
         // Function headers: `fn name(` — skip mentions in strings/docs by
         // requiring the keyword position.
-        if trimmed.starts_with("fn ")
-            || trimmed.contains(" fn ")
-            || trimmed.starts_with("pub fn ")
+        if trimmed.starts_with("fn ") || trimmed.contains(" fn ") || trimmed.starts_with("pub fn ")
         {
             metrics.functions += 1;
         }

@@ -173,7 +173,11 @@ pub fn full_report(result: &SuiteResult, title: &str) -> String {
     );
     for r in &result.runs {
         if let Validation::Invalid(msg) = &r.validation {
-            let _ = writeln!(out, "INVALID {}/{}/{}: {msg}", r.platform, r.dataset, r.algorithm);
+            let _ = writeln!(
+                out,
+                "INVALID {}/{}/{}: {msg}",
+                r.platform, r.dataset, r.algorithm
+            );
         }
     }
     out
@@ -212,7 +216,12 @@ pub fn record_to_json(r: &RunRecord) -> Json {
         ),
         (
             "repetitions",
-            Json::Arr(r.repetition_seconds.iter().map(|&t| Json::from(t)).collect()),
+            Json::Arr(
+                r.repetition_seconds
+                    .iter()
+                    .map(|&t| Json::from(t))
+                    .collect(),
+            ),
         ),
         ("teps", r.teps.map(Json::from).unwrap_or(Json::Null)),
         (
@@ -226,6 +235,8 @@ pub fn record_to_json(r: &RunRecord) -> Json {
         ("output", Json::from(r.output_summary.clone())),
         ("peak_rss_bytes", Json::from(r.peak_rss_bytes as usize)),
         ("avg_cpu_utilization", Json::from(r.avg_cpu_utilization)),
+        ("wall_seconds", Json::from(r.wall_seconds)),
+        ("phases", r.timeline.to_json()),
     ])
 }
 
@@ -286,6 +297,15 @@ mod tests {
             output_summary: "ok".into(),
             peak_rss_bytes: 1024,
             avg_cpu_utilization: 1.5,
+            wall_seconds: if success { 13.0 } else { 0.0 },
+            timeline: {
+                let mut t = crate::trace::RunTimeline::default();
+                if success {
+                    t.push(crate::trace::phase::EXECUTE, 0.0, 12.34);
+                    t.push(crate::trace::phase::VALIDATE, 12.34, 0.1);
+                }
+                t
+            },
         }
     }
 
@@ -348,6 +368,19 @@ mod tests {
         let back = crate::json::parse(&text).unwrap();
         assert_eq!(back, doc);
         assert_eq!(back.get("title").unwrap().as_str(), Some("json test"));
+    }
+
+    #[test]
+    fn records_carry_phase_breakdown_and_resource_peaks() {
+        let doc = record_to_json(&record("p", "d", "a", RunStatus::Success));
+        assert_eq!(doc.get("wall_seconds").and_then(Json::as_f64), Some(13.0));
+        assert_eq!(
+            doc.get("peak_rss_bytes").and_then(Json::as_f64),
+            Some(1024.0)
+        );
+        let phases = doc.get("phases").unwrap();
+        assert_eq!(phases.get("execute").and_then(Json::as_f64), Some(12.34));
+        assert_eq!(phases.get("validate").and_then(Json::as_f64), Some(0.1));
     }
 
     #[test]

@@ -125,6 +125,8 @@ mod tests {
             output_summary: "ok".into(),
             peak_rss_bytes: 0,
             avg_cpu_utilization: 0.0,
+            wall_seconds: 0.0,
+            timeline: crate::trace::RunTimeline::default(),
         }
     }
 

@@ -19,6 +19,7 @@ use crate::datasets::Dataset;
 use crate::metrics;
 use crate::monitor::SystemMonitor;
 use crate::platform::{Platform, PlatformError, RunContext};
+use crate::trace::{self, FieldValue, RunTimeline, Tracer};
 use crate::validator::{OutputValidator, Validation};
 
 /// Suite-level configuration.
@@ -89,6 +90,12 @@ pub struct RunRecord {
     pub peak_rss_bytes: u64,
     /// Mean CPU utilization during the run (cores).
     pub avg_cpu_utilization: f64,
+    /// Wall-clock seconds for the whole cell (all repetitions plus
+    /// validation) — the envelope the [`RunRecord::timeline`] phases
+    /// decompose.
+    pub wall_seconds: f64,
+    /// Phase decomposition of the run (execute per repetition, validate).
+    pub timeline: RunTimeline,
 }
 
 /// ETL record per (platform, dataset).
@@ -116,9 +123,9 @@ pub struct SuiteResult {
 impl SuiteResult {
     /// Looks up a run record.
     pub fn find(&self, platform: &str, dataset: &str, algorithm: &str) -> Option<&RunRecord> {
-        self.runs.iter().find(|r| {
-            r.platform == platform && r.dataset == dataset && r.algorithm == algorithm
-        })
+        self.runs
+            .iter()
+            .find(|r| r.platform == platform && r.dataset == dataset && r.algorithm == algorithm)
     }
 
     /// All distinct platform names, in first-seen order.
@@ -165,7 +172,11 @@ pub struct BenchmarkSuite {
 
 impl BenchmarkSuite {
     /// Creates a suite over the given workload.
-    pub fn new(datasets: Vec<Dataset>, algorithms: Vec<Algorithm>, config: BenchmarkConfig) -> Self {
+    pub fn new(
+        datasets: Vec<Dataset>,
+        algorithms: Vec<Algorithm>,
+        config: BenchmarkConfig,
+    ) -> Self {
         Self {
             datasets,
             algorithms,
@@ -180,24 +191,54 @@ impl BenchmarkSuite {
     /// every algorithm on that dataset (that is how Neo4j/GraphX's
     /// too-large-graph failures appear in Figure 4).
     pub fn run(&self, platforms: &mut [Box<dyn Platform>]) -> SuiteResult {
+        self.run_traced(platforms, &Arc::new(Tracer::disabled()))
+    }
+
+    /// Like [`BenchmarkSuite::run`], but with observability: every phase
+    /// (etl, load, execute, validate) emits a span into `tracer`, platform
+    /// internals (supersteps, jobs, operators) nest under them via the
+    /// [`RunContext`], resource samples attach to the enclosing run span,
+    /// and suite-level counters/histograms land in the tracer's metrics
+    /// registry.
+    pub fn run_traced(
+        &self,
+        platforms: &mut [Box<dyn Platform>],
+        tracer: &Arc<Tracer>,
+    ) -> SuiteResult {
         let mut result = SuiteResult::default();
         for dataset in &self.datasets {
-            let graph = match dataset.load() {
-                Ok(g) => g,
-                Err(e) => {
-                    for platform in platforms.iter() {
-                        result.loads.push(LoadRecord {
-                            platform: platform.name().to_string(),
-                            dataset: dataset.name.clone(),
-                            load_seconds: None,
-                            error: Some(format!("dataset generation failed: {e}")),
-                        });
+            let graph = {
+                let mut etl_span = tracer.span("suite.etl");
+                etl_span.field("dataset", dataset.name.clone());
+                match dataset.load() {
+                    Ok(g) => {
+                        etl_span
+                            .field("vertices", g.num_vertices())
+                            .field("edges", g.num_edges());
+                        g
                     }
-                    continue;
+                    Err(e) => {
+                        etl_span.field("error", e.to_string());
+                        for platform in platforms.iter() {
+                            result.loads.push(LoadRecord {
+                                platform: platform.name().to_string(),
+                                dataset: dataset.name.clone(),
+                                load_seconds: None,
+                                error: Some(format!("dataset generation failed: {e}")),
+                            });
+                        }
+                        continue;
+                    }
                 }
             };
             for platform in platforms.iter_mut() {
-                self.run_platform_on_dataset(platform.as_mut(), dataset, &graph, &mut result);
+                self.run_platform_on_dataset(
+                    platform.as_mut(),
+                    dataset,
+                    &graph,
+                    &mut result,
+                    tracer,
+                );
             }
         }
         result
@@ -209,19 +250,34 @@ impl BenchmarkSuite {
         dataset: &Dataset,
         graph: &Arc<CsrGraph>,
         result: &mut SuiteResult,
+        tracer: &Arc<Tracer>,
     ) {
         let load_started = Instant::now();
+        let mut load_span = tracer.span("run.load");
+        load_span
+            .field("platform", platform.name())
+            .field("dataset", dataset.name.clone());
         let handle = match platform.load_graph(graph) {
             Ok(h) => {
+                let load_seconds = load_started.elapsed().as_secs_f64();
+                load_span.field("load_seconds", load_seconds);
+                drop(load_span);
+                tracer.metrics().observe(
+                    "graphalytics_load_seconds",
+                    &[("platform", platform.name())],
+                    load_seconds,
+                );
                 result.loads.push(LoadRecord {
                     platform: platform.name().to_string(),
                     dataset: dataset.name.clone(),
-                    load_seconds: Some(load_started.elapsed().as_secs_f64()),
+                    load_seconds: Some(load_seconds),
                     error: None,
                 });
                 h
             }
             Err(e) => {
+                load_span.field("error", e.to_string());
+                drop(load_span);
                 result.loads.push(LoadRecord {
                     platform: platform.name().to_string(),
                     dataset: dataset.name.clone(),
@@ -242,6 +298,8 @@ impl BenchmarkSuite {
                         output_summary: String::new(),
                         peak_rss_bytes: 0,
                         avg_cpu_utilization: 0.0,
+                        wall_seconds: 0.0,
+                        timeline: RunTimeline::default(),
                     });
                 }
                 return;
@@ -250,7 +308,7 @@ impl BenchmarkSuite {
         for alg in &self.algorithms {
             result
                 .runs
-                .push(self.run_one(platform, handle, dataset, graph, alg));
+                .push(self.run_one(platform, handle, dataset, graph, alg, tracer));
         }
         platform.unload(handle);
     }
@@ -262,6 +320,7 @@ impl BenchmarkSuite {
         dataset: &Dataset,
         graph: &Arc<CsrGraph>,
         alg: &Algorithm,
+        tracer: &Arc<Tracer>,
     ) -> RunRecord {
         let mut record = RunRecord {
             platform: platform.name().to_string(),
@@ -275,21 +334,46 @@ impl BenchmarkSuite {
             output_summary: String::new(),
             peak_rss_bytes: 0,
             avg_cpu_utilization: 0.0,
+            wall_seconds: 0.0,
+            timeline: RunTimeline::default(),
         };
         let reps = self.config.repetitions.max(1);
+        let mut run_span = tracer.span("run");
+        run_span
+            .field("platform", record.platform.clone())
+            .field("dataset", record.dataset.clone())
+            .field("algorithm", record.algorithm.clone());
+        let run_started = Instant::now();
         let monitor = SystemMonitor::start(self.config.monitor_interval);
         let mut last_output = None;
-        for _ in 0..reps {
+        for rep in 0..reps {
             let ctx = match self.config.timeout {
                 Some(t) => RunContext::with_timeout(t),
                 None => RunContext::unbounded(),
-            };
+            }
+            .with_tracer(Arc::clone(tracer));
+            let phase_start = run_started.elapsed().as_secs_f64();
             let started = Instant::now();
-            match platform.run(handle, alg, &ctx) {
+            let outcome = {
+                let mut exec_span = tracer.span("run.execute");
+                exec_span.field("repetition", rep);
+                platform.run(handle, alg, &ctx)
+            };
+            match outcome {
                 Ok(output) => {
+                    let seconds = started.elapsed().as_secs_f64();
+                    record.repetition_seconds.push(seconds);
                     record
-                        .repetition_seconds
-                        .push(started.elapsed().as_secs_f64());
+                        .timeline
+                        .push(trace::phase::EXECUTE, phase_start, seconds);
+                    tracer.metrics().observe(
+                        "graphalytics_run_seconds",
+                        &[
+                            ("platform", &record.platform),
+                            ("algorithm", &record.algorithm),
+                        ],
+                        seconds,
+                    );
                     last_output = Some(output);
                 }
                 Err(PlatformError::Timeout) => {
@@ -302,20 +386,70 @@ impl BenchmarkSuite {
                 }
             }
         }
-        let mon = monitor.stop();
-        record.peak_rss_bytes = mon.peak_rss_bytes;
-        record.avg_cpu_utilization = mon.avg_cpu_utilization;
+        // Validation runs inside the monitored window, so the timeline's
+        // phases and the monitor's wall clock cover the same interval.
         if let (RunStatus::Success, Some(output)) = (&record.status, &last_output) {
             record.runtime_seconds = Some(median(&record.repetition_seconds));
             record.output_summary = output.summary();
             let traversed = metrics::edges_traversed(graph, output);
             record.teps = record.runtime_seconds.map(|t| metrics::teps(traversed, t));
-            record.validation = if self.config.validate {
-                self.validator.validate(graph, alg, output)
-            } else {
-                Validation::Skipped
-            };
+            if self.config.validate {
+                let phase_start = run_started.elapsed().as_secs_f64();
+                let started = Instant::now();
+                record.validation = {
+                    let _validate_span = tracer.span("run.validate");
+                    self.validator.validate(graph, alg, output)
+                };
+                record.timeline.push(
+                    trace::phase::VALIDATE,
+                    phase_start,
+                    started.elapsed().as_secs_f64(),
+                );
+            }
         }
+        let mon = monitor.stop();
+        record.peak_rss_bytes = mon.peak_rss_bytes;
+        record.avg_cpu_utilization = mon.avg_cpu_utilization;
+        record.wall_seconds = mon.wall_seconds;
+        // Attach the resource samples to the enclosing run span; the
+        // sample's own clock (seconds from run start) rides as a field.
+        if let Some(run_id) = run_span.id() {
+            for s in &mon.samples {
+                tracer.event(
+                    "monitor.sample",
+                    Some(run_id),
+                    vec![
+                        ("at_seconds".to_string(), FieldValue::F64(s.at_seconds)),
+                        ("rss_bytes".to_string(), FieldValue::I64(s.rss_bytes as i64)),
+                        ("cpu_seconds".to_string(), FieldValue::F64(s.cpu_seconds)),
+                    ],
+                );
+            }
+        }
+        let status_label = match &record.status {
+            RunStatus::Success => "success",
+            RunStatus::Timeout => "timeout",
+            RunStatus::Failed(_) => "failed",
+        };
+        run_span
+            .field("status", status_label)
+            .field("peak_rss_bytes", record.peak_rss_bytes)
+            .field("avg_cpu_utilization", record.avg_cpu_utilization)
+            .field("wall_seconds", record.wall_seconds);
+        tracer.metrics().inc_counter(
+            "graphalytics_runs_total",
+            &[
+                ("platform", &record.platform),
+                ("algorithm", &record.algorithm),
+                ("status", status_label),
+            ],
+            1,
+        );
+        tracer.metrics().max_gauge(
+            "graphalytics_peak_rss_bytes",
+            &[("platform", &record.platform)],
+            record.peak_rss_bytes as f64,
+        );
         record
     }
 }
@@ -358,7 +492,10 @@ mod tests {
             algorithm: &Algorithm,
             _ctx: &RunContext,
         ) -> Result<Output, PlatformError> {
-            let g = self.graphs.get(handle.0 as usize).ok_or(PlatformError::InvalidHandle)?;
+            let g = self
+                .graphs
+                .get(handle.0 as usize)
+                .ok_or(PlatformError::InvalidHandle)?;
             Ok(reference(g, algorithm))
         }
         fn unload(&mut self, _handle: GraphHandle) {}
@@ -423,8 +560,7 @@ mod tests {
             vec![Algorithm::Stats, Algorithm::default_bfs(), Algorithm::Conn],
             BenchmarkConfig::default(),
         );
-        let mut platforms: Vec<Box<dyn Platform>> =
-            vec![Box::new(RefPlatform { graphs: vec![] })];
+        let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(RefPlatform { graphs: vec![] })];
         let result = s.run(&mut platforms);
         assert_eq!(result.runs.len(), 3);
         for r in &result.runs {
@@ -432,9 +568,60 @@ mod tests {
             assert!(r.validation.is_valid(), "{r:?}");
             assert!(r.runtime_seconds.unwrap() >= 0.0);
             assert!(r.teps.unwrap() > 0.0);
+            assert!(!r.timeline.is_empty(), "{r:?}");
+            assert!(
+                r.timeline.total_seconds() <= r.wall_seconds,
+                "phases {} exceed wall {}",
+                r.timeline.total_seconds(),
+                r.wall_seconds
+            );
         }
         assert_eq!(result.loads.len(), 1);
         assert!(result.loads[0].load_seconds.is_some());
+    }
+
+    #[test]
+    fn traced_run_emits_phase_spans_and_metrics() {
+        let s = suite(
+            vec![Algorithm::Stats, Algorithm::Conn],
+            BenchmarkConfig::default(),
+        );
+        let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(RefPlatform { graphs: vec![] })];
+        let tracer = Arc::new(Tracer::new());
+        let result = s.run_traced(&mut platforms, &tracer);
+        assert_eq!(result.runs.len(), 2);
+        let spans = tracer.finished_spans();
+        let count = |name: &str| spans.iter().filter(|s| s.name == name).count();
+        assert_eq!(count("suite.etl"), 1);
+        assert_eq!(count("run.load"), 1);
+        assert_eq!(count("run"), 2);
+        assert_eq!(count("run.execute"), 2);
+        assert_eq!(count("run.validate"), 2);
+        assert!(count("monitor.sample") >= 2, "final samples always exist");
+        // Execute/validate spans nest under their run span.
+        let run_ids: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.name == "run")
+            .map(|s| s.id)
+            .collect();
+        for s in spans.iter().filter(|s| s.name == "run.execute") {
+            assert!(run_ids.contains(&s.parent.unwrap()));
+        }
+        // Suite-level metrics accumulated.
+        assert_eq!(
+            tracer.metrics().counter_value(
+                "graphalytics_runs_total",
+                &[
+                    ("platform", "Reference"),
+                    ("algorithm", "STATS"),
+                    ("status", "success"),
+                ],
+            ),
+            1
+        );
+        let prom = tracer.metrics().render_prometheus();
+        assert!(prom.contains("graphalytics_runs_total"));
+        assert!(prom.contains("graphalytics_run_seconds_bucket"));
     }
 
     #[test]
@@ -477,8 +664,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let mut platforms: Vec<Box<dyn Platform>> =
-            vec![Box::new(RefPlatform { graphs: vec![] })];
+        let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(RefPlatform { graphs: vec![] })];
         let result = s.run(&mut platforms);
         assert_eq!(result.runs[0].repetition_seconds.len(), 3);
     }
@@ -486,8 +672,7 @@ mod tests {
     #[test]
     fn suite_result_lookups() {
         let s = suite(vec![Algorithm::Stats], BenchmarkConfig::default());
-        let mut platforms: Vec<Box<dyn Platform>> =
-            vec![Box::new(RefPlatform { graphs: vec![] })];
+        let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(RefPlatform { graphs: vec![] })];
         let result = s.run(&mut platforms);
         assert!(result.find("Reference", "Graph500 6", "STATS").is_some());
         assert!(result.find("Reference", "Graph500 6", "BFS").is_none());

@@ -1,0 +1,1079 @@
+//! Structured tracing and metrics — the observability layer.
+//!
+//! The paper's System Monitor gathers coarse resource statistics (§2.3,
+//! Figure 2); this module adds the *attribution* side: where inside a run
+//! the time goes. Three pieces:
+//!
+//! * a thread-safe span API ([`Tracer::span`]) with start/stop timestamps,
+//!   parent links, and typed key-value fields — platforms emit one span per
+//!   superstep / job / operator;
+//! * a counter/gauge/histogram [`MetricsRegistry`] with a Prometheus
+//!   text-format exporter ([`MetricsRegistry::render_prometheus`]) and a
+//!   JSONL event sink ([`Tracer::export_jsonl`]) that composes with the
+//!   results database's `graphalytics-results.jsonl`;
+//! * a [`RunTimeline`] that decomposes a run into named phases (load,
+//!   execute, validate, ...) so a Figure-4 runtime can be attributed to
+//!   its parts.
+//!
+//! Everything is zero-dependency (beyond the workspace's `parking_lot`)
+//! and cheap when disabled: a disabled tracer never touches a lock.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::json::Json;
+
+/// Canonical phase names used by the runner and the report generator.
+pub mod phase {
+    /// Dataset generation / canonical-graph materialization.
+    pub const ETL: &str = "etl";
+    /// Platform graph import (`Platform::load_graph`).
+    pub const LOAD: &str = "load";
+    /// Algorithm execution (one entry per repetition).
+    pub const EXECUTE: &str = "execute";
+    /// Output validation against the reference implementation.
+    pub const VALIDATE: &str = "validate";
+    /// Report generation.
+    pub const REPORT: &str = "report";
+}
+
+/// A typed field value attached to spans and events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Text.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl FieldValue {
+    /// Integer accessor (integers only; floats are not coerced).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            FieldValue::I64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Float accessor (also widens integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldValue::F64(x) => Some(*x),
+            FieldValue::I64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            FieldValue::I64(x) => Json::Num(*x as f64),
+            FieldValue::F64(x) => Json::Num(*x),
+            FieldValue::Str(s) => Json::Str(s.clone()),
+            FieldValue::Bool(b) => Json::Bool(*b),
+        }
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(x: i64) -> Self {
+        FieldValue::I64(x)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(x: u64) -> Self {
+        FieldValue::I64(x as i64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(x: usize) -> Self {
+        FieldValue::I64(x as i64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(x: u32) -> Self {
+        FieldValue::I64(x as i64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(x: f64) -> Self {
+        FieldValue::F64(x)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(s: &str) -> Self {
+        FieldValue::Str(s.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(s: String) -> Self {
+        FieldValue::Str(s)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(b: bool) -> Self {
+        FieldValue::Bool(b)
+    }
+}
+
+/// A finished span: a named, timestamped interval with an optional parent
+/// and typed fields. Timestamps are seconds since the tracer's epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Unique (per tracer) span id, assigned at start in start order.
+    pub id: u64,
+    /// Parent span id, when started inside another span on the same thread
+    /// (or given explicitly via [`Tracer::span_with_parent`]).
+    pub parent: Option<u64>,
+    /// Span name, dot-separated by convention ("pregel.superstep").
+    pub name: String,
+    /// Start, seconds since the tracer epoch.
+    pub start_seconds: f64,
+    /// End, seconds since the tracer epoch.
+    pub end_seconds: f64,
+    /// Typed key-value fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Span {
+    /// Span duration in seconds (never negative).
+    pub fn duration_seconds(&self) -> f64 {
+        (self.end_seconds - self.start_seconds).max(0.0)
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// JSON representation, one object per span (the JSONL line).
+    pub fn to_json(&self) -> Json {
+        let fields: BTreeMap<String, Json> = self
+            .fields
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json()))
+            .collect();
+        Json::obj([
+            ("type", Json::from("span")),
+            ("id", Json::from(self.id as usize)),
+            (
+                "parent",
+                self.parent
+                    .map(|p| Json::from(p as usize))
+                    .unwrap_or(Json::Null),
+            ),
+            ("name", Json::from(self.name.clone())),
+            ("start_seconds", Json::from(self.start_seconds)),
+            ("end_seconds", Json::from(self.end_seconds)),
+            ("duration_seconds", Json::from(self.duration_seconds())),
+            ("fields", Json::Obj(fields)),
+        ])
+    }
+}
+
+static TRACER_UIDS: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// Per-thread stack of open spans, keyed by tracer uid so independent
+    /// tracers on the same thread don't adopt each other's parents.
+    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Default)]
+struct TracerInner {
+    next_id: u64,
+    finished: Vec<Span>,
+}
+
+/// A thread-safe span recorder with an embedded metrics registry.
+///
+/// Spans started on the same thread nest automatically (parent links via a
+/// thread-local stack); work fanned out to worker threads uses
+/// [`Tracer::span_with_parent`] with the id of the enclosing span.
+pub struct Tracer {
+    uid: usize,
+    enabled: bool,
+    epoch: Instant,
+    inner: Mutex<TracerInner>,
+    metrics: MetricsRegistry,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// An enabled tracer with epoch = now.
+    pub fn new() -> Self {
+        Self {
+            uid: TRACER_UIDS.fetch_add(1, Ordering::Relaxed),
+            enabled: true,
+            epoch: Instant::now(),
+            inner: Mutex::new(TracerInner::default()),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// A tracer that records nothing (all operations are near-free).
+    pub fn disabled() -> Self {
+        Self {
+            uid: TRACER_UIDS.fetch_add(1, Ordering::Relaxed),
+            enabled: false,
+            epoch: Instant::now(),
+            inner: Mutex::new(TracerInner::default()),
+            metrics: MetricsRegistry::disabled(),
+        }
+    }
+
+    /// A process-wide shared disabled tracer, for contexts without one.
+    pub fn noop() -> &'static Tracer {
+        static NOOP: OnceLock<Tracer> = OnceLock::new();
+        NOOP.get_or_init(Tracer::disabled)
+    }
+
+    /// Whether spans and metrics are recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The embedded metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Seconds since the tracer epoch.
+    pub fn now_seconds(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Starts a span; its parent is the innermost span currently open on
+    /// this thread (for this tracer). The span finishes when the returned
+    /// guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        if !self.enabled {
+            return SpanGuard {
+                tracer: self,
+                open: None,
+            };
+        }
+        let parent = self.current_span_id();
+        self.begin(name, parent)
+    }
+
+    /// Starts a span with an explicit parent — the cross-thread variant
+    /// (worker threads don't inherit the spawning thread's span stack).
+    pub fn span_with_parent(&self, name: &str, parent: Option<u64>) -> SpanGuard<'_> {
+        if !self.enabled {
+            return SpanGuard {
+                tracer: self,
+                open: None,
+            };
+        }
+        self.begin(name, parent)
+    }
+
+    fn begin(&self, name: &str, parent: Option<u64>) -> SpanGuard<'_> {
+        let id = {
+            let mut inner = self.inner.lock();
+            inner.next_id += 1;
+            inner.next_id
+        };
+        SPAN_STACK.with(|s| s.borrow_mut().push((self.uid, id)));
+        SpanGuard {
+            tracer: self,
+            open: Some(OpenSpan {
+                id,
+                parent,
+                name: name.to_string(),
+                start_seconds: self.now_seconds(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Records an instantaneous event as a zero-duration span — e.g. a
+    /// resource sample attached to its enclosing run span.
+    pub fn event(&self, name: &str, parent: Option<u64>, fields: Vec<(String, FieldValue)>) {
+        if !self.enabled {
+            return;
+        }
+        let t = self.now_seconds();
+        let mut inner = self.inner.lock();
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.finished.push(Span {
+            id,
+            parent,
+            name: name.to_string(),
+            start_seconds: t,
+            end_seconds: t,
+            fields,
+        });
+    }
+
+    /// Id of the innermost open span on this thread (for this tracer).
+    pub fn current_span_id(&self) -> Option<u64> {
+        SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(uid, _)| *uid == self.uid)
+                .map(|(_, id)| *id)
+        })
+    }
+
+    /// Snapshot of all finished spans, in start (id) order.
+    pub fn finished_spans(&self) -> Vec<Span> {
+        let mut spans = self.inner.lock().finished.clone();
+        spans.sort_by_key(|s| s.id);
+        spans
+    }
+
+    /// Serializes finished spans plus the metrics registry as JSONL: one
+    /// `{"type":"span",...}` object per span (in start order) followed by
+    /// one `{"type":"counter"|"gauge"|"histogram",...}` object per metric.
+    /// The format composes with `graphalytics-results.jsonl`: both are
+    /// line-delimited JSON with a distinguishing shape.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in self.finished_spans() {
+            out.push_str(&span.to_json().to_string_compact());
+            out.push('\n');
+        }
+        out.push_str(&self.metrics.to_jsonl());
+        out
+    }
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start_seconds: f64,
+    fields: Vec<(String, FieldValue)>,
+}
+
+/// Guard for an open span; finishes (and records) the span on drop.
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    open: Option<OpenSpan>,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches a typed field. No-op on disabled tracers.
+    pub fn field(&mut self, key: &str, value: impl Into<FieldValue>) -> &mut Self {
+        if let Some(open) = &mut self.open {
+            open.fields.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    /// The span id (None on disabled tracers) — pass to
+    /// [`Tracer::span_with_parent`] from worker threads.
+    pub fn id(&self) -> Option<u64> {
+        self.open.as_ref().map(|o| o.id)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(uid, id)| uid == self.tracer.uid && id == open.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        let end_seconds = self.tracer.now_seconds();
+        self.tracer.inner.lock().finished.push(Span {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            start_seconds: open.start_seconds,
+            end_seconds,
+            fields: open.fields,
+        });
+    }
+}
+
+/// Label set: sorted `(key, value)` pairs.
+pub type Labels = Vec<(String, String)>;
+
+/// Default histogram bucket upper bounds (seconds-oriented).
+pub const DEFAULT_BUCKETS: &[f64] = &[0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0];
+
+/// A fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bucket upper bounds (a final implicit +Inf bucket follows).
+    pub bounds: Vec<f64>,
+    /// Cumulative-format source counts: `counts[i]` observations fell in
+    /// `(bounds[i-1], bounds[i]]`; the last slot is the +Inf bucket.
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<(String, Labels), u64>,
+    gauges: BTreeMap<(String, Labels), f64>,
+    histograms: BTreeMap<(String, Labels), Histogram>,
+}
+
+/// A thread-safe counter/gauge/histogram registry with Prometheus
+/// text-format and JSONL exporters.
+pub struct MetricsRegistry {
+    enabled: bool,
+    inner: Mutex<RegistryInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An enabled registry.
+    pub fn new() -> Self {
+        Self {
+            enabled: true,
+            inner: Mutex::new(RegistryInner::default()),
+        }
+    }
+
+    /// A registry that drops all updates.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            inner: Mutex::new(RegistryInner::default()),
+        }
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> (String, Labels) {
+        let mut l: Labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        l.sort();
+        (name.to_string(), l)
+    }
+
+    /// Adds `delta` to a counter (created at 0 on first use).
+    pub fn inc_counter(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self
+            .inner
+            .lock()
+            .counters
+            .entry(Self::key(name, labels))
+            .or_insert(0) += delta;
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.inner
+            .lock()
+            .gauges
+            .insert(Self::key(name, labels), value);
+    }
+
+    /// Sets a gauge to the max of its current value and `value` —
+    /// the peak-RSS idiom.
+    pub fn max_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let slot = inner
+            .gauges
+            .entry(Self::key(name, labels))
+            .or_insert(f64::NEG_INFINITY);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Observes `value` into a histogram with [`DEFAULT_BUCKETS`].
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.observe_with_buckets(name, labels, value, DEFAULT_BUCKETS);
+    }
+
+    /// Observes `value` into a histogram with the given bucket bounds
+    /// (bounds are fixed by the first observation of a series).
+    pub fn observe_with_buckets(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        bounds: &[f64],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.inner
+            .lock()
+            .histograms
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Current counter value (0 when the series doesn't exist).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.inner
+            .lock()
+            .counters
+            .get(&Self::key(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Current gauge value.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.inner
+            .lock()
+            .gauges
+            .get(&Self::key(name, labels))
+            .copied()
+    }
+
+    /// Snapshot of a histogram series.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<Histogram> {
+        self.inner
+            .lock()
+            .histograms
+            .get(&Self::key(name, labels))
+            .cloned()
+    }
+
+    /// Renders the Prometheus text exposition format: `# TYPE` comments
+    /// and `name{label="value"} value` sample lines, histograms expanded
+    /// into cumulative `_bucket`/`_sum`/`_count` series.
+    pub fn render_prometheus(&self) -> String {
+        fn escape_label(v: &str) -> String {
+            let mut out = String::with_capacity(v.len());
+            for c in v.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn label_str(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+            let mut parts: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+                .collect();
+            if let Some((k, v)) = extra {
+                parts.push(format!("{k}=\"{}\"", escape_label(v)));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        }
+        fn fmt_value(x: f64) -> String {
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                format!("{}", x as i64)
+            } else {
+                format!("{x}")
+            }
+        }
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        let mut last_type: Option<String> = None;
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            if last_type.as_deref().is_none_or(|n| n != name) {
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                last_type = Some(name.to_string());
+            }
+        };
+        for ((name, labels), value) in &inner.counters {
+            type_line(&mut out, name, "counter");
+            out.push_str(&format!("{name}{} {value}\n", label_str(labels, None)));
+        }
+        for ((name, labels), value) in &inner.gauges {
+            type_line(&mut out, name, "gauge");
+            out.push_str(&format!(
+                "{name}{} {}\n",
+                label_str(labels, None),
+                fmt_value(*value)
+            ));
+        }
+        for ((name, labels), h) in &inner.histograms {
+            type_line(&mut out, name, "histogram");
+            let mut cumulative = 0u64;
+            for (i, bound) in h.bounds.iter().enumerate() {
+                cumulative += h.counts[i];
+                out.push_str(&format!(
+                    "{name}_bucket{} {cumulative}\n",
+                    label_str(labels, Some(("le", &fmt_value(*bound))))
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{} {}\n",
+                label_str(labels, Some(("le", "+Inf"))),
+                h.count
+            ));
+            out.push_str(&format!(
+                "{name}_sum{} {}\n",
+                label_str(labels, None),
+                fmt_value(h.sum)
+            ));
+            out.push_str(&format!(
+                "{name}_count{} {}\n",
+                label_str(labels, None),
+                h.count
+            ));
+        }
+        out
+    }
+
+    /// Serializes every series as one JSON object per line.
+    pub fn to_jsonl(&self) -> String {
+        fn labels_json(labels: &Labels) -> Json {
+            Json::Obj(
+                labels
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            )
+        }
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for ((name, labels), value) in &inner.counters {
+            let doc = Json::obj([
+                ("type", Json::from("counter")),
+                ("name", Json::from(name.clone())),
+                ("labels", labels_json(labels)),
+                ("value", Json::from(*value as usize)),
+            ]);
+            out.push_str(&doc.to_string_compact());
+            out.push('\n');
+        }
+        for ((name, labels), value) in &inner.gauges {
+            let doc = Json::obj([
+                ("type", Json::from("gauge")),
+                ("name", Json::from(name.clone())),
+                ("labels", labels_json(labels)),
+                ("value", Json::from(*value)),
+            ]);
+            out.push_str(&doc.to_string_compact());
+            out.push('\n');
+        }
+        for ((name, labels), h) in &inner.histograms {
+            let doc = Json::obj([
+                ("type", Json::from("histogram")),
+                ("name", Json::from(name.clone())),
+                ("labels", labels_json(labels)),
+                (
+                    "bounds",
+                    Json::Arr(h.bounds.iter().map(|&b| Json::from(b)).collect()),
+                ),
+                (
+                    "counts",
+                    Json::Arr(h.counts.iter().map(|&c| Json::from(c as usize)).collect()),
+                ),
+                ("sum", Json::from(h.sum)),
+                ("count", Json::from(h.count as usize)),
+            ]);
+            out.push_str(&doc.to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One named phase of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Phase name (see [`phase`] for the canonical set).
+    pub name: String,
+    /// Start offset in seconds from the run's start.
+    pub start_seconds: f64,
+    /// Phase duration in seconds.
+    pub duration_seconds: f64,
+}
+
+/// The per-run phase decomposition: how a `RunRecord`'s wall time divides
+/// into load / execute / validate / ... phases.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunTimeline {
+    /// Phases in chronological order (repeated names allowed, e.g. one
+    /// `execute` entry per repetition).
+    pub phases: Vec<Phase>,
+}
+
+impl RunTimeline {
+    /// Appends a phase.
+    pub fn push(&mut self, name: &str, start_seconds: f64, duration_seconds: f64) {
+        self.phases.push(Phase {
+            name: name.to_string(),
+            start_seconds,
+            duration_seconds,
+        });
+    }
+
+    /// True when no phases were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Sum of all phase durations.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_seconds).sum()
+    }
+
+    /// Total duration of all phases with the given name.
+    pub fn phase_seconds(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.duration_seconds)
+            .sum()
+    }
+
+    /// Distinct phase names in first-seen order.
+    pub fn phase_names(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for p in &self.phases {
+            if !seen.contains(&p.name) {
+                seen.push(p.name.clone());
+            }
+        }
+        seen
+    }
+
+    /// Aggregated JSON object: phase name → total seconds.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.phase_names()
+                .into_iter()
+                .map(|name| {
+                    let secs = self.phase_seconds(&name);
+                    (name, Json::from(secs))
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let tracer = Tracer::new();
+        {
+            let mut outer = tracer.span("outer");
+            outer.field("k", 1i64);
+            {
+                let _inner = tracer.span("inner");
+            }
+        }
+        let spans = tracer.finished_spans();
+        assert_eq!(spans.len(), 2);
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert!(inner.start_seconds >= outer.start_seconds);
+        assert!(inner.end_seconds <= outer.end_seconds);
+        assert_eq!(outer.field("k").and_then(FieldValue::as_i64), Some(1));
+    }
+
+    #[test]
+    fn span_ids_are_in_start_order() {
+        let tracer = Tracer::new();
+        for name in ["a", "b", "c"] {
+            let _s = tracer.span(name);
+        }
+        let names: Vec<String> = tracer
+            .finished_spans()
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn concurrent_threads_keep_independent_stacks() {
+        let tracer = Arc::new(Tracer::new());
+        let root_id = {
+            let root = tracer.span("root");
+            let root_id = root.id().unwrap();
+            let mut handles = Vec::new();
+            for t in 0..8 {
+                let tracer = Arc::clone(&tracer);
+                handles.push(std::thread::spawn(move || {
+                    let mut worker = tracer.span_with_parent("worker", Some(root_id));
+                    worker.field("thread", t as i64);
+                    let _nested = tracer.span("worker.step");
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            root_id
+        };
+        let spans = tracer.finished_spans();
+        assert_eq!(spans.len(), 17); // root + 8 workers + 8 steps.
+        let mut ids = std::collections::HashSet::new();
+        for s in &spans {
+            assert!(ids.insert(s.id), "duplicate span id {}", s.id);
+        }
+        let workers: Vec<&Span> = spans.iter().filter(|s| s.name == "worker").collect();
+        assert_eq!(workers.len(), 8);
+        for w in &workers {
+            assert_eq!(w.parent, Some(root_id));
+        }
+        // Each nested step's parent is its own thread's worker span.
+        for step in spans.iter().filter(|s| s.name == "worker.step") {
+            let parent = step.parent.expect("step has a parent");
+            assert!(workers.iter().any(|w| w.id == parent));
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        {
+            let mut s = tracer.span("ignored");
+            s.field("k", 1i64);
+            assert_eq!(s.id(), None);
+        }
+        tracer.event("e", None, vec![]);
+        tracer.metrics().inc_counter("c", &[], 1);
+        assert!(tracer.finished_spans().is_empty());
+        assert_eq!(tracer.metrics().counter_value("c", &[]), 0);
+        assert!(tracer.export_jsonl().is_empty());
+    }
+
+    #[test]
+    fn events_are_zero_duration_children() {
+        let tracer = Tracer::new();
+        let parent_id = {
+            let parent = tracer.span("run");
+            let id = parent.id().unwrap();
+            tracer.event(
+                "monitor.sample",
+                Some(id),
+                vec![("rss_bytes".to_string(), FieldValue::I64(42))],
+            );
+            id
+        };
+        let spans = tracer.finished_spans();
+        let event = spans.iter().find(|s| s.name == "monitor.sample").unwrap();
+        assert_eq!(event.parent, Some(parent_id));
+        assert_eq!(event.duration_seconds(), 0.0);
+        assert_eq!(
+            event.field("rss_bytes").and_then(FieldValue::as_i64),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn prometheus_golden_format() {
+        let registry = MetricsRegistry::new();
+        registry.inc_counter("gx_runs_total", &[("platform", "Giraph")], 3);
+        registry.set_gauge("gx_peak_rss_bytes", &[], 1048576.0);
+        registry.observe_with_buckets("gx_run_seconds", &[], 0.3, &[0.1, 1.0]);
+        registry.observe_with_buckets("gx_run_seconds", &[], 5.0, &[0.1, 1.0]);
+        let text = registry.render_prometheus();
+        let expected = "\
+# TYPE gx_runs_total counter
+gx_runs_total{platform=\"Giraph\"} 3
+# TYPE gx_peak_rss_bytes gauge
+gx_peak_rss_bytes 1048576
+# TYPE gx_run_seconds histogram
+gx_run_seconds_bucket{le=\"0.1\"} 0
+gx_run_seconds_bucket{le=\"1\"} 1
+gx_run_seconds_bucket{le=\"+Inf\"} 2
+gx_run_seconds_sum 5.3
+gx_run_seconds_count 2
+";
+        assert_eq!(text, expected);
+    }
+
+    /// Parses one exposition line into (name, labels, value); None for
+    /// comments/blank lines. A minimal format check: `name{labels} value`.
+    fn parse_prom_line(line: &str) -> Option<(String, String, f64)> {
+        if line.is_empty() || line.starts_with('#') {
+            return None;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("space before value");
+        let value: f64 = value.parse().expect("numeric value");
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => {
+                assert!(rest.ends_with('}'), "unterminated labels in {line:?}");
+                (n.to_string(), rest.trim_end_matches('}').to_string())
+            }
+            None => (series.to_string(), String::new()),
+        };
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name {name:?}"
+        );
+        Some((name, labels, value))
+    }
+
+    #[test]
+    fn prometheus_lines_parse() {
+        let registry = MetricsRegistry::new();
+        registry.inc_counter("a_total", &[("x", "1"), ("y", "weird \"label\"\n")], 7);
+        registry.set_gauge("b", &[("z", "v")], 2.5);
+        registry.observe("c_seconds", &[], 0.02);
+        let text = registry.render_prometheus();
+        let mut samples = 0;
+        for line in text.lines() {
+            if let Some((name, _labels, value)) = parse_prom_line(line) {
+                assert!(!name.is_empty());
+                assert!(value.is_finite());
+                samples += 1;
+            }
+        }
+        // counter + gauge + (10 bounds + Inf + sum + count) histogram lines.
+        assert_eq!(samples, 2 + DEFAULT_BUCKETS.len() + 3);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let registry = MetricsRegistry::new();
+        registry.inc_counter("c", &[("p", "x")], 1);
+        registry.inc_counter("c", &[("p", "x")], 2);
+        registry.inc_counter("c", &[("p", "y")], 5);
+        assert_eq!(registry.counter_value("c", &[("p", "x")]), 3);
+        assert_eq!(registry.counter_value("c", &[("p", "y")]), 5);
+        registry.max_gauge("g", &[], 2.0);
+        registry.max_gauge("g", &[], 1.0);
+        assert_eq!(registry.gauge_value("g", &[]), Some(2.0));
+        registry.observe("h", &[], 0.003);
+        registry.observe("h", &[], 100.0);
+        let h = registry.histogram("h", &[]).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 100.003);
+        assert_eq!(*h.counts.last().unwrap(), 1); // the +Inf bucket.
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let registry = MetricsRegistry::new();
+        registry.inc_counter("c", &[("b", "2"), ("a", "1")], 1);
+        registry.inc_counter("c", &[("a", "1"), ("b", "2")], 1);
+        assert_eq!(registry.counter_value("c", &[("a", "1"), ("b", "2")]), 2);
+    }
+
+    #[test]
+    fn jsonl_export_parses_line_by_line() {
+        let tracer = Tracer::new();
+        {
+            let mut s = tracer.span("phase");
+            s.field("n", 3usize);
+            s.field("what", "etl");
+            s.field("ratio", 0.5f64);
+            s.field("ok", true);
+        }
+        tracer.metrics().inc_counter("runs", &[("p", "G")], 1);
+        tracer.metrics().set_gauge("rss", &[], 1.0);
+        tracer.metrics().observe("lat", &[], 0.2);
+        let jsonl = tracer.export_jsonl();
+        let mut types = Vec::new();
+        for line in jsonl.lines() {
+            let doc = crate::json::parse(line).expect("line parses");
+            types.push(doc.get("type").unwrap().as_str().unwrap().to_string());
+        }
+        assert_eq!(types, vec!["span", "counter", "gauge", "histogram"]);
+        let span_line = jsonl.lines().next().unwrap();
+        let doc = crate::json::parse(span_line).unwrap();
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("phase"));
+        let fields = doc.get("fields").unwrap();
+        assert_eq!(fields.get("n").unwrap().as_f64(), Some(3.0));
+        assert_eq!(fields.get("what").unwrap().as_str(), Some("etl"));
+    }
+
+    #[test]
+    fn timeline_accounting() {
+        let mut t = RunTimeline::default();
+        assert!(t.is_empty());
+        t.push(phase::EXECUTE, 0.0, 1.0);
+        t.push(phase::EXECUTE, 1.0, 2.0);
+        t.push(phase::VALIDATE, 3.0, 0.5);
+        assert!(!t.is_empty());
+        assert_eq!(t.total_seconds(), 3.5);
+        assert_eq!(t.phase_seconds(phase::EXECUTE), 3.0);
+        assert_eq!(t.phase_seconds(phase::VALIDATE), 0.5);
+        assert_eq!(t.phase_seconds("missing"), 0.0);
+        assert_eq!(t.phase_names(), vec!["execute", "validate"]);
+        let json = t.to_json();
+        assert_eq!(json.get("execute").unwrap().as_f64(), Some(3.0));
+    }
+}

@@ -34,8 +34,12 @@ impl Validation {
 
 /// Caching output validator.
 pub struct OutputValidator {
-    /// Cache key: (graph identity, algorithm debug string).
-    cache: Mutex<FxHashMap<(usize, String), Arc<Output>>>,
+    /// Cache key: (graph identity, algorithm debug string). The value keeps
+    /// a strong reference to the graph: the key is its heap address, and
+    /// pinning the allocation prevents a later graph from reusing the
+    /// address and silently matching a stale entry.
+    #[allow(clippy::type_complexity)]
+    cache: Mutex<FxHashMap<(usize, String), (Arc<CsrGraph>, Arc<Output>)>>,
 }
 
 impl Default for OutputValidator {
@@ -55,24 +59,22 @@ impl OutputValidator {
     /// Returns the (cached) reference output for `alg` on `graph`.
     pub fn expected(&self, graph: &Arc<CsrGraph>, alg: &Algorithm) -> Arc<Output> {
         let key = (Arc::as_ptr(graph) as usize, format!("{alg:?}"));
-        if let Some(hit) = self.cache.lock().get(&key) {
+        if let Some((_, hit)) = self.cache.lock().get(&key) {
             return Arc::clone(hit);
         }
         let computed = Arc::new(reference(graph, alg));
-        self.cache
-            .lock()
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&computed))
-            .clone()
+        Arc::clone(
+            &self
+                .cache
+                .lock()
+                .entry(key)
+                .or_insert_with(|| (Arc::clone(graph), Arc::clone(&computed)))
+                .1,
+        )
     }
 
     /// Validates a platform's output against the reference.
-    pub fn validate(
-        &self,
-        graph: &Arc<CsrGraph>,
-        alg: &Algorithm,
-        actual: &Output,
-    ) -> Validation {
+    pub fn validate(&self, graph: &Arc<CsrGraph>, alg: &Algorithm, actual: &Output) -> Validation {
         let expected = self.expected(graph, alg);
         if expected.equivalent(actual) {
             Validation::Valid
@@ -129,6 +131,27 @@ mod tests {
             Validation::Invalid(msg) => assert!(msg.contains("CONN"), "{msg}"),
             other => panic!("expected invalid, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cache_pins_the_graph_against_address_reuse() {
+        // The cache key is the graph's heap address; if the entry did not
+        // hold the graph alive, a later allocation could reuse the address
+        // and validate against the wrong reference output. Dropping our
+        // handle must leave the validator's copy alive.
+        let v = OutputValidator::new();
+        let g = graph();
+        let _ = v.expected(&g, &Algorithm::Conn);
+        assert!(
+            Arc::strong_count(&g) >= 2,
+            "validator must hold the graph it keyed by address"
+        );
+        let weak = Arc::downgrade(&g);
+        drop(g);
+        assert!(
+            weak.upgrade().is_some(),
+            "cached graph freed; its address could be recycled"
+        );
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! End-to-end observability: a traced suite run over the reference
+//! platform must produce per-run phase timelines, a span tree covering
+//! every benchmark phase, resource samples, and a Prometheus rendering
+//! that parses line by line.
+
+use std::sync::Arc;
+
+use graphalytics_algos::Algorithm;
+use graphalytics_core::runner::BenchmarkConfig;
+use graphalytics_core::{BenchmarkSuite, Dataset, Platform, ReferencePlatform, Tracer};
+
+fn traced_suite_result() -> (graphalytics_core::SuiteResult, Arc<Tracer>) {
+    let suite = BenchmarkSuite::new(
+        vec![Dataset::graph500(6)],
+        vec![Algorithm::Stats, Algorithm::default_bfs(), Algorithm::Conn],
+        BenchmarkConfig::default(),
+    );
+    let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(ReferencePlatform::new())];
+    let tracer = Arc::new(Tracer::new());
+    let result = suite.run_traced(&mut platforms, &tracer);
+    (result, tracer)
+}
+
+#[test]
+fn timelines_decompose_every_run() {
+    let (result, _tracer) = traced_suite_result();
+    assert_eq!(result.runs.len(), 3);
+    for r in &result.runs {
+        assert!(r.status.is_success(), "{r:?}");
+        assert!(!r.timeline.is_empty(), "no phases for {r:?}");
+        assert!(
+            r.timeline.total_seconds() <= r.wall_seconds,
+            "phase sum {} exceeds wall {}",
+            r.timeline.total_seconds(),
+            r.wall_seconds
+        );
+        assert!(r.timeline.phase_seconds("execute") > 0.0);
+    }
+}
+
+#[test]
+fn span_tree_covers_all_phases() {
+    let (_result, tracer) = traced_suite_result();
+    let spans = tracer.finished_spans();
+    for expected in [
+        "suite.etl",
+        "run.load",
+        "run",
+        "run.execute",
+        "run.validate",
+    ] {
+        assert!(
+            spans.iter().any(|s| s.name == expected),
+            "missing {expected} span; got {:?}",
+            spans.iter().map(|s| s.name.clone()).collect::<Vec<_>>()
+        );
+    }
+    // Execution spans nest under their run span.
+    let run_ids: Vec<u64> = spans
+        .iter()
+        .filter(|s| s.name == "run")
+        .map(|s| s.id)
+        .collect();
+    for s in spans.iter().filter(|s| s.name == "run.execute") {
+        assert!(matches!(s.parent, Some(p) if run_ids.contains(&p)), "{s:?}");
+    }
+    // Resource samples are attached as zero-duration events under a run.
+    let samples: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "monitor.sample")
+        .collect();
+    assert!(!samples.is_empty(), "no monitor samples recorded");
+    for sample in samples {
+        assert!(sample.field("rss_bytes").is_some(), "{sample:?}");
+        assert!(matches!(sample.parent, Some(p) if run_ids.contains(&p)));
+    }
+}
+
+#[test]
+fn prometheus_rendering_parses_line_by_line() {
+    let (_result, tracer) = traced_suite_result();
+    let text = tracer.metrics().render_prometheus();
+    assert!(text.contains("graphalytics_runs_total"));
+    assert!(text.contains("graphalytics_run_seconds_bucket"));
+    for line in text.lines() {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# TYPE ") || line.starts_with("# HELP "),
+                "bad comment line: {line}"
+            );
+            continue;
+        }
+        // name{labels} value — value must parse as a float, the name as a
+        // valid metric identifier.
+        let (series, value) = line.rsplit_once(' ').expect(line);
+        assert!(value.parse::<f64>().is_ok() || value == "+Inf", "{line}");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in: {line}"
+        );
+        if let Some(rest) = series.strip_prefix(name) {
+            if !rest.is_empty() {
+                assert!(rest.starts_with('{') && rest.ends_with('}'), "{line}");
+            }
+        }
+    }
+    // JSONL export composes: every line is a JSON object.
+    for line in tracer.export_jsonl().lines() {
+        let parsed = graphalytics_core::json::parse(line).expect(line);
+        assert!(parsed.get("type").is_some(), "{line}");
+    }
+}

@@ -91,10 +91,15 @@ impl GraphFrame {
         };
         depths[src as usize] = 0;
         let mut frontier: Vec<(u32, i64)> = vec![(src, 0)];
+        let mut iteration = 0usize;
         while !frontier.is_empty() {
             ctx.check_deadline()?;
-            let proposals =
-                self.propagate_reduced(frontier, |_, &d| d + 1, |a, b| a.min(b))?;
+            let mut span = ctx.tracer().span("graphx.iteration");
+            span.field("job", "bfs")
+                .field("iteration", iteration)
+                .field("frontier", frontier.len());
+            let stages_before = self.ctx.stats().stages;
+            let proposals = self.propagate_reduced(frontier, |_, &d| d + 1, |a, b| a.min(b))?;
             let mut next = Vec::new();
             for (v, d) in proposals {
                 if depths[v as usize] < 0 {
@@ -102,7 +107,9 @@ impl GraphFrame {
                     next.push((v, d));
                 }
             }
+            span.field("stages", self.ctx.stats().stages - stages_before);
             frontier = next;
+            iteration += 1;
         }
         Ok(depths)
     }
@@ -113,8 +120,14 @@ impl GraphFrame {
         let n = self.num_vertices;
         let mut labels: Vec<u32> = (0..n as u32).collect();
         let mut frontier: Vec<(u32, u32)> = labels.iter().map(|&l| (l, l)).collect();
+        let mut iteration = 0usize;
         while !frontier.is_empty() {
             ctx.check_deadline()?;
+            let mut span = ctx.tracer().span("graphx.iteration");
+            span.field("job", "conn")
+                .field("iteration", iteration)
+                .field("frontier", frontier.len());
+            let stages_before = self.ctx.stats().stages;
             let proposals = self.propagate_reduced(frontier, |_, &l| l, |a, b| a.min(b))?;
             let mut next = Vec::new();
             for (v, l) in proposals {
@@ -123,7 +136,9 @@ impl GraphFrame {
                     next.push((v, l));
                 }
             }
+            span.field("stages", self.ctx.stats().stages - stages_before);
             frontier = next;
+            iteration += 1;
         }
         Ok(labels)
     }
@@ -142,12 +157,17 @@ impl GraphFrame {
         let n = self.num_vertices;
         let mut labels: Vec<u32> = (0..n as u32).collect();
         let mut scores: Vec<f64> = vec![1.0; n];
-        for _ in 0..iterations {
+        for iteration in 0..iterations {
             ctx.check_deadline()?;
+            let mut span = ctx.tracer().span("graphx.iteration");
+            span.field("job", "cd")
+                .field("iteration", iteration)
+                .field("frontier", n);
+            let stages_before = self.ctx.stats().stages;
             let states: Vec<(u32, (u32, f64, f64))> = (0..n as u32)
                 .map(|v| {
-                    let influence = scores[v as usize]
-                        * (degrees[v as usize] as f64).powf(degree_exponent);
+                    let influence =
+                        scores[v as usize] * (degrees[v as usize] as f64).powf(degree_exponent);
                     (v, (labels[v as usize], scores[v as usize], influence))
                 })
                 .collect();
@@ -175,6 +195,8 @@ impl GraphFrame {
             }
             labels = next_labels;
             scores = next_scores;
+            span.field("stages", self.ctx.stats().stages - stages_before)
+                .field("changed", changed);
             if !changed {
                 break;
             }
@@ -191,6 +213,9 @@ impl GraphFrame {
         if n == 0 {
             return Ok(0.0);
         }
+        let mut span = ctx.tracer().span("graphx.iteration");
+        span.field("job", "lcc").field("iteration", 0usize);
+        let stages_before = self.ctx.stats().stages;
         // (v, sorted neighbor list).
         let adjacency = self.arcs.group_by_key()?.map(|(v, ns)| {
             let mut sorted = ns.clone();
@@ -217,6 +242,7 @@ impl GraphFrame {
             triangles as f64 / (d * (d - 1) / 2) as f64
         })?;
         let total: f64 = lcc.collect().iter().sum();
+        span.field("stages", self.ctx.stats().stages - stages_before);
         Ok(total / n as f64)
     }
 
@@ -236,22 +262,23 @@ impl GraphFrame {
         }
         let inv_n = 1.0 / n as f64;
         let mut ranks = vec![inv_n; n];
-        for _ in 0..iterations {
+        for iteration in 0..iterations {
             ctx.check_deadline()?;
+            let mut span = ctx.tracer().span("graphx.iteration");
+            span.field("job", "pagerank").field("iteration", iteration);
+            let stages_before = self.ctx.stats().stages;
             let shares: Vec<(u32, f64)> = (0..n as u32)
                 .filter(|&v| degrees[v as usize] > 0)
                 .map(|v| (v, ranks[v as usize] / degrees[v as usize] as f64))
                 .collect();
-            let dangling: f64 = (0..n)
-                .filter(|&v| degrees[v] == 0)
-                .map(|v| ranks[v])
-                .sum();
+            let dangling: f64 = (0..n).filter(|&v| degrees[v] == 0).map(|v| ranks[v]).sum();
             let received = self.propagate_reduced(shares, |_, &s| s, |a, b| a + b)?;
             let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
             let mut next = vec![base; n];
             for (v, sum) in received {
                 next[v as usize] += damping * sum;
             }
+            span.field("stages", self.ctx.stats().stages - stages_before);
             ranks = next;
         }
         Ok(ranks)
@@ -324,7 +351,9 @@ mod tests {
     #[test]
     fn conn_matches_reference() {
         let (_c, g, frame) = setup(test_edges());
-        let labels = frame.connected_components(&RunContext::unbounded()).unwrap();
+        let labels = frame
+            .connected_components(&RunContext::unbounded())
+            .unwrap();
         assert_eq!(labels, algos::conn::connected_components(&g));
     }
 
@@ -360,7 +389,9 @@ mod tests {
     #[test]
     fn evo_matches_reference() {
         let (_c, g, frame) = setup(test_edges());
-        let ids: Vec<u64> = (0..g.num_vertices() as Vid).map(|v| g.external_id(v)).collect();
+        let ids: Vec<u64> = (0..g.num_vertices() as Vid)
+            .map(|v| g.external_id(v))
+            .collect();
         let edges = frame
             .forest_fire(&ids, 16, 0.3, 32, 0x45564F, &RunContext::unbounded())
             .unwrap();
@@ -372,7 +403,9 @@ mod tests {
     fn shuffles_happen_every_iteration() {
         let (c, _g, frame) = setup(test_edges());
         let before = c.stats().shuffles;
-        let _ = frame.connected_components(&RunContext::unbounded()).unwrap();
+        let _ = frame
+            .connected_components(&RunContext::unbounded())
+            .unwrap();
         let after = c.stats().shuffles;
         assert!(after > before + 2, "iterative shuffling expected");
     }
@@ -387,7 +420,10 @@ mod tests {
             Err(PlatformError::OutOfMemory { .. }) => {}
             Ok(frame) => {
                 let err = frame.connected_components(&RunContext::unbounded());
-                assert!(matches!(err, Err(PlatformError::OutOfMemory { .. })), "{err:?}");
+                assert!(
+                    matches!(err, Err(PlatformError::OutOfMemory { .. })),
+                    "{err:?}"
+                );
             }
             Err(e) => panic!("unexpected error {e:?}"),
         }

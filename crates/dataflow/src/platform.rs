@@ -67,7 +67,9 @@ impl GraphXPlatform {
     }
 
     fn loaded(&self, handle: GraphHandle) -> Result<&Loaded, PlatformError> {
-        self.graphs.get(&handle.0).ok_or(PlatformError::InvalidHandle)
+        self.graphs
+            .get(&handle.0)
+            .ok_or(PlatformError::InvalidHandle)
     }
 }
 
@@ -101,7 +103,10 @@ impl Platform for GraphXPlatform {
         let loaded = self.loaded(handle)?;
         let graph = &loaded.graph;
         let frame = &loaded.frame;
-        match algorithm {
+        let mut job_span = ctx.tracer().span("graphx.job");
+        job_span.field("job", algorithm.name());
+        let stages_before = loaded.ctx.stats().stages;
+        let result = match algorithm {
             Algorithm::Stats => {
                 let mean = frame.mean_local_cc(ctx)?;
                 Ok(Output::Stats(graphalytics_algos::StatsResult {
@@ -152,7 +157,9 @@ impl Platform for GraphXPlatform {
                 &graph.degrees(),
                 ctx,
             )?)),
-        }
+        };
+        job_span.field("stages", loaded.ctx.stats().stages - stages_before);
+        result
     }
 
     fn unload(&mut self, handle: GraphHandle) {
@@ -221,10 +228,42 @@ mod tests {
     fn shuffle_stats_accessible() {
         let mut p = GraphXPlatform::with_defaults();
         let (handle, _) = load(&mut p);
-        let _ = p.run(handle, &Algorithm::Conn, &RunContext::unbounded()).unwrap();
+        let _ = p
+            .run(handle, &Algorithm::Conn, &RunContext::unbounded())
+            .unwrap();
         let stats = p.shuffle_stats(handle).unwrap();
         assert!(stats.shuffles > 0);
         assert!(p.shuffle_stats(GraphHandle(42)).is_none());
+    }
+
+    #[test]
+    fn jobs_emit_iteration_spans_with_stage_counts() {
+        use graphalytics_core::trace::{FieldValue, Tracer};
+
+        let mut p = GraphXPlatform::with_defaults();
+        let (handle, _) = load(&mut p);
+        let tracer = Arc::new(Tracer::new());
+        let ctx = RunContext::unbounded().with_tracer(Arc::clone(&tracer));
+        let _ = p.run(handle, &Algorithm::Conn, &ctx).unwrap();
+
+        let spans = tracer.finished_spans();
+        let job: Vec<_> = spans.iter().filter(|s| s.name == "graphx.job").collect();
+        assert_eq!(job.len(), 1);
+        assert_eq!(job[0].field("job"), Some(&FieldValue::Str("CONN".into())));
+
+        let iters: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "graphx.iteration")
+            .collect();
+        assert!(!iters.is_empty(), "expected per-iteration spans");
+        for (i, s) in iters.iter().enumerate() {
+            assert_eq!(s.field("iteration"), Some(&FieldValue::I64(i as i64)));
+            assert_eq!(s.parent, Some(job[0].id));
+            let Some(&FieldValue::I64(stages)) = s.field("stages") else {
+                panic!("iteration span missing stage count: {s:?}");
+            };
+            assert!(stages > 0, "each HashMin round runs dataflow stages");
+        }
     }
 
     #[test]

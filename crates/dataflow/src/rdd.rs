@@ -53,7 +53,10 @@ impl MemoryManager {
 
     /// Releases `bytes` (dataset dropped).
     pub fn release(&self, bytes: usize) {
-        self.used.fetch_sub(bytes.min(self.used.load(Ordering::Relaxed)), Ordering::Relaxed);
+        self.used.fetch_sub(
+            bytes.min(self.used.load(Ordering::Relaxed)),
+            Ordering::Relaxed,
+        );
     }
 
     /// Currently live bytes.
@@ -294,16 +297,15 @@ where
     }
 
     /// Wide transformation: inner hash join.
-    pub fn join<W>(
-        &self,
-        other: &Dataset<(K, W)>,
-    ) -> Result<Dataset<(K, (V, W))>, PlatformError>
+    #[allow(clippy::type_complexity)]
+    pub fn join<W>(&self, other: &Dataset<(K, W)>) -> Result<Dataset<(K, (V, W))>, PlatformError>
     where
         W: Clone + Send + Sync,
     {
         let left = self.shuffle_by_key()?;
         let right = other.shuffle_by_key()?;
         left.ctx.note_stage();
+        #[allow(clippy::type_complexity)]
         let mut outputs: Vec<Option<Vec<(K, (V, W))>>> =
             (0..left.parts.len()).map(|_| None).collect();
         crossbeam::thread::scope(|scope| {
@@ -421,10 +423,7 @@ mod tests {
         let ok = Dataset::from_vec(&c, (0..10u64).collect());
         assert!(ok.is_ok());
         let too_big = Dataset::from_vec(&c, (0..1000u64).collect());
-        assert!(matches!(
-            too_big,
-            Err(PlatformError::OutOfMemory { .. })
-        ));
+        assert!(matches!(too_big, Err(PlatformError::OutOfMemory { .. })));
     }
 
     #[test]

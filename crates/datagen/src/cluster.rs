@@ -346,8 +346,7 @@ fn cluster(
     for w in part_writers.iter_mut() {
         w.flush()?;
     }
-    let output_bytes =
-        out.written + part_writers.iter().map(|w| w.written).sum::<u64>();
+    let output_bytes = out.written + part_writers.iter().map(|w| w.written).sum::<u64>();
     Ok(GenerationStats {
         edges_written,
         setup_seconds: 0.0, // Folded into per-worker generate time.
@@ -388,7 +387,11 @@ mod tests {
     fn load(path: &Path, n: usize) -> EdgeListGraph {
         // The `.e` file omits isolated vertices; supply the vertex range the
         // config implies so comparisons against the in-memory graph hold.
-        EdgeListGraph::new((0..n as u64).collect(), read_edge_file(path).unwrap(), false)
+        EdgeListGraph::new(
+            (0..n as u64).collect(),
+            read_edge_file(path).unwrap(),
+            false,
+        )
     }
 
     #[test]

@@ -247,9 +247,7 @@ impl DegreeDistribution {
                 lambda: *lambda,
                 shape: *shape,
             }),
-            DegreeDistribution::Facebook(mean) => {
-                Box::new(FacebookPlugin { target_mean: *mean })
-            }
+            DegreeDistribution::Facebook(mean) => Box::new(FacebookPlugin { target_mean: *mean }),
             DegreeDistribution::Empirical(hist) => Box::new(
                 EmpiricalPlugin::from_histogram(hist)
                     .expect("empirical degree histogram must be non-empty"),

@@ -226,8 +226,7 @@ pub(crate) fn propose_block(
         // Over-propose a little: arbitration rejects picks whose partner's
         // budget is already consumed, and the slack recovers most of them.
         let proposals = budget + budget / 4 + 1;
-        let mut rng =
-            Xoshiro256::substream(config.seed ^ (0x5041_5353 + pass as u64), src as u64);
+        let mut rng = Xoshiro256::substream(config.seed ^ (0x5041_5353 + pass as u64), src as u64);
         // Hubs whose budget approaches the window would otherwise saturate
         // it (connecting to *everyone* nearby and flattening the degree
         // distribution); give them a proportionally longer candidate range.
@@ -285,7 +284,11 @@ impl Arbiter {
     /// unit from each; duplicates within the pass are skipped for free.
     pub(crate) fn accept_into(&mut self, proposals: &[Edge], out: &mut Vec<Edge>) {
         for &(a, b) in proposals {
-            let key = if a <= b { (a as u32, b as u32) } else { (b as u32, a as u32) };
+            let key = if a <= b {
+                (a as u32, b as u32)
+            } else {
+                (b as u32, a as u32)
+            };
             if self.remaining[a as usize] == 0 || self.remaining[b as usize] == 0 {
                 continue;
             }
@@ -446,10 +449,9 @@ mod tests {
             .all(|w| persons[w[0] as usize].university_key()
                 <= persons[w[1] as usize].university_key()));
         let interest = pass_order(&cfg, &persons, 1);
-        assert!(interest
-            .windows(2)
-            .all(|w| persons[w[0] as usize].interest_key()
-                <= persons[w[1] as usize].interest_key()));
+        assert!(interest.windows(2).all(
+            |w| persons[w[0] as usize].interest_key() <= persons[w[1] as usize].interest_key()
+        ));
         // The random pass must be a permutation.
         let mut rnd = pass_order(&cfg, &persons, 2);
         rnd.sort_unstable();

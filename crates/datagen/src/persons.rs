@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn zipf_index_covers_support() {
         let mut rng = Xoshiro256::new(9);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for _ in 0..5000 {
             seen[sample_zipf_index(&mut rng, 8) as usize] = true;
         }

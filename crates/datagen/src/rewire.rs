@@ -82,10 +82,7 @@ impl RewireState {
         }
         let deg: Vec<u32> = (0..n as u32).map(|v| csr.degree(v) as u32).collect();
         let triangles = graphalytics_graph::metrics::triangle_count(&csr) as f64;
-        let wedges: f64 = deg
-            .iter()
-            .map(|&d| d as f64 * (d as f64 - 1.0) / 2.0)
-            .sum();
+        let wedges: f64 = deg.iter().map(|&d| d as f64 * (d as f64 - 1.0) / 2.0).sum();
         let mut sum_jk = 0.0;
         let mut sum_j = 0.0;
         let mut sum_j2 = 0.0;
@@ -110,7 +107,11 @@ impl RewireState {
 
     fn common_neighbors(&self, a: u32, b: u32) -> usize {
         let (sa, sb) = (&self.adj[a as usize], &self.adj[b as usize]);
-        let (small, big) = if sa.len() <= sb.len() { (sa, sb) } else { (sb, sa) };
+        let (small, big) = if sa.len() <= sb.len() {
+            (sa, sb)
+        } else {
+            (sb, sa)
+        };
         small.iter().filter(|x| big.contains(x)).count()
     }
 

@@ -47,10 +47,7 @@ impl DistanceStats {
 
     /// Maximum observed distance (a lower bound on the true diameter).
     pub fn max_distance(&self) -> usize {
-        self.histogram
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.histogram.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// Mean distance over reachable pairs.
@@ -58,12 +55,7 @@ impl DistanceStats {
         if self.reachable_pairs == 0 {
             return 0.0;
         }
-        let total: usize = self
-            .histogram
-            .iter()
-            .enumerate()
-            .map(|(d, &c)| d * c)
-            .sum();
+        let total: usize = self.histogram.iter().enumerate().map(|(d, &c)| d * c).sum();
         total as f64 / self.reachable_pairs as f64
     }
 }

@@ -187,12 +187,14 @@ pub fn fit_poisson(hist: &[(usize, usize)]) -> DegreeModel {
 /// `(lambda, shape)`, seeded by method-of-moments estimates.
 pub fn fit_weibull(hist: &[(usize, usize)]) -> DegreeModel {
     let n: f64 = hist.iter().map(|&(_, c)| c as f64).sum();
-    let mean: f64 = hist.iter().map(|&(k, c)| (k as f64) * c as f64).sum::<f64>() / n;
+    let mean: f64 = hist
+        .iter()
+        .map(|&(k, c)| (k as f64) * c as f64)
+        .sum::<f64>()
+        / n;
     let mut lambda = mean.max(0.5);
     let mut shape = 1.0f64;
-    let ll = |lambda: f64, shape: f64| {
-        DegreeModel::Weibull { lambda, shape }.log_likelihood(hist)
-    };
+    let ll = |lambda: f64, shape: f64| DegreeModel::Weibull { lambda, shape }.log_likelihood(hist);
     for _ in 0..40 {
         let l_fixed = shape;
         lambda = golden_section_min(|x| -ll(x, l_fixed), 1e-3, mean.max(1.0) * 20.0, 1e-5);
@@ -344,10 +346,7 @@ mod tests {
         let hist = hist_from_samples(&geo_samples);
         let fits = fit_all(&hist);
         let best_aic = fits[0].aic;
-        let geo = fits
-            .iter()
-            .find(|f| f.model.name() == "Geometric")
-            .unwrap();
+        let geo = fits.iter().find(|f| f.model.name() == "Geometric").unwrap();
         assert!(geo.aic - best_aic < 10.0, "{fits:?}");
     }
 

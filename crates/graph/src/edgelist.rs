@@ -37,13 +37,7 @@ impl EdgeListGraph {
         let mut edges: Vec<Edge> = edges
             .into_iter()
             .filter(|&(s, t)| s != t)
-            .map(|(s, t)| {
-                if directed || s <= t {
-                    (s, t)
-                } else {
-                    (t, s)
-                }
-            })
+            .map(|(s, t)| if directed || s <= t { (s, t) } else { (t, s) })
             .collect();
         edges.sort_unstable();
         edges.dedup();
@@ -99,7 +93,11 @@ impl EdgeListGraph {
 
     /// True if the edge exists (respecting directedness).
     pub fn contains_edge(&self, s: VertexId, t: VertexId) -> bool {
-        let key = if self.directed || s <= t { (s, t) } else { (t, s) };
+        let key = if self.directed || s <= t {
+            (s, t)
+        } else {
+            (t, s)
+        };
         self.edges.binary_search(&key).is_ok()
     }
 
@@ -120,7 +118,9 @@ impl EdgeListGraph {
             ));
         }
         if self.edges.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(GraphError::Invariant("edge list not strictly sorted".into()));
+            return Err(GraphError::Invariant(
+                "edge list not strictly sorted".into(),
+            ));
         }
         for &(s, t) in &self.edges {
             if s == t {

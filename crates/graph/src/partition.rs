@@ -48,7 +48,9 @@ impl Partitioner for RangePartitioner {
         assert!(k > 0);
         let n = g.num_vertices();
         let per = n.div_ceil(k).max(1);
-        (0..n).map(|v| ((v / per) as u32).min(k as u32 - 1)).collect()
+        (0..n)
+            .map(|v| ((v / per) as u32).min(k as u32 - 1))
+            .collect()
     }
 
     fn name(&self) -> &'static str {

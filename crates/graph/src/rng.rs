@@ -249,7 +249,7 @@ impl Xoshiro256 {
             let u = self.next_f64().max(f64::MIN_POSITIVE);
             let v = self.next_f64();
             let x = u.powf(-1.0 / (s - 1.0)).floor();
-            if x < 1.0 || x > 1e15 {
+            if !(1.0..=1e15).contains(&x) {
                 continue;
             }
             let t = (1.0 + 1.0 / x).powf(s - 1.0);
@@ -270,7 +270,8 @@ impl Xoshiro256 {
     /// Returns `None` when all weights are zero or the slice is empty.
     pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
         let total: f64 = weights.iter().sum();
-        if !(total > 0.0) {
+        // NaN-safe: only proceed on a strictly positive total.
+        if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return None;
         }
         let mut target = self.next_f64() * total;
@@ -306,7 +307,7 @@ pub fn ln_gamma(x: f64) -> f64 {
         return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
-    let mut acc = 0.999_999_999_999_809_93;
+    let mut acc = 0.999_999_999_999_809_9;
     for (i, &c) in COEFFS.iter().enumerate() {
         acc += c / (x + i as f64 + 1.0);
     }

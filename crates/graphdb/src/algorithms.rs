@@ -22,13 +22,14 @@ pub fn bfs(
     let Some(src) = source else {
         return Ok(depths);
     };
+    let mut span = ctx.tracer().span("neo4j.bfs");
     let mut queue = VecDeque::new();
     depths[src as usize] = 0;
     queue.push_back(src);
     let mut visited = 0usize;
     while let Some(v) = queue.pop_front() {
         visited += 1;
-        if visited % 4096 == 0 {
+        if visited.is_multiple_of(4096) {
             ctx.check_deadline()?;
         }
         let next = depths[v as usize] + 1;
@@ -39,6 +40,8 @@ pub fn bfs(
             }
         }
     }
+    span.field("visited", visited)
+        .field("max_depth", depths.iter().copied().max().unwrap_or(-1));
     Ok(depths)
 }
 
@@ -49,6 +52,8 @@ pub fn connected_components(
     ctx: &RunContext,
 ) -> Result<Vec<u32>, PlatformError> {
     let n = store.nodes.len();
+    let mut span = ctx.tracer().span("neo4j.conn");
+    let mut components = 0usize;
     let mut labels = vec![u32::MAX; n];
     let mut queue = VecDeque::new();
     for start in 0..n as u32 {
@@ -56,6 +61,7 @@ pub fn connected_components(
             continue;
         }
         ctx.check_deadline()?;
+        components += 1;
         labels[start as usize] = start;
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
@@ -67,6 +73,7 @@ pub fn connected_components(
             }
         }
     }
+    span.field("components", components).field("nodes", n);
     Ok(labels)
 }
 
@@ -91,10 +98,15 @@ pub fn mean_local_cc(store: &GraphStore, ctx: &RunContext) -> Result<f64, Platfo
     if n == 0 {
         return Ok(0.0);
     }
-    let adjacency = project_adjacency(store);
+    let mut span = ctx.tracer().span("neo4j.lcc");
+    span.field("nodes", n);
+    let adjacency = {
+        let _project = ctx.tracer().span("neo4j.project");
+        project_adjacency(store)
+    };
     let mut sum = 0.0;
     for (v, mine) in adjacency.iter().enumerate() {
-        if v % 4096 == 0 {
+        if v.is_multiple_of(4096) {
             ctx.check_deadline()?;
         }
         let d = mine.len();
@@ -139,6 +151,8 @@ pub fn community_detection(
     ctx: &RunContext,
 ) -> Result<Vec<u32>, PlatformError> {
     let n = store.nodes.len();
+    let mut span = ctx.tracer().span("neo4j.cd");
+    let mut rounds = 0usize;
     let mut labels: Vec<u32> = (0..n as u32).collect();
     let mut scores: Vec<f64> = vec![1.0; n];
     let mut next_labels = labels.clone();
@@ -146,15 +160,17 @@ pub fn community_detection(
     let mut weight: FxHashMap<u32, (Vec<f64>, f64)> = FxHashMap::default();
     for _ in 0..iterations {
         ctx.check_deadline()?;
+        rounds += 1;
         let mut changed = false;
         for v in 0..n as u32 {
             weight.clear();
             let mut any = false;
             for (_, u) in store.neighbors(v) {
                 any = true;
-                let influence = scores[u as usize]
-                    * (store.degree(u) as f64).powf(degree_exponent);
-                let entry = weight.entry(labels[u as usize]).or_insert((Vec::new(), 0.0));
+                let influence = scores[u as usize] * (store.degree(u) as f64).powf(degree_exponent);
+                let entry = weight
+                    .entry(labels[u as usize])
+                    .or_insert((Vec::new(), 0.0));
                 entry.0.push(influence);
                 entry.1 = entry.1.max(scores[u as usize]);
             }
@@ -163,8 +179,7 @@ pub fn community_detection(
                 next_scores[v as usize] = scores[v as usize];
                 continue;
             }
-            let (best_label, _w, best_score) =
-                graphalytics_algos::cd::argmax_label(&mut weight);
+            let (best_label, _w, best_score) = graphalytics_algos::cd::argmax_label(&mut weight);
             if best_label != labels[v as usize] {
                 changed = true;
                 next_labels[v as usize] = best_label;
@@ -180,6 +195,7 @@ pub fn community_detection(
             break;
         }
     }
+    span.field("iterations", rounds).field("nodes", n);
     Ok(labels)
 }
 
@@ -194,6 +210,8 @@ pub fn pagerank(
     if n == 0 {
         return Ok(Vec::new());
     }
+    let mut span = ctx.tracer().span("neo4j.pagerank");
+    span.field("iterations", iterations).field("nodes", n);
     let inv_n = 1.0 / n as f64;
     let mut ranks = vec![inv_n; n];
     let mut next = vec![0.0f64; n];
@@ -281,5 +299,29 @@ mod tests {
         let s = sample_store();
         let labels = community_detection(&s, 10, 0.05, 0.1, &RunContext::unbounded()).unwrap();
         assert_ne!(labels[0], labels[4]);
+    }
+
+    #[test]
+    fn operators_emit_spans_with_counts() {
+        use graphalytics_core::trace::Tracer;
+        use std::sync::Arc;
+
+        let s = sample_store();
+        let tracer = Arc::new(Tracer::new());
+        let ctx = RunContext::unbounded().with_tracer(Arc::clone(&tracer));
+        let _ = bfs(&s, Some(0), &ctx).unwrap();
+        let _ = connected_components(&s, &ctx).unwrap();
+        let _ = mean_local_cc(&s, &ctx).unwrap();
+
+        let spans = tracer.finished_spans();
+        let b = spans.iter().find(|sp| sp.name == "neo4j.bfs").unwrap();
+        assert_eq!(b.field("visited").and_then(|f| f.as_i64()), Some(4));
+        assert_eq!(b.field("max_depth").and_then(|f| f.as_i64()), Some(2));
+        let c = spans.iter().find(|sp| sp.name == "neo4j.conn").unwrap();
+        assert_eq!(c.field("components").and_then(|f| f.as_i64()), Some(2));
+        // The adjacency projection nests under the LCC operator span.
+        let lcc = spans.iter().find(|sp| sp.name == "neo4j.lcc").unwrap();
+        let proj = spans.iter().find(|sp| sp.name == "neo4j.project").unwrap();
+        assert_eq!(proj.parent, Some(lcc.id));
     }
 }

@@ -168,7 +168,14 @@ mod tests {
         store.set(0, 1, 2);
         assert_eq!(store.bytes(), PROP_RECORD + 4);
         let r = store.get(0);
-        assert_eq!(r, PropRecord { key: 1, value: 2, next: NIL });
+        assert_eq!(
+            r,
+            PropRecord {
+                key: 1,
+                value: 2,
+                next: NIL
+            }
+        );
     }
 
     #[test]
@@ -186,7 +193,10 @@ mod tests {
         assert_eq!(store.len(), 100);
         for p in &persons {
             assert_eq!(store.lookup(p.id as u32, KEY_COUNTRY), Some(p.country));
-            assert_eq!(store.lookup(p.id as u32, KEY_UNIVERSITY), Some(p.university));
+            assert_eq!(
+                store.lookup(p.id as u32, KEY_UNIVERSITY),
+                Some(p.university)
+            );
         }
     }
 }

@@ -18,7 +18,7 @@ use graphalytics_core::platform::{PlatformError, RunContext};
 use rustc_hash::FxHashMap;
 
 use crate::job::{
-    read_output, run_job, write_records, Emitter, JobConfig, Mapper, Record, ReduceContext,
+    read_output, run_job_traced, write_records, Emitter, JobConfig, Mapper, Record, ReduceContext,
     Reducer,
 };
 
@@ -124,9 +124,7 @@ pub fn connected_components(
 ) -> Result<Vec<u32>, PlatformError> {
     // Initial labels: own id.
     let mut labels_file = config.work_dir.join("conn-labels-0");
-    let init: Vec<Record> = (0..n)
-        .map(|v| (v.to_string(), format!("L {v}")))
-        .collect();
+    let init: Vec<Record> = (0..n).map(|v| (v.to_string(), format!("L {v}"))).collect();
     write_records(&labels_file, &init)?;
     let mut iteration = 0usize;
     loop {
@@ -134,28 +132,32 @@ pub fn connected_components(
         let mut inputs = edge_files.to_vec();
         inputs.push(labels_file.clone());
         let prop_dir = config.work_dir.join(format!("conn-prop-{iteration}"));
-        run_job(
+        run_job_traced(
             config,
             &format!("conn-prop-{iteration}"),
             &inputs,
             &IdentityMapper,
             &PropagateLabels,
             &prop_dir,
+            ctx.tracer(),
         )?;
         ctx.check_deadline()?;
         let prop_files = part_files(&prop_dir)?;
         let update_dir = config.work_dir.join(format!("conn-update-{iteration}"));
-        let counters = run_job(
+        let counters = run_job_traced(
             config,
             &format!("conn-update-{iteration}"),
             &prop_files,
             &IdentityMapper,
             &UpdateMinLabel,
             &update_dir,
+            ctx.tracer(),
         )?;
         // Concatenate the update output into the next labels file.
         let records = read_output(&update_dir)?;
-        labels_file = config.work_dir.join(format!("conn-labels-{}", iteration + 1));
+        labels_file = config
+            .work_dir
+            .join(format!("conn-labels-{}", iteration + 1));
         write_records(&labels_file, &records)?;
         if counters.user_counter("changed") == 0 {
             let labels = collect_per_vertex(&records, n, "L", |s| s.parse().ok(), 0u32)?;
@@ -240,26 +242,30 @@ pub fn bfs(
         let mut inputs = edge_files.to_vec();
         inputs.push(depth_file.clone());
         let prop_dir = config.work_dir.join(format!("bfs-prop-{iteration}"));
-        run_job(
+        run_job_traced(
             config,
             &format!("bfs-prop-{iteration}"),
             &inputs,
             &IdentityMapper,
             &PropagateDepths,
             &prop_dir,
+            ctx.tracer(),
         )?;
         ctx.check_deadline()?;
         let update_dir = config.work_dir.join(format!("bfs-update-{iteration}"));
-        let counters = run_job(
+        let counters = run_job_traced(
             config,
             &format!("bfs-update-{iteration}"),
             &part_files(&prop_dir)?,
             &IdentityMapper,
             &UpdateDepths,
             &update_dir,
+            ctx.tracer(),
         )?;
         let records = read_output(&update_dir)?;
-        depth_file = config.work_dir.join(format!("bfs-depths-{}", iteration + 1));
+        depth_file = config
+            .work_dir
+            .join(format!("bfs-depths-{}", iteration + 1));
         write_records(&depth_file, &records)?;
         if counters.user_counter("changed") == 0 {
             return collect_per_vertex(&records, n, "D", |s| s.parse().ok(), -1i64);
@@ -331,7 +337,9 @@ impl crate::job::CountingReducer for UpdateCommunities {
                 }
             }
         }
-        let Some((own_label, own_score)) = own else { return };
+        let Some((own_label, own_score)) = own else {
+            return;
+        };
         if weight.is_empty() {
             ctx.out.emit(key, format!("S {own_label} {own_score}"));
             return;
@@ -369,23 +377,25 @@ pub fn community_detection(
         let mut inputs = edge_files.to_vec();
         inputs.push(state_file.clone());
         let prop_dir = config.work_dir.join(format!("cd-prop-{round}"));
-        run_job(
+        run_job_traced(
             config,
             &format!("cd-prop-{round}"),
             &inputs,
             &IdentityMapper,
             &PropagateCommunities { degree_exponent },
             &prop_dir,
+            ctx.tracer(),
         )?;
         ctx.check_deadline()?;
         let update_dir = config.work_dir.join(format!("cd-update-{round}"));
-        let counters = run_job(
+        let counters = run_job_traced(
             config,
             &format!("cd-update-{round}"),
             &part_files(&prop_dir)?,
             &IdentityMapper,
             &UpdateCommunities { hop_attenuation },
             &update_dir,
+            ctx.tracer(),
         )?;
         final_records = read_output(&update_dir)?;
         state_file = config.work_dir.join(format!("cd-state-{}", round + 1));
@@ -509,23 +519,25 @@ pub fn mean_local_cc(
     }
     ctx.check_deadline()?;
     let adj_dir = config.work_dir.join("stats-adjacency");
-    run_job(
+    run_job_traced(
         config,
         "stats-adjacency",
         edge_files,
         &IdentityMapper,
         &AdjacencyReducer,
         &adj_dir,
+        ctx.tracer(),
     )?;
     ctx.check_deadline()?;
     let lcc_dir = config.work_dir.join("stats-lcc");
-    run_job(
+    run_job_traced(
         config,
         "stats-lcc",
         &part_files(&adj_dir)?,
         &ShipListsMapper,
         &LccReducer,
         &lcc_dir,
+        ctx.tracer(),
     )?;
     let records = read_output(&lcc_dir)?;
     let mut sum = 0.0f64;
@@ -624,18 +636,19 @@ pub fn pagerank(
         let mut inputs = edge_files.to_vec();
         inputs.push(rank_file.clone());
         let prop_dir = config.work_dir.join(format!("pr-prop-{round}"));
-        let counters = run_job(
+        let counters = run_job_traced(
             config,
             &format!("pr-prop-{round}"),
             &inputs,
             &IdentityMapper,
             &PropagateRank,
             &prop_dir,
+            ctx.tracer(),
         )?;
         let dangling = counters.user_counter("dangling_micros") as f64 / 1e12;
         ctx.check_deadline()?;
         let update_dir = config.work_dir.join(format!("pr-update-{round}"));
-        run_job(
+        run_job_traced(
             config,
             &format!("pr-update-{round}"),
             &part_files(&prop_dir)?,
@@ -646,6 +659,7 @@ pub fn pagerank(
                 dangling,
             },
             &update_dir,
+            ctx.tracer(),
         )?;
         final_records = read_output(&update_dir)?;
         rank_file = config.work_dir.join(format!("pr-ranks-{}", round + 1));
@@ -659,6 +673,7 @@ pub fn pagerank(
 /// EVO: one adjacency job, then the spec'd forest-fire walk runs in the
 /// driver over the job output (the Hadoop pattern for small sequential
 /// post-processing).
+#[allow(clippy::too_many_arguments)]
 pub fn forest_fire(
     config: &JobConfig,
     edge_files: &[PathBuf],
@@ -675,13 +690,14 @@ pub fn forest_fire(
     }
     ctx.check_deadline()?;
     let adj_dir = config.work_dir.join("evo-adjacency");
-    run_job(
+    run_job_traced(
         config,
         "evo-adjacency",
         edge_files,
         &IdentityMapper,
         &AdjacencyReducer,
         &adj_dir,
+        ctx.tracer(),
     )?;
     let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (k, v) in read_output(&adj_dir)? {

@@ -20,6 +20,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use graphalytics_core::platform::PlatformError;
+use graphalytics_core::trace::Tracer;
 use graphalytics_graph::partition::mix64;
 
 /// A key-value record; keys and values are text (Hadoop's Text/Text).
@@ -151,7 +152,10 @@ pub fn read_output(dir: &Path) -> Result<Vec<Record>, PlatformError> {
         .map_err(io_err)?
         .filter_map(|e| e.ok())
         .map(|e| e.path())
-        .filter(|p| p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("part-")))
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("part-"))
+        })
         .collect();
     parts.sort();
     let mut out = Vec::new();
@@ -175,6 +179,32 @@ pub fn run_job<M: Mapper, R: CountingReducer>(
     reducer: &R,
     output_dir: &Path,
 ) -> Result<JobCounters, PlatformError> {
+    run_job_traced(
+        config,
+        job_name,
+        inputs,
+        mapper,
+        reducer,
+        output_dir,
+        Tracer::noop(),
+    )
+}
+
+/// [`run_job`] with tracing: emits one `mapreduce.job` span carrying the
+/// job name and final [`JobCounters`], with nested `mapreduce.map` /
+/// `mapreduce.reduce` phase spans.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_traced<M: Mapper, R: CountingReducer>(
+    config: &JobConfig,
+    job_name: &str,
+    inputs: &[PathBuf],
+    mapper: &M,
+    reducer: &R,
+    output_dir: &Path,
+    tracer: &Tracer,
+) -> Result<JobCounters, PlatformError> {
+    let mut job_span = tracer.span("mapreduce.job");
+    job_span.field("job", job_name);
     std::fs::create_dir_all(output_dir).map_err(io_err)?;
     let spill_dir = config.work_dir.join(format!("{job_name}-spills"));
     std::fs::create_dir_all(&spill_dir).map_err(io_err)?;
@@ -182,45 +212,49 @@ pub fn run_job<M: Mapper, R: CountingReducer>(
 
     // --- Map phase: each task handles a slice of the input files. ---
     let map_tasks = config.map_tasks.max(1).min(inputs.len().max(1));
+    let mut map_span = tracer.span("mapreduce.map");
+    map_span.field("job", job_name).field("tasks", map_tasks);
     let mut map_results: Vec<Result<(usize, usize, usize), PlatformError>> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for task in 0..map_tasks {
             let spill_dir = &spill_dir;
             let inputs = &inputs;
-            handles.push(scope.spawn(move |_| -> Result<(usize, usize, usize), PlatformError> {
-                let mut input_count = 0usize;
-                let mut output_count = 0usize;
-                let mut spilled = 0usize;
-                // Per-reducer buffers for this map task.
-                let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); reduce_tasks];
-                for (i, input) in inputs.iter().enumerate() {
-                    if i % map_tasks != task {
-                        continue;
-                    }
-                    for (k, v) in read_records(input)? {
-                        input_count += 1;
-                        let mut emitter = Emitter::default();
-                        mapper.map(&k, &v, &mut emitter);
-                        for (ok, ov) in emitter.records {
-                            let p = (mix64(fx_hash(&ok)) % reduce_tasks as u64) as usize;
-                            buckets[p].push((ok, ov));
-                            output_count += 1;
+            handles.push(
+                scope.spawn(move |_| -> Result<(usize, usize, usize), PlatformError> {
+                    let mut input_count = 0usize;
+                    let mut output_count = 0usize;
+                    let mut spilled = 0usize;
+                    // Per-reducer buffers for this map task.
+                    let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); reduce_tasks];
+                    for (i, input) in inputs.iter().enumerate() {
+                        if i % map_tasks != task {
+                            continue;
+                        }
+                        for (k, v) in read_records(input)? {
+                            input_count += 1;
+                            let mut emitter = Emitter::default();
+                            mapper.map(&k, &v, &mut emitter);
+                            for (ok, ov) in emitter.records {
+                                let p = (mix64(fx_hash(&ok)) % reduce_tasks as u64) as usize;
+                                buckets[p].push((ok, ov));
+                                output_count += 1;
+                            }
                         }
                     }
-                }
-                // Sort and spill each bucket (Hadoop's sort-based shuffle).
-                for (p, mut bucket) in buckets.into_iter().enumerate() {
-                    bucket.sort();
-                    let path = spill_dir.join(format!("map-{task}-part-{p}"));
-                    spilled += bucket
-                        .iter()
-                        .map(|(k, v)| k.len() + v.len() + 2)
-                        .sum::<usize>();
-                    write_records(&path, &bucket)?;
-                }
-                Ok((input_count, output_count, spilled))
-            }));
+                    // Sort and spill each bucket (Hadoop's sort-based shuffle).
+                    for (p, mut bucket) in buckets.into_iter().enumerate() {
+                        bucket.sort();
+                        let path = spill_dir.join(format!("map-{task}-part-{p}"));
+                        spilled += bucket
+                            .iter()
+                            .map(|(k, v)| k.len() + v.len() + 2)
+                            .sum::<usize>();
+                        write_records(&path, &bucket)?;
+                    }
+                    Ok((input_count, output_count, spilled))
+                }),
+            );
         }
         for h in handles {
             map_results.push(h.join().expect("map task panicked"));
@@ -234,8 +268,18 @@ pub fn run_job<M: Mapper, R: CountingReducer>(
         counters.map_output += o;
         counters.spill_bytes += s;
     }
+    map_span
+        .field("map_input", counters.map_input)
+        .field("map_output", counters.map_output)
+        .field("spill_bytes", counters.spill_bytes);
+    drop(map_span);
 
     // --- Reduce phase: each task merges its partition's spills. ---
+    let mut reduce_span = tracer.span("mapreduce.reduce");
+    reduce_span
+        .field("job", job_name)
+        .field("tasks", reduce_tasks);
+    #[allow(clippy::type_complexity)]
     let mut reduce_results: Vec<
         Result<(usize, std::collections::BTreeMap<String, i64>), PlatformError>,
     > = Vec::new();
@@ -244,7 +288,10 @@ pub fn run_job<M: Mapper, R: CountingReducer>(
         for p in 0..reduce_tasks {
             let spill_dir = &spill_dir;
             handles.push(scope.spawn(
-                move |_| -> Result<(usize, std::collections::BTreeMap<String, i64>), PlatformError> {
+                move |_| -> Result<
+                    (usize, std::collections::BTreeMap<String, i64>),
+                    PlatformError,
+                > {
                     // Merge the sorted spill fragments for this partition.
                     let mut records: Vec<Record> = Vec::new();
                     for task in 0..map_tasks {
@@ -289,6 +336,13 @@ pub fn run_job<M: Mapper, R: CountingReducer>(
             *counters.user.entry(k).or_insert(0) += v;
         }
     }
+    reduce_span.field("reduce_output", counters.reduce_output);
+    drop(reduce_span);
+    job_span
+        .field("map_input", counters.map_input)
+        .field("map_output", counters.map_output)
+        .field("reduce_output", counters.reduce_output)
+        .field("spill_bytes", counters.spill_bytes);
     // Clean intermediate spills (Hadoop removes them after the job).
     let _ = std::fs::remove_dir_all(&spill_dir);
     Ok(counters)
@@ -362,6 +416,42 @@ mod tests {
         assert_eq!(the.1, "3");
         assert_eq!(output.len(), 7);
         assert_eq!(counters.reduce_output, 7);
+    }
+
+    #[test]
+    fn traced_job_emits_job_and_phase_spans_matching_counters() {
+        use graphalytics_core::trace::FieldValue;
+
+        let dir = tmp("spans");
+        let input = dir.join("input-0");
+        write_records(&input, &[("0".into(), "a b a".into())]).unwrap();
+        let tracer = Tracer::new();
+        let counters = run_job_traced(
+            &JobConfig::new(&dir),
+            "wc",
+            &[input],
+            &TokenMapper,
+            &SumReducer,
+            &dir.join("out"),
+            &tracer,
+        )
+        .unwrap();
+
+        let spans = tracer.finished_spans();
+        let job = spans.iter().find(|s| s.name == "mapreduce.job").unwrap();
+        assert_eq!(job.field("job"), Some(&FieldValue::Str("wc".into())));
+        assert_eq!(
+            job.field("map_output").and_then(|f| f.as_i64()),
+            Some(counters.map_output as i64)
+        );
+        assert_eq!(
+            job.field("reduce_output").and_then(|f| f.as_i64()),
+            Some(counters.reduce_output as i64)
+        );
+        for phase in ["mapreduce.map", "mapreduce.reduce"] {
+            let s = spans.iter().find(|s| s.name == phase).unwrap();
+            assert_eq!(s.parent, Some(job.id), "{phase} nests under the job");
+        }
     }
 
     #[test]

@@ -67,7 +67,9 @@ impl MapReducePlatform {
     }
 
     fn loaded(&self, handle: GraphHandle) -> Result<&LoadedGraph, PlatformError> {
-        self.graphs.get(&handle.0).ok_or(PlatformError::InvalidHandle)
+        self.graphs
+            .get(&handle.0)
+            .ok_or(PlatformError::InvalidHandle)
     }
 
     /// A fresh job scratch dir per run (jobs of different algorithms must
@@ -250,13 +252,7 @@ mod tests {
 
     fn test_graph() -> Arc<CsrGraph> {
         Arc::new(CsrGraph::from_edge_list(
-            &EdgeListGraph::undirected_from_edges(vec![
-                (0, 1),
-                (1, 2),
-                (0, 2),
-                (2, 3),
-                (4, 5),
-            ]),
+            &EdgeListGraph::undirected_from_edges(vec![(0, 1), (1, 2), (0, 2), (2, 3), (4, 5)]),
         ))
     }
 

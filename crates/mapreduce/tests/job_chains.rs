@@ -84,20 +84,17 @@ fn bfs_chain_matches_reference_and_needs_diameter_rounds() {
         .filter_map(|e| e.ok())
         .filter(|e| e.file_name().to_string_lossy().starts_with("bfs-depths-"))
         .count();
-    assert!(rounds >= 8, "expected many BFS rounds on disk, saw {rounds}");
+    assert!(
+        rounds >= 8,
+        "expected many BFS rounds on disk, saw {rounds}"
+    );
 }
 
 #[test]
 fn bfs_chain_without_source() {
     let f = fixture("bfs-nosrc", vec![(0, 1), (1, 2)]);
-    let depths = algorithms::bfs(
-        &f.config,
-        &f.edge_files,
-        3,
-        None,
-        &RunContext::unbounded(),
-    )
-    .unwrap();
+    let depths =
+        algorithms::bfs(&f.config, &f.edge_files, 3, None, &RunContext::unbounded()).unwrap();
     assert_eq!(depths, vec![-1, -1, -1]);
 }
 

@@ -20,7 +20,9 @@
 //! * cooperative deadlines checked at every barrier.
 
 use graphalytics_core::platform::{PlatformError, RunContext};
-use graphalytics_graph::partition::{HashPartitioner, LdgPartitioner, Partitioner, RangePartitioner};
+use graphalytics_graph::partition::{
+    HashPartitioner, LdgPartitioner, Partitioner, RangePartitioner,
+};
 use graphalytics_graph::{CsrGraph, Vid};
 use std::sync::Arc;
 
@@ -191,10 +193,13 @@ pub trait VertexProgram: Sync {
     /// Optional message combiner: merges `incoming` into `acc` for messages
     /// addressed to the same vertex, cutting message volume (Giraph's
     /// Combiner). Return `None` to disable combining.
-    fn combiner(&self) -> Option<fn(&mut Self::Message, Self::Message)> {
+    fn combiner(&self) -> Option<MessageCombiner<Self::Message>> {
         None
     }
 }
+
+/// A message combiner: merges the second message into the first.
+pub type MessageCombiner<M> = fn(&mut M, M);
 
 /// Result of a Pregel run.
 #[derive(Debug, Clone)]
@@ -242,11 +247,15 @@ pub fn run<P: VertexProgram>(
         ctx.check_deadline()?;
         // A vertex is runnable when it hasn't voted to halt *or* has
         // pending messages (message receipt reactivates halted vertices).
-        let any_runnable = active.iter().any(|&a| a)
-            || inbox.iter().any(|m| !m.is_empty());
+        let any_runnable = active.iter().any(|&a| a) || inbox.iter().any(|m| !m.is_empty());
         if !any_runnable {
             break;
         }
+        // One span per superstep, carrying the same counts the engine
+        // accumulates into `PregelStats`.
+        let mut step_span = ctx.tracer().span("pregel.superstep");
+        step_span.field("superstep", superstep);
+        let remote_before = stats.messages_remote;
         // --- Compute phase: workers process their own vertices. ---
         // Split the global state vector into per-worker views by handing
         // each worker ownership of (vid, state, messages) tuples; we take
@@ -342,6 +351,11 @@ pub fn run<P: VertexProgram>(
         stats.max_worker_messages += max_worker_messages;
         stats.active_per_superstep.push(step_active);
         stats.supersteps += 1;
+        step_span
+            .field("active_vertices", step_active)
+            .field("messages_sent", sent_this_step)
+            .field("messages_remote", stats.messages_remote - remote_before)
+            .field("aggregate", step_aggregate);
         if !any_message && !active.iter().any(|&a| a) {
             break;
         }
@@ -384,12 +398,7 @@ mod tests {
             vertex
         }
 
-        fn compute(
-            &self,
-            state: &mut u32,
-            messages: &[u32],
-            ctx: &mut ComputeContext<'_, u32>,
-        ) {
+        fn compute(&self, state: &mut u32, messages: &[u32], ctx: &mut ComputeContext<'_, u32>) {
             let incoming = messages.iter().copied().min();
             let best = incoming.unwrap_or(*state).min(*state);
             if best < *state || ctx.superstep == 0 {
@@ -413,11 +422,46 @@ mod tests {
     #[test]
     fn min_label_finds_components() {
         let g = graph(vec![(0, 1), (1, 2), (3, 4)]);
-        let result = run(&g, &MinLabel, &PregelConfig::default(), &RunContext::unbounded())
-            .unwrap();
+        let result = run(
+            &g,
+            &MinLabel,
+            &PregelConfig::default(),
+            &RunContext::unbounded(),
+        )
+        .unwrap();
         assert_eq!(result.states, vec![0, 0, 0, 3, 3]);
         assert!(result.stats.supersteps >= 2);
         assert!(result.stats.messages_total > 0);
+    }
+
+    #[test]
+    fn superstep_spans_match_engine_stats() {
+        use graphalytics_core::trace::{FieldValue, Tracer};
+
+        let g = graph(vec![(0, 1), (1, 2), (2, 3), (3, 4), (5, 6)]);
+        let tracer = std::sync::Arc::new(Tracer::new());
+        let ctx = RunContext::unbounded().with_tracer(std::sync::Arc::clone(&tracer));
+        let result = run(&g, &MinLabel, &PregelConfig::default(), &ctx).unwrap();
+        let spans: Vec<_> = tracer
+            .finished_spans()
+            .into_iter()
+            .filter(|s| s.name == "pregel.superstep")
+            .collect();
+        assert_eq!(spans.len(), result.stats.supersteps);
+        let field = |s: &graphalytics_core::trace::Span, k: &str| {
+            s.field(k).and_then(FieldValue::as_i64).unwrap()
+        };
+        for (i, s) in spans.iter().enumerate() {
+            assert_eq!(field(s, "superstep"), i as i64);
+            assert_eq!(
+                field(s, "active_vertices"),
+                result.stats.active_per_superstep[i] as i64
+            );
+        }
+        let sent: i64 = spans.iter().map(|s| field(s, "messages_sent")).sum();
+        assert_eq!(sent, result.stats.messages_total as i64);
+        let remote: i64 = spans.iter().map(|s| field(s, "messages_remote")).sum();
+        assert_eq!(remote, result.stats.messages_remote as i64);
     }
 
     #[test]
@@ -508,12 +552,7 @@ mod tests {
             type State = ();
             type Message = ();
             fn init(&self, _v: Vid, _g: &CsrGraph) {}
-            fn compute(
-                &self,
-                _state: &mut (),
-                _messages: &[()],
-                ctx: &mut ComputeContext<'_, ()>,
-            ) {
+            fn compute(&self, _state: &mut (), _messages: &[()], ctx: &mut ComputeContext<'_, ()>) {
                 ctx.send_to_neighbors(());
             }
         }
@@ -534,8 +573,13 @@ mod tests {
     #[test]
     fn skew_factor_sane() {
         let g = graph(vec![(0, 1), (1, 2), (3, 4)]);
-        let result =
-            run(&g, &MinLabel, &PregelConfig::default(), &RunContext::unbounded()).unwrap();
+        let result = run(
+            &g,
+            &MinLabel,
+            &PregelConfig::default(),
+            &RunContext::unbounded(),
+        )
+        .unwrap();
         let skew = result.stats.skew_factor(4);
         assert!(skew >= 1.0, "skew={skew}");
     }
@@ -543,8 +587,13 @@ mod tests {
     #[test]
     fn empty_graph_runs() {
         let g = graph(vec![]);
-        let result =
-            run(&g, &MinLabel, &PregelConfig::default(), &RunContext::unbounded()).unwrap();
+        let result = run(
+            &g,
+            &MinLabel,
+            &PregelConfig::default(),
+            &RunContext::unbounded(),
+        )
+        .unwrap();
         assert!(result.states.is_empty());
     }
 }

@@ -15,7 +15,6 @@ pub mod platform;
 pub mod programs;
 
 pub use engine::{
-    run, ComputeContext, PartitionerKind, PregelConfig, PregelResult, PregelStats,
-    VertexProgram,
+    run, ComputeContext, PartitionerKind, PregelConfig, PregelResult, PregelStats, VertexProgram,
 };
 pub use platform::GiraphPlatform;

@@ -35,7 +35,9 @@ impl GiraphPlatform {
     }
 
     fn graph(&self, handle: GraphHandle) -> Result<&Arc<CsrGraph>, PlatformError> {
-        self.graphs.get(&handle.0).ok_or(PlatformError::InvalidHandle)
+        self.graphs
+            .get(&handle.0)
+            .ok_or(PlatformError::InvalidHandle)
     }
 }
 

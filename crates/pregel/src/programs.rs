@@ -132,8 +132,7 @@ impl VertexProgram for CdProgram {
                 entry.0.push(influence);
                 entry.1 = entry.1.max(score);
             }
-            let (best_label, _w, best_score) =
-                graphalytics_algos::cd::argmax_label(&mut weight);
+            let (best_label, _w, best_score) = graphalytics_algos::cd::argmax_label(&mut weight);
             if best_label != state.label {
                 state.label = best_label;
                 state.score = best_score * (1.0 - self.hop_attenuation);
@@ -187,8 +186,7 @@ impl VertexProgram for StatsProgram {
                 if d >= 2 {
                     let mut links = 0usize;
                     for their in messages {
-                        links +=
-                            graphalytics_graph::metrics::sorted_intersection_len(mine, their);
+                        links += graphalytics_graph::metrics::sorted_intersection_len(mine, their);
                     }
                     let triangles = links / 2;
                     *state = triangles as f64 / (d * (d - 1) / 2) as f64;
@@ -304,8 +302,7 @@ mod tests {
         };
         let states = run_default(&g, &program);
         let labels: Vec<u32> = states.iter().map(|s| s.label).collect();
-        let expected =
-            graphalytics_algos::cd::community_detection(&g, 10, 0.05, 0.1);
+        let expected = graphalytics_algos::cd::community_detection(&g, 10, 0.05, 0.1);
         assert_eq!(labels, expected);
     }
 
@@ -315,7 +312,10 @@ mod tests {
         let lccs = run_default(&g, &StatsProgram);
         let mean = lccs.iter().sum::<f64>() / lccs.len() as f64;
         let expected = graphalytics_algos::stats::stats(&g).mean_local_cc;
-        assert!((mean - expected).abs() < 1e-12, "mean={mean} expected={expected}");
+        assert!(
+            (mean - expected).abs() < 1e-12,
+            "mean={mean} expected={expected}"
+        );
     }
 
     #[test]

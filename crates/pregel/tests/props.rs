@@ -10,14 +10,18 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 fn arb_graph() -> impl Strategy<Value = Arc<CsrGraph>> {
-    (2u64..30, proptest::collection::vec((0u64..30, 0u64..30), 0..90)).prop_map(|(n, raw)| {
-        let edges: Vec<(u64, u64)> = raw.into_iter().map(|(a, b)| (a % n, b % n)).collect();
-        Arc::new(CsrGraph::from_edge_list(&EdgeListGraph::new(
-            (0..n).collect(),
-            edges,
-            false,
-        )))
-    })
+    (
+        2u64..30,
+        proptest::collection::vec((0u64..30, 0u64..30), 0..90),
+    )
+        .prop_map(|(n, raw)| {
+            let edges: Vec<(u64, u64)> = raw.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+            Arc::new(CsrGraph::from_edge_list(&EdgeListGraph::new(
+                (0..n).collect(),
+                edges,
+                false,
+            )))
+        })
 }
 
 proptest! {

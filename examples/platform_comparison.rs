@@ -56,5 +56,9 @@ fn main() {
     let db_path = std::env::temp_dir().join("graphalytics-results.jsonl");
     let db = ResultsDb::open(&db_path).expect("open results db");
     db.submit(&result.runs).expect("submit results");
-    println!("submitted {} run records to {}", result.runs.len(), db_path.display());
+    println!(
+        "submitted {} run records to {}",
+        result.runs.len(),
+        db_path.display()
+    );
 }

@@ -47,10 +47,7 @@ fn properties_file_to_reports() {
     assert_eq!((valid, invalid, skipped), (12, 0, 0));
 
     // Every run used the configured repetition count.
-    assert!(result
-        .runs
-        .iter()
-        .all(|r| r.repetition_seconds.len() == 2));
+    assert!(result.runs.iter().all(|r| r.repetition_seconds.len() == 2));
 
     // Text report names both datasets; HTML is well formed and marks all
     // cells ok.
@@ -85,9 +82,8 @@ fn config_defaults_run_the_paper_workload() {
 
 #[test]
 fn spec_validation_can_be_disabled() {
-    let spec =
-        BenchmarkSpec::parse("graphs = graph500-7\nplatforms = giraph\nvalidate = false")
-            .expect("parse");
+    let spec = BenchmarkSpec::parse("graphs = graph500-7\nplatforms = giraph\nvalidate = false")
+        .expect("parse");
     let result = run_spec(&spec);
     assert!(result
         .runs

@@ -18,10 +18,7 @@ fn platforms() -> Vec<Box<dyn Platform>> {
 fn graphs() -> Vec<(&'static str, Arc<CsrGraph>)> {
     let mut out = Vec::new();
     // A small Graph500 R-MAT graph (skewed degrees, one giant component).
-    out.push((
-        "graph500-7",
-        Dataset::graph500(7).load().expect("generate"),
-    ));
+    out.push(("graph500-7", Dataset::graph500(7).load().expect("generate")));
     // A Datagen social graph (community structure).
     out.push(("snb-300", Dataset::snb(300).load().expect("generate")));
     // A disconnected structured graph.

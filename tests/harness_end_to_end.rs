@@ -90,8 +90,7 @@ fn timeouts_render_as_dnf() {
         },
     );
     // MapReduce on a scale-9 graph cannot finish label propagation in 5ms.
-    let mut platforms: Vec<Box<dyn Platform>> =
-        vec![Box::new(MapReducePlatform::with_defaults())];
+    let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(MapReducePlatform::with_defaults())];
     let result = s.run(&mut platforms);
     assert_eq!(result.runs[0].status, RunStatus::Timeout);
     let table = report::runtime_matrix(&result, "Graph500 9");
@@ -104,8 +103,7 @@ fn unsupported_workloads_are_failure_cells_not_crashes() {
         vec![Dataset::graph500(7)],
         vec![Algorithm::default_bfs(), Algorithm::Conn],
     );
-    let mut platforms: Vec<Box<dyn Platform>> =
-        vec![Box::new(VirtuosoPlatform::with_defaults())];
+    let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(VirtuosoPlatform::with_defaults())];
     let result = s.run(&mut platforms);
     let bfs = result.find("Virtuoso", "Graph500 7", "BFS").expect("cell");
     assert!(bfs.status.is_success());

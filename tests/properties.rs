@@ -10,15 +10,15 @@ use std::sync::Arc;
 
 /// Strategy: an arbitrary small undirected graph as an edge list.
 fn arb_graph() -> impl Strategy<Value = EdgeListGraph> {
-    (2u64..40, proptest::collection::vec((0u64..40, 0u64..40), 0..120)).prop_map(
-        |(n, raw_edges)| {
-            let edges: Vec<(u64, u64)> = raw_edges
-                .into_iter()
-                .map(|(a, b)| (a % n, b % n))
-                .collect();
-            EdgeListGraph::new((0..n).collect(), edges, false)
-        },
+    (
+        2u64..40,
+        proptest::collection::vec((0u64..40, 0u64..40), 0..120),
     )
+        .prop_map(|(n, raw_edges)| {
+            let edges: Vec<(u64, u64)> =
+                raw_edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+            EdgeListGraph::new((0..n).collect(), edges, false)
+        })
 }
 
 proptest! {

@@ -1,0 +1,93 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope`, which predates
+//! `std::thread::scope`. This shim keeps the crossbeam call shape —
+//! `scope(|s| { s.spawn(|_| ...); })` returning a `Result` — but delegates
+//! to the std scoped-threads implementation underneath.
+
+pub mod thread {
+    /// Handle passed to the scope closure and to every spawned closure
+    /// (crossbeam hands spawned threads a scope reference so they can spawn
+    /// further work; the workspace ignores it, hence the `|_|` bindings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread guaranteed to finish before the scope returns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned in the scope are
+    /// joined before this returns. Unlike crossbeam, a panic in an
+    /// *unjoined* spawned thread propagates here as a panic rather than an
+    /// `Err` — the workspace joins or ignores handles uniformly, so the
+    /// difference is unobservable.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut slots = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn handles_return_values() {
+        let out = super::thread::scope(|s| {
+            let h = s.spawn(|_| 6 * 7);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_arg() {
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                inner.spawn(|_| {
+                    total.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 3);
+    }
+}

@@ -1,0 +1,377 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! `proptest!` macro (with an optional `#![proptest_config(...)]`
+//! header), integer-range / tuple / `collection::vec` / `any::<T>()` /
+//! simple-regex string strategies, `.prop_map`, and the `prop_assert*`
+//! macros. No shrinking: a failing case panics with the test's own
+//! assertion message, which is enough signal for CI.
+
+pub mod test_runner {
+    /// Per-block configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator; seeded per test site so runs
+    /// are reproducible.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator (tests derive the seed from `line!()`).
+        pub fn new(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values; the `proptest!` macro samples one
+    /// value per declared argument per case.
+    pub trait Strategy {
+        /// The value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps drawn values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as u64) - (self.start as u64);
+                    self.start + rng.below(width) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, usize);
+
+    impl Strategy for std::ops::Range<u64> {
+        type Value = u64;
+        fn sample(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let width = self.end - self.start;
+            self.start + rng.below(width)
+        }
+    }
+
+    impl Strategy for std::ops::Range<i64> {
+        type Value = i64;
+        fn sample(&self, rng: &mut TestRng) -> i64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let width = (self.end - self.start) as u64;
+            self.start + rng.below(width) as i64
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+
+    /// String strategy from a simplified regex. Supports the one shape the
+    /// workspace uses — `.{lo,hi}`: a string of `lo..=hi` arbitrary
+    /// printable (ASCII + a few multibyte) characters.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let inner = self
+                .strip_prefix(".{")
+                .and_then(|rest| rest.strip_suffix('}'))
+                .unwrap_or_else(|| panic!("unsupported regex strategy: {self:?}"));
+            let (lo, hi) = inner
+                .split_once(',')
+                .and_then(|(a, b)| Some((a.parse::<u64>().ok()?, b.parse::<u64>().ok()?)))
+                .unwrap_or_else(|| panic!("unsupported regex strategy: {self:?}"));
+            // Pool mixes ASCII with escapes-relevant and multibyte chars so
+            // JSON round-trip tests see interesting inputs.
+            const POOL: &[char] = &[
+                'a',
+                'b',
+                'z',
+                'A',
+                'Z',
+                '0',
+                '9',
+                ' ',
+                '\t',
+                '\n',
+                '"',
+                '\\',
+                '/',
+                '{',
+                '}',
+                '[',
+                ']',
+                ':',
+                ',',
+                '.',
+                '\u{e9}',
+                '\u{3b1}',
+                '\u{4e2d}',
+                '\u{1f600}',
+                '\u{7f}',
+                '\u{1}',
+            ];
+            let len = lo + rng.below(hi - lo + 1);
+            (0..len)
+                .map(|_| POOL[rng.below(POOL.len() as u64) as usize])
+                .collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let width = (self.len.end - self.len.start).max(1) as u64;
+            let len = self.len.start + rng.below(width) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector of `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples every strategy `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        #[test]
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            // Seed derived from the callsite so each test is deterministic
+            // but distinct.
+            let seed = (line!() as u64) << 32 | column!() as u64;
+            let mut rng = $crate::test_runner::TestRng::new(seed);
+            for case in 0..config.cases {
+                let _ = case;
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                // Bodies may `return Ok(())` to skip a case (proptest's
+                // rewritten-function semantics), so run each case in a
+                // Result-returning closure.
+                #[allow(clippy::redundant_closure_call)]
+                let case_result: ::core::result::Result<(), ()> = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                let _ = case_result;
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u64..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::sample(&(0usize..1), &mut rng);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_compose() {
+        let mut rng = crate::test_runner::TestRng::new(11);
+        let s = crate::collection::vec((0u32..4, any::<u64>()), 2..5);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&(a, _)| a < 4));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::test_runner::TestRng::new(13);
+        let s = (1u64..5).prop_map(|x| x * 10);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!((10..50).contains(&v) && v % 10 == 0);
+        }
+    }
+
+    #[test]
+    fn string_regex_subset() {
+        let mut rng = crate::test_runner::TestRng::new(17);
+        for _ in 0..200 {
+            let s = Strategy::sample(&".{0,8}", &mut rng);
+            assert!(s.chars().count() <= 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u64..10, mut v in crate::collection::vec(0u8..3, 0..4)) {
+            v.push(0);
+            prop_assert!(x < 10);
+            prop_assert_eq!(v.last().copied(), Some(0));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for the `rustc-hash` crate.
+//!
+//! Implements the Fx hash function (the Firefox/rustc multiply-rotate-xor
+//! hash) and the usual `FxHashMap`/`FxHashSet` aliases. The algorithm
+//! matches the upstream crate's classic formulation: fast, deterministic
+//! within a process, and not DoS-resistant — exactly the trade the
+//! workspace wants for internal vertex-id keyed tables.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+/// The `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The Fx hash state: `hash = (rotl5(hash) ^ word) * SEED` per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_usable() {
+        let mut m = FxHashMap::default();
+        m.insert(1u64, "a");
+        m.insert(2u64, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        let mut s = FxHashSet::default();
+        assert!(s.insert("x"));
+        assert!(!s.insert("x"));
+        let hash_of = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash_of(42), hash_of(42));
+        assert_ne!(hash_of(42), hash_of(43));
+    }
+
+    #[test]
+    fn byte_stream_hashing_covers_remainders() {
+        let mut a = FxHasher::default();
+        a.write(b"0123456789"); // 8-byte chunk + 2-byte tail
+        let mut b = FxHasher::default();
+        b.write(b"0123456789");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(b"0123456788");
+        assert_ne!(a.finish(), c.finish());
+    }
+}
