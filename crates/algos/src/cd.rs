@@ -81,6 +81,7 @@ pub fn community_detection(
 /// `(label, weight, max_score)`.
 pub fn argmax_label(weight: &mut FxHashMap<u32, (Vec<f64>, f64)>) -> (u32, f64, f64) {
     let (mut best_label, mut best_weight, mut best_score) = (u32::MAX, f64::MIN, 0.0);
+    // lint:allow(determinism-hash-iter): order-insensitive — contributions are sorted before summing and ties break by total order on the label, so every iteration order yields the same argmax
     for (&l, (contributions, max_score)) in weight.iter_mut() {
         contributions.sort_by(|a, b| a.total_cmp(b));
         let w: f64 = contributions.iter().sum();
@@ -101,9 +102,11 @@ pub fn modularity(g: &CsrGraph, labels: &[u32]) -> f64 {
     if m2 == 0.0 {
         return 0.0;
     }
-    // Intra-community edge fraction minus expected fraction.
+    // Intra-community edge fraction minus expected fraction. A BTreeMap
+    // keeps the per-label summation in ascending label order, so the f64
+    // total never depends on hash iteration order.
     let mut intra = 0.0f64;
-    let mut degree_sum: FxHashMap<u32, f64> = FxHashMap::default();
+    let mut degree_sum: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
     for v in 0..g.num_vertices() as Vid {
         *degree_sum.entry(labels[v as usize]).or_default() += g.degree(v) as f64;
         for &u in g.neighbors(v) {

@@ -96,9 +96,12 @@ impl Encoded {
     fn from_values(values: &[u64]) -> Encoded {
         let len = values.len();
         debug_assert!(len > 0);
-        let min = *values.iter().min().expect("non-empty block");
-        let max = *values.iter().max().expect("non-empty block");
-        let for_width = bits_for(max - min);
+        // Panic-free min/max: blocks are non-empty by construction, and the
+        // saturating_sub below keeps the (unreachable) empty case harmless.
+        let (min, max) = values
+            .iter()
+            .fold((u64::MAX, 0u64), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let for_width = bits_for(max.saturating_sub(min));
         let for_bits = for_width as usize * len;
         // Delta applies only to non-decreasing runs.
         let sorted = values.windows(2).all(|w| w[0] <= w[1]);

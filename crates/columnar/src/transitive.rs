@@ -146,7 +146,16 @@ pub fn transitive_closure(
                         out.endpoints += targets.len();
                         let t1 = Instant::now();
                         for &c in &targets {
-                            out.outgoing[(mix64(c) % p as u64) as usize].push(c);
+                            // SAFETY: `out.outgoing` was built as
+                            // `vec![Vec::new(); p]`, and `mix64(c) % p` is
+                            // always < p, so the index is in bounds. This is
+                            // the hottest exchange-routing line; skipping the
+                            // bounds check is worth the audit burden.
+                            unsafe {
+                                out.outgoing
+                                    .get_unchecked_mut((mix64(c) % p as u64) as usize)
+                            }
+                            .push(c);
                         }
                         out.exchange_seconds += t1.elapsed().as_secs_f64();
                     }
@@ -154,13 +163,17 @@ pub fn transitive_closure(
                 });
             }
         })
-        .expect("transitive worker panicked");
+        .map_err(|_| PlatformError::Internal("transitive worker panicked".to_string()))?;
 
         // Exchange receive side: regroup buffers per destination.
         let t_ex = Instant::now();
         let mut incoming: Vec<Vec<u64>> = vec![Vec::new(); p];
         for out in outputs.iter_mut() {
-            let out = out.as_mut().expect("partition output");
+            let Some(out) = out.as_mut() else {
+                return Err(PlatformError::Internal(
+                    "transitive partition produced no output".to_string(),
+                ));
+            };
             profile.column_seconds += out.column_seconds;
             profile.exchange_seconds += out.exchange_seconds;
             profile.endpoints_visited += out.endpoints;
@@ -193,7 +206,7 @@ pub fn transitive_closure(
                 });
             }
         })
-        .expect("hash worker panicked");
+        .map_err(|_| PlatformError::Internal("transitive hash worker panicked".to_string()))?;
         profile.hash_seconds += hash_seconds.iter().sum::<f64>();
     }
 

@@ -225,8 +225,15 @@ impl<T: Send + Sync> Dataset<T> {
                 });
             }
         })
-        .expect("dataflow worker panicked");
-        let parts: Vec<Vec<U>> = outputs.into_iter().map(|o| o.expect("partition")).collect();
+        .map_err(|_| PlatformError::Internal("dataflow worker panicked".to_string()))?;
+        let parts: Vec<Vec<U>> = outputs
+            .into_iter()
+            .map(|o| {
+                o.ok_or_else(|| {
+                    PlatformError::Internal("dataflow partition produced no output".to_string())
+                })
+            })
+            .collect::<Result<_, _>>()?;
         Dataset::from_parts(&self.ctx, parts)
     }
 
@@ -333,8 +340,15 @@ where
                 });
             }
         })
-        .expect("join worker panicked");
-        let parts: Vec<_> = outputs.into_iter().map(|o| o.expect("partition")).collect();
+        .map_err(|_| PlatformError::Internal("join worker panicked".to_string()))?;
+        let parts: Vec<_> = outputs
+            .into_iter()
+            .map(|o| {
+                o.ok_or_else(|| {
+                    PlatformError::Internal("join partition produced no output".to_string())
+                })
+            })
+            .collect::<Result<Vec<_>, PlatformError>>()?;
         Dataset::from_parts(&self.ctx, parts)
     }
 

@@ -10,6 +10,8 @@
 //! Record layout (13 bytes):
 //! `in_use: u8 | key: u32 | value: u32 | next: u32`.
 
+use crate::store::read_u32;
+
 /// Null pointer in property chains.
 pub const NIL: u32 = u32::MAX;
 
@@ -88,9 +90,9 @@ impl PropertyStore {
     pub fn get(&self, id: u32) -> PropRecord {
         let o = id as usize * PROP_RECORD;
         PropRecord {
-            key: u32::from_le_bytes(self.data[o + 1..o + 5].try_into().expect("bounds")),
-            value: u32::from_le_bytes(self.data[o + 5..o + 9].try_into().expect("bounds")),
-            next: u32::from_le_bytes(self.data[o + 9..o + 13].try_into().expect("bounds")),
+            key: read_u32(&self.data, o + 1),
+            value: read_u32(&self.data, o + 5),
+            next: read_u32(&self.data, o + 9),
         }
     }
 

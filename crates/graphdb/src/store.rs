@@ -22,6 +22,13 @@ pub const NIL: u32 = u32::MAX;
 const NODE_RECORD: usize = 9;
 const REL_RECORD: usize = 21;
 
+/// Decodes the little-endian u32 at `data[o..o + 4]` — the one place the
+/// record stores turn raw bytes into field values.
+pub(crate) fn read_u32(data: &[u8], o: usize) -> u32 {
+    // lint:allow(panic-safety): a 4-byte slice always converts to [u8; 4]; record offsets are in bounds by the fixed-size record layout
+    u32::from_le_bytes(data[o..o + 4].try_into().expect("4-byte record field"))
+}
+
 /// The node store: fixed-size records in one byte array.
 #[derive(Debug, Clone, Default)]
 pub struct NodeStore {
@@ -57,7 +64,7 @@ impl NodeStore {
     /// Head of the node's relationship chain.
     pub fn first_rel(&self, id: u32) -> u32 {
         let o = self.offset(id);
-        u32::from_le_bytes(self.data[o + 1..o + 5].try_into().expect("record bounds"))
+        read_u32(&self.data, o + 1)
     }
 
     /// Sets the head of the node's relationship chain.
@@ -69,7 +76,7 @@ impl NodeStore {
     /// Cached degree of the node.
     pub fn degree(&self, id: u32) -> u32 {
         let o = self.offset(id);
-        u32::from_le_bytes(self.data[o + 5..o + 9].try_into().expect("record bounds"))
+        read_u32(&self.data, o + 5)
     }
 
     fn bump_degree(&mut self, id: u32) {
@@ -134,10 +141,10 @@ impl RelationshipStore {
     pub fn get(&self, id: u32) -> RelRecord {
         let o = id as usize * REL_RECORD;
         RelRecord {
-            src: u32::from_le_bytes(self.data[o + 1..o + 5].try_into().expect("bounds")),
-            dst: u32::from_le_bytes(self.data[o + 5..o + 9].try_into().expect("bounds")),
-            src_next: u32::from_le_bytes(self.data[o + 9..o + 13].try_into().expect("bounds")),
-            dst_next: u32::from_le_bytes(self.data[o + 13..o + 17].try_into().expect("bounds")),
+            src: read_u32(&self.data, o + 1),
+            dst: read_u32(&self.data, o + 5),
+            src_next: read_u32(&self.data, o + 9),
+            dst_next: read_u32(&self.data, o + 13),
         }
     }
 

@@ -1,0 +1,692 @@
+//! The per-file analysis: tokenize, run every applicable rule, apply
+//! `lint:allow` suppressions, and report unused pragmas.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{rule, valid_metric_name, valid_span_name, Rule, RULES};
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule ID (see [`crate::rules::RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// The `path:line: [rule] message` diagnostic line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed, well-formed `// lint:allow(<rule>): <reason>` pragma.
+struct Allow {
+    rule: &'static str,
+    line: u32,
+    used: bool,
+}
+
+/// Checks one file's source. `rel_path` must be workspace-relative with
+/// `/` separators — rule scoping keys off its leading components.
+pub fn check_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    if is_test_path(rel_path) {
+        return Vec::new();
+    }
+    let crate_name = crate_of(rel_path);
+    let toks = lex(src);
+    let test_boundary = first_cfg_test_line(&toks).unwrap_or(u32::MAX);
+
+    // Split comments (for SAFETY / pragma detection) from code tokens.
+    let mut comments: Vec<&Tok> = Vec::new();
+    let mut code: Vec<&Tok> = Vec::new();
+    for t in &toks {
+        match t.kind {
+            TokKind::LineComment | TokKind::BlockComment => comments.push(t),
+            _ => code.push(t),
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut allows = Vec::new();
+    collect_pragmas(
+        rel_path,
+        &comments,
+        test_boundary,
+        &mut allows,
+        &mut findings,
+    );
+
+    let in_scope = |r: &Rule| match r.crates {
+        None => true,
+        Some(names) => names.contains(&crate_name),
+    };
+    if in_scope(must("determinism-time")) {
+        determinism_time(rel_path, &code, &mut findings);
+    }
+    if in_scope(must("determinism-entropy")) {
+        determinism_entropy(rel_path, &code, &mut findings);
+    }
+    if in_scope(must("determinism-hash-iter")) {
+        determinism_hash_iter(rel_path, &code, &mut findings);
+    }
+    if in_scope(must("panic-safety")) {
+        panic_safety(rel_path, &code, &mut findings);
+    }
+    if in_scope(must("unsafe-audit")) {
+        unsafe_audit(rel_path, &code, &comments, &mut findings);
+    }
+    if in_scope(must("metric-grammar")) && rel_path != "crates/core/src/trace.rs" {
+        metric_grammar(rel_path, &code, &mut findings);
+    }
+
+    // Drop findings inside the test module, dedup repeats on one line,
+    // then apply suppressions.
+    findings.retain(|f| f.line < test_boundary);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    findings.retain(|f| {
+        if f.rule == "allow-pragma" {
+            return true; // Pragma problems cannot be pragma'd away.
+        }
+        for a in allows.iter_mut() {
+            if a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line) {
+                a.used = true;
+                return false;
+            }
+        }
+        true
+    });
+    for a in &allows {
+        if !a.used {
+            findings.push(Finding {
+                rule: "allow-pragma",
+                path: rel_path.to_string(),
+                line: a.line,
+                message: format!(
+                    "unused allow: no `{}` finding on this line or the next",
+                    a.rule
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+fn must(id: &str) -> &'static Rule {
+    // The ID strings above are compile-time members of RULES; a mismatch is
+    // a bug in this file and surfaces immediately in every test.
+    rule(id).unwrap_or(&RULES[0])
+}
+
+/// Whether the path is test-only territory (integration tests, benches,
+/// examples): every component is checked so nested dirs count too.
+fn is_test_path(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples")
+}
+
+/// The crate-name scope key: `crates/<name>/...` → `<name>`, anything else
+/// (the root facade's `src/`) → "graphalytics".
+fn crate_of(rel_path: &str) -> &str {
+    let mut parts = rel_path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name;
+        }
+    }
+    "graphalytics"
+}
+
+/// Line of the first `#[cfg(test)]` attribute, if any.
+fn first_cfg_test_line(toks: &[Tok]) -> Option<u32> {
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    for w in code.windows(6) {
+        if w[0].is_punct('#')
+            && w[1].is_punct('[')
+            && w[2].is_ident("cfg")
+            && w[3].is_punct('(')
+            && w[4].is_ident("test")
+            && w[5].is_punct(')')
+        {
+            return Some(w[0].line);
+        }
+    }
+    None
+}
+
+fn push(findings: &mut Vec<Finding>, rule: &'static str, path: &str, line: u32, message: String) {
+    findings.push(Finding {
+        rule,
+        path: path.to_string(),
+        line,
+        message,
+    });
+}
+
+fn collect_pragmas(
+    path: &str,
+    comments: &[&Tok],
+    test_boundary: u32,
+    allows: &mut Vec<Allow>,
+    findings: &mut Vec<Finding>,
+) {
+    for c in comments {
+        if c.line >= test_boundary {
+            continue;
+        }
+        // Only a comment that *is* a pragma counts — prose that merely
+        // mentions `lint:allow(...)` (docs, this very file) is ignored.
+        let Some(rest) = c.text.trim_start().strip_prefix("lint:allow") else {
+            continue;
+        };
+        let bad = |findings: &mut Vec<Finding>, msg: String| {
+            push(findings, "allow-pragma", path, c.line, msg);
+        };
+        let Some(rest) = rest.strip_prefix('(') else {
+            bad(
+                findings,
+                "malformed pragma: expected `lint:allow(<rule>): <reason>`".to_string(),
+            );
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad(findings, "malformed pragma: missing `)`".to_string());
+            continue;
+        };
+        let id = rest[..close].trim();
+        let Some(known) = rule(id) else {
+            bad(findings, format!("unknown rule `{id}` in allow pragma"));
+            continue;
+        };
+        let tail = &rest[close + 1..];
+        let reason = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad(
+                findings,
+                format!("allow pragma for `{id}` must give a reason: `lint:allow({id}): <why>`"),
+            );
+            continue;
+        }
+        allows.push(Allow {
+            rule: known.id,
+            line: c.line,
+            used: false,
+        });
+    }
+}
+
+fn determinism_time(path: &str, code: &[&Tok], findings: &mut Vec<Finding>) {
+    for w in code.windows(4) {
+        if w[0].is_ident("std") && w[1].is_punct(':') && w[2].is_punct(':') && w[3].is_ident("time")
+        {
+            push(
+                findings,
+                "determinism-time",
+                path,
+                w[0].line,
+                "std::time in a determinism-scoped crate: outputs must not depend on wall clocks"
+                    .to_string(),
+            );
+        }
+    }
+    for t in code {
+        if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            push(
+                findings,
+                "determinism-time",
+                path,
+                t.line,
+                format!(
+                    "`{}` in a determinism-scoped crate: outputs must not depend on wall clocks",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn determinism_entropy(path: &str, code: &[&Tok], findings: &mut Vec<Finding>) {
+    const BANNED: &[&str] = &[
+        "thread_rng",
+        "from_entropy",
+        "OsRng",
+        "getrandom",
+        "RandomState",
+    ];
+    for t in code {
+        if t.kind == TokKind::Ident && BANNED.contains(&t.text.as_str()) {
+            push(
+                findings,
+                "determinism-entropy",
+                path,
+                t.line,
+                format!(
+                    "`{}` draws OS entropy: seed a SplitMix64/Xoshiro256 instead",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+const HASH_TYPES: &[&str] = &["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+fn determinism_hash_iter(path: &str, code: &[&Tok], findings: &mut Vec<Finding>) {
+    // Pass 1: names bound to hash-map/set types in this file — via type
+    // ascription (`name: [&][mut] FxHashMap<...>`, covering let bindings,
+    // fn params, and struct fields) or construction
+    // (`name = FxHashMap::default()`).
+    let mut hash_names: Vec<&str> = Vec::new();
+    let is_hash_ty = |t: &Tok| t.kind == TokKind::Ident && HASH_TYPES.contains(&t.text.as_str());
+    for i in 0..code.len() {
+        if code[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = code[i].text.as_str();
+        let mut j = i + 1;
+        let sep_colon = code.get(j).is_some_and(|t| t.is_punct(':'))
+            && !code.get(j + 1).is_some_and(|t| t.is_punct(':'));
+        let sep_eq = code.get(j).is_some_and(|t| t.is_punct('='))
+            && !code.get(j + 1).is_some_and(|t| t.is_punct('='));
+        if !(sep_colon || sep_eq) {
+            continue;
+        }
+        j += 1;
+        while code
+            .get(j)
+            .is_some_and(|t| t.is_punct('&') || t.is_ident("mut") || t.kind == TokKind::Lifetime)
+        {
+            j += 1;
+        }
+        if code.get(j).is_some_and(|t| is_hash_ty(t)) && !hash_names.contains(&name) {
+            hash_names.push(name);
+        }
+    }
+
+    // Pass 2: iteration over those names.
+    for w in code.windows(4) {
+        if w[1].is_punct('.')
+            && w[3].is_punct('(')
+            && w[0].kind == TokKind::Ident
+            && w[2].kind == TokKind::Ident
+            && hash_names.contains(&w[0].text.as_str())
+            && ITER_METHODS.contains(&w[2].text.as_str())
+        {
+            push(
+                findings,
+                "determinism-hash-iter",
+                path,
+                w[2].line,
+                format!(
+                    "iterating hash collection `{}` via `.{}()`: hash order is not part of \
+                     the determinism contract — sort before ordered output, or allow with \
+                     a written order-insensitivity argument",
+                    w[0].text, w[2].text
+                ),
+            );
+        }
+    }
+    // `for x in [&[mut]] name {` — direct IntoIterator over the collection.
+    for i in 0..code.len() {
+        if !code[i].is_ident("in") {
+            continue;
+        }
+        let mut j = i + 1;
+        while code
+            .get(j)
+            .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+        {
+            j += 1;
+        }
+        if let (Some(name_tok), Some(brace)) = (code.get(j), code.get(j + 1)) {
+            if name_tok.kind == TokKind::Ident
+                && hash_names.contains(&name_tok.text.as_str())
+                && brace.is_punct('{')
+            {
+                push(
+                    findings,
+                    "determinism-hash-iter",
+                    path,
+                    name_tok.line,
+                    format!(
+                        "`for .. in {}` iterates a hash collection: hash order is not part \
+                         of the determinism contract",
+                        name_tok.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn panic_safety(path: &str, code: &[&Tok], findings: &mut Vec<Finding>) {
+    const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `.unwrap()`.
+        if t.text == "unwrap"
+            && i > 0
+            && code[i - 1].is_punct('.')
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && code.get(i + 2).is_some_and(|n| n.is_punct(')'))
+        {
+            push(
+                findings,
+                "panic-safety",
+                path,
+                t.line,
+                "`.unwrap()` in a platform crate: propagate PlatformError instead \
+                 (a failed run must become a report cell, not a crash)"
+                    .to_string(),
+            );
+        }
+        // `.expect(...)` not immediately followed by `?` — the trailing `?`
+        // marks a Result-returning parser-combinator `expect`, not
+        // `Result::expect`/`Option::expect`.
+        if t.text == "expect"
+            && i > 0
+            && code[i - 1].is_punct('.')
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while let Some(n) = code.get(j) {
+                if n.is_punct('(') {
+                    depth += 1;
+                } else if n.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if !code.get(j + 1).is_some_and(|n| n.is_punct('?')) {
+                push(
+                    findings,
+                    "panic-safety",
+                    path,
+                    t.line,
+                    "`.expect(..)` in a platform crate: propagate PlatformError instead, \
+                     or allow with a written infallibility argument"
+                        .to_string(),
+                );
+            }
+        }
+        // panic-family macros.
+        if MACROS.contains(&t.text.as_str()) && code.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            push(
+                findings,
+                "panic-safety",
+                path,
+                t.line,
+                format!(
+                    "`{}!` in a platform crate: propagate PlatformError instead",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn unsafe_audit(path: &str, code: &[&Tok], comments: &[&Tok], findings: &mut Vec<Finding>) {
+    for t in code {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        // Accept a SAFETY: comment on the same line, or anywhere inside the
+        // contiguous comment block ending on the line directly above (multi-
+        // line justifications are the norm for non-trivial blocks).
+        let mut documented = comments
+            .iter()
+            .any(|c| c.line == t.line && c.text.contains("SAFETY:"));
+        let mut line = t.line;
+        while !documented && line > 1 {
+            line -= 1;
+            let Some(c) = comments.iter().find(|c| c.line == line) else {
+                break;
+            };
+            documented = c.text.contains("SAFETY:");
+        }
+        if !documented {
+            push(
+                findings,
+                "unsafe-audit",
+                path,
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment on the same line or in \
+                 the comment block directly above"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn metric_grammar(path: &str, code: &[&Tok], findings: &mut Vec<Finding>) {
+    const METRIC_FNS: &[&str] = &[
+        "inc_counter",
+        "set_gauge",
+        "max_gauge",
+        "observe",
+        "observe_with_buckets",
+    ];
+    const SPAN_FNS: &[&str] = &["span", "span_with_parent", "event"];
+    // Pattern: `. <method> ( "<name>"` — the tracer/registry APIs always
+    // take the name as the first argument. Dynamic (non-literal) names are
+    // not statically checkable and pass.
+    for i in 3..code.len() {
+        let name_tok = code[i];
+        if name_tok.kind != TokKind::Str
+            || !code[i - 1].is_punct('(')
+            || code[i - 2].kind != TokKind::Ident
+            || !code[i - 3].is_punct('.')
+        {
+            continue;
+        }
+        let method = code[i - 2].text.as_str();
+        let name = name_tok.text.as_str();
+        if METRIC_FNS.contains(&method) && !valid_metric_name(name) {
+            push(
+                findings,
+                "metric-grammar",
+                path,
+                name_tok.line,
+                format!(
+                    "metric name \"{name}\" violates the canonical grammar \
+                     `graphalytics_[a-z][a-z0-9_]*`"
+                ),
+            );
+        }
+        if SPAN_FNS.contains(&method) && !valid_span_name(name) {
+            push(
+                findings,
+                "metric-grammar",
+                path,
+                name_tok.line,
+                format!(
+                    "span name \"{name}\" violates the dotted lowercase grammar \
+                     `seg(.seg)*` with seg = `[a-z][a-z0-9_]*`"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_at(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+        check_source(path, src)
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn scope_helpers() {
+        assert_eq!(crate_of("crates/datagen/src/rmat.rs"), "datagen");
+        assert_eq!(crate_of("src/lib.rs"), "graphalytics");
+        assert!(is_test_path("crates/pregel/tests/props.rs"));
+        assert!(is_test_path("crates/bench/benches/kernels.rs"));
+        assert!(is_test_path("examples/quickstart.rs"));
+        assert!(!is_test_path("crates/pregel/src/engine.rs"));
+    }
+
+    #[test]
+    fn findings_inside_cfg_test_are_ignored() {
+        let src = "fn f() { let t = Instant::now(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn g() { let t = Instant::now(); } }\n";
+        assert_eq!(
+            rules_at("crates/datagen/src/x.rs", src),
+            vec![("determinism-time", 1)]
+        );
+    }
+
+    #[test]
+    fn platform_scope_is_respected() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(
+            rules_at("crates/pregel/src/x.rs", src),
+            vec![("panic-safety", 1)]
+        );
+        // datagen is outside the panic-safety scope.
+        assert_eq!(rules_at("crates/datagen/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn parser_combinator_expect_is_not_flagged() {
+        let src = "fn f(p: &mut P) -> Result<(), E> { p.expect(\"select\")?; Ok(()) }\n";
+        assert_eq!(rules_at("crates/columnar/src/x.rs", src), vec![]);
+        let bad = "fn f(p: Option<u8>) -> u8 { p.expect(\"present\") }\n";
+        assert_eq!(
+            rules_at("crates/columnar/src/x.rs", bad),
+            vec![("panic-safety", 1)]
+        );
+    }
+
+    #[test]
+    fn allow_pragma_round_trip() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   // lint:allow(panic-safety): x is Some by construction above\n\
+                   x.unwrap()\n\
+                   }\n";
+        assert_eq!(rules_at("crates/pregel/src/x.rs", src), vec![]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_itself_a_violation() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   // lint:allow(panic-safety)\n\
+                   x.unwrap()\n\
+                   }\n";
+        let got = rules_at("crates/pregel/src/x.rs", src);
+        assert!(got.contains(&("allow-pragma", 2)), "{got:?}");
+        assert!(got.contains(&("panic-safety", 3)), "{got:?}");
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "// lint:allow(panic-safety): nothing here needs it\n\
+                   fn f() {}\n";
+        assert_eq!(
+            rules_at("crates/pregel/src/x.rs", src),
+            vec![("allow-pragma", 1)]
+        );
+    }
+
+    #[test]
+    fn unsafe_audit_accepts_safety_comments() {
+        let with = "fn f(xs: &[u8]) -> u8 {\n\
+                    // SAFETY: idx is bounded by xs.len() above.\n\
+                    unsafe { *xs.get_unchecked(0) }\n\
+                    }\n";
+        assert_eq!(rules_at("crates/graph/src/x.rs", with), vec![]);
+        let without = "fn f(xs: &[u8]) -> u8 { unsafe { *xs.get_unchecked(0) } }\n";
+        assert_eq!(
+            rules_at("crates/graph/src/x.rs", without),
+            vec![("unsafe-audit", 1)]
+        );
+    }
+
+    #[test]
+    fn hash_iter_tracks_bindings_and_params() {
+        let src = "use rustc_hash::FxHashMap;\n\
+                   fn f(weight: &mut FxHashMap<u32, f64>) -> Vec<u32> {\n\
+                   let mut out: Vec<u32> = weight.keys().copied().collect();\n\
+                   out\n\
+                   }\n";
+        assert_eq!(
+            rules_at("crates/algos/src/x.rs", src),
+            vec![("determinism-hash-iter", 3)]
+        );
+        // Plain Vec iteration never fires.
+        let vec_src = "fn f(xs: &Vec<u32>) -> usize { xs.iter().count() }\n";
+        assert_eq!(rules_at("crates/algos/src/x.rs", vec_src), vec![]);
+    }
+
+    #[test]
+    fn for_loop_over_hash_collection_fires() {
+        let src = "use rustc_hash::FxHashSet;\n\
+                   fn f(burned: FxHashSet<u32>) {\n\
+                   for b in burned {\n\
+                   let _ = b;\n\
+                   }\n\
+                   }\n";
+        assert_eq!(
+            rules_at("crates/datagen/src/x.rs", src),
+            vec![("determinism-hash-iter", 3)]
+        );
+    }
+
+    #[test]
+    fn metric_and_span_grammar() {
+        let src = "fn f(t: &Tracer) {\n\
+                   t.metrics().inc_counter(\"gx_runs_total\", &[], 1);\n\
+                   let _s = t.span(\"Run.Load\");\n\
+                   let _ok = t.span(\"run.load\");\n\
+                   t.metrics().observe(\"graphalytics_run_seconds\", &[], 0.1);\n\
+                   }\n";
+        assert_eq!(
+            rules_at("crates/core/src/x.rs", src),
+            vec![("metric-grammar", 2), ("metric-grammar", 3)]
+        );
+    }
+
+    #[test]
+    fn matches_never_fire_inside_literals_or_comments() {
+        let src = "// Instant::now() and unwrap() in a comment\n\
+                   fn f() -> &'static str { \"Instant::now() .unwrap() panic!()\" }\n";
+        assert_eq!(rules_at("crates/datagen/src/x.rs", src), vec![]);
+        assert_eq!(rules_at("crates/pregel/src/x.rs", src), vec![]);
+    }
+}

@@ -1,0 +1,456 @@
+//! A lightweight Rust lexer for the invariant checker.
+//!
+//! The checker's rules are token-shaped ("`Instant` outside test code",
+//! "`.unwrap()` in a platform crate"), so plain substring matching would
+//! fire inside string literals, doc comments, and `//` commentary. This
+//! lexer classifies the source into just enough categories to avoid that:
+//! identifiers, punctuation, string/char/number literals, lifetimes, and
+//! comments — each tagged with its 1-based line number.
+//!
+//! It is deliberately not a full Rust lexer: tokens the rules never
+//! inspect (e.g. the exact punctuation of `..=`) come out as single-char
+//! punct tokens, which is fine because the rules only ever match
+//! identifier/punct sequences.
+
+/// Token categories the rules can match on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `Instant`, `unwrap`, ...).
+    Ident,
+    /// A string literal (regular, raw, byte, or C string); `text` holds the
+    /// *contents* without quotes/escapes-resolution (raw bytes between the
+    /// delimiters).
+    Str,
+    /// A character or byte-character literal.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A single punctuation character (`.`, `(`, `!`, `?`, ...).
+    Punct,
+    /// A `//` comment (including doc comments); `text` holds everything
+    /// after the `//`.
+    LineComment,
+    /// A `/* */` comment (nesting handled); `text` holds the interior.
+    BlockComment,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Category.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what each kind stores).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punct token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into a token vector (comments included, in source order).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(b) = self.peek(0) {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'"' => self.string(line),
+                b'r' | b'b' | b'c' if self.starts_prefixed_literal() => self.prefixed_literal(line),
+                b'\'' => self.char_or_lifetime(line),
+                b'0'..=b'9' => self.number(line),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(line),
+                _ => {
+                    let start = self.pos;
+                    self.bump();
+                    // Finish a multi-byte UTF-8 scalar so we never split one.
+                    while self.peek(0).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.bump();
+                    }
+                    let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.push(TokKind::Punct, text, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Does the cursor sit on `r"`, `r#"`, `b"`, `br"`, `b'`, `c"`, ...?
+    fn starts_prefixed_literal(&self) -> bool {
+        let mut i = 1;
+        // Up to two prefix letters (`br`, `cr`, `rb` doesn't exist but the
+        // extra tolerance is harmless for a linter).
+        if matches!(self.peek(i), Some(b'r' | b'b' | b'c')) {
+            i += 1;
+        }
+        loop {
+            match self.peek(i) {
+                Some(b'#') => i += 1,
+                Some(b'"') => return true,
+                Some(b'\'') => return i == 1 && self.peek(0) == Some(b'b'),
+                _ => return false,
+            }
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    end = self.pos;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => {
+                    end = self.pos;
+                    break;
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // Opening quote.
+        let start = self.pos;
+        let mut end;
+        loop {
+            end = self.pos;
+            match self.bump() {
+                None => break,
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Raw/byte/C strings (`r"..."`, `r#"..."#`, `b"..."`, `b'x'`, ...).
+    fn prefixed_literal(&mut self, line: u32) {
+        // Consume prefix letters.
+        while matches!(self.peek(0), Some(b'r' | b'b' | b'c')) {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        match self.peek(0) {
+            Some(b'\'') => {
+                // Byte char: b'x' or b'\n'.
+                self.bump();
+                if self.peek(0) == Some(b'\\') {
+                    self.bump();
+                }
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, String::new(), line);
+            }
+            Some(b'"') if hashes == 0 => {
+                // Plain (possibly byte/C) string; escapes apply unless raw.
+                // `r"..."` has no escapes but also no hashes — handle both:
+                // a preceding `r` means raw. Conservatively treat prefixed
+                // zero-hash strings as escaped; a raw `r"` with a `\` before
+                // the closing quote is vanishingly rare in this codebase.
+                self.string(line);
+            }
+            Some(b'"') => {
+                // Raw with hashes: scan for `"` followed by `hashes` hashes.
+                self.bump();
+                let start = self.pos;
+                let end;
+                'outer: loop {
+                    match self.bump() {
+                        None => {
+                            end = self.pos;
+                            break;
+                        }
+                        Some(b'"') => {
+                            let close_at = self.pos - 1;
+                            for k in 0..hashes {
+                                if self.peek(k) != Some(b'#') {
+                                    continue 'outer;
+                                }
+                            }
+                            for _ in 0..hashes {
+                                self.bump();
+                            }
+                            end = close_at;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+                self.push(TokKind::Str, text, line);
+            }
+            _ => {
+                // `r#ident` raw identifier, or a lone prefix letter that is
+                // actually an ident start — rewind is impossible, so emit
+                // what we can: treat as identifier from here.
+                self.ident(line);
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // The `'`.
+                     // `'\...'` or `'x'` is a char literal; `'ident` without a closing
+                     // quote is a lifetime/label.
+        if self.peek(0) == Some(b'\\') {
+            self.bump();
+            // Escape payload up to the closing quote.
+            while self.peek(0).is_some_and(|b| b != b'\'') {
+                self.bump();
+            }
+            self.bump();
+            self.push(TokKind::Char, String::new(), line);
+            return;
+        }
+        // A char like 'x' (possibly multi-byte scalar) closes with a quote
+        // right after one scalar; otherwise it's a lifetime.
+        let mut scalar_len = 1;
+        if let Some(b) = self.peek(0) {
+            scalar_len = match b {
+                0x00..=0x7F => 1,
+                0xC0..=0xDF => 2,
+                0xE0..=0xEF => 3,
+                _ => 4,
+            };
+        }
+        if self.peek(scalar_len) == Some(b'\'') {
+            for _ in 0..=scalar_len {
+                self.bump();
+            }
+            self.push(TokKind::Char, String::new(), line);
+        } else {
+            let start = self.pos;
+            while self
+                .peek(0)
+                .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+            {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(TokKind::Lifetime, text, line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(|b| {
+            b.is_ascii_alphanumeric() || b == b'_' || b == b'.' && self.peek(1) != Some(b'.')
+        }) {
+            // Stop the dot-consumption when it's a method call on a literal
+            // (`1.max(2)`): a dot followed by an alphabetic char is a call.
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_alphabetic()) {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+        {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = lex("let x = a.unwrap();");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "a", "unwrap"]);
+    }
+
+    #[test]
+    fn string_contents_are_not_idents() {
+        let toks = kinds(r#"let s = "Instant::now() inside a string";"#);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "Instant"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("Instant")));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let toks = kinds(r#"let s = "a \" b"; unwrap"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == r#"a \" b"#));
+    }
+
+    #[test]
+    fn raw_strings() {
+        let toks = kinds(r##"let s = r#"has "quotes" and panic!()"#;"##);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "panic"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quotes")));
+    }
+
+    #[test]
+    fn comments_are_classified() {
+        let toks = lex("// line panic!\n/* block unwrap */ code");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(toks[0].text.contains("panic"));
+        assert_eq!(toks[1].kind, TokKind::BlockComment);
+        assert!(toks[1].text.contains("unwrap"));
+        assert!(toks[2].is_ident("code"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* a /* nested */ still comment */ after");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[1].is_ident("after"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<(String, u32)> = toks.into_iter().map(|t| (t.text, t.line)).collect();
+        assert_eq!(
+            lines,
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 2),
+                ("c".to_string(), 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let toks = lex("let x = 1.max(2); let y = 1.5;");
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5"));
+    }
+}

@@ -1,0 +1,126 @@
+//! `graphalytics-lint` — the workspace invariant checker.
+//!
+//! Graphalytics' credibility rests on reproducible, validated runs: the
+//! choke-point methodology needs deterministic datagen, the harness needs
+//! platform failures to surface as report cells rather than crashes, and
+//! the observability layer needs a single metric namespace. This crate
+//! *enforces* those invariants as named lints over every `.rs` file in the
+//! workspace, using a string/char/comment-aware lexer so matches never fire
+//! inside literals or doc comments.
+//!
+//! Rules (see [`rules::RULES`] and DESIGN.md §8 for rationale):
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | `determinism-time` | datagen, algos, graph | no wall clocks |
+//! | `determinism-entropy` | all crates | only seeded RNG constructors |
+//! | `determinism-hash-iter` | datagen, algos, graph | hash iteration is order-insensitive or sorted |
+//! | `panic-safety` | platform crates | no `unwrap`/`expect`/`panic!` |
+//! | `unsafe-audit` | all crates | every `unsafe` carries `// SAFETY:` |
+//! | `metric-grammar` | all crates | canonical metric/span names |
+//! | `allow-pragma` | all crates | well-formed, used, reasoned allows |
+//!
+//! Escape hatch: `// lint:allow(<rule>): <reason>` on the offending line or
+//! the line above suppresses one rule there; the reason is mandatory and an
+//! allow that suppresses nothing is itself an error — annotations cannot
+//! rot silently.
+//!
+//! Run it: `cargo run -p graphalytics-lint -- check [--json]`.
+
+pub mod check;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use check::{check_source, Finding};
+
+use std::io;
+use std::path::Path;
+
+/// Checks every governed `.rs` file under `root` (the workspace root) and
+/// returns all findings, sorted by path then line.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel in walk::rust_files(root)? {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        findings.extend(check_source(&rel, &src));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Locates the workspace root by walking up from `start` until a directory
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Renders findings as a JSON array (one object per finding) — the
+/// `--json` output, consumed by CI annotations.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            f.rule,
+            esc(&f.path),
+            f.line,
+            esc(&f.message)
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_output_escapes() {
+        let findings = vec![Finding {
+            rule: "panic-safety",
+            path: "crates/x/src/a.rs".to_string(),
+            line: 3,
+            message: "a \"quoted\" message".to_string(),
+        }];
+        let json = findings_to_json(&findings);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"line\":3"));
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn workspace_root_discovery_from_here() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("crates/lint/Cargo.toml").exists());
+    }
+}

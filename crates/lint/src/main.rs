@@ -1,0 +1,104 @@
+//! The `lint` binary: `cargo run -p graphalytics-lint -- check [--json]`.
+//!
+//! Exit status: 0 when the workspace is clean, 1 on violations, 2 on usage
+//! or I/O errors — so CI can gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use graphalytics_lint::{check_workspace, find_workspace_root, findings_to_json, rules};
+
+const USAGE: &str = "\
+graphalytics-lint — workspace invariant checker
+
+USAGE:
+    lint check [--json] [--root <dir>]    check every governed .rs file
+    lint rules                            list rules with their rationale
+
+Exit status: 0 clean, 1 violations found, 2 usage/IO error.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check_cmd(&args[1..]),
+        Some("rules") => {
+            for r in rules::RULES {
+                let scope = match r.crates {
+                    None => "all crates".to_string(),
+                    Some(names) => names.join(", "),
+                };
+                println!("{:<22} [{scope}]\n    {}", r.id, r.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check_cmd(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no [workspace] Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let findings = match check_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint failed to read workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", findings_to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        if findings.is_empty() {
+            println!("lint: workspace clean ({} rules)", rules::RULES.len());
+        } else {
+            println!("lint: {} violation(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,144 @@
+//! The rule catalog: stable IDs, scopes, and rationale one-liners.
+//!
+//! Scoping model: every rule runs only over **non-test code** — files under
+//! a `tests/`, `benches/`, or `examples/` directory are skipped entirely,
+//! and within a source file everything from the first `#[cfg(test)]` to the
+//! end of the file is ignored (the workspace convention keeps the test
+//! module last). Rules additionally restrict themselves to the crates where
+//! the invariant is load-bearing (see [`Rule::crates`]).
+
+/// Crates whose outputs must be bit-reproducible: the data generator, the
+/// reference algorithms, and the graph substrate they share.
+pub const DETERMINISM_CRATES: &[&str] = &["datagen", "algos", "graph"];
+
+/// The five platform crates, where an `unwrap()` on a failure path turns a
+/// benchmark failure cell (Figure 4's "missing values") into a crash.
+pub const PLATFORM_CRATES: &[&str] = &["pregel", "dataflow", "mapreduce", "graphdb", "columnar"];
+
+/// One lint rule's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Stable rule ID, used in diagnostics and `lint:allow(<id>)` pragmas.
+    pub id: &'static str,
+    /// Crate-name scope; `None` means every workspace crate.
+    pub crates: Option<&'static [&'static str]>,
+    /// One-line rationale shown by `lint rules`.
+    pub summary: &'static str,
+}
+
+/// Every rule the checker knows, in diagnostic order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "determinism-time",
+        crates: Some(DETERMINISM_CRATES),
+        summary: "no Instant/SystemTime/std::time in datagen, algos, or graph: \
+                  generated data and reference outputs must not depend on wall clocks",
+    },
+    Rule {
+        id: "determinism-entropy",
+        crates: None,
+        summary: "no thread_rng/from_entropy/OsRng/getrandom/RandomState anywhere: \
+                  all randomness flows from the seeded SplitMix64/Xoshiro256 constructors",
+    },
+    Rule {
+        id: "determinism-hash-iter",
+        crates: Some(DETERMINISM_CRATES),
+        summary: "iterating a HashMap/HashSet in datagen, algos, or graph must be \
+                  order-insensitive or explicitly sorted before feeding ordered output",
+    },
+    Rule {
+        id: "panic-safety",
+        crates: Some(PLATFORM_CRATES),
+        summary: "no unwrap()/expect()/panic! in platform crates: failure paths must \
+                  propagate PlatformError so a failed run becomes a report cell, not a crash",
+    },
+    Rule {
+        id: "unsafe-audit",
+        crates: None,
+        summary: "every `unsafe` must carry a `// SAFETY:` comment on the same line \
+                  or in the comment block directly above it",
+    },
+    Rule {
+        id: "metric-grammar",
+        crates: None,
+        summary: "metric names must match graphalytics_[a-z][a-z0-9_]* and span names \
+                  must be dotted lowercase segments ([a-z][a-z0-9_]* separated by '.')",
+    },
+    Rule {
+        id: "allow-pragma",
+        crates: None,
+        summary: "`// lint:allow(<rule>): <reason>` pragmas must name a known rule, \
+                  give a non-empty reason, and actually suppress something",
+    },
+];
+
+/// Looks up a rule by ID.
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// True when `name` is a valid canonical metric name:
+/// `graphalytics_` + lowercase snake, per the Prometheus naming grammar.
+pub fn valid_metric_name(name: &str) -> bool {
+    let Some(rest) = name.strip_prefix("graphalytics_") else {
+        return false;
+    };
+    let mut chars = rest.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    rest.chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// True when `name` is a valid span name: one or more dot-separated
+/// lowercase snake segments ("pregel.superstep", "run").
+pub fn valid_span_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('.').all(|seg| {
+            let mut chars = seg.chars();
+            matches!(chars.next(), Some(c) if c.is_ascii_lowercase())
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_resolvable() {
+        for (i, r) in RULES.iter().enumerate() {
+            assert_eq!(rule(r.id), Some(r));
+            for other in &RULES[i + 1..] {
+                assert_ne!(r.id, other.id);
+            }
+        }
+    }
+
+    #[test]
+    fn metric_grammar() {
+        assert!(valid_metric_name("graphalytics_runs_total"));
+        assert!(valid_metric_name("graphalytics_load_seconds"));
+        assert!(valid_metric_name("graphalytics_peak_rss_bytes"));
+        assert!(!valid_metric_name("gx_runs_total")); // Missing prefix.
+        assert!(!valid_metric_name("graphalytics_")); // Empty stem.
+        assert!(!valid_metric_name("graphalytics_RunsTotal")); // Case.
+        assert!(!valid_metric_name("graphalytics_runs-total")); // Dash.
+    }
+
+    #[test]
+    fn span_grammar() {
+        assert!(valid_span_name("run"));
+        assert!(valid_span_name("pregel.superstep"));
+        assert!(valid_span_name("virtuoso.round"));
+        assert!(valid_span_name("a.b_c.d2"));
+        assert!(!valid_span_name(""));
+        assert!(!valid_span_name("Run.load")); // Case.
+        assert!(!valid_span_name("run..load")); // Empty segment.
+        assert!(!valid_span_name("run.2fast")); // Digit-initial segment.
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: lint:allow pragmas — suppressed violation, plus an unused allow.
+use std::time::Instant;
+
+pub fn timed_len(edges: &[(u32, u32)]) -> (usize, f64) {
+    // lint:allow(determinism-time): timing feeds stats output, not graph content
+    let t0 = Instant::now();
+    let n = edges.len();
+    (n, t0.elapsed().as_secs_f64())
+}
+
+pub fn plain_len(edges: &[(u32, u32)]) -> usize {
+    // lint:allow(panic-safety): nothing here can panic
+    edges.len()
+}

@@ -1,0 +1,12 @@
+//! Fixture: entropy-seeded randomness.
+
+pub fn shuffled_ids(n: u32) -> Vec<u32> {
+    let mut rng = rand::thread_rng();
+    let mut ids: Vec<u32> = (0..n).collect();
+    ids.swap(0, (rng.next_u32() % n) as usize);
+    ids
+}
+
+pub fn fresh_rng() -> Xoshiro256 {
+    Xoshiro256::from_entropy()
+}

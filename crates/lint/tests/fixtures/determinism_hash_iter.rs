@@ -1,0 +1,10 @@
+//! Fixture: unordered hash iteration feeding output.
+use rustc_hash::FxHashMap;
+
+pub fn label_counts(labels: &FxHashMap<u32, u32>) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (&label, &count) in labels.iter() {
+        out.push((label, count));
+    }
+    out
+}

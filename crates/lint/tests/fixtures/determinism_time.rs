@@ -1,0 +1,12 @@
+//! Fixture: wall-clock reads inside a determinism-scoped crate.
+use std::time::Instant;
+
+pub fn degree_histogram(edges: &[(u32, u32)]) -> Vec<u32> {
+    let t0 = Instant::now();
+    let mut hist = vec![0u32; 64];
+    for &(src, _) in edges {
+        hist[(src % 64) as usize] += 1;
+    }
+    let _elapsed = t0.elapsed();
+    hist
+}

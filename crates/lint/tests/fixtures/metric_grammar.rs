@@ -1,0 +1,7 @@
+//! Fixture: metric and span names that violate the naming grammar.
+
+pub fn record(metrics: &Metrics, tracer: &Tracer) {
+    metrics.inc_counter("runs_total", 1);
+    metrics.set_gauge("graphalytics_PeakRss", 42);
+    let _span = tracer.span("Load.Graph");
+}

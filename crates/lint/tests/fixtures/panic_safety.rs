@@ -1,0 +1,16 @@
+//! Fixture: panics in platform code.
+
+pub fn first_vertex(partition: &[u32]) -> u32 {
+    *partition.first().unwrap()
+}
+
+pub fn budget(limit: Option<usize>) -> usize {
+    limit.expect("budget must be configured")
+}
+
+pub fn dispatch(kind: &str) {
+    match kind {
+        "bsp" => {}
+        other => panic!("unknown engine {other}"),
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: unsafe without a SAFETY justification.
+
+pub fn sum(xs: &[u64]) -> u64 {
+    let mut total = 0;
+    for i in 0..xs.len() {
+        total += unsafe { *xs.get_unchecked(i) };
+    }
+    total
+}

@@ -1,0 +1,21 @@
+//! The lint self-check: the workspace this crate lives in must be clean.
+//!
+//! This is the same invariant CI enforces via `cargo run -p
+//! graphalytics-lint -- check`, expressed as a test so `cargo test -q`
+//! alone catches regressions.
+
+use graphalytics_lint::{check_workspace, find_workspace_root};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let start = env!("CARGO_MANIFEST_DIR");
+    let root =
+        find_workspace_root(std::path::Path::new(start)).expect("workspace root above crates/lint");
+    let findings = check_workspace(&root).expect("workspace walk succeeds");
+    let rendered: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    assert!(
+        findings.is_empty(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -214,8 +214,10 @@ pub fn run_job_traced<M: Mapper, R: CountingReducer>(
     let map_tasks = config.map_tasks.max(1).min(inputs.len().max(1));
     let mut map_span = tracer.span("mapreduce.map");
     map_span.field("job", job_name).field("tasks", map_tasks);
-    let mut map_results: Vec<Result<(usize, usize, usize), PlatformError>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    // Each join yields the task's own Result; a panicked task surfaces as
+    // an Err from join, which the loop below turns into a PlatformError —
+    // a failed map task becomes a failed job, not a harness crash.
+    let map_results = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for task in 0..map_tasks {
             let spill_dir = &spill_dir;
@@ -256,14 +258,13 @@ pub fn run_job_traced<M: Mapper, R: CountingReducer>(
                 }),
             );
         }
-        for h in handles {
-            map_results.push(h.join().expect("map task panicked"));
-        }
+        handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
     })
-    .expect("map scope failed");
+    .map_err(|_| PlatformError::Internal("map scope failed".to_string()))?;
     let mut counters = JobCounters::default();
     for r in map_results {
-        let (i, o, s) = r?;
+        let (i, o, s) =
+            r.map_err(|_| PlatformError::Internal("map task panicked".to_string()))??;
         counters.map_input += i;
         counters.map_output += o;
         counters.spill_bytes += s;
@@ -279,11 +280,7 @@ pub fn run_job_traced<M: Mapper, R: CountingReducer>(
     reduce_span
         .field("job", job_name)
         .field("tasks", reduce_tasks);
-    #[allow(clippy::type_complexity)]
-    let mut reduce_results: Vec<
-        Result<(usize, std::collections::BTreeMap<String, i64>), PlatformError>,
-    > = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    let reduce_results = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for p in 0..reduce_tasks {
             let spill_dir = &spill_dir;
@@ -324,13 +321,12 @@ pub fn run_job_traced<M: Mapper, R: CountingReducer>(
                 },
             ));
         }
-        for h in handles {
-            reduce_results.push(h.join().expect("reduce task panicked"));
-        }
+        handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
     })
-    .expect("reduce scope failed");
+    .map_err(|_| PlatformError::Internal("reduce scope failed".to_string()))?;
     for r in reduce_results {
-        let (count, user) = r?;
+        let (count, user) =
+            r.map_err(|_| PlatformError::Internal("reduce task panicked".to_string()))??;
         counters.reduce_output += count;
         for (k, v) in user {
             *counters.user.entry(k).or_insert(0) += v;

@@ -305,11 +305,14 @@ pub fn run<P: VertexProgram>(
                     });
                 }
             })
-            .expect("pregel worker panicked");
-            outputs
-                .into_iter()
-                .map(|o| o.expect("worker output"))
-                .collect()
+            .map_err(|_| PlatformError::Internal("pregel worker panicked".to_string()))?;
+            let mut collected = Vec::with_capacity(workers);
+            for o in outputs {
+                collected.push(o.ok_or_else(|| {
+                    PlatformError::Internal("pregel worker produced no output".to_string())
+                })?);
+            }
+            collected
         };
 
         // --- Barrier: apply updates, route messages. ---
