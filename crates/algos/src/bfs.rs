@@ -3,7 +3,9 @@
 //! neighbors of the neighbors" (paper §3.2).
 
 use graphalytics_graph::{CsrGraph, VertexId, Vid};
+use graphalytics_parallel as par;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, Ordering};
 
 /// Depth of every vertex from `source` (an external id); `-1` when
 /// unreachable (including when `source` itself is absent from the graph).
@@ -26,6 +28,98 @@ pub fn bfs(g: &CsrGraph, source: VertexId) -> Vec<i64> {
         }
     }
     depths
+}
+
+/// Growth factor deciding the top-down → bottom-up switch (Beamer et al.,
+/// GAP): go bottom-up once the frontier's out-arcs exceed `1/ALPHA` of the
+/// unexplored arcs.
+const ALPHA: usize = 15;
+/// Shrink factor for the bottom-up → top-down switch: return to top-down
+/// once the frontier falls below `n / BETA` vertices.
+const BETA: usize = 18;
+
+/// Direction-optimizing parallel BFS (push/pull, Beamer et al.) on up to
+/// `threads` workers.
+///
+/// Deterministic: level-synchronous rounds assign every vertex the same
+/// depth as [`bfs`] no matter the thread count — top-down claims race only
+/// through compare-exchange writes of the *same* level value, and the
+/// direction heuristic depends only on deterministic quantities (frontier
+/// arc counts). Output is byte-identical to the sequential kernel.
+pub fn bfs_parallel(g: &CsrGraph, source: VertexId, threads: usize) -> Vec<i64> {
+    let threads = threads.max(1);
+    let n = g.num_vertices();
+    let Some(src) = g.internal_id(source) else {
+        return vec![-1; n];
+    };
+
+    let depths: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(-1)).collect();
+    depths[src as usize].store(0, Ordering::Relaxed);
+    let mut frontier: Vec<Vid> = vec![src];
+    let mut scout_arcs = g.degree(src);
+    let mut edges_to_check = g.num_arcs();
+    let mut level = 0i64;
+
+    while !frontier.is_empty() {
+        let next_level = level + 1;
+        let bottom_up = scout_arcs * ALPHA > edges_to_check || frontier.len() * BETA > n;
+        edges_to_check = edges_to_check.saturating_sub(scout_arcs);
+
+        let parts: Vec<(Vec<Vid>, usize)> = if bottom_up {
+            // Pull: every unvisited vertex scans its in-neighbors for a
+            // frontier member; only the owning worker writes its depth.
+            par::map_chunks(threads, n, |_, range| {
+                let mut local = Vec::new();
+                let mut arcs = 0usize;
+                for v in range {
+                    if depths[v].load(Ordering::Relaxed) >= 0 {
+                        continue;
+                    }
+                    let hit = g
+                        .in_neighbors(v as Vid)
+                        .iter()
+                        .any(|&u| depths[u as usize].load(Ordering::Relaxed) == level);
+                    if hit {
+                        depths[v].store(next_level, Ordering::Relaxed);
+                        local.push(v as Vid);
+                        arcs += g.degree(v as Vid);
+                    }
+                }
+                (local, arcs)
+            })
+        } else {
+            // Push: frontier chunks claim unvisited out-neighbors. The
+            // compare-exchange winner is scheduling-dependent; the stored
+            // value is not.
+            let frontier = &frontier;
+            par::map_chunks(threads, frontier.len(), |_, range| {
+                let mut local = Vec::new();
+                let mut arcs = 0usize;
+                for &v in &frontier[range] {
+                    for &u in g.neighbors(v) {
+                        if depths[u as usize]
+                            .compare_exchange(-1, next_level, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            local.push(u);
+                            arcs += g.degree(u);
+                        }
+                    }
+                }
+                (local, arcs)
+            })
+        };
+
+        frontier = Vec::with_capacity(parts.iter().map(|(p, _)| p.len()).sum());
+        scout_arcs = 0;
+        for (part, arcs) in parts {
+            frontier.extend(part);
+            scout_arcs += arcs;
+        }
+        level = next_level;
+    }
+
+    depths.into_iter().map(AtomicI64::into_inner).collect()
 }
 
 /// Number of edges traversed by a BFS from `source`: the sum of the degrees
@@ -105,6 +199,47 @@ mod tests {
         assert_eq!(traversed_edges(&g, &d), 2);
         let g500 = csr(vec![(0, 1), (1, 2), (0, 2)], false);
         assert_eq!(traversed_edges(&g500, &bfs(&g500, 0)), 3);
+    }
+
+    /// A graph with hubs, a long path tail, and a disconnected part —
+    /// exercises both traversal directions and the heuristic switch.
+    fn mixed_shape() -> CsrGraph {
+        let mut edges: Vec<(u64, u64)> = (1..80).map(|i| (0, i)).collect();
+        edges.extend((80..140).map(|i| (i, i + 1)));
+        edges.push((50, 80));
+        edges.extend([(200, 201), (201, 202)]);
+        csr(edges, false)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bytewise() {
+        let g = mixed_shape();
+        for source in [0u64, 100, 200, 999] {
+            let seq = bfs(&g, source);
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    bfs_parallel(&g, source, threads),
+                    seq,
+                    "source={source} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_directed() {
+        let g = csr(vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (5, 0)], true);
+        for source in [0u64, 5] {
+            for threads in [1usize, 4] {
+                assert_eq!(bfs_parallel(&g, source, threads), bfs(&g, source));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_empty_graph() {
+        let g = csr(vec![], false);
+        assert!(bfs_parallel(&g, 0, 4).is_empty());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! specification.
 
 use graphalytics_graph::{CsrGraph, Vid};
+use graphalytics_parallel as par;
 
 /// Component label per vertex: the *minimum internal id* in the component —
 /// a canonical labeling, so two correct results compare equal directly.
@@ -30,8 +31,84 @@ pub fn connected_components(g: &CsrGraph) -> Vec<u32> {
     labels
 }
 
-/// Union-find (disjoint set) structure, used both as an alternative CONN
-/// implementation and by property tests as a cross-check.
+/// Parallel CONN via frontier-free min-label propagation with pointer
+/// jumping, on up to `threads` workers.
+///
+/// Each round is a Jacobi step — `next[v] = min(label[v], labels of v's
+/// neighbors)` computed entirely from the previous round's array — followed
+/// by pointer-jumping shortcut steps (`label[v] = label[label[v]]`), also
+/// Jacobi. Nothing ever reads a value written in the same step, so the
+/// result is a pure function of the graph at every thread count, and the
+/// fixpoint is the *minimum internal id per component* — byte-identical to
+/// [`connected_components`].
+pub fn connected_components_parallel(g: &CsrGraph, threads: usize) -> Vec<u32> {
+    let threads = threads.max(1);
+    let n = g.num_vertices();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut next: Vec<u32> = vec![0; n];
+    loop {
+        // Propagate: adopt the smallest label in the closed neighborhood
+        // (both directions, so directed graphs get weak connectivity).
+        let changed = propagate_step(threads, g, &labels, &mut next);
+        std::mem::swap(&mut labels, &mut next);
+        // Shortcut: compress label chains until stable.
+        loop {
+            let jumped = jump_step(threads, &labels, &mut next);
+            std::mem::swap(&mut labels, &mut next);
+            if !jumped {
+                break;
+            }
+        }
+        if !changed {
+            return labels;
+        }
+    }
+}
+
+fn propagate_step(threads: usize, g: &CsrGraph, labels: &[u32], next: &mut [u32]) -> bool {
+    let changed = std::sync::atomic::AtomicBool::new(false);
+    par::for_each_chunk_mut(threads, next, |_, start, slice| {
+        let mut local = false;
+        for (off, slot) in slice.iter_mut().enumerate() {
+            let v = (start + off) as Vid;
+            let mut best = labels[v as usize];
+            for &u in g.neighbors(v) {
+                best = best.min(labels[u as usize]);
+            }
+            if g.is_directed() {
+                for &u in g.in_neighbors(v) {
+                    best = best.min(labels[u as usize]);
+                }
+            }
+            local |= best != labels[v as usize];
+            *slot = best;
+        }
+        if local {
+            changed.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    });
+    changed.into_inner()
+}
+
+fn jump_step(threads: usize, labels: &[u32], next: &mut [u32]) -> bool {
+    let changed = std::sync::atomic::AtomicBool::new(false);
+    par::for_each_chunk_mut(threads, next, |_, start, slice| {
+        let mut local = false;
+        for (off, slot) in slice.iter_mut().enumerate() {
+            let v = start + off;
+            let jumped = labels[labels[v] as usize];
+            local |= jumped != labels[v];
+            *slot = jumped;
+        }
+        if local {
+            changed.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    });
+    changed.into_inner()
+}
+
+/// Disjoint-set forest (union by rank, path halving) used by the alternate
+/// CONN implementation and by property tests as a cross-check.
 #[derive(Debug, Clone)]
 pub struct UnionFind {
     parent: Vec<u32>,
@@ -141,6 +218,43 @@ mod tests {
         let el = EdgeListGraph::new(vec![0, 1, 2], vec![(0, 1)], false);
         let g = CsrGraph::from_edge_list(&el);
         assert_eq!(connected_components(&g), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bytewise() {
+        // Long path (worst case for propagation rounds) + clusters +
+        // isolated vertices.
+        let mut edges: Vec<(u64, u64)> = (0..100).map(|i| (i, i + 1)).collect();
+        edges.extend([(200, 201), (201, 202), (202, 200), (300, 301)]);
+        let el = EdgeListGraph::new(vec![400, 401], edges, false);
+        let g = CsrGraph::from_edge_list(&el);
+        let seq = connected_components(&g);
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                connected_components_parallel(&g, threads),
+                seq,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_weak_connectivity_on_directed() {
+        let g = CsrGraph::from_edge_list(&EdgeListGraph::directed_from_edges(vec![
+            (0, 1),
+            (2, 1),
+            (3, 4),
+        ]));
+        assert_eq!(
+            connected_components_parallel(&g, 4),
+            connected_components(&g)
+        );
+    }
+
+    #[test]
+    fn parallel_handles_empty_graph() {
+        let g = csr(vec![]);
+        assert!(connected_components_parallel(&g, 4).is_empty());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! "skewed execution intensity": later iterations do less work).
 
 use graphalytics_graph::{CsrGraph, Vid};
+use graphalytics_parallel as par;
 
 /// Classic power-iteration PageRank. Dangling mass (vertices with out-degree
 /// zero) is redistributed uniformly so scores sum to 1 each iteration.
@@ -34,6 +35,70 @@ pub fn pagerank(g: &CsrGraph, iterations: usize, damping: f64) -> Vec<f64> {
         for x in next.iter_mut() {
             *x = base + damping * *x;
         }
+        std::mem::swap(&mut ranks, &mut next);
+    }
+    ranks
+}
+
+/// Parallel pull-based PageRank on up to `threads` workers.
+///
+/// Where the sequential kernel *pushes* `ranks[v]/deg(v)` along out-edges
+/// in ascending source order, this kernel *pulls*: each vertex sums the
+/// contributions of its in-neighbors — which CSR stores in the same
+/// ascending order — so every per-vertex accumulation performs the exact
+/// same float additions in the exact same order. Combined with the
+/// ascending dangling-mass sweep (precomputed index list), the output is
+/// **bitwise identical to [`pagerank`] at every thread count**.
+pub fn pagerank_parallel(
+    g: &CsrGraph,
+    iterations: usize,
+    damping: f64,
+    threads: usize,
+) -> Vec<f64> {
+    let threads = threads.max(1);
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let inv_n = 1.0 / n as f64;
+    let mut ranks = vec![inv_n; n];
+    let mut next = vec![0.0f64; n];
+    // Per-vertex contribution ranks[v]/deg(v); dangling vertices keep 0.0
+    // (they have no out-arcs, so nothing ever pulls from them).
+    let mut contrib = vec![0.0f64; n];
+    // Dangling vertices in ascending order, fixed for the whole run.
+    let dangling_ids: Vec<Vid> = (0..n as Vid).filter(|&v| g.degree(v) == 0).collect();
+    for _ in 0..iterations {
+        // The dangling sweep stays a single ascending accumulation — the
+        // same association as the sequential kernel, and O(|dangling|).
+        let mut dangling = 0.0f64;
+        for &v in &dangling_ids {
+            dangling += ranks[v as usize];
+        }
+        let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
+        let ranks_ref = &ranks;
+        par::for_each_chunk_mut(threads, &mut contrib, |_, start, slice| {
+            for (off, slot) in slice.iter_mut().enumerate() {
+                let v = (start + off) as Vid;
+                let deg = g.degree(v);
+                *slot = if deg == 0 {
+                    0.0
+                } else {
+                    ranks_ref[v as usize] / deg as f64
+                };
+            }
+        });
+        let contrib_ref = &contrib;
+        par::for_each_chunk_mut(threads, &mut next, |_, start, slice| {
+            for (off, slot) in slice.iter_mut().enumerate() {
+                let v = (start + off) as Vid;
+                let mut acc = 0.0f64;
+                for &u in g.in_neighbors(v) {
+                    acc += contrib_ref[u as usize];
+                }
+                *slot = base + damping * acc;
+            }
+        });
         std::mem::swap(&mut ranks, &mut next);
     }
     ranks
@@ -98,6 +163,35 @@ mod tests {
         let r60 = pagerank(&g, 60, 0.85);
         let r120 = pagerank(&g, 120, 0.85);
         assert!(rank_distance(&r60, &r120) < 1e-4);
+    }
+
+    #[test]
+    fn parallel_is_bitwise_equal_to_sequential() {
+        // Mixed shape: hub, cycle, dangling sink, isolated vertex.
+        let mut edges: Vec<(u64, u64)> = (1..40).map(|i| (0, i)).collect();
+        edges.extend([(1, 2), (2, 3), (3, 1), (5, 40)]);
+        for directed in [false, true] {
+            let el = EdgeListGraph::new(vec![99], edges.clone(), directed);
+            let g = CsrGraph::from_edge_list(&el);
+            let seq = pagerank(&g, 25, 0.85);
+            for threads in [1usize, 2, 8] {
+                let par = pagerank_parallel(&g, 25, 0.85, threads);
+                assert_eq!(par.len(), seq.len());
+                for (i, (a, b)) in par.iter().zip(&seq).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "vertex {i} differs (directed={directed} threads={threads}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_empty_graph() {
+        let g = CsrGraph::from_edge_list(&EdgeListGraph::undirected_from_edges(vec![]));
+        assert!(pagerank_parallel(&g, 10, 0.85, 4).is_empty());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p graphalytics-bench --bin benchmark -- \
-//!     [--trace-out trace.jsonl] run.properties
+//!     [--trace-out trace.jsonl] [--threads N] run.properties
 //! ```
 //!
 //! The properties file selects graphs, algorithms, platforms, timeout, and
@@ -12,7 +12,11 @@
 //! the report is printed and written next to the configuration, and the
 //! run records are appended to the results database. With `--trace-out`,
 //! the run is traced: spans and metrics are exported as JSONL to the given
-//! path, and a Prometheus text rendering to `<path>.prom`.
+//! path, and a Prometheus text rendering to `<path>.prom`. `--threads N`
+//! (or the `reference.threads` property; the flag wins) runs the reference
+//! platform's kernels on the deterministic parallel runtime with up to `N`
+//! workers — `0` means the machine default. Outputs are byte-identical at
+//! every thread count.
 
 use graphalytics_core::config::BenchmarkSpec;
 use graphalytics_core::results::ResultsDb;
@@ -22,7 +26,11 @@ use graphalytics_graphdb::{Neo4jConfig, Neo4jPlatform};
 use graphalytics_mapreduce::MapReducePlatform;
 use graphalytics_pregel::{GiraphPlatform, PregelConfig};
 
-fn build_platform(name: &str, spec: &BenchmarkSpec) -> Result<Box<dyn Platform>, String> {
+fn build_platform(
+    name: &str,
+    spec: &BenchmarkSpec,
+    threads: Option<usize>,
+) -> Result<Box<dyn Platform>, String> {
     match name {
         "giraph" => Ok(Box::new(GiraphPlatform::new(PregelConfig {
             workers: spec.property_usize("giraph.workers").unwrap_or(4),
@@ -42,7 +50,12 @@ fn build_platform(name: &str, spec: &BenchmarkSpec) -> Result<Box<dyn Platform>,
         "virtuoso" => Ok(Box::new(
             graphalytics_columnar::VirtuosoPlatform::with_defaults(),
         )),
-        "reference" => Ok(Box::new(ReferencePlatform::new())),
+        "reference" => Ok(Box::new(
+            match threads.or_else(|| spec.property_usize("reference.threads")) {
+                Some(t) => ReferencePlatform::with_threads(t),
+                None => ReferencePlatform::new(),
+            },
+        )),
         other => Err(format!(
             "unknown platform {other:?} (available: giraph, graphx, mapreduce, neo4j, \
              virtuoso, reference)"
@@ -52,8 +65,15 @@ fn build_platform(name: &str, spec: &BenchmarkSpec) -> Result<Box<dyn Platform>,
 
 fn main() {
     let mut trace_out: Option<String> = None;
+    let mut threads: Option<usize> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
+    let parse_threads = |v: &str| -> usize {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--threads requires a non-negative integer, got {v:?}");
+            std::process::exit(2);
+        })
+    };
     while let Some(arg) = args.next() {
         if arg == "--trace-out" {
             match args.next() {
@@ -65,12 +85,22 @@ fn main() {
             }
         } else if let Some(path) = arg.strip_prefix("--trace-out=") {
             trace_out = Some(path.to_string());
+        } else if arg == "--threads" {
+            match args.next() {
+                Some(v) => threads = Some(parse_threads(&v)),
+                None => {
+                    eprintln!("--threads requires a count argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = Some(parse_threads(v));
         } else {
             positional.push(arg);
         }
     }
     let Some(config_path) = positional.first() else {
-        eprintln!("usage: benchmark [--trace-out <trace.jsonl>] <run.properties>");
+        eprintln!("usage: benchmark [--trace-out <trace.jsonl>] [--threads <n>] <run.properties>");
         eprintln!("see graphalytics_core::config for the file format");
         std::process::exit(2);
     };
@@ -100,7 +130,7 @@ fn main() {
     };
     let mut platforms: Vec<Box<dyn Platform>> = Vec::new();
     for name in &platform_names {
-        match build_platform(name, &spec) {
+        match build_platform(name, &spec, threads) {
             Ok(p) => platforms.push(p),
             Err(e) => {
                 eprintln!("{e}");

@@ -19,6 +19,11 @@
 //!   JSONL export), and per-run phase timelines;
 //! * [`json`] — the minimal JSON model used by reports and results.
 
+/// The deterministic parallel runtime (scoped threads, fixed chunk
+/// assignment) the reference kernels and CSR construction run on,
+/// re-exported so harness code and platforms share one entry point.
+pub use graphalytics_parallel as parallel;
+
 pub mod config;
 pub mod datasets;
 pub mod html;

@@ -8,23 +8,42 @@
 
 use std::sync::Arc;
 
-use graphalytics_algos::{reference, Algorithm, Output};
+use graphalytics_algos::{reference, reference_with_threads, Algorithm, Output};
 use graphalytics_graph::CsrGraph;
 use rustc_hash::FxHashMap;
 
 use crate::platform::{GraphHandle, Platform, PlatformError, RunContext};
 
-/// Sequential oracle platform.
+/// Oracle platform. Sequential by default; [`ReferencePlatform::with_threads`]
+/// switches BFS/CONN/PageRank (and CSR loading) onto the deterministic
+/// parallel runtime — outputs stay byte-identical at every thread count.
 #[derive(Default)]
 pub struct ReferencePlatform {
     graphs: FxHashMap<u64, Arc<CsrGraph>>,
     next_handle: u64,
+    threads: usize,
 }
 
 impl ReferencePlatform {
-    /// Creates the platform.
+    /// Creates the sequential platform.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a platform running the parallel kernels on up to `threads`
+    /// workers (`0` resolves to the machine default, see
+    /// [`graphalytics_parallel::default_threads`]).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: graphalytics_parallel::resolve_threads((threads > 0).then_some(threads)),
+            ..Self::default()
+        }
+    }
+
+    /// The worker count used by the parallel kernels (`0` = sequential
+    /// oracle paths).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 }
 
@@ -51,7 +70,21 @@ impl Platform for ReferencePlatform {
             .graphs
             .get(&handle.0)
             .ok_or(PlatformError::InvalidHandle)?;
-        Ok(reference(graph, algorithm))
+        let mut span = ctx.tracer().span("reference.kernel");
+        span.field("algorithm", algorithm.name())
+            .field("threads", self.threads.max(1) as i64)
+            .field("vertices", graph.num_vertices() as i64)
+            .field("arcs", graph.num_arcs() as i64);
+        ctx.tracer().metrics().set_gauge(
+            "graphalytics_reference_threads",
+            &[("algorithm", algorithm.name())],
+            self.threads.max(1) as f64,
+        );
+        Ok(if self.threads > 1 {
+            reference_with_threads(graph, algorithm, self.threads)
+        } else {
+            reference(graph, algorithm)
+        })
     }
 
     fn unload(&mut self, handle: GraphHandle) {
@@ -83,6 +116,39 @@ mod tests {
             p.run(handle, &Algorithm::Conn, &RunContext::unbounded()),
             Err(PlatformError::InvalidHandle)
         );
+    }
+
+    #[test]
+    fn threaded_platform_matches_sequential_and_emits_span() {
+        use crate::trace::Tracer;
+
+        let g = CsrGraph::from_edge_list(&EdgeListGraph::undirected_from_edges(vec![
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (3, 4),
+        ]));
+        let mut seq = ReferencePlatform::new();
+        let mut par = ReferencePlatform::with_threads(8);
+        assert_eq!(par.threads(), 8);
+        let hs = seq.load_graph(&g).unwrap();
+        let hp = par.load_graph(&g).unwrap();
+        let tracer = std::sync::Arc::new(Tracer::new());
+        let ctx = RunContext::unbounded().with_tracer(std::sync::Arc::clone(&tracer));
+        for alg in Algorithm::paper_workload() {
+            let a = seq.run(hs, &alg, &RunContext::unbounded()).unwrap();
+            let b = par.run(hp, &alg, &ctx).unwrap();
+            assert_eq!(a, b, "{}", alg.name());
+        }
+        let spans = tracer.finished_spans();
+        assert_eq!(spans.len(), Algorithm::paper_workload().len());
+        assert!(spans.iter().all(|s| s.name == "reference.kernel"));
+        assert_eq!(spans[0].field("threads").and_then(|f| f.as_i64()), Some(8));
+    }
+
+    #[test]
+    fn with_threads_zero_resolves_to_machine_default() {
+        assert!(ReferencePlatform::with_threads(0).threads() >= 1);
     }
 
     #[test]

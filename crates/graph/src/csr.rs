@@ -8,8 +8,9 @@
 //! internal indices (with an O(1) fast path when external ids are already
 //! dense `0..n`).
 
-use crate::edgelist::{EdgeListGraph, VertexId};
+use crate::edgelist::{Edge, EdgeListGraph, VertexId};
 use crate::GraphError;
+use graphalytics_parallel as par;
 
 /// Dense internal vertex index.
 pub type Vid = u32;
@@ -18,7 +19,7 @@ pub type Vid = u32;
 /// arcs, so `neighbors(v)` is symmetric. For directed graphs both out- and
 /// in-adjacency are stored to support reverse traversal (needed by several
 /// platform engines).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     /// Sorted external ids; `ext_ids[i]` is the external id of internal `i`.
     ext_ids: Vec<VertexId>,
@@ -37,9 +38,124 @@ pub struct CsrGraph {
     directed: bool,
 }
 
+/// One placement instruction: put `target` into the adjacency run of the
+/// vertex at `slot`.
+type Placement = (Vid, Vid);
+
+/// Builds one adjacency side (offsets + sorted targets) in parallel:
+///
+/// 1. **per-chunk degree counting** — each worker counts its fixed edge
+///    chunk into a private array;
+/// 2. **prefix-sum placement** — per-chunk counts are turned into exclusive
+///    per-chunk cursors (column-wise prefix over the chunk dimension), so
+///    every worker writes its arcs to slots no other worker touches;
+/// 3. **per-vertex sort** — each adjacency run is sorted, which makes the
+///    final arrays independent of the chunking (and thus of the thread
+///    count).
+fn build_adjacency<E>(threads: usize, n: usize, edges: &[Edge], emit: E) -> (Vec<usize>, Vec<Vid>)
+where
+    E: Fn(&Edge) -> (Placement, Option<Placement>) + Sync,
+{
+    let m = edges.len();
+    let edge_chunks = par::chunk_ranges(m, threads);
+
+    // Phase 1: fixed-chunk degree counting into per-chunk arrays.
+    let mut chunk_counts: Vec<Vec<u32>> = par::map_chunks(threads, m, |_, range| {
+        let mut cnt = vec![0u32; n];
+        for e in &edges[range] {
+            let (a, b) = emit(e);
+            cnt[a.0 as usize] += 1;
+            if let Some(b) = b {
+                cnt[b.0 as usize] += 1;
+            }
+        }
+        cnt
+    });
+
+    // Phase 2a: column-wise exclusive prefix over the chunk dimension —
+    // chunk c's count for vertex v becomes the number of arcs earlier
+    // chunks place into v's run, and `totals[v]` becomes v's degree.
+    let mut totals = vec![0usize; n];
+    {
+        let columns: Vec<par::SharedSlice<u32>> = chunk_counts
+            .iter_mut()
+            .map(|c| par::SharedSlice::new(c))
+            .collect();
+        par::for_each_chunk_mut(threads, &mut totals, |_, start, slice| {
+            for (off, slot) in slice.iter_mut().enumerate() {
+                let v = start + off;
+                let mut run = 0u32;
+                for col in &columns {
+                    // SAFETY: vertex column `v` belongs to exactly one
+                    // chunk of `totals`, so only this worker touches
+                    // index `v` of any per-chunk count array.
+                    let c = unsafe { col.read(v) };
+                    // SAFETY: same column-ownership argument.
+                    unsafe { col.write(v, run) };
+                    run += c;
+                }
+                *slot = run as usize;
+            }
+        });
+    }
+
+    let mut offsets = vec![0usize; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = offsets[v] + totals[v];
+    }
+
+    // Phase 2b: placement. Worker c scatters its edge chunk to
+    // `offsets[v] + chunk_cursor[v]` — disjoint slots by construction.
+    let mut targets = vec![0 as Vid; offsets[n]];
+    {
+        let scatter = par::SharedSlice::new(&mut targets);
+        let nchunks = chunk_counts.len();
+        par::for_each_chunk_mut(nchunks, &mut chunk_counts, |_, first, mine| {
+            for (off, cursors) in mine.iter_mut().enumerate() {
+                let chunk = first + off;
+                for e in &edges[edge_chunks[chunk].clone()] {
+                    let (a, b) = emit(e);
+                    for (slot, target) in std::iter::once(a).chain(b) {
+                        let pos = offsets[slot as usize] + cursors[slot as usize] as usize;
+                        cursors[slot as usize] += 1;
+                        // SAFETY: `pos` lies in the half-open cursor range
+                        // this chunk owns within vertex `slot`'s run; the
+                        // ranges of distinct (chunk, vertex) pairs are
+                        // disjoint, and `targets` is not read until the
+                        // scope joins.
+                        unsafe { scatter.write(pos, target) };
+                    }
+                }
+            }
+        });
+    }
+
+    // Phase 3: sort each adjacency run; parts are split at vertex-chunk
+    // boundaries so workers own disjoint sub-slices.
+    let vertex_chunks = par::chunk_ranges(n, threads);
+    let bounds: Vec<usize> = vertex_chunks.iter().map(|r| offsets[r.end]).collect();
+    par::for_each_part_mut(&mut targets, &bounds, |part, base, slice| {
+        for v in vertex_chunks[part].clone() {
+            slice[offsets[v] - base..offsets[v + 1] - base].sort_unstable();
+        }
+    });
+
+    (offsets, targets)
+}
+
 impl CsrGraph {
-    /// Builds a CSR graph from an edge list.
+    /// Builds a CSR graph from an edge list (single-threaded).
     pub fn from_edge_list(g: &EdgeListGraph) -> Self {
+        Self::from_edge_list_with_threads(g, 1)
+    }
+
+    /// Builds a CSR graph from an edge list on up to `threads` workers.
+    ///
+    /// Deterministic: the resulting structure is byte-identical for every
+    /// thread count (see [`build_adjacency`] — sorted adjacency runs erase
+    /// the chunking from the final arrays).
+    pub fn from_edge_list_with_threads(g: &EdgeListGraph, threads: usize) -> Self {
+        let threads = threads.max(1);
         let ext_ids = g.vertices().to_vec();
         let n = ext_ids.len();
         let dense_ids = ext_ids.iter().enumerate().all(|(i, &v)| v == i as u64);
@@ -53,62 +169,20 @@ impl CsrGraph {
         };
 
         let directed = g.is_directed();
-        let mut out_deg = vec![0usize; n];
-        let mut in_deg = vec![0usize; if directed { n } else { 0 }];
-        for &(s, t) in g.edges() {
-            let (si, ti) = (lookup(s) as usize, lookup(t) as usize);
-            out_deg[si] += 1;
-            if directed {
-                in_deg[ti] += 1;
-            } else {
-                out_deg[ti] += 1;
-            }
-        }
-
-        let mut out_offsets = vec![0usize; n + 1];
-        for i in 0..n {
-            out_offsets[i + 1] = out_offsets[i] + out_deg[i];
-        }
-        let mut out_targets = vec![0 as Vid; out_offsets[n]];
-        let mut cursor = out_offsets.clone();
-        let (mut in_offsets, mut in_targets, mut in_cursor) = if directed {
-            let mut off = vec![0usize; n + 1];
-            for i in 0..n {
-                off[i + 1] = off[i] + in_deg[i];
-            }
-            let tg = vec![0 as Vid; off[n]];
-            let cur = off.clone();
-            (off, tg, cur)
+        let edges = g.edges();
+        let (out_offsets, out_targets) = if directed {
+            build_adjacency(threads, n, edges, |&(s, t)| ((lookup(s), lookup(t)), None))
         } else {
-            (Vec::new(), Vec::new(), Vec::new())
+            build_adjacency(threads, n, edges, |&(s, t)| {
+                let (si, ti) = (lookup(s), lookup(t));
+                ((si, ti), Some((ti, si)))
+            })
         };
-
-        for &(s, t) in g.edges() {
-            let (si, ti) = (lookup(s), lookup(t));
-            out_targets[cursor[si as usize]] = ti;
-            cursor[si as usize] += 1;
-            if directed {
-                in_targets[in_cursor[ti as usize]] = si;
-                in_cursor[ti as usize] += 1;
-            } else {
-                out_targets[cursor[ti as usize]] = si;
-                cursor[ti as usize] += 1;
-            }
-        }
-
-        // Sort each adjacency run: enables binary-search membership tests
-        // and the merge-based triangle counting in `metrics`.
-        for v in 0..n {
-            out_targets[out_offsets[v]..out_offsets[v + 1]].sort_unstable();
-        }
-        if directed {
-            for v in 0..n {
-                in_targets[in_offsets[v]..in_offsets[v + 1]].sort_unstable();
-            }
+        let (in_offsets, in_targets) = if directed {
+            build_adjacency(threads, n, edges, |&(s, t)| ((lookup(t), lookup(s)), None))
         } else {
-            in_offsets = Vec::new();
-            in_targets = Vec::new();
-        }
+            (Vec::new(), Vec::new())
+        };
 
         Self {
             ext_ids,
@@ -353,6 +427,37 @@ mod tests {
         let v9 = g.internal_id(9).unwrap();
         assert_eq!(g.neighbors(v9), &[] as &[Vid]);
         assert_eq!(g.degree(v9), 0);
+    }
+
+    #[test]
+    fn parallel_construction_is_thread_count_invariant() {
+        // Skewed degrees + sparse ids + isolated vertex: the shapes that
+        // would expose a chunking bug.
+        let mut edges = Vec::new();
+        for i in 1..200u64 {
+            edges.push((0, i * 3));
+            if i % 2 == 0 {
+                edges.push((i * 3, (i + 1) * 3));
+            }
+        }
+        for directed in [false, true] {
+            let el = EdgeListGraph::new(vec![1], edges.clone(), directed);
+            let base = CsrGraph::from_edge_list_with_threads(&el, 1);
+            base.validate().unwrap();
+            for threads in [2usize, 3, 8] {
+                let par = CsrGraph::from_edge_list_with_threads(&el, threads);
+                assert_eq!(base, par, "directed={directed} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_construction_matches_round_trip() {
+        let el =
+            EdgeListGraph::undirected_from_edges((0..500).map(|i| (i, (i * 7) % 501)).collect());
+        let csr = CsrGraph::from_edge_list_with_threads(&el, 4);
+        csr.validate().unwrap();
+        assert_eq!(csr.to_edge_list(), el);
     }
 
     #[test]

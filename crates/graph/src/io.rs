@@ -49,7 +49,7 @@ pub fn read_vertex_file(path: &Path) -> Result<Vec<VertexId>, GraphError> {
     let mut vertices = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
-        let line = line.trim();
+        let line = strip_bom(&line, lineno).trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
@@ -71,7 +71,7 @@ pub fn read_edge_file(path: &Path) -> Result<Vec<Edge>, GraphError> {
     let mut edges = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
-        let line = line.trim();
+        let line = strip_bom(&line, lineno).trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
@@ -87,6 +87,16 @@ pub fn read_edge_file(path: &Path) -> Result<Vec<Edge>, GraphError> {
         edges.push((src, dst));
     }
     Ok(edges)
+}
+
+/// Strips a UTF-8 byte-order mark from the first line of a file
+/// (spreadsheet and Windows-editor exports prepend one).
+fn strip_bom(line: &str, lineno: usize) -> &str {
+    if lineno == 0 {
+        line.strip_prefix('\u{feff}').unwrap_or(line)
+    } else {
+        line
+    }
 }
 
 fn parse_err(path: &Path, lineno: usize, line: &str) -> GraphError {

@@ -1,0 +1,165 @@
+//! Golden-file tests for the Graphalytics `.v`/`.e` dataset format.
+//!
+//! Files in the wild are messier than the writer's output: CRLF line
+//! endings (Windows checkouts), UTF-8 BOMs (spreadsheet exports), comment
+//! headers, trailing blank lines, and vertex ids listed out of order. The
+//! reader must accept all of them and canonicalize to the same graph, and
+//! the writer's output must be byte-stable under a read → write round trip.
+
+use graphalytics_graph::io::{read_edge_file, read_graph, read_vertex_file, write_graph};
+use graphalytics_graph::EdgeListGraph;
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gx-io-golden-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The canonical graph every variant below must parse into.
+fn golden_graph() -> EdgeListGraph {
+    EdgeListGraph::new(vec![0, 1, 2, 3, 7], vec![(0, 1), (1, 2), (2, 3)], false)
+}
+
+fn write_pair(dir: &PathBuf, name: &str, v_text: &str, e_text: &str) -> PathBuf {
+    let prefix = dir.join(name);
+    std::fs::write(prefix.with_extension("v"), v_text).expect("write .v");
+    std::fs::write(prefix.with_extension("e"), e_text).expect("write .e");
+    prefix
+}
+
+#[test]
+fn plain_lf_files_parse() {
+    let dir = scratch("lf");
+    let prefix = write_pair(&dir, "g", "0\n1\n2\n3\n7\n", "0 1\n1 2\n2 3\n");
+    assert_eq!(read_graph(&prefix, false).unwrap(), golden_graph());
+}
+
+#[test]
+fn crlf_line_endings_parse_identically() {
+    let dir = scratch("crlf");
+    let prefix = write_pair(
+        &dir,
+        "g",
+        "0\r\n1\r\n2\r\n3\r\n7\r\n",
+        "0 1\r\n1 2\r\n2 3\r\n",
+    );
+    assert_eq!(read_graph(&prefix, false).unwrap(), golden_graph());
+}
+
+#[test]
+fn trailing_blank_lines_and_whitespace_are_ignored() {
+    let dir = scratch("blanks");
+    let prefix = write_pair(
+        &dir,
+        "g",
+        "0\n1\n2\n3\n7\n\n\n   \n\t\n",
+        "0 1\n1 2\n2 3\n\n  \n\n",
+    );
+    assert_eq!(read_graph(&prefix, false).unwrap(), golden_graph());
+}
+
+#[test]
+fn comment_lines_are_skipped_anywhere() {
+    let dir = scratch("comments");
+    let prefix = write_pair(
+        &dir,
+        "g",
+        "# vertex ids\n0\n1\n# midway note\n2\n3\n7\n# eof\n",
+        "# src dst\n0 1\n1 2\n# more below\n2 3\n",
+    );
+    assert_eq!(read_graph(&prefix, false).unwrap(), golden_graph());
+}
+
+#[test]
+fn out_of_order_vertex_ids_canonicalize() {
+    let dir = scratch("order");
+    let prefix = write_pair(&dir, "g", "7\n3\n0\n2\n1\n", "2 3\n0 1\n1 2\n");
+    assert_eq!(read_graph(&prefix, false).unwrap(), golden_graph());
+}
+
+#[test]
+fn utf8_bom_is_stripped() {
+    let dir = scratch("bom");
+    let prefix = write_pair(
+        &dir,
+        "g",
+        "\u{feff}0\n1\n2\n3\n7\n",
+        "\u{feff}0 1\n1 2\n2 3\n",
+    );
+    assert_eq!(read_graph(&prefix, false).unwrap(), golden_graph());
+}
+
+#[test]
+fn bom_on_a_comment_line_still_skips_the_comment() {
+    let dir = scratch("bom-comment");
+    let vpath = scratch("bom-comment-v").join("g.v");
+    std::fs::write(&vpath, "\u{feff}# header\n5\n").expect("write");
+    assert_eq!(read_vertex_file(&vpath).unwrap(), vec![5]);
+    let _ = vpath;
+    let _ = dir;
+}
+
+#[test]
+fn weights_are_accepted_and_discarded() {
+    let dir = scratch("weights");
+    let epath = dir.join("g.e");
+    std::fs::write(&epath, "0 1 0.25\n1 2 3.5\n2 3 1\n").expect("write");
+    assert_eq!(
+        read_edge_file(&epath).unwrap(),
+        vec![(0, 1), (1, 2), (2, 3)]
+    );
+}
+
+#[test]
+fn writer_output_is_the_golden_byte_form() {
+    let dir = scratch("golden-bytes");
+    let prefix = dir.join("g");
+    write_graph(&golden_graph(), &prefix).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(prefix.with_extension("v")).unwrap(),
+        "0\n1\n2\n3\n7\n"
+    );
+    assert_eq!(
+        std::fs::read_to_string(prefix.with_extension("e")).unwrap(),
+        "0 1\n1 2\n2 3\n"
+    );
+}
+
+#[test]
+fn read_write_round_trip_is_byte_stable() {
+    // Reading any messy variant and writing it back must produce the
+    // canonical byte form; writing that again is a fixpoint.
+    let dir = scratch("fixpoint");
+    let messy = write_pair(
+        &dir,
+        "messy",
+        "\u{feff}# ids\n7\r\n3\r\n0\n2\n1\n\n",
+        "# edges\n2 3 9.0\r\n0 1\n1 2\r\n\n",
+    );
+    let g = read_graph(&messy, false).unwrap();
+    let clean = dir.join("clean");
+    write_graph(&g, &clean).unwrap();
+    let reread = read_graph(&clean, false).unwrap();
+    assert_eq!(reread, g);
+    let clean2 = dir.join("clean2");
+    write_graph(&reread, &clean2).unwrap();
+    assert_eq!(
+        std::fs::read(clean.with_extension("v")).unwrap(),
+        std::fs::read(clean2.with_extension("v")).unwrap()
+    );
+    assert_eq!(
+        std::fs::read(clean.with_extension("e")).unwrap(),
+        std::fs::read(clean2.with_extension("e")).unwrap()
+    );
+}
+
+#[test]
+fn directed_graphs_round_trip_with_orientation() {
+    let dir = scratch("directed");
+    let g = EdgeListGraph::directed_from_edges(vec![(1, 0), (0, 1), (2, 0)]);
+    let prefix = dir.join("g");
+    write_graph(&g, &prefix).unwrap();
+    assert_eq!(read_graph(&prefix, true).unwrap(), g);
+}

@@ -8,8 +8,9 @@
 //! the invariant is load-bearing (see [`Rule::crates`]).
 
 /// Crates whose outputs must be bit-reproducible: the data generator, the
-/// reference algorithms, and the graph substrate they share.
-pub const DETERMINISM_CRATES: &[&str] = &["datagen", "algos", "graph"];
+/// reference algorithms, the graph substrate they share, and the parallel
+/// runtime the kernels run on.
+pub const DETERMINISM_CRATES: &[&str] = &["datagen", "algos", "graph", "parallel"];
 
 /// The five platform crates, where an `unwrap()` on a failure path turns a
 /// benchmark failure cell (Figure 4's "missing values") into a crash.
@@ -31,7 +32,7 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "determinism-time",
         crates: Some(DETERMINISM_CRATES),
-        summary: "no Instant/SystemTime/std::time in datagen, algos, or graph: \
+        summary: "no Instant/SystemTime/std::time in datagen, algos, graph, or parallel: \
                   generated data and reference outputs must not depend on wall clocks",
     },
     Rule {
@@ -43,7 +44,7 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "determinism-hash-iter",
         crates: Some(DETERMINISM_CRATES),
-        summary: "iterating a HashMap/HashSet in datagen, algos, or graph must be \
+        summary: "iterating a HashMap/HashSet in determinism-critical crates must be \
                   order-insensitive or explicitly sorted before feeding ordered output",
     },
     Rule {

@@ -1,0 +1,458 @@
+//! # graphalytics-parallel
+//!
+//! A deterministic parallel runtime: scoped threads with **fixed chunk
+//! assignment** and no work stealing, so every parallel computation built on
+//! it is a pure function of its input — never of scheduling order, core
+//! count, or load.
+//!
+//! ## The determinism contract
+//!
+//! The reference ("oracle") implementations validate every platform run
+//! (paper §2.4), so their outputs must be bit-reproducible. Parallelism is
+//! allowed to change *how fast* an oracle answer arrives, never *which*
+//! answer. The primitives here make that property compositional:
+//!
+//! * **Fixed assignment** — [`chunk_ranges`] splits `0..n` into contiguous
+//!   ranges computed only from `(n, parts)`; worker `i` always processes
+//!   range `i`. There is no stealing and no shared queue, so the
+//!   element-to-worker mapping is reproducible.
+//! * **Ordered combination** — [`map_chunks`] and [`map_blocks`] return
+//!   per-part results *in part order*, regardless of which worker finished
+//!   first. Reductions over them are therefore performed in a fixed order.
+//! * **Thread-count invariance** — chunk boundaries do depend on the thread
+//!   count, so a kernel that needs byte-identical output at any thread
+//!   count must either (a) combine per-chunk results with an associative,
+//!   commutative operation (integer sums, min, max, saturating or), or
+//!   (b) reduce over [`map_blocks`] with a *fixed* block size, which keeps
+//!   the floating-point association independent of the thread count.
+//!
+//! Kernels additionally may race only through idempotent atomic writes
+//! (e.g. BFS level claims where every contender writes the same value) —
+//! the winning thread may differ between runs, the stored value may not.
+//!
+//! The crate is zero-dependency (`std` scoped threads only) and contains
+//! no clocks and no entropy, the same invariants `graphalytics-lint`
+//! enforces for the kernel crates built on top of it.
+
+use std::ops::Range;
+
+/// Default block size for [`map_blocks`]/[`sum_blocks`]: big enough to
+/// amortize dispatch, small enough to load-balance skewed work.
+pub const DEFAULT_BLOCK: usize = 4096;
+
+/// Number of worker threads to use when the caller did not specify one:
+/// `GX_THREADS` from the environment, else the machine's available
+/// parallelism, else 1.
+pub fn default_threads() -> usize {
+    std::env::var("GX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Resolves an optional thread-count request: `None` ⇒ [`default_threads`],
+/// `Some(0)` is clamped to 1.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    match requested {
+        Some(t) => t.max(1),
+        None => default_threads(),
+    }
+}
+
+/// Splits `0..n` into at most `parts` contiguous, near-equal ranges — a
+/// pure function of `(n, parts)`. Earlier ranges are one element longer
+/// when `n` does not divide evenly. Empty ranges are never produced; with
+/// `n < parts` fewer than `parts` ranges are returned.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f(part_index, range)` over the fixed chunking of `0..n` on up to
+/// `threads` scoped workers. Worker `i` owns exactly chunk `i`; with
+/// `threads <= 1` (or a single chunk) everything runs inline on the
+/// calling thread. Panics in workers propagate to the caller.
+pub fn run_chunks<F>(threads: usize, n: usize, f: F)
+where
+    F: Fn(usize, Range<usize>) + Sync,
+{
+    let ranges = chunk_ranges(n, threads);
+    if ranges.len() <= 1 {
+        for (i, r) in ranges.into_iter().enumerate() {
+            f(i, r);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (i, r) in ranges.into_iter().enumerate() {
+            let f = &f;
+            scope.spawn(move || f(i, r));
+        }
+    });
+}
+
+/// Like [`run_chunks`], but collects each chunk's result **in chunk
+/// order** — the combination order is independent of completion order.
+pub fn map_chunks<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let ranges = chunk_ranges(n, threads);
+    if ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| f(i, r))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let f = &f;
+                scope.spawn(move || f(i, r))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+/// Evaluates `f` over fixed-size blocks of `0..n` (the last block may be
+/// short) and returns the per-block results **in block order**. Block
+/// boundaries depend only on `(n, block)`, never on `threads`, so a fold
+/// over the returned vector associates floating-point operations
+/// identically at every thread count.
+pub fn map_blocks<T, F>(threads: usize, n: usize, block: usize, f: F) -> Vec<T>
+where
+    T: Send + Default,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let block = block.max(1);
+    let nblocks = n.div_ceil(block);
+    let mut out: Vec<T> = std::iter::repeat_with(T::default).take(nblocks).collect();
+    for_each_chunk_mut(threads, &mut out, |_, first_block, slots| {
+        for (off, slot) in slots.iter_mut().enumerate() {
+            let b = first_block + off;
+            let lo = b * block;
+            let hi = n.min(lo + block);
+            *slot = f(lo..hi);
+        }
+    });
+    out
+}
+
+/// Thread-count-invariant parallel float sum: per-block partial sums via
+/// [`map_blocks`], folded sequentially in block order.
+pub fn sum_blocks<F>(threads: usize, n: usize, block: usize, f: F) -> f64
+where
+    F: Fn(Range<usize>) -> f64 + Sync,
+{
+    map_blocks(threads, n, block, f).into_iter().sum()
+}
+
+/// Splits `data` into the fixed chunking of its index space and hands each
+/// worker `(part_index, chunk_start, &mut chunk)` — safe disjoint mutation
+/// with no interior mutability.
+pub fn for_each_chunk_mut<T, F>(threads: usize, data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    let bounds: Vec<usize> = chunk_ranges(data.len(), threads)
+        .into_iter()
+        .map(|r| r.end)
+        .collect();
+    for_each_part_mut(data, &bounds, f);
+}
+
+/// Splits `data` at the given ascending end offsets (`bounds[last]` must
+/// equal `data.len()`) and runs `f(part_index, part_start, &mut part)` for
+/// every part on its own scoped worker. Used where parts must align to
+/// caller-defined boundaries (e.g. CSR adjacency runs grouped by vertex
+/// chunk).
+pub fn for_each_part_mut<T, F>(data: &mut [T], bounds: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    if bounds.is_empty() {
+        assert!(data.is_empty(), "no bounds over non-empty data");
+        return;
+    }
+    assert_eq!(
+        *bounds.last().unwrap(),
+        data.len(),
+        "bounds must end at data.len()"
+    );
+    if bounds.len() == 1 {
+        f(0, 0, data);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut start = 0usize;
+        for (i, &end) in bounds.iter().enumerate() {
+            assert!(end >= start, "bounds must be ascending");
+            let (part, tail) = rest.split_at_mut(end - start);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || f(i, start, part));
+            start = end;
+        }
+    });
+}
+
+/// A raw view of a mutable slice that lets multiple workers write
+/// **disjoint** indices concurrently — the deterministic scatter primitive
+/// (CSR placement writes each arc to a slot no other worker touches).
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the slice is only accessed through `write`, whose contract
+// requires callers to touch disjoint indices from different threads; with
+// that upheld there is no aliased mutation, so sharing the view across
+// threads is sound for any Send element type.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+// SAFETY: same reasoning — the view carries no thread-affine state.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a mutable slice for disjoint concurrent writes.
+    pub fn new(data: &'a mut [T]) -> Self {
+        Self {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Slot count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` into slot `idx`.
+    ///
+    /// # Safety
+    ///
+    /// While the view is shared across threads, no two `write` calls may
+    /// target the same `idx`, and nothing may read the slice until all
+    /// writers are joined. `idx` must be in bounds (checked in debug
+    /// builds).
+    // SAFETY: callers uphold the bounds + disjointness contract above.
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        debug_assert!(idx < self.len, "SharedSlice write out of bounds");
+        // SAFETY: `idx < len` per the caller contract (debug-asserted), and
+        // the disjointness contract guarantees this slot has no concurrent
+        // reader or writer.
+        unsafe { self.ptr.add(idx).write(value) };
+    }
+
+    /// Reads slot `idx`.
+    ///
+    /// # Safety
+    ///
+    /// `idx` must be in bounds (checked in debug builds) and, while the
+    /// view is shared across threads, slot `idx` must be accessed by only
+    /// one worker — the column-ownership discipline of the CSR cursor
+    /// passes.
+    // SAFETY: callers uphold the bounds + single-owner contract above.
+    pub unsafe fn read(&self, idx: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(idx < self.len, "SharedSlice read out of bounds");
+        // SAFETY: `idx < len` per the caller contract (debug-asserted), and
+        // the single-owner contract rules out a concurrent writer.
+        unsafe { self.ptr.add(idx).read() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 1000] {
+                let ranges = chunk_ranges(n, parts);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect, "gap at {n}/{parts}");
+                    assert!(r.end > r.start, "empty chunk at {n}/{parts}");
+                    expect = r.end;
+                }
+                assert_eq!(expect, n, "coverage at {n}/{parts}");
+                assert!(ranges.len() <= parts.max(1));
+                // Near-equal: lengths differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_are_a_pure_function() {
+        assert_eq!(chunk_ranges(10, 4), chunk_ranges(10, 4));
+        assert_eq!(chunk_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+
+    #[test]
+    fn run_chunks_visits_every_index_once() {
+        for threads in [1usize, 2, 8] {
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            run_chunks(threads, hits.len(), |_, range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_part_order() {
+        let parts = map_chunks(4, 100, |i, range| (i, range.start));
+        assert_eq!(parts, vec![(0, 0), (1, 25), (2, 50), (3, 75)]);
+        let empty: Vec<usize> = map_chunks(4, 0, |_, _| 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn block_sums_are_thread_count_invariant() {
+        // An ill-conditioned sum whose value depends on association order:
+        // identical partials at every thread count proves the fixed-block
+        // association.
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| if i % 2 == 0 { 1e16 } else { 1.0 + i as f64 })
+            .collect();
+        let sums: Vec<f64> = [1usize, 2, 3, 8]
+            .iter()
+            .map(|&t| sum_blocks(t, values.len(), 128, |r| r.map(|i| values[i]).sum()))
+            .collect();
+        assert!(sums.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()));
+    }
+
+    #[test]
+    fn map_blocks_ignores_thread_count_for_boundaries() {
+        let a = map_blocks(1, 1000, 64, |r| r.len());
+        let b = map_blocks(7, 1000, 64, |r| r.len());
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<usize>(), 1000);
+        assert_eq!(a.len(), 1000usize.div_ceil(64));
+    }
+
+    #[test]
+    fn for_each_chunk_mut_writes_disjointly() {
+        let mut data = vec![0usize; 103];
+        for_each_chunk_mut(5, &mut data, |part, start, slice| {
+            for (off, slot) in slice.iter_mut().enumerate() {
+                *slot = part * 1000 + start + off;
+            }
+        });
+        let bounds: Vec<usize> = chunk_ranges(103, 5).into_iter().map(|r| r.end).collect();
+        let mut part = 0;
+        for (i, &v) in data.iter().enumerate() {
+            if i >= bounds[part] {
+                part += 1;
+            }
+            assert_eq!(v, part * 1000 + i);
+        }
+    }
+
+    #[test]
+    fn for_each_part_mut_respects_custom_bounds() {
+        let mut data = vec![0u32; 10];
+        for_each_part_mut(&mut data, &[2, 2, 7, 10], |part, start, slice| {
+            if part == 1 {
+                assert!(slice.is_empty());
+            }
+            for (off, slot) in slice.iter_mut().enumerate() {
+                *slot = (part * 100 + start + off) as u32;
+            }
+        });
+        assert_eq!(data[0..2], [0, 1]);
+        assert_eq!(data[2..7], [202, 203, 204, 205, 206]);
+        assert_eq!(data[7..10], [307, 308, 309]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must end at data.len()")]
+    fn for_each_part_mut_rejects_short_bounds() {
+        let mut data = vec![0u8; 4];
+        for_each_part_mut(&mut data, &[2], |_, _, _| {});
+    }
+
+    #[test]
+    fn shared_slice_scatter() {
+        let mut data = vec![0u64; 1000];
+        {
+            let view = SharedSlice::new(&mut data);
+            run_chunks(8, view.len(), |_, range| {
+                for i in range {
+                    // SAFETY: each index is visited by exactly one chunk.
+                    unsafe { view.write(i, (i * 3) as u64) };
+                }
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == (i * 3) as u64));
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let caught = std::panic::catch_unwind(|| {
+            run_chunks(4, 100, |_, range| {
+                if range.contains(&60) {
+                    panic!("worker failure");
+                }
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn resolve_threads_clamps_and_defaults() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

@@ -53,8 +53,8 @@ pub mod prelude {
     pub use graphalytics_algos::{Algorithm, Output};
     pub use graphalytics_columnar::VirtuosoPlatform;
     pub use graphalytics_core::{
-        BenchmarkConfig, BenchmarkSuite, Dataset, Platform, PlatformError, RunContext, RunStatus,
-        SuiteResult, Validation,
+        BenchmarkConfig, BenchmarkSuite, Dataset, Platform, PlatformError, ReferencePlatform,
+        RunContext, RunStatus, SuiteResult, Validation,
     };
     pub use graphalytics_dataflow::GraphXPlatform;
     pub use graphalytics_datagen::{DatagenConfig, DegreeDistribution, RealWorldGraph};

@@ -12,6 +12,10 @@ fn platforms() -> Vec<Box<dyn Platform>> {
         Box::new(GraphXPlatform::with_defaults()),
         Box::new(MapReducePlatform::with_defaults()),
         Box::new(Neo4jPlatform::with_defaults()),
+        // The reference platform on the deterministic parallel runtime —
+        // validated against the sequential oracle like any other platform.
+        Box::new(ReferencePlatform::with_threads(4)),
+        Box::new(ReferencePlatform::with_threads(1)),
     ]
 }
 
@@ -21,6 +25,13 @@ fn graphs() -> Vec<(&'static str, Arc<CsrGraph>)> {
     out.push(("graph500-7", Dataset::graph500(7).load().expect("generate")));
     // A Datagen social graph (community structure).
     out.push(("snb-300", Dataset::snb(300).load().expect("generate")));
+    // A scaled-down SNAP stand-in (paper Table 1 real-world class).
+    out.push((
+        "amazon-stand-in",
+        Dataset::real_world(RealWorldGraph::Amazon, 600)
+            .load()
+            .expect("generate"),
+    ));
     // A disconnected structured graph.
     let mut edges = vec![];
     for base in [0u64, 20, 40] {

@@ -8,6 +8,7 @@
 //! given*. These tests run the Datagen generator and a Pregel program at
 //! different parallelism levels and require bit-identical outputs.
 
+use graphalytics_algos::{bfs, conn, pagerank};
 use graphalytics_core::platform::RunContext;
 use graphalytics_datagen::cluster::{generate_to_disk, GenerationMode};
 use graphalytics_datagen::DatagenConfig;
@@ -143,4 +144,57 @@ fn pregel_is_worker_count_invariant() {
         bfs_states[0].iter().any(|&d| d > 0),
         "BFS never left source"
     );
+}
+
+#[test]
+fn csr_construction_is_thread_count_invariant() {
+    // The parallel CSR builder (per-chunk degree counting + prefix-sum
+    // placement) must produce byte-identical structure at every thread
+    // count on a realistic skewed graph.
+    let cfg = DatagenConfig::new(600, 0xC5A);
+    let edges = graphalytics_datagen::generate(&cfg);
+    let baseline = CsrGraph::from_edge_list_with_threads(&edges, 1);
+    baseline.validate().expect("valid CSR");
+    for threads in [2usize, 8] {
+        assert_eq!(
+            CsrGraph::from_edge_list_with_threads(&edges, threads),
+            baseline,
+            "CSR differs between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn parallel_kernels_are_thread_count_invariant() {
+    // The deterministic parallel runtime's contract, end to end: BFS,
+    // CONN, and PageRank outputs are *byte-identical* to the sequential
+    // oracles at 1 vs 8 threads on a Datagen social graph.
+    let graph = pregel_test_graph();
+
+    let bfs_seq = bfs::bfs(&graph, 0);
+    let conn_seq = conn::connected_components(&graph);
+    let pr_seq = pagerank::pagerank(&graph, 20, 0.85);
+    assert!(bfs_seq.iter().any(|&d| d > 0), "BFS never left source");
+
+    for threads in [1usize, 8] {
+        assert_eq!(
+            bfs::bfs_parallel(&graph, 0, threads),
+            bfs_seq,
+            "BFS depths differ at {threads} threads"
+        );
+        assert_eq!(
+            conn::connected_components_parallel(&graph, threads),
+            conn_seq,
+            "CONN labels differ at {threads} threads"
+        );
+        let pr = pagerank::pagerank_parallel(&graph, 20, 0.85, threads);
+        assert_eq!(pr.len(), pr_seq.len());
+        for (v, (a, b)) in pr.iter().zip(&pr_seq).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "PageRank bits differ at vertex {v}, {threads} threads"
+            );
+        }
+    }
 }

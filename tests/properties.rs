@@ -168,4 +168,115 @@ proptest! {
         let parsed = parse(&doc.to_string_compact()).expect("parse");
         prop_assert_eq!(parsed.get("text").and_then(Json::as_str), Some(s.as_str()));
     }
+
+    // --- Output::equivalent: the Output Validator's comparison relation ---
+
+    #[test]
+    fn conn_equivalence_is_invariant_under_label_renaming(
+        labels in proptest::collection::vec(0u32..12, 1..60),
+        mult in 1u32..40,
+        offset in 0u32..1000,
+    ) {
+        // Any injective relabeling induces the same partition, so the
+        // validator must accept it.
+        let renamed: Vec<u32> = labels.iter().map(|&l| l * mult + offset).collect();
+        let a = Output::Components(labels);
+        let b = Output::Components(renamed);
+        prop_assert!(a.equivalent(&b));
+        prop_assert!(b.equivalent(&a));
+    }
+
+    #[test]
+    fn conn_equivalence_rejects_merged_components(
+        labels in proptest::collection::vec(0u32..12, 2..60),
+    ) {
+        let distinct: std::collections::HashSet<u32> = labels.iter().copied().collect();
+        prop_assume!(distinct.len() >= 2);
+        // Collapsing every label into one changes the partition.
+        let merged = vec![labels[0]; labels.len()];
+        prop_assert!(!Output::Components(labels).equivalent(&Output::Components(merged)));
+    }
+
+    #[test]
+    fn rank_equivalence_is_reflexive_and_symmetric(
+        a in proptest::collection::vec(0.0f64..1.0, 0..50),
+        b in proptest::collection::vec(0.0f64..1.0, 0..50),
+    ) {
+        let (oa, ob) = (Output::Ranks(a), Output::Ranks(b));
+        prop_assert!(oa.equivalent(&oa));
+        prop_assert!(ob.equivalent(&ob));
+        // The tolerance uses max(|x|, |y|), so the relation is symmetric.
+        prop_assert_eq!(oa.equivalent(&ob), ob.equivalent(&oa));
+    }
+
+    #[test]
+    fn rank_equivalence_rejects_out_of_tolerance_scores(
+        ranks in proptest::collection::vec(0.0f64..1.0, 1..50),
+        victim in 0usize..50,
+    ) {
+        let victim = victim % ranks.len();
+        let mut bad = ranks.clone();
+        bad[victim] += 1.0; // Far beyond 1e-9 + 1e-6 * max(|x|, |y|).
+        prop_assert!(!Output::Ranks(ranks).equivalent(&Output::Ranks(bad)));
+    }
+
+    #[test]
+    fn equivalence_rejects_a_deliberate_mismatch_for_every_algorithm(
+        g in arb_graph(),
+        source in 0u64..40,
+    ) {
+        let csr = CsrGraph::from_edge_list(&g);
+        prop_assume!(csr.num_vertices() > 0);
+
+        // BFS: flip one depth.
+        let depths = bfs::bfs(&csr, source);
+        let mut bad = depths.clone();
+        bad[0] += 7;
+        prop_assert!(!Output::Depths(depths).equivalent(&Output::Depths(bad)));
+
+        // CONN: claim everything is one component (assume ≥2 exist).
+        let labels = conn::connected_components(&csr);
+        if labels.iter().any(|&l| l != labels[0]) {
+            let merged = vec![labels[0]; labels.len()];
+            prop_assert!(
+                !Output::Components(labels).equivalent(&Output::Components(merged))
+            );
+        }
+
+        // CD: community labels compare exactly — any flip is a mismatch.
+        let Output::Communities(comms) = reference(&csr, &Algorithm::default_cd()) else {
+            panic!("CD must emit Communities")
+        };
+        let mut bad = comms.clone();
+        bad[0] = bad[0].wrapping_add(1);
+        prop_assert!(!Output::Communities(comms).equivalent(&Output::Communities(bad)));
+
+        // EVO: dropping a predicted edge is a mismatch.
+        let Output::Evolution(edges) = reference(&csr, &Algorithm::default_evo()) else {
+            panic!("EVO must emit Evolution")
+        };
+        if !edges.is_empty() {
+            let truncated = edges[..edges.len() - 1].to_vec();
+            prop_assert!(
+                !Output::Evolution(edges).equivalent(&Output::Evolution(truncated))
+            );
+        }
+
+        // PR: perturb one score beyond tolerance.
+        let ranks = pagerank::pagerank(&csr, 5, 0.85);
+        let mut bad = ranks.clone();
+        bad[0] += 0.5;
+        prop_assert!(!Output::Ranks(ranks).equivalent(&Output::Ranks(bad)));
+
+        // STATS: lie about the vertex count.
+        let Output::Stats(stats) = reference(&csr, &Algorithm::Stats) else {
+            panic!("STATS must emit Stats")
+        };
+        let mut bad = stats.clone();
+        bad.num_vertices += 1;
+        prop_assert!(!Output::Stats(stats).equivalent(&Output::Stats(bad)));
+
+        // And cross-variant comparisons never hold.
+        prop_assert!(!Output::Depths(vec![0]).equivalent(&Output::Components(vec![0])));
+    }
 }

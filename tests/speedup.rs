@@ -1,0 +1,63 @@
+//! Multicore speedup acceptance check for the deterministic parallel
+//! runtime.
+//!
+//! Ignored by default: the assertion (BFS and PageRank ≥2× faster at 4
+//! threads than at 1) is only meaningful on a machine with ≥4 physical
+//! cores, and CI runners or containers pinned to one core would fail it
+//! spuriously. Run explicitly on multicore hardware with:
+//!
+//! ```text
+//! cargo test --release --test speedup -- --ignored
+//! ```
+//!
+//! `GX_SPEEDUP_SCALE` overrides the default Graph500 scale (20).
+
+use graphalytics_algos::{bfs, pagerank};
+use graphalytics_datagen::rmat::{self, RmatConfig};
+use graphalytics_graph::CsrGraph;
+use std::time::Instant;
+
+fn best_of<F: FnMut() -> R, R>(runs: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = Instant::now();
+        let out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+    best
+}
+
+#[test]
+#[ignore = "needs >=4 physical cores; run with --ignored --release on multicore hardware"]
+fn bfs_and_pagerank_are_2x_faster_at_4_threads() {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    assert!(
+        cores >= 4,
+        "speedup check requires >=4 cores, machine reports {cores}"
+    );
+    let scale: u32 = std::env::var("GX_SPEEDUP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let edges = rmat::generate(&RmatConfig::graph500(scale, 0x5EED));
+    let g = CsrGraph::from_edge_list(&edges);
+
+    let bfs_1 = best_of(3, || bfs::bfs_parallel(&g, 0, 1));
+    let bfs_4 = best_of(3, || bfs::bfs_parallel(&g, 0, 4));
+    let pr_1 = best_of(3, || pagerank::pagerank_parallel(&g, 10, 0.85, 1));
+    let pr_4 = best_of(3, || pagerank::pagerank_parallel(&g, 10, 0.85, 4));
+
+    // The outputs must stay byte-identical while the wall clock drops.
+    assert_eq!(bfs::bfs_parallel(&g, 0, 1), bfs::bfs_parallel(&g, 0, 4));
+    assert!(
+        bfs_4 * 2.0 <= bfs_1,
+        "BFS speedup at 4 threads is only {:.2}x (1t={bfs_1:.3}s, 4t={bfs_4:.3}s)",
+        bfs_1 / bfs_4
+    );
+    assert!(
+        pr_4 * 2.0 <= pr_1,
+        "PageRank speedup at 4 threads is only {:.2}x (1t={pr_1:.3}s, 4t={pr_4:.3}s)",
+        pr_1 / pr_4
+    );
+}

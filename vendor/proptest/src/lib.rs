@@ -117,6 +117,16 @@ pub mod strategy {
         }
     }
 
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            // 53 uniform mantissa bits in [0, 1), scaled into the range.
+            let unit = rng.below(1 << 53) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
     impl Strategy for std::ops::Range<i64> {
         type Value = i64;
         fn sample(&self, rng: &mut TestRng) -> i64 {
@@ -266,7 +276,7 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
 }
 
 /// Asserts a condition inside a `proptest!` body.
@@ -279,6 +289,17 @@ macro_rules! prop_assert {
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when the precondition does not hold (bodies run
+/// in a `Result`-returning closure, so this is an early `Ok`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
 }
 
 /// Declares property tests: each `fn name(arg in strategy, ...) { body }`
