@@ -9,55 +9,23 @@
 //! scale, MapReduce orders of magnitude slower, GraphX slower than Giraph
 //! on CONN).
 //!
-//! Knobs: `GX_SCALE` (Graph500 scale, default 13), `GX_DIVISOR` (Patents
-//! stand-in divisor, default 200), `GX_PERSONS` (SNB persons, default
-//! 10000), `GX_GRAPHX_MB` (GraphX executor budget in MiB, default 48),
-//! `GX_TIMEOUT_SECS` (per-run cooperative timeout, default 180).
+//! Knobs: the shared [`PaperSetup`] set (`GX_SCALE`, `GX_DIVISOR`,
+//! `GX_PERSONS`, `GX_GRAPHX_MB`, `GX_TIMEOUT_SECS`).
 
-use graphalytics_bench::env_usize;
+use graphalytics_bench::PaperSetup;
 use graphalytics_core::report;
-use graphalytics_core::{BenchmarkConfig, BenchmarkSuite, Dataset, Platform};
-use graphalytics_dataflow::{GraphXConfig, GraphXPlatform};
-use graphalytics_datagen::RealWorldGraph;
-use graphalytics_graphdb::Neo4jPlatform;
-use graphalytics_mapreduce::MapReducePlatform;
-use graphalytics_pregel::GiraphPlatform;
-use std::time::Duration;
+use graphalytics_core::BenchmarkSuite;
 
 fn main() {
-    let scale = env_usize("GX_SCALE", 13) as u32;
-    let divisor = env_usize("GX_DIVISOR", 200);
-    let persons = env_usize("GX_PERSONS", 10_000);
-    let graphx_mb = env_usize("GX_GRAPHX_MB", 11);
-    let timeout = env_usize("GX_TIMEOUT_SECS", 180);
-
-    let datasets = vec![
-        Dataset::graph500(scale),
-        Dataset::real_world(RealWorldGraph::Patents, divisor),
-        Dataset::snb(persons),
-    ];
-    let mut platforms: Vec<Box<dyn Platform>> = vec![
-        Box::new(GiraphPlatform::with_defaults()),
-        Box::new(GraphXPlatform::new(GraphXConfig {
-            partitions: 4,
-            memory_budget: Some(graphx_mb << 20),
-        })),
-        Box::new(MapReducePlatform::with_defaults()),
-        Box::new(Neo4jPlatform::with_defaults()),
-    ];
+    let setup = PaperSetup::from_env();
+    let mut platforms = setup.platforms();
     let suite = BenchmarkSuite::new(
-        datasets,
+        setup.datasets(),
         graphalytics_algos::Algorithm::paper_workload(),
-        BenchmarkConfig {
-            timeout: Some(Duration::from_secs(timeout as u64)),
-            ..Default::default()
-        },
+        setup.config(),
     );
 
-    eprintln!(
-        "Figure 4 run: Graph500 {scale}, Patents/{divisor}, SNB {persons}; \
-         GraphX budget {graphx_mb} MiB; timeout {timeout}s"
-    );
+    eprintln!("Figure 4 run: {}", setup.describe());
     let result = suite.run(&mut platforms);
 
     println!("Figure 4: runtimes [s] — missing values (—) are failures, DNF are timeouts\n");

@@ -17,6 +17,15 @@
 //! (documented per binary) so the experiments can be grown toward the
 //! paper's original sizes on bigger machines.
 
+use std::time::Duration;
+
+use graphalytics_core::{BenchmarkConfig, Dataset, Platform};
+use graphalytics_dataflow::{GraphXConfig, GraphXPlatform};
+use graphalytics_datagen::RealWorldGraph;
+use graphalytics_graphdb::Neo4jPlatform;
+use graphalytics_mapreduce::MapReducePlatform;
+use graphalytics_pregel::GiraphPlatform;
+
 /// Reads a `usize` knob from the environment with a default.
 pub fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -31,6 +40,87 @@ pub fn env_u64(name: &str, default: u64) -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Reads an `f64` knob from the environment with a default.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The dataset/platform/config setup shared by the figure drivers — one
+/// place for the paper's three-graph, four-platform experiment matrix so
+/// every binary reads the same knobs and builds the same fleet.
+///
+/// Knobs: `GX_SCALE` (Graph500 scale, default 13), `GX_DIVISOR` (Patents
+/// stand-in divisor, default 200), `GX_PERSONS` (SNB persons, default
+/// 10000), `GX_GRAPHX_MB` (GraphX executor budget in MiB, default 11),
+/// `GX_TIMEOUT_SECS` (per-run cooperative timeout, default 180).
+#[derive(Debug, Clone)]
+pub struct PaperSetup {
+    /// Graph500 scale (log2 of the vertex count).
+    pub scale: u32,
+    /// Patents stand-in divisor.
+    pub divisor: usize,
+    /// SNB persons.
+    pub persons: usize,
+    /// GraphX executor budget in MiB.
+    pub graphx_mb: usize,
+    /// Cooperative per-run timeout in seconds.
+    pub timeout_secs: u64,
+}
+
+impl PaperSetup {
+    /// Reads the setup from the environment knobs.
+    pub fn from_env() -> Self {
+        Self {
+            scale: env_usize("GX_SCALE", 13) as u32,
+            divisor: env_usize("GX_DIVISOR", 200),
+            persons: env_usize("GX_PERSONS", 10_000),
+            graphx_mb: env_usize("GX_GRAPHX_MB", 11),
+            timeout_secs: env_u64("GX_TIMEOUT_SECS", 180),
+        }
+    }
+
+    /// The paper's three datasets: Graph500, Patents stand-in, SNB.
+    pub fn datasets(&self) -> Vec<Dataset> {
+        vec![
+            Dataset::graph500(self.scale),
+            Dataset::real_world(RealWorldGraph::Patents, self.divisor),
+            Dataset::snb(self.persons),
+        ]
+    }
+
+    /// The four-platform fleet with the GraphX executor budget applied.
+    pub fn platforms(&self) -> Vec<Box<dyn Platform>> {
+        vec![
+            Box::new(GiraphPlatform::with_defaults()),
+            Box::new(GraphXPlatform::new(GraphXConfig {
+                partitions: 4,
+                memory_budget: Some(self.graphx_mb << 20),
+            })),
+            Box::new(MapReducePlatform::with_defaults()),
+            Box::new(Neo4jPlatform::with_defaults()),
+        ]
+    }
+
+    /// A benchmark config with the cooperative timeout applied.
+    pub fn config(&self) -> BenchmarkConfig {
+        BenchmarkConfig {
+            timeout: Some(Duration::from_secs(self.timeout_secs)),
+            ..Default::default()
+        }
+    }
+
+    /// One-line description of the knob values, for stderr banners.
+    pub fn describe(&self) -> String {
+        format!(
+            "Graph500 {}, Patents/{}, SNB {}; GraphX budget {} MiB; timeout {}s",
+            self.scale, self.divisor, self.persons, self.graphx_mb, self.timeout_secs
+        )
+    }
 }
 
 /// Renders a simple aligned table: `header` then rows.

@@ -16,6 +16,7 @@
 
 use std::time::Instant;
 
+use graphalytics_core::faults::{fingerprint, FaultSite, RecoveryAction};
 use graphalytics_core::platform::{PlatformError, RunContext};
 use graphalytics_graph::partition::mix64;
 use rustc_hash::FxHashSet;
@@ -100,10 +101,34 @@ pub fn transitive_closure(
     let lookups_before = table.lookup_count();
     let mut depth: i64 = 0;
 
+    // Allocation-failure injection point: each round's exchange buffers
+    // are one logical allocation; a transient failure is retried a few
+    // times (the operator re-requests the arena) before escalating.
+    const MAX_ALLOC_ATTEMPTS: u32 = 3;
+    let alloc_scope = fingerprint("virtuoso.transitive");
+
     while border.iter().any(|b| !b.is_empty()) {
         ctx.check_deadline()?;
         depth += 1;
         profile.rounds += 1;
+        if ctx.faults().is_some() {
+            let mut attempt = 0u32;
+            loop {
+                let site = FaultSite::Alloc {
+                    scope: alloc_scope,
+                    sequence: profile.rounds as u64,
+                    attempt,
+                };
+                match ctx.inject(site.clone()) {
+                    Ok(()) => break,
+                    Err(e) if attempt + 1 >= MAX_ALLOC_ATTEMPTS => return Err(e),
+                    Err(_) => {
+                        ctx.note_recovery(RecoveryAction::AllocRetry, Some(site), 0);
+                        attempt += 1;
+                    }
+                }
+            }
+        }
         let mut round_span = ctx.tracer().span("virtuoso.round");
         round_span
             .field("round", profile.rounds)
@@ -318,6 +343,47 @@ mod tests {
             .collect();
         assert_eq!(rounds.len(), profile.rounds);
         assert!(rounds.iter().all(|s| s.parent == Some(op.id)));
+    }
+
+    #[test]
+    fn injected_alloc_failure_retries_then_escalates() {
+        use graphalytics_core::faults::{FaultInjector, FaultPlan};
+        use std::sync::Arc;
+
+        let t = chain_table(10);
+        let baseline = transitive_closure(&t, 0, 2, &RunContext::unbounded()).unwrap();
+        let scope = fingerprint("virtuoso.transitive");
+
+        // One transient alloc failure in round 2: retried, result unchanged.
+        let plan = FaultPlan::disabled().force(FaultSite::Alloc {
+            scope,
+            sequence: 2,
+            attempt: 0,
+        });
+        let injector = Arc::new(FaultInjector::new(plan));
+        let ctx = RunContext::unbounded().with_faults(Arc::clone(&injector));
+        let (profile, depths) = transitive_closure(&t, 0, 2, &ctx).unwrap();
+        assert_eq!(depths, baseline.1);
+        assert_eq!(profile.reachable, baseline.0.reachable);
+        assert_eq!(injector.injected_count(), 1);
+        assert_eq!(injector.recovery_count(), 1);
+
+        // Exhausting the attempt budget escalates as AllocFailed.
+        let mut plan = FaultPlan::disabled();
+        for attempt in 0..3 {
+            plan = plan.force(FaultSite::Alloc {
+                scope,
+                sequence: 1,
+                attempt,
+            });
+        }
+        let injector = Arc::new(FaultInjector::new(plan));
+        let ctx = RunContext::unbounded().with_faults(Arc::clone(&injector));
+        match transitive_closure(&t, 0, 2, &ctx) {
+            Err(PlatformError::AllocFailed { .. }) => {}
+            other => panic!("expected AllocFailed, got {other:?}"),
+        }
+        assert_eq!(injector.injected_count(), 3);
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Glue between the fault-injection subsystem and the trace layer.
+//!
+//! `graphalytics-faults` is deliberately zero-dependency (it sits inside
+//! the lint's determinism scope), so it cannot emit spans or counters
+//! itself. This module is the one place where fault decisions and recovery
+//! actions become observable: every injection lands as a `faults.injected`
+//! span + `graphalytics_faults_injected_total` counter, every checkpoint
+//! as `recovery.checkpoint` + `graphalytics_checkpoints_total`, and every
+//! recovery action as `recovery.restart` +
+//! `graphalytics_recoveries_total{action}`.
+
+use graphalytics_faults::{FaultInjector, FaultKind, FaultSite, RecoveryAction, RecoveryEvent};
+
+use crate::platform::PlatformError;
+use crate::trace::Tracer;
+
+/// Maps an injected fault site to the transient error a platform would
+/// surface if the fault were real.
+pub fn error_for(site: &FaultSite) -> PlatformError {
+    match site {
+        FaultSite::PregelWorker {
+            superstep, worker, ..
+        } => PlatformError::WorkerLost {
+            worker: *worker,
+            superstep: *superstep as usize,
+        },
+        FaultSite::ShufflePartition {
+            shuffle, partition, ..
+        } => PlatformError::PartitionLost {
+            shuffle: *shuffle,
+            partition: *partition,
+        },
+        FaultSite::TaskIo { job, task, attempt } => PlatformError::TransientIo(format!(
+            "injected i/o fault (job {job:#x}, task {task}, attempt {attempt})"
+        )),
+        FaultSite::Alloc { .. } => PlatformError::AllocFailed { bytes: 0 },
+    }
+}
+
+/// Consults the injector about `site`; when the plan says the fault fires,
+/// records it, traces it, and returns the matching transient error.
+pub fn inject_fault(
+    tracer: &Tracer,
+    injector: &FaultInjector,
+    site: FaultSite,
+) -> Result<(), PlatformError> {
+    if !injector.decide(&site) {
+        return Ok(());
+    }
+    let err = error_for(&site);
+    {
+        let mut span = tracer.span("faults.injected");
+        span.field("kind", site.kind().name());
+        span.field("site", site.describe());
+    }
+    tracer.metrics().inc_counter(
+        "graphalytics_faults_injected_total",
+        &[("kind", site.kind().name())],
+        1,
+    );
+    injector.record_injection(site);
+    Err(err)
+}
+
+/// Records + traces one superstep-boundary checkpoint.
+pub fn note_checkpoint(
+    tracer: &Tracer,
+    injector: Option<&FaultInjector>,
+    superstep: u64,
+    bytes: usize,
+) {
+    {
+        let mut span = tracer.span("recovery.checkpoint");
+        span.field("superstep", superstep);
+        span.field("bytes", bytes);
+    }
+    tracer
+        .metrics()
+        .inc_counter("graphalytics_checkpoints_total", &[], 1);
+    if let Some(inj) = injector {
+        inj.record_recovery(RecoveryEvent {
+            action: RecoveryAction::Checkpoint,
+            site: None,
+            backoff_ms: 0,
+        });
+    }
+}
+
+/// Records + traces one recovery action (restart, recompute, retry).
+pub fn note_recovery(
+    tracer: &Tracer,
+    injector: Option<&FaultInjector>,
+    action: RecoveryAction,
+    site: Option<FaultSite>,
+    backoff_ms: u64,
+) {
+    {
+        let mut span = tracer.span("recovery.restart");
+        span.field("action", action.name());
+        if let Some(site) = &site {
+            span.field("site", site.describe());
+        }
+        if backoff_ms > 0 {
+            span.field("backoff_ms", backoff_ms);
+        }
+    }
+    tracer.metrics().inc_counter(
+        "graphalytics_recoveries_total",
+        &[("action", action.name())],
+        1,
+    );
+    if let Some(inj) = injector {
+        inj.record_recovery(RecoveryEvent {
+            action,
+            site,
+            backoff_ms,
+        });
+    }
+}
+
+/// Convenience: the counter label kind names, for report footers.
+pub fn kind_names() -> impl Iterator<Item = &'static str> {
+    FaultKind::ALL.iter().map(|k| k.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalytics_faults::FaultPlan;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let tracer = Tracer::new();
+        let inj = FaultInjector::disabled();
+        for w in 0..64 {
+            let site = FaultSite::PregelWorker {
+                superstep: 1,
+                worker: w,
+                incarnation: 0,
+            };
+            assert!(inject_fault(&tracer, &inj, site).is_ok());
+        }
+        assert_eq!(inj.injected_count(), 0);
+        assert!(tracer.finished_spans().is_empty());
+    }
+
+    #[test]
+    fn forced_fault_fires_and_is_traced() {
+        let tracer = Tracer::new();
+        let site = FaultSite::ShufflePartition {
+            shuffle: 0,
+            partition: 3,
+            attempt: 0,
+        };
+        let inj = FaultInjector::new(FaultPlan::seeded(7).force(site.clone()));
+        let err = inject_fault(&tracer, &inj, site.clone()).unwrap_err();
+        assert_eq!(
+            err,
+            PlatformError::PartitionLost {
+                shuffle: 0,
+                partition: 3
+            }
+        );
+        assert!(err.is_transient());
+        assert_eq!(inj.injected(), vec![site]);
+        let spans = tracer.finished_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "faults.injected");
+        assert_eq!(
+            tracer.metrics().counter_value(
+                "graphalytics_faults_injected_total",
+                &[("kind", "partition_loss")]
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn checkpoint_and_recovery_are_counted() {
+        let tracer = Tracer::new();
+        let inj = FaultInjector::new(FaultPlan::seeded(1).with_uniform_rate(0.0));
+        note_checkpoint(&tracer, Some(&inj), 4, 128);
+        note_recovery(
+            &tracer,
+            Some(&inj),
+            RecoveryAction::CheckpointRestart,
+            None,
+            20,
+        );
+        assert_eq!(
+            tracer
+                .metrics()
+                .counter_value("graphalytics_checkpoints_total", &[]),
+            1
+        );
+        assert_eq!(
+            tracer.metrics().counter_value(
+                "graphalytics_recoveries_total",
+                &[("action", "checkpoint_restart")]
+            ),
+            1
+        );
+        assert_eq!(inj.checkpoint_count(), 1);
+        assert_eq!(inj.recovery_count(), 1);
+        let names: Vec<String> = tracer
+            .finished_spans()
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(names, vec!["recovery.checkpoint", "recovery.restart"]);
+    }
+
+    #[test]
+    fn every_site_kind_maps_to_a_transient_error() {
+        let sites = [
+            FaultSite::PregelWorker {
+                superstep: 2,
+                worker: 1,
+                incarnation: 0,
+            },
+            FaultSite::ShufflePartition {
+                shuffle: 1,
+                partition: 0,
+                attempt: 1,
+            },
+            FaultSite::TaskIo {
+                job: 9,
+                task: 3,
+                attempt: 0,
+            },
+            FaultSite::Alloc {
+                scope: 5,
+                sequence: 2,
+                attempt: 0,
+            },
+        ];
+        for site in sites {
+            assert!(error_for(&site).is_transient(), "{site:?}");
+        }
+        assert_eq!(kind_names().count(), 4);
+    }
+}

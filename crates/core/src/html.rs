@@ -217,6 +217,7 @@ mod tests {
             avg_cpu_utilization: 0.0,
             wall_seconds: 0.0,
             timeline: RunTimeline::default(),
+            retries: 0,
         }
     }
 

@@ -24,8 +24,14 @@
 /// re-exported so harness code and platforms share one entry point.
 pub use graphalytics_parallel as parallel;
 
+/// The deterministic fault-injection and recovery subsystem (fault plans,
+/// injectors, retry policies, checkpoint codecs), re-exported so platforms
+/// and benches share one entry point.
+pub use graphalytics_faults as faults;
+
 pub mod config;
 pub mod datasets;
+pub mod faultwire;
 pub mod html;
 pub mod json;
 pub mod metrics;

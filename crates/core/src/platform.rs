@@ -12,8 +12,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use graphalytics_algos::{Algorithm, Output};
+use graphalytics_faults::{FaultInjector, FaultSite, RecoveryAction};
 use graphalytics_graph::CsrGraph;
 
+use crate::faultwire;
 use crate::trace::Tracer;
 
 /// Opaque handle to a graph loaded into a platform's own storage.
@@ -37,8 +39,51 @@ pub enum PlatformError {
     Unsupported(String),
     /// Unknown graph handle or other usage error.
     InvalidHandle,
-    /// Internal failure with a description.
+    /// A worker was lost mid-computation (transient: a checkpoint restart
+    /// or a rerun can recover — real clusters lose executors routinely).
+    WorkerLost {
+        /// Worker index.
+        worker: u32,
+        /// Superstep at which the worker was lost.
+        superstep: usize,
+    },
+    /// A shuffle output partition was lost (transient: lineage-based
+    /// recompute from the parent dataset recovers it).
+    PartitionLost {
+        /// Shuffle ordinal within the job.
+        shuffle: u32,
+        /// Lost partition index.
+        partition: u32,
+    },
+    /// A transient I/O error in a task attempt (retrying the attempt
+    /// recovers; distinct from [`PlatformError::Internal`], which covers
+    /// deterministic failures like data corruption or panics).
+    TransientIo(String),
+    /// A transient allocation failure under memory pressure — unlike
+    /// [`PlatformError::OutOfMemory`], which reports a *deterministic*
+    /// budget excess that no retry can fix.
+    AllocFailed {
+        /// Bytes the allocation wanted (0 when unknown).
+        bytes: usize,
+    },
+    /// Internal failure with a description. Fatal: internal errors are
+    /// deterministic bugs (panics, corrupt records), not cluster weather.
     Internal(String),
+}
+
+impl PlatformError {
+    /// True for errors a retry can plausibly cure. The runner's retry
+    /// policy only re-runs transient failures; fatal ones (budget OOM,
+    /// unsupported workloads, internal bugs) fail the cell immediately.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            PlatformError::WorkerLost { .. }
+                | PlatformError::PartitionLost { .. }
+                | PlatformError::TransientIo(_)
+                | PlatformError::AllocFailed { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for PlatformError {
@@ -50,6 +95,16 @@ impl std::fmt::Display for PlatformError {
             PlatformError::Timeout => write!(f, "timed out"),
             PlatformError::Unsupported(what) => write!(f, "unsupported workload: {what}"),
             PlatformError::InvalidHandle => write!(f, "invalid graph handle"),
+            PlatformError::WorkerLost { worker, superstep } => {
+                write!(f, "worker {worker} lost at superstep {superstep}")
+            }
+            PlatformError::PartitionLost { shuffle, partition } => {
+                write!(f, "partition {partition} lost in shuffle {shuffle}")
+            }
+            PlatformError::TransientIo(msg) => write!(f, "transient i/o error: {msg}"),
+            PlatformError::AllocFailed { bytes } => {
+                write!(f, "transient allocation failure ({bytes} B)")
+            }
             PlatformError::Internal(msg) => write!(f, "internal platform error: {msg}"),
         }
     }
@@ -57,13 +112,16 @@ impl std::fmt::Display for PlatformError {
 
 impl std::error::Error for PlatformError {}
 
-/// Per-run context handed to platforms: the cooperative deadline plus the
+/// Per-run context handed to platforms: the cooperative deadline, the
 /// tracer platforms emit spans and metrics into (a disabled tracer when
-/// the harness runs without observability).
+/// the harness runs without observability), and — when robustness
+/// benchmarking is active — the fault injector whose plan decides which
+/// injection points fire.
 #[derive(Debug, Clone)]
 pub struct RunContext {
     deadline: Option<Instant>,
     tracer: Option<Arc<Tracer>>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl RunContext {
@@ -72,6 +130,7 @@ impl RunContext {
         Self {
             deadline: None,
             tracer: None,
+            faults: None,
         }
     }
 
@@ -81,6 +140,7 @@ impl RunContext {
         Self {
             deadline: Some(Instant::now() + timeout),
             tracer: None,
+            faults: None,
         }
     }
 
@@ -91,10 +151,56 @@ impl RunContext {
         self
     }
 
+    /// Attaches a fault injector. Platform injection points stay no-ops
+    /// unless this is set *and* the injector's plan is enabled.
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// The tracer to emit spans into (a shared disabled tracer when none
     /// was attached, so call sites never need to branch).
     pub fn tracer(&self) -> &Tracer {
         self.tracer.as_deref().unwrap_or(Tracer::noop())
+    }
+
+    /// The attached tracer, if any, by `Arc` — for platforms that stash the
+    /// tracer in long-lived internal state (e.g. the dataflow context).
+    pub fn tracer_arc(&self) -> Option<Arc<Tracer>> {
+        self.tracer.clone()
+    }
+
+    /// The fault injector, when robustness benchmarking armed one.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Fault injection point: consults the plan about `site` and, when it
+    /// fires, records + traces the injection and returns the matching
+    /// transient error for the platform to propagate (or recover from).
+    /// With no injector armed this is a branch and nothing more.
+    pub fn inject(&self, site: FaultSite) -> Result<(), PlatformError> {
+        match &self.faults {
+            Some(inj) => faultwire::inject_fault(self.tracer(), inj, site),
+            None => Ok(()),
+        }
+    }
+
+    /// Records + traces a recovery action a platform just performed
+    /// (checkpoint restart, lineage recompute, task retry, ...).
+    pub fn note_recovery(&self, action: RecoveryAction, site: Option<FaultSite>, backoff_ms: u64) {
+        faultwire::note_recovery(
+            self.tracer(),
+            self.faults.as_deref(),
+            action,
+            site,
+            backoff_ms,
+        );
+    }
+
+    /// Records + traces one checkpoint a platform just took.
+    pub fn note_checkpoint(&self, superstep: u64, bytes: usize) {
+        faultwire::note_checkpoint(self.tracer(), self.faults.as_deref(), superstep, bytes);
     }
 
     /// True when the deadline has passed.

@@ -306,6 +306,7 @@ mod tests {
                 }
                 t
             },
+            retries: 0,
         }
     }
 

@@ -127,6 +127,7 @@ mod tests {
             avg_cpu_utilization: 0.0,
             wall_seconds: 0.0,
             timeline: crate::trace::RunTimeline::default(),
+            retries: 0,
         }
     }
 

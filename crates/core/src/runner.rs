@@ -13,9 +13,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use graphalytics_algos::Algorithm;
+use graphalytics_faults::{FaultInjector, RecoveryAction, RetryPolicy, VirtualClock};
 use graphalytics_graph::CsrGraph;
 
 use crate::datasets::Dataset;
+use crate::faultwire;
 use crate::metrics;
 use crate::monitor::SystemMonitor;
 use crate::platform::{Platform, PlatformError, RunContext};
@@ -34,6 +36,14 @@ pub struct BenchmarkConfig {
     pub validate: bool,
     /// Resource-monitor sampling interval.
     pub monitor_interval: Duration,
+    /// Retry policy for *transient* platform failures (see
+    /// [`PlatformError::is_transient`]): the whole run is re-attempted with
+    /// exponential, seed-jittered backoff charged to a virtual clock.
+    /// Fatal errors never retry. Default: no retries.
+    pub retry: RetryPolicy,
+    /// Fault injector armed into every [`RunContext`] the suite builds;
+    /// `None` (the default) leaves all injection points as no-ops.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for BenchmarkConfig {
@@ -43,6 +53,8 @@ impl Default for BenchmarkConfig {
             repetitions: 1,
             validate: true,
             monitor_interval: Duration::from_millis(50),
+            retry: RetryPolicy::none(),
+            faults: None,
         }
     }
 }
@@ -96,6 +108,9 @@ pub struct RunRecord {
     pub wall_seconds: f64,
     /// Phase decomposition of the run (execute per repetition, validate).
     pub timeline: RunTimeline,
+    /// Whole-run retries the harness performed after transient failures
+    /// (platform-internal recoveries are not counted here).
+    pub retries: usize,
 }
 
 /// ETL record per (platform, dataset).
@@ -300,6 +315,7 @@ impl BenchmarkSuite {
                         avg_cpu_utilization: 0.0,
                         wall_seconds: 0.0,
                         timeline: RunTimeline::default(),
+                        retries: 0,
                     });
                 }
                 return;
@@ -336,6 +352,7 @@ impl BenchmarkSuite {
             avg_cpu_utilization: 0.0,
             wall_seconds: 0.0,
             timeline: RunTimeline::default(),
+            retries: 0,
         };
         let reps = self.config.repetitions.max(1);
         let mut run_span = tracer.span("run");
@@ -346,18 +363,48 @@ impl BenchmarkSuite {
         let run_started = Instant::now();
         let monitor = SystemMonitor::start(self.config.monitor_interval);
         let mut last_output = None;
+        let mut backoff_clock = VirtualClock::new();
         for rep in 0..reps {
-            let ctx = match self.config.timeout {
-                Some(t) => RunContext::with_timeout(t),
-                None => RunContext::unbounded(),
-            }
-            .with_tracer(Arc::clone(tracer));
             let phase_start = run_started.elapsed().as_secs_f64();
             let started = Instant::now();
-            let outcome = {
-                let mut exec_span = tracer.span("run.execute");
-                exec_span.field("repetition", rep);
-                platform.run(handle, alg, &ctx)
+            // The attempt loop: transient failures (lost workers, lost
+            // partitions, flaky I/O) re-run the whole repetition under the
+            // retry policy; backoff is charged to a virtual clock so the
+            // schedule is deterministic and costs no wall time.
+            let mut attempt: u32 = 0;
+            let outcome = loop {
+                let mut ctx = match self.config.timeout {
+                    Some(t) => RunContext::with_timeout(t),
+                    None => RunContext::unbounded(),
+                }
+                .with_tracer(Arc::clone(tracer));
+                if let Some(faults) = &self.config.faults {
+                    ctx = ctx.with_faults(Arc::clone(faults));
+                }
+                let res = {
+                    let mut exec_span = tracer.span("run.execute");
+                    exec_span.field("repetition", rep);
+                    if attempt > 0 {
+                        exec_span.field("attempt", attempt);
+                    }
+                    platform.run(handle, alg, &ctx)
+                };
+                match res {
+                    Err(e) if e.is_transient() && self.config.retry.allows(attempt + 1) => {
+                        let backoff_ms = self.config.retry.backoff_ms(attempt);
+                        backoff_clock.advance(backoff_ms);
+                        faultwire::note_recovery(
+                            tracer,
+                            self.config.faults.as_deref(),
+                            RecoveryAction::RunRetry,
+                            None,
+                            backoff_ms,
+                        );
+                        record.retries += 1;
+                        attempt += 1;
+                    }
+                    other => break other,
+                }
             };
             match outcome {
                 Ok(output) => {
@@ -431,6 +478,9 @@ impl BenchmarkSuite {
             RunStatus::Timeout => "timeout",
             RunStatus::Failed(_) => "failed",
         };
+        if record.retries > 0 {
+            run_span.field("retries", record.retries);
+        }
         run_span
             .field("status", status_label)
             .field("peak_rss_bytes", record.peak_rss_bytes)
@@ -638,6 +688,106 @@ mod tests {
             assert_eq!(r.validation, Validation::Skipped);
         }
         assert!(result.loads[0].error.as_deref().unwrap().contains("memory"));
+    }
+
+    /// A platform that fails transiently a fixed number of times before
+    /// succeeding — the shape the retry policy exists for.
+    struct FlakyPlatform {
+        failures_left: usize,
+        fatal: bool,
+    }
+
+    impl Platform for FlakyPlatform {
+        fn name(&self) -> &'static str {
+            "Flaky"
+        }
+        fn load_graph(&mut self, _graph: &CsrGraph) -> Result<GraphHandle, PlatformError> {
+            Ok(GraphHandle(0))
+        }
+        fn run(
+            &mut self,
+            _handle: GraphHandle,
+            _algorithm: &Algorithm,
+            _ctx: &RunContext,
+        ) -> Result<Output, PlatformError> {
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                return Err(if self.fatal {
+                    PlatformError::Internal("boom".into())
+                } else {
+                    PlatformError::TransientIo("flaky disk".into())
+                });
+            }
+            Ok(Output::Components(vec![0; 64]))
+        }
+        fn unload(&mut self, _handle: GraphHandle) {}
+    }
+
+    #[test]
+    fn transient_failures_retry_under_policy() {
+        let s = suite(
+            vec![Algorithm::Conn],
+            BenchmarkConfig {
+                validate: false,
+                retry: RetryPolicy::new(4, 10, 42),
+                ..Default::default()
+            },
+        );
+        let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(FlakyPlatform {
+            failures_left: 2,
+            fatal: false,
+        })];
+        let tracer = Arc::new(Tracer::new());
+        let result = s.run_traced(&mut platforms, &tracer);
+        let r = &result.runs[0];
+        assert!(r.status.is_success(), "{r:?}");
+        assert_eq!(r.retries, 2);
+        assert_eq!(
+            tracer
+                .metrics()
+                .counter_value("graphalytics_recoveries_total", &[("action", "run_retry")]),
+            2
+        );
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_the_cell() {
+        let s = suite(
+            vec![Algorithm::Conn],
+            BenchmarkConfig {
+                validate: false,
+                retry: RetryPolicy::new(2, 10, 42),
+                ..Default::default()
+            },
+        );
+        let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(FlakyPlatform {
+            failures_left: 5,
+            fatal: false,
+        })];
+        let result = s.run(&mut platforms);
+        let r = &result.runs[0];
+        assert!(matches!(r.status, RunStatus::Failed(_)), "{r:?}");
+        assert_eq!(r.retries, 1); // 2 attempts total = 1 retry.
+    }
+
+    #[test]
+    fn fatal_errors_never_retry() {
+        let s = suite(
+            vec![Algorithm::Conn],
+            BenchmarkConfig {
+                validate: false,
+                retry: RetryPolicy::new(4, 10, 42),
+                ..Default::default()
+            },
+        );
+        let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(FlakyPlatform {
+            failures_left: 1,
+            fatal: true,
+        })];
+        let result = s.run(&mut platforms);
+        let r = &result.runs[0];
+        assert!(matches!(r.status, RunStatus::Failed(_)), "{r:?}");
+        assert_eq!(r.retries, 0);
     }
 
     #[test]

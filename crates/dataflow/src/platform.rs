@@ -101,6 +101,11 @@ impl Platform for GraphXPlatform {
         ctx: &RunContext,
     ) -> Result<Output, PlatformError> {
         let loaded = self.loaded(handle)?;
+        // Arm (or disarm) the engine's injection points — shuffle fetches
+        // and allocations — from this run's context.
+        loaded
+            .ctx
+            .arm_faults(ctx.faults().cloned(), ctx.tracer_arc());
         let graph = &loaded.graph;
         let frame = &loaded.frame;
         let mut job_span = ctx.tracer().span("graphx.job");

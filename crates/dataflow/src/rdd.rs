@@ -10,10 +10,13 @@
 //! ("GraphX is unable to process some of the workloads that Giraph can
 //! process, indicated by missing values in the figure").
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use graphalytics_core::faults::{fingerprint, FaultInjector, FaultSite, RecoveryAction};
+use graphalytics_core::faultwire;
 use graphalytics_core::platform::PlatformError;
+use graphalytics_core::trace::Tracer;
 use graphalytics_graph::partition::mix64;
 use parking_lot::Mutex;
 
@@ -81,6 +84,18 @@ pub struct ShuffleStats {
     pub stages: usize,
 }
 
+/// Fetch attempts per shuffle partition / allocation before the fault is
+/// escalated (Spark's `spark.shuffle.io.maxRetries`-style bound).
+const MAX_FETCH_ATTEMPTS: u32 = 3;
+
+/// The armed fault hook: set by the platform at run start, consulted at
+/// the engine's injection points (shuffle fetches, allocations).
+#[derive(Default)]
+struct FaultHook {
+    injector: Option<Arc<FaultInjector>>,
+    tracer: Option<Arc<Tracer>>,
+}
+
 /// The per-job context: partition count, memory manager, statistics.
 pub struct SparkContext {
     /// Number of partitions for new datasets and shuffles.
@@ -88,6 +103,8 @@ pub struct SparkContext {
     /// Memory accounting.
     pub memory: Arc<MemoryManager>,
     stats: Mutex<ShuffleStats>,
+    faults: Mutex<FaultHook>,
+    alloc_seq: AtomicU64,
 }
 
 impl SparkContext {
@@ -97,12 +114,70 @@ impl SparkContext {
             partitions: partitions.max(1),
             memory: Arc::new(MemoryManager::new(memory_budget)),
             stats: Mutex::new(ShuffleStats::default()),
+            faults: Mutex::new(FaultHook::default()),
+            alloc_seq: AtomicU64::new(0),
         })
+    }
+
+    /// Arms (or, with `None`, disarms) fault injection for subsequent
+    /// operations on this context. The platform calls this at run start
+    /// from the harness's `RunContext`.
+    pub fn arm_faults(&self, injector: Option<Arc<FaultInjector>>, tracer: Option<Arc<Tracer>>) {
+        *self.faults.lock() = FaultHook { injector, tracer };
     }
 
     /// Snapshot of the shuffle statistics.
     pub fn stats(&self) -> ShuffleStats {
         *self.stats.lock()
+    }
+
+    fn fault_armed(&self) -> bool {
+        self.faults.lock().injector.is_some()
+    }
+
+    fn probe(&self, site: FaultSite) -> Result<(), PlatformError> {
+        let hook = self.faults.lock();
+        match &hook.injector {
+            Some(inj) => {
+                let tracer = hook.tracer.as_deref().unwrap_or_else(|| Tracer::noop());
+                faultwire::inject_fault(tracer, inj, site)
+            }
+            None => Ok(()),
+        }
+    }
+
+    fn recover(&self, action: RecoveryAction, site: FaultSite) {
+        let hook = self.faults.lock();
+        let tracer = hook.tracer.as_deref().unwrap_or_else(|| Tracer::noop());
+        faultwire::note_recovery(tracer, hook.injector.as_deref(), action, Some(site), 0);
+    }
+
+    /// Budget-checked allocation with a transient-failure injection point:
+    /// under an armed fault plan an allocation may fail spuriously and be
+    /// retried (bounded), modeling executor memory pressure distinct from
+    /// a deterministic budget excess.
+    fn alloc(&self, bytes: usize) -> Result<(), PlatformError> {
+        if self.fault_armed() {
+            let scope = fingerprint("graphx.alloc");
+            let sequence = self.alloc_seq.fetch_add(1, Ordering::Relaxed);
+            let mut attempt = 0u32;
+            loop {
+                let site = FaultSite::Alloc {
+                    scope,
+                    sequence,
+                    attempt,
+                };
+                match self.probe(site.clone()) {
+                    Ok(()) => break,
+                    Err(e) if attempt + 1 >= MAX_FETCH_ATTEMPTS => return Err(e),
+                    Err(_) => {
+                        self.recover(RecoveryAction::AllocRetry, site);
+                        attempt += 1;
+                    }
+                }
+            }
+        }
+        self.memory.allocate(bytes)
     }
 
     fn note_stage(&self) {
@@ -142,7 +217,7 @@ impl<T: Send + Sync> Dataset<T> {
     /// Parallelizes a vector across the context's partitions.
     pub fn from_vec(ctx: &Arc<SparkContext>, items: Vec<T>) -> Result<Self, PlatformError> {
         let bytes = estimate_bytes::<T>(items.len());
-        ctx.memory.allocate(bytes)?;
+        ctx.alloc(bytes)?;
         let p = ctx.partitions;
         let mut parts: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
         let per = items.len().div_ceil(p).max(1);
@@ -160,7 +235,7 @@ impl<T: Send + Sync> Dataset<T> {
     /// Builds a dataset directly from pre-shuffled partitions.
     fn from_parts(ctx: &Arc<SparkContext>, parts: Vec<Vec<T>>) -> Result<Self, PlatformError> {
         let bytes = estimate_bytes::<T>(parts.iter().map(Vec::len).sum());
-        ctx.memory.allocate(bytes)?;
+        ctx.alloc(bytes)?;
         Ok(Self {
             ctx: Arc::clone(ctx),
             parts,
@@ -354,8 +429,14 @@ where
 
     /// Redistributes records so all records of a key land in the same
     /// partition. Counts every moved record as shuffle traffic.
+    ///
+    /// Under an armed fault plan each shuffle output partition is a
+    /// partition-loss injection point; a lost partition is rebuilt by
+    /// lineage — recomputed from this (parent) dataset's partitions, the
+    /// RDD recovery model — bounded by [`MAX_FETCH_ATTEMPTS`].
     pub fn shuffle_by_key(&self) -> Result<Dataset<(K, V)>, PlatformError> {
         let p = self.ctx.partitions;
+        let shuffle_id = self.ctx.stats().shuffles as u32;
         let mut parts: Vec<Vec<(K, V)>> = (0..p).map(|_| Vec::new()).collect();
         let mut moved = 0usize;
         for (src_idx, part) in self.parts.iter().enumerate() {
@@ -365,6 +446,37 @@ where
                     moved += 1;
                 }
                 parts[dest].push((k.clone(), v.clone()));
+            }
+        }
+        if self.ctx.fault_armed() {
+            for (dest, dest_part) in parts.iter_mut().enumerate() {
+                let mut attempt = 0u32;
+                loop {
+                    let site = FaultSite::ShufflePartition {
+                        shuffle: shuffle_id,
+                        partition: dest as u32,
+                        attempt,
+                    };
+                    match self.ctx.probe(site.clone()) {
+                        Ok(()) => break,
+                        Err(e) if attempt + 1 >= MAX_FETCH_ATTEMPTS => return Err(e),
+                        Err(_) => {
+                            // Lineage recompute: rebuild the lost partition
+                            // from the parent partitions, in the same order
+                            // as the original scatter — byte-identical.
+                            dest_part.clear();
+                            for part in &self.parts {
+                                for (k, v) in part {
+                                    if key_partition(k, p) == dest {
+                                        dest_part.push((k.clone(), v.clone()));
+                                    }
+                                }
+                            }
+                            self.ctx.recover(RecoveryAction::LineageRecompute, site);
+                            attempt += 1;
+                        }
+                    }
+                }
             }
         }
         self.ctx.note_shuffle(moved);
@@ -461,6 +573,91 @@ mod tests {
         assert_eq!(stats.shuffles, 1);
         assert!(stats.shuffle_records > 0);
         assert!(stats.stages >= 2);
+    }
+
+    #[test]
+    fn lost_shuffle_partition_recomputes_by_lineage() {
+        let pairs: Vec<(u32, u64)> = (0..100).map(|i| (i % 7, 1u64)).collect();
+        // Fault-free baseline.
+        let baseline = {
+            let c = ctx();
+            let d = Dataset::from_vec(&c, pairs.clone()).unwrap();
+            d.reduce_by_key(|a, b| a + b).unwrap().collect()
+        };
+        // Same job with partition 1 of the first shuffle lost once.
+        let c = ctx();
+        let injector = Arc::new(FaultInjector::new(
+            graphalytics_core::faults::FaultPlan::seeded(3).force(FaultSite::ShufflePartition {
+                shuffle: 0,
+                partition: 1,
+                attempt: 0,
+            }),
+        ));
+        c.arm_faults(Some(Arc::clone(&injector)), None);
+        let d = Dataset::from_vec(&c, pairs).unwrap();
+        let out = d.reduce_by_key(|a, b| a + b).unwrap().collect();
+        assert_eq!(out, baseline); // Lineage rebuild is byte-identical.
+        assert_eq!(injector.injected_count(), 1);
+        assert_eq!(injector.recovery_count(), 1);
+    }
+
+    #[test]
+    fn repeated_partition_loss_escalates() {
+        let c = ctx();
+        let mut plan = graphalytics_core::faults::FaultPlan::seeded(3);
+        for attempt in 0..MAX_FETCH_ATTEMPTS {
+            plan = plan.force(FaultSite::ShufflePartition {
+                shuffle: 0,
+                partition: 0,
+                attempt,
+            });
+        }
+        c.arm_faults(Some(Arc::new(FaultInjector::new(plan))), None);
+        let d = Dataset::from_vec(&c, vec![(1u32, 1u32), (2, 2)]).unwrap();
+        match d.shuffle_by_key() {
+            Err(e) => assert_eq!(
+                e,
+                PlatformError::PartitionLost {
+                    shuffle: 0,
+                    partition: 0
+                }
+            ),
+            Ok(_) => panic!("expected partition loss to escalate"),
+        }
+    }
+
+    #[test]
+    fn transient_alloc_failures_retry_then_escalate() {
+        let scope = fingerprint("graphx.alloc");
+        // One transient alloc failure: retried, job succeeds.
+        let c = ctx();
+        let injector = Arc::new(FaultInjector::new(
+            graphalytics_core::faults::FaultPlan::seeded(5).force(FaultSite::Alloc {
+                scope,
+                sequence: 0,
+                attempt: 0,
+            }),
+        ));
+        c.arm_faults(Some(Arc::clone(&injector)), None);
+        let d = Dataset::from_vec(&c, (0..10u32).collect()).unwrap();
+        assert_eq!(d.count(), 10);
+        assert_eq!(injector.injected_count(), 1);
+        assert_eq!(injector.recovery_count(), 1);
+        // Exhausting every attempt escalates as AllocFailed.
+        let c = ctx();
+        let mut plan = graphalytics_core::faults::FaultPlan::seeded(5);
+        for attempt in 0..MAX_FETCH_ATTEMPTS {
+            plan = plan.force(FaultSite::Alloc {
+                scope,
+                sequence: 0,
+                attempt,
+            });
+        }
+        c.arm_faults(Some(Arc::new(FaultInjector::new(plan))), None);
+        match Dataset::from_vec(&c, (0..10u32).collect()) {
+            Err(e) => assert!(matches!(e, PlatformError::AllocFailed { .. })),
+            Ok(_) => panic!("expected alloc failure to escalate"),
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use graphalytics_graph::io::{read_edge_file, read_graph, read_vertex_file, write_graph};
 use graphalytics_graph::EdgeListGraph;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn scratch(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("gx-io-golden-{}-{name}", std::process::id()));
@@ -22,7 +22,7 @@ fn golden_graph() -> EdgeListGraph {
     EdgeListGraph::new(vec![0, 1, 2, 3, 7], vec![(0, 1), (1, 2), (2, 3)], false)
 }
 
-fn write_pair(dir: &PathBuf, name: &str, v_text: &str, e_text: &str) -> PathBuf {
+fn write_pair(dir: &Path, name: &str, v_text: &str, e_text: &str) -> PathBuf {
     let prefix = dir.join(name);
     std::fs::write(prefix.with_extension("v"), v_text).expect("write .v");
     std::fs::write(prefix.with_extension("e"), e_text).expect("write .e");

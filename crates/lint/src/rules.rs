@@ -8,9 +8,10 @@
 //! the invariant is load-bearing (see [`Rule::crates`]).
 
 /// Crates whose outputs must be bit-reproducible: the data generator, the
-/// reference algorithms, the graph substrate they share, and the parallel
-/// runtime the kernels run on.
-pub const DETERMINISM_CRATES: &[&str] = &["datagen", "algos", "graph", "parallel"];
+/// reference algorithms, the graph substrate they share, the parallel
+/// runtime the kernels run on, and the fault-injection plan (same seed
+/// must fault the same sites on every run).
+pub const DETERMINISM_CRATES: &[&str] = &["datagen", "algos", "graph", "parallel", "faults"];
 
 /// The five platform crates, where an `unwrap()` on a failure path turns a
 /// benchmark failure cell (Figure 4's "missing values") into a crash.
@@ -32,8 +33,9 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "determinism-time",
         crates: Some(DETERMINISM_CRATES),
-        summary: "no Instant/SystemTime/std::time in datagen, algos, graph, or parallel: \
-                  generated data and reference outputs must not depend on wall clocks",
+        summary: "no Instant/SystemTime/std::time in datagen, algos, graph, parallel, or \
+                  faults: generated data, reference outputs, and fault plans must not \
+                  depend on wall clocks",
     },
     Rule {
         id: "determinism-entropy",

@@ -139,7 +139,7 @@ pub fn connected_components(
             &IdentityMapper,
             &PropagateLabels,
             &prop_dir,
-            ctx.tracer(),
+            ctx,
         )?;
         ctx.check_deadline()?;
         let prop_files = part_files(&prop_dir)?;
@@ -151,7 +151,7 @@ pub fn connected_components(
             &IdentityMapper,
             &UpdateMinLabel,
             &update_dir,
-            ctx.tracer(),
+            ctx,
         )?;
         // Concatenate the update output into the next labels file.
         let records = read_output(&update_dir)?;
@@ -249,7 +249,7 @@ pub fn bfs(
             &IdentityMapper,
             &PropagateDepths,
             &prop_dir,
-            ctx.tracer(),
+            ctx,
         )?;
         ctx.check_deadline()?;
         let update_dir = config.work_dir.join(format!("bfs-update-{iteration}"));
@@ -260,7 +260,7 @@ pub fn bfs(
             &IdentityMapper,
             &UpdateDepths,
             &update_dir,
-            ctx.tracer(),
+            ctx,
         )?;
         let records = read_output(&update_dir)?;
         depth_file = config
@@ -384,7 +384,7 @@ pub fn community_detection(
             &IdentityMapper,
             &PropagateCommunities { degree_exponent },
             &prop_dir,
-            ctx.tracer(),
+            ctx,
         )?;
         ctx.check_deadline()?;
         let update_dir = config.work_dir.join(format!("cd-update-{round}"));
@@ -395,7 +395,7 @@ pub fn community_detection(
             &IdentityMapper,
             &UpdateCommunities { hop_attenuation },
             &update_dir,
-            ctx.tracer(),
+            ctx,
         )?;
         final_records = read_output(&update_dir)?;
         state_file = config.work_dir.join(format!("cd-state-{}", round + 1));
@@ -526,7 +526,7 @@ pub fn mean_local_cc(
         &IdentityMapper,
         &AdjacencyReducer,
         &adj_dir,
-        ctx.tracer(),
+        ctx,
     )?;
     ctx.check_deadline()?;
     let lcc_dir = config.work_dir.join("stats-lcc");
@@ -537,7 +537,7 @@ pub fn mean_local_cc(
         &ShipListsMapper,
         &LccReducer,
         &lcc_dir,
-        ctx.tracer(),
+        ctx,
     )?;
     let records = read_output(&lcc_dir)?;
     let mut sum = 0.0f64;
@@ -643,7 +643,7 @@ pub fn pagerank(
             &IdentityMapper,
             &PropagateRank,
             &prop_dir,
-            ctx.tracer(),
+            ctx,
         )?;
         let dangling = counters.user_counter("dangling_micros") as f64 / 1e12;
         ctx.check_deadline()?;
@@ -659,7 +659,7 @@ pub fn pagerank(
                 dangling,
             },
             &update_dir,
-            ctx.tracer(),
+            ctx,
         )?;
         final_records = read_output(&update_dir)?;
         rank_file = config.work_dir.join(format!("pr-ranks-{}", round + 1));
@@ -697,7 +697,7 @@ pub fn forest_fire(
         &IdentityMapper,
         &AdjacencyReducer,
         &adj_dir,
-        ctx.tracer(),
+        ctx,
     )?;
     let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (k, v) in read_output(&adj_dir)? {
@@ -724,7 +724,7 @@ pub fn forest_fire(
 /// Lists the part files of a completed job's output directory.
 pub fn part_files(dir: &Path) -> Result<Vec<PathBuf>, PlatformError> {
     let mut parts: Vec<PathBuf> = std::fs::read_dir(dir)
-        .map_err(|e| PlatformError::Internal(format!("i/o: {e}")))?
+        .map_err(|e| PlatformError::TransientIo(format!("i/o: {e}")))?
         .filter_map(|e| e.ok())
         .map(|e| e.path())
         .filter(|p| {

@@ -19,8 +19,8 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-use graphalytics_core::platform::PlatformError;
-use graphalytics_core::trace::Tracer;
+use graphalytics_core::faults::{fingerprint, FaultSite, RecoveryAction};
+use graphalytics_core::platform::{PlatformError, RunContext};
 use graphalytics_graph::partition::mix64;
 
 /// A key-value record; keys and values are text (Hadoop's Text/Text).
@@ -166,7 +166,35 @@ pub fn read_output(dir: &Path) -> Result<Vec<Record>, PlatformError> {
 }
 
 fn io_err(e: std::io::Error) -> PlatformError {
-    PlatformError::Internal(format!("i/o: {e}"))
+    // Transient by classification: a failed read/write of a spill or part
+    // file is cluster weather (full disk, flaky mount), the kind of error
+    // Hadoop retries task attempts for.
+    PlatformError::TransientIo(format!("i/o: {e}"))
+}
+
+/// Task attempts allowed per map/reduce task before the job fails —
+/// Hadoop's `mapreduce.map.maxattempts` default.
+const MAX_TASK_ATTEMPTS: u32 = 4;
+
+/// Task-attempt injection point: probes the fault plan at task start and
+/// retries the attempt (bounded) on an injected transient I/O error, the
+/// Hadoop speculative-reexecution model in miniature.
+fn probe_task_attempts(ctx: &RunContext, job: u64, task: u32) -> Result<(), PlatformError> {
+    if ctx.faults().is_none() {
+        return Ok(());
+    }
+    let mut attempt = 0u32;
+    loop {
+        let site = FaultSite::TaskIo { job, task, attempt };
+        match ctx.inject(site.clone()) {
+            Ok(()) => return Ok(()),
+            Err(e) if attempt + 1 >= MAX_TASK_ATTEMPTS => return Err(e),
+            Err(_) => {
+                ctx.note_recovery(RecoveryAction::TaskRetry, Some(site), 0);
+                attempt += 1;
+            }
+        }
+    }
 }
 
 /// Runs one MapReduce job: `inputs` → mapper → sort/spill → shuffle →
@@ -186,13 +214,15 @@ pub fn run_job<M: Mapper, R: CountingReducer>(
         mapper,
         reducer,
         output_dir,
-        Tracer::noop(),
+        &RunContext::unbounded(),
     )
 }
 
-/// [`run_job`] with tracing: emits one `mapreduce.job` span carrying the
-/// job name and final [`JobCounters`], with nested `mapreduce.map` /
-/// `mapreduce.reduce` phase spans.
+/// [`run_job`] with observability and fault hooks from the harness's
+/// [`RunContext`]: emits one `mapreduce.job` span carrying the job name
+/// and final [`JobCounters`], with nested `mapreduce.map` /
+/// `mapreduce.reduce` phase spans; when a fault plan is armed, every task
+/// is a transient-I/O injection point with bounded attempt retries.
 #[allow(clippy::too_many_arguments)]
 pub fn run_job_traced<M: Mapper, R: CountingReducer>(
     config: &JobConfig,
@@ -201,8 +231,11 @@ pub fn run_job_traced<M: Mapper, R: CountingReducer>(
     mapper: &M,
     reducer: &R,
     output_dir: &Path,
-    tracer: &Tracer,
+    ctx: &RunContext,
 ) -> Result<JobCounters, PlatformError> {
+    let tracer = ctx.tracer();
+    let map_job_fp = fingerprint(&format!("{job_name}#map"));
+    let reduce_job_fp = fingerprint(&format!("{job_name}#reduce"));
     let mut job_span = tracer.span("mapreduce.job");
     job_span.field("job", job_name);
     std::fs::create_dir_all(output_dir).map_err(io_err)?;
@@ -224,6 +257,7 @@ pub fn run_job_traced<M: Mapper, R: CountingReducer>(
             let inputs = &inputs;
             handles.push(
                 scope.spawn(move |_| -> Result<(usize, usize, usize), PlatformError> {
+                    probe_task_attempts(ctx, map_job_fp, task as u32)?;
                     let mut input_count = 0usize;
                     let mut output_count = 0usize;
                     let mut spilled = 0usize;
@@ -289,6 +323,7 @@ pub fn run_job_traced<M: Mapper, R: CountingReducer>(
                     (usize, std::collections::BTreeMap<String, i64>),
                     PlatformError,
                 > {
+                    probe_task_attempts(ctx, reduce_job_fp, p as u32)?;
                     // Merge the sorted spill fragments for this partition.
                     let mut records: Vec<Record> = Vec::new();
                     for task in 0..map_tasks {
@@ -416,12 +451,14 @@ mod tests {
 
     #[test]
     fn traced_job_emits_job_and_phase_spans_matching_counters() {
-        use graphalytics_core::trace::FieldValue;
+        use graphalytics_core::trace::{FieldValue, Tracer};
+        use std::sync::Arc;
 
         let dir = tmp("spans");
         let input = dir.join("input-0");
         write_records(&input, &[("0".into(), "a b a".into())]).unwrap();
-        let tracer = Tracer::new();
+        let tracer = Arc::new(Tracer::new());
+        let ctx = RunContext::unbounded().with_tracer(Arc::clone(&tracer));
         let counters = run_job_traced(
             &JobConfig::new(&dir),
             "wc",
@@ -429,7 +466,7 @@ mod tests {
             &TokenMapper,
             &SumReducer,
             &dir.join("out"),
-            &tracer,
+            &ctx,
         )
         .unwrap();
 
@@ -529,6 +566,86 @@ mod tests {
         .unwrap();
         assert_eq!(counters.map_input, 0);
         assert!(read_output(&dir.join("out")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn injected_task_io_fault_retries_and_succeeds() {
+        use graphalytics_core::faults::{FaultInjector, FaultPlan, FaultSite};
+        use std::sync::Arc;
+
+        let dir = tmp("taskio");
+        let input = dir.join("in");
+        write_records(&input, &[("0".into(), "a b a".into())]).unwrap();
+        let baseline = run_job(
+            &JobConfig::new(&dir),
+            "flaky",
+            std::slice::from_ref(&input),
+            &TokenMapper,
+            &SumReducer,
+            &dir.join("out-base"),
+        )
+        .unwrap();
+
+        // Fail the first attempt of map task 0; attempt 1 must succeed.
+        let plan = FaultPlan::disabled().force(FaultSite::TaskIo {
+            job: fingerprint("flaky#map"),
+            task: 0,
+            attempt: 0,
+        });
+        let injector = Arc::new(FaultInjector::new(plan));
+        let ctx = RunContext::unbounded().with_faults(Arc::clone(&injector));
+        let counters = run_job_traced(
+            &JobConfig::new(&dir),
+            "flaky",
+            &[input],
+            &TokenMapper,
+            &SumReducer,
+            &dir.join("out-faulty"),
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(counters, baseline);
+        assert_eq!(
+            read_output(&dir.join("out-faulty")).unwrap(),
+            read_output(&dir.join("out-base")).unwrap()
+        );
+        assert_eq!(injector.injected_count(), 1);
+        assert_eq!(injector.recovery_count(), 1);
+    }
+
+    #[test]
+    fn task_attempt_budget_exhaustion_fails_the_job() {
+        use graphalytics_core::faults::{FaultInjector, FaultPlan, FaultSite};
+        use std::sync::Arc;
+
+        let dir = tmp("taskio-fatal");
+        let input = dir.join("in");
+        write_records(&input, &[("0".into(), "a".into())]).unwrap();
+        let mut plan = FaultPlan::disabled();
+        for attempt in 0..MAX_TASK_ATTEMPTS {
+            plan = plan.force(FaultSite::TaskIo {
+                job: fingerprint("doomed#reduce"),
+                task: 2,
+                attempt,
+            });
+        }
+        let injector = Arc::new(FaultInjector::new(plan));
+        let ctx = RunContext::unbounded().with_faults(Arc::clone(&injector));
+        let err = run_job_traced(
+            &JobConfig::new(&dir),
+            "doomed",
+            &[input],
+            &TokenMapper,
+            &SumReducer,
+            &dir.join("out"),
+            &ctx,
+        );
+        match err {
+            Err(PlatformError::TransientIo(_)) => {}
+            other => panic!("expected TransientIo, got {other:?}"),
+        }
+        assert_eq!(injector.injected_count(), MAX_TASK_ATTEMPTS as usize);
+        assert_eq!(injector.recovery_count(), (MAX_TASK_ATTEMPTS - 1) as usize);
     }
 
     #[test]

@@ -77,7 +77,7 @@ impl MapReducePlatform {
     fn job_config(&self, loaded: &LoadedGraph, tag: &str) -> Result<JobConfig, PlatformError> {
         let work_dir = loaded.work_dir.join(format!("run-{tag}-{}", next_run_id()));
         std::fs::create_dir_all(&work_dir)
-            .map_err(|e| PlatformError::Internal(format!("i/o: {e}")))?;
+            .map_err(|e| PlatformError::TransientIo(format!("i/o: {e}")))?;
         Ok(JobConfig {
             map_tasks: self.config.map_tasks,
             reduce_tasks: self.config.reduce_tasks,
@@ -103,7 +103,7 @@ impl Platform for MapReducePlatform {
         self.next_handle += 1;
         let work_dir = self.config.work_root.join(format!("graph-{}", handle.0));
         std::fs::create_dir_all(&work_dir)
-            .map_err(|e| PlatformError::Internal(format!("i/o: {e}")))?;
+            .map_err(|e| PlatformError::TransientIo(format!("i/o: {e}")))?;
         let splits = self.config.input_splits.max(1);
         let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); splits];
         for v in 0..graph.num_vertices() as Vid {

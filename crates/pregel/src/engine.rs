@@ -19,6 +19,7 @@
 //!   superstep — Giraph's aggregator facility;
 //! * cooperative deadlines checked at every barrier.
 
+use graphalytics_core::faults::{CheckpointCodec, FaultSite, RecoveryAction, Snapshot};
 use graphalytics_core::platform::{PlatformError, RunContext};
 use graphalytics_graph::partition::{
     HashPartitioner, LdgPartitioner, Partitioner, RangePartitioner,
@@ -62,6 +63,15 @@ pub struct PregelConfig {
     pub memory_budget: Option<usize>,
     /// Vertex-placement strategy.
     pub partitioner: PartitionerKind,
+    /// Checkpoint every N supersteps (Giraph's superstep-boundary
+    /// checkpointing): vertex state + pending messages + halt flags +
+    /// aggregator are snapshotted so a lost worker restarts the
+    /// computation from the last checkpoint instead of failing the run.
+    /// `None` (the default) never checkpoints.
+    pub checkpoint_interval: Option<usize>,
+    /// How many checkpoint restarts one run may perform before the worker
+    /// loss is escalated to the harness.
+    pub max_restarts: u32,
 }
 
 impl Default for PregelConfig {
@@ -71,6 +81,8 @@ impl Default for PregelConfig {
             max_supersteps: 10_000,
             memory_budget: None,
             partitioner: PartitionerKind::Hash,
+            checkpoint_interval: None,
+            max_restarts: 8,
         }
     }
 }
@@ -173,11 +185,16 @@ impl<'a, M> ComputeContext<'a, M> {
 }
 
 /// A vertex program: the algorithm expressed in the Pregel model.
+///
+/// State and message types must be [`CheckpointCodec`] so the engine can
+/// snapshot them at superstep boundaries (the recovery path for injected
+/// worker crashes); the codec is implemented for all primitives, tuples,
+/// and `Vec`s the built-in programs use.
 pub trait VertexProgram: Sync {
     /// Per-vertex state.
-    type State: Clone + Send + Sync;
+    type State: Clone + Send + Sync + CheckpointCodec;
     /// Message type.
-    type Message: Clone + Send + Sync;
+    type Message: Clone + Send + Sync + CheckpointCodec;
 
     /// Initial state of a vertex.
     fn init(&self, vertex: Vid, graph: &CsrGraph) -> Self::State;
@@ -243,13 +260,71 @@ pub fn run<P: VertexProgram>(
     let mut stats = PregelStats::default();
     let mut prev_aggregate = 0.0f64;
 
-    for superstep in 0..config.max_supersteps {
+    // Superstep-boundary checkpointing (Giraph-style): the encoded last
+    // snapshot, plus the incarnation counter that makes re-executed
+    // supersteps distinguishable fault-plan sites (a crash decided for
+    // incarnation 0 does not re-fire after the restart).
+    let mut latest_checkpoint: Option<Vec<u8>> = None;
+    let mut incarnation: u32 = 0;
+
+    let mut superstep = 0usize;
+    while superstep < config.max_supersteps {
         ctx.check_deadline()?;
         // A vertex is runnable when it hasn't voted to halt *or* has
         // pending messages (message receipt reactivates halted vertices).
         let any_runnable = active.iter().any(|&a| a) || inbox.iter().any(|m| !m.is_empty());
         if !any_runnable {
             break;
+        }
+        // Checkpoint before computing, so a crash in superstep k with a
+        // due checkpoint restores to k itself, not k - interval.
+        if config
+            .checkpoint_interval
+            .is_some_and(|i| i > 0 && superstep.is_multiple_of(i))
+        {
+            let snap = Snapshot {
+                superstep: superstep as u64,
+                states: states.clone(),
+                inbox: inbox.clone(),
+                active: active.clone(),
+                aggregate: prev_aggregate,
+            };
+            let bytes = snap.encode();
+            ctx.note_checkpoint(superstep as u64, bytes.len());
+            latest_checkpoint = Some(bytes);
+        }
+        // Worker-crash injection point: each worker is probed against the
+        // fault plan before the compute phase. A crashed worker either
+        // restarts the computation from the last checkpoint or escalates
+        // the loss to the harness.
+        if ctx.faults().is_some() {
+            let crashed = (0..workers as u32).find_map(|w| {
+                let site = FaultSite::PregelWorker {
+                    superstep: superstep as u64,
+                    worker: w,
+                    incarnation,
+                };
+                ctx.inject(site.clone()).err().map(|e| (site, e))
+            });
+            if let Some((site, err)) = crashed {
+                match &latest_checkpoint {
+                    Some(bytes) if incarnation < config.max_restarts => {
+                        let snap: Snapshot<P::State, P::Message> = Snapshot::decode(bytes)
+                            .ok_or_else(|| {
+                                PlatformError::Internal("corrupt pregel checkpoint".to_string())
+                            })?;
+                        states = snap.states;
+                        inbox = snap.inbox;
+                        active = snap.active;
+                        prev_aggregate = snap.aggregate;
+                        superstep = snap.superstep as usize;
+                        incarnation += 1;
+                        ctx.note_recovery(RecoveryAction::CheckpointRestart, Some(site), 0);
+                        continue;
+                    }
+                    _ => return Err(err),
+                }
+            }
         }
         // One span per superstep, carrying the same counts the engine
         // accumulates into `PregelStats`.
@@ -362,6 +437,7 @@ pub fn run<P: VertexProgram>(
         if !any_message && !active.iter().any(|&a| a) {
             break;
         }
+        superstep += 1;
     }
     Ok(PregelResult { states, stats })
 }
@@ -571,6 +647,88 @@ mod tests {
         )
         .unwrap();
         assert_eq!(result.stats.supersteps, 5);
+    }
+
+    #[test]
+    fn injected_crash_recovers_from_checkpoint() {
+        use graphalytics_core::faults::{FaultInjector, FaultPlan};
+
+        let g = graph((0..50).map(|i| (i, (i * 7 + 1) % 50)).collect());
+        let baseline = run(
+            &g,
+            &MinLabel,
+            &PregelConfig::default(),
+            &RunContext::unbounded(),
+        )
+        .unwrap();
+        // Crash between checkpoints (checkpoints land at supersteps 0 and
+        // 2; the crash hits at 3) so the restart re-executes a superstep.
+        let plan = FaultPlan::seeded(1).force(FaultSite::PregelWorker {
+            superstep: 3,
+            worker: 0,
+            incarnation: 0,
+        });
+        let injector = Arc::new(FaultInjector::new(plan));
+        let ctx = RunContext::unbounded().with_faults(Arc::clone(&injector));
+        let config = PregelConfig {
+            checkpoint_interval: Some(2),
+            ..Default::default()
+        };
+        let result = run(&g, &MinLabel, &config, &ctx).unwrap();
+        assert_eq!(result.states, baseline.states);
+        assert_eq!(injector.injected_count(), 1);
+        assert_eq!(injector.recovery_count(), 1);
+        // The re-executed superstep shows up as recovery overhead.
+        assert!(result.stats.supersteps > baseline.stats.supersteps);
+    }
+
+    #[test]
+    fn crash_without_checkpoint_escalates() {
+        use graphalytics_core::faults::{FaultInjector, FaultPlan};
+
+        let g = graph(vec![(0, 1), (1, 2)]);
+        let plan = FaultPlan::seeded(1).force(FaultSite::PregelWorker {
+            superstep: 0,
+            worker: 0,
+            incarnation: 0,
+        });
+        let ctx = RunContext::unbounded().with_faults(Arc::new(FaultInjector::new(plan)));
+        let err = run(&g, &MinLabel, &PregelConfig::default(), &ctx).unwrap_err();
+        assert_eq!(
+            err,
+            PlatformError::WorkerLost {
+                worker: 0,
+                superstep: 0
+            }
+        );
+    }
+
+    #[test]
+    fn restart_budget_is_bounded() {
+        use graphalytics_core::faults::{FaultInjector, FaultPlan};
+
+        let g = graph(vec![(0, 1), (1, 2)]);
+        // Crash worker 0 at superstep 0 for every incarnation: the engine
+        // restores, re-crashes, and eventually escalates.
+        let mut plan = FaultPlan::seeded(1);
+        for incarnation in 0..=2 {
+            plan = plan.force(FaultSite::PregelWorker {
+                superstep: 0,
+                worker: 0,
+                incarnation,
+            });
+        }
+        let injector = Arc::new(FaultInjector::new(plan));
+        let ctx = RunContext::unbounded().with_faults(Arc::clone(&injector));
+        let config = PregelConfig {
+            checkpoint_interval: Some(1),
+            max_restarts: 2,
+            ..Default::default()
+        };
+        let err = run(&g, &MinLabel, &config, &ctx).unwrap_err();
+        assert!(matches!(err, PlatformError::WorkerLost { .. }));
+        assert_eq!(injector.injected_count(), 3);
+        assert_eq!(injector.recovery_count(), 2);
     }
 
     #[test]

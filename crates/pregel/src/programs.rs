@@ -89,6 +89,19 @@ pub struct CdState {
     pub score: f64,
 }
 
+impl graphalytics_core::faults::CheckpointCodec for CdState {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.label.encode_into(out);
+        self.score.encode_into(out);
+    }
+    fn decode_from(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some(CdState {
+            label: u32::decode_from(buf, pos)?,
+            score: f64::decode_from(buf, pos)?,
+        })
+    }
+}
+
 impl VertexProgram for CdProgram {
     type State = CdState;
     type Message = (u32, f64, f64); // (label, score, influence)

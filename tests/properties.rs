@@ -272,7 +272,7 @@ proptest! {
         let Output::Stats(stats) = reference(&csr, &Algorithm::Stats) else {
             panic!("STATS must emit Stats")
         };
-        let mut bad = stats.clone();
+        let mut bad = stats;
         bad.num_vertices += 1;
         prop_assert!(!Output::Stats(stats).equivalent(&Output::Stats(bad)));
 
