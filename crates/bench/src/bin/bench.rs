@@ -1,0 +1,98 @@
+//! `bench` — operational subcommands around the benchmark. Currently one:
+//! the perf-regression observatory gate.
+//!
+//! ```text
+//! bench regress --record BENCH_baseline.json   # (re)record the baseline
+//! bench regress --check  BENCH_baseline.json   # exit 1 on regression
+//! ```
+//!
+//! `--record` times the fixed workload (Graph500 × the paper's five
+//! kernels on the reference platform; see `graphalytics_bench::regress`)
+//! and writes the baseline, including a calibration-loop timing of the
+//! recording machine. `--check` re-times the workload and compares
+//! against the committed baseline with calibration-scaled, noise-aware
+//! thresholds — a kernel fails only when it exceeds the relative factor
+//! *and* the absolute floor (documented in DESIGN.md §5d). CI runs the
+//! check as a blocking step.
+//!
+//! Knobs: `GX_REGRESS_SCALE` (default 16), `GX_REGRESS_RUNS` (default 5),
+//! `GX_REGRESS_HANDICAP` (test-only median multiplier, default 1.0).
+
+use graphalytics_bench::regress::{self, RegressConfig};
+use graphalytics_obs::regress::{Baseline, Thresholds};
+
+fn usage() -> ! {
+    eprintln!("usage: bench regress (--record | --check) <BENCH_baseline.json>");
+    eprintln!("knobs: GX_REGRESS_SCALE, GX_REGRESS_RUNS, GX_REGRESS_HANDICAP");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("regress") {
+        usage();
+    }
+    let (mode, path) = match args.get(1).map(String::as_str) {
+        Some("--record") => ("record", args.get(2).cloned()),
+        Some("--check") => ("check", args.get(2).cloned()),
+        Some(arg) if arg.starts_with("--record=") => {
+            ("record", arg.strip_prefix("--record=").map(str::to_string))
+        }
+        Some(arg) if arg.starts_with("--check=") => {
+            ("check", arg.strip_prefix("--check=").map(str::to_string))
+        }
+        _ => usage(),
+    };
+    let Some(path) = path else { usage() };
+
+    let cfg = RegressConfig::from_env();
+    eprintln!("regress workload: {}", cfg.describe());
+
+    match mode {
+        "record" => {
+            let baseline = match regress::record(&cfg) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            };
+            if let Err(e) = std::fs::write(&path, baseline.to_json_string()) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "baseline with {} kernel(s) written to {path} \
+                 (calibration {:.3}s)",
+                baseline.entries.len(),
+                baseline.calibration_seconds
+            );
+        }
+        _ => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let Some(baseline) = Baseline::parse(&text) else {
+                eprintln!("{path} is not a bench_baseline document");
+                std::process::exit(1);
+            };
+            let report = match regress::check(&cfg, &baseline, Thresholds::default()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            };
+            print!("{}", report.render_text());
+            if report.failed() {
+                eprintln!("PERF REGRESSION: see verdicts above");
+                std::process::exit(1);
+            }
+            println!("no regressions across {} kernel(s)", report.verdicts.len());
+        }
+    }
+}

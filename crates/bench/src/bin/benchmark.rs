@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p graphalytics-bench --bin benchmark -- \
-//!     [--trace-out trace.jsonl] [--threads N] run.properties
+//!     [--trace-out trace.jsonl] [--profile-out prof] [--threads N] run.properties
 //! ```
 //!
 //! The properties file selects graphs, algorithms, platforms, timeout, and
@@ -12,18 +12,27 @@
 //! the report is printed and written next to the configuration, and the
 //! run records are appended to the results database. With `--trace-out`,
 //! the run is traced: spans and metrics are exported as JSONL to the given
-//! path, and a Prometheus text rendering to `<path>.prom`. `--threads N`
+//! path, and a Prometheus text rendering to `<path>.prom`. With
+//! `--profile-out <base>`, the sampling profiler rides along and writes
+//! `<base>.folded`, `<base>.svg`, `<base>.trace.json`, and
+//! `<base>.chokepoints.jsonl`; the choke-point reports are also appended
+//! to the results database and spliced into the HTML report. `--threads N`
 //! (or the `reference.threads` property; the flag wins) runs the reference
 //! platform's kernels on the deterministic parallel runtime with up to `N`
 //! workers — `0` means the machine default. Outputs are byte-identical at
-//! every thread count.
+//! every thread count, and with no observability flag at all the tracer is
+//! disabled and outputs are byte-identical to an unobserved run.
 
+use std::sync::Arc;
+
+use graphalytics_bench::{ObsArgs, ObsSession, OBS_USAGE};
 use graphalytics_core::config::BenchmarkSpec;
 use graphalytics_core::results::ResultsDb;
-use graphalytics_core::{report, BenchmarkSuite, Platform, ReferencePlatform, Tracer};
+use graphalytics_core::{report, BenchmarkSuite, Platform, ReferencePlatform};
 use graphalytics_dataflow::{GraphXConfig, GraphXPlatform};
 use graphalytics_graphdb::{Neo4jConfig, Neo4jPlatform};
 use graphalytics_mapreduce::MapReducePlatform;
+use graphalytics_obs::chokepoints;
 use graphalytics_pregel::{GiraphPlatform, PregelConfig};
 
 fn build_platform(
@@ -64,43 +73,9 @@ fn build_platform(
 }
 
 fn main() {
-    let mut trace_out: Option<String> = None;
-    let mut threads: Option<usize> = None;
-    let mut positional: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    let parse_threads = |v: &str| -> usize {
-        v.parse().unwrap_or_else(|_| {
-            eprintln!("--threads requires a non-negative integer, got {v:?}");
-            std::process::exit(2);
-        })
-    };
-    while let Some(arg) = args.next() {
-        if arg == "--trace-out" {
-            match args.next() {
-                Some(path) => trace_out = Some(path),
-                None => {
-                    eprintln!("--trace-out requires a path argument");
-                    std::process::exit(2);
-                }
-            }
-        } else if let Some(path) = arg.strip_prefix("--trace-out=") {
-            trace_out = Some(path.to_string());
-        } else if arg == "--threads" {
-            match args.next() {
-                Some(v) => threads = Some(parse_threads(&v)),
-                None => {
-                    eprintln!("--threads requires a count argument");
-                    std::process::exit(2);
-                }
-            }
-        } else if let Some(v) = arg.strip_prefix("--threads=") {
-            threads = Some(parse_threads(v));
-        } else {
-            positional.push(arg);
-        }
-    }
-    let Some(config_path) = positional.first() else {
-        eprintln!("usage: benchmark [--trace-out <trace.jsonl>] [--threads <n>] <run.properties>");
+    let args = ObsArgs::parse_env_or_exit("benchmark", "<run.properties>");
+    let Some(config_path) = args.positional.first() else {
+        eprintln!("usage: benchmark {OBS_USAGE} <run.properties>");
         eprintln!("see graphalytics_core::config for the file format");
         std::process::exit(2);
     };
@@ -130,7 +105,7 @@ fn main() {
     };
     let mut platforms: Vec<Box<dyn Platform>> = Vec::new();
     for name in &platform_names {
-        match build_platform(name, &spec, threads) {
+        match build_platform(name, &spec, args.threads) {
             Ok(p) => platforms.push(p),
             Err(e) => {
                 eprintln!("{e}");
@@ -150,13 +125,10 @@ fn main() {
         spec.algorithms.clone(),
         spec.config.clone(),
     );
-    // Tracing is only paid for when requested: a disabled tracer makes
-    // every span/metric call a no-op.
-    let tracer = std::sync::Arc::new(if trace_out.is_some() {
-        Tracer::new()
-    } else {
-        Tracer::disabled()
-    });
+    // Observability is only paid for when requested: with no flag the
+    // session's tracer is disabled and every span/metric call is a no-op.
+    let session = ObsSession::start(&args);
+    let tracer = Arc::clone(&session.tracer);
     let result = suite.run_traced(&mut platforms, &tracer);
 
     let title = config_path.as_str();
@@ -171,41 +143,57 @@ fn main() {
     } else {
         eprintln!("report written to {report_path}");
     }
-    let html_path = format!("{config_path}.report.html");
-    let html = graphalytics_core::html::html_report(&result, title);
-    if let Err(e) = std::fs::write(&html_path, html) {
-        eprintln!("warning: could not write {html_path}: {e}");
-    } else {
-        eprintln!("html report written to {html_path}");
-    }
     let db_path = spec
         .property("results_db")
         .unwrap_or("graphalytics-results.jsonl")
         .to_string();
-    match ResultsDb::open(&db_path) {
-        Ok(db) => {
-            if let Err(e) = db.submit(&result.runs) {
-                eprintln!("warning: could not submit results: {e}");
-            } else {
-                eprintln!("{} run records submitted to {db_path}", result.runs.len());
-            }
+    let db = match ResultsDb::open(&db_path) {
+        Ok(db) => Some(db),
+        Err(e) => {
+            eprintln!("warning: could not open results db {db_path}: {e}");
+            None
         }
-        Err(e) => eprintln!("warning: could not open results db {db_path}: {e}"),
+    };
+    if let Some(db) = &db {
+        if let Err(e) = db.submit(&result.runs) {
+            eprintln!("warning: could not submit results: {e}");
+        } else {
+            eprintln!("{} run records submitted to {db_path}", result.runs.len());
+        }
     }
     drop(report_span);
 
-    if let Some(trace_path) = &trace_out {
-        if let Err(e) = std::fs::write(trace_path, tracer.export_jsonl()) {
-            eprintln!("warning: could not write {trace_path}: {e}");
-        } else {
-            eprintln!("trace written to {trace_path}");
+    // Stop the sampler and write the trace/profile artifacts; the
+    // choke-point reports additionally land in the results database and
+    // the HTML report.
+    let artifacts = session.finish(title);
+    if !artifacts.chokepoints.is_empty() {
+        if let Some(db) = &db {
+            let docs: Vec<_> = artifacts.chokepoints.iter().map(|c| c.to_json()).collect();
+            if let Err(e) = db.submit_docs(&docs) {
+                eprintln!("warning: could not submit choke-point reports: {e}");
+            } else {
+                eprintln!(
+                    "{} choke-point report(s) submitted to {db_path}",
+                    docs.len()
+                );
+            }
         }
-        let prom_path = format!("{trace_path}.prom");
-        if let Err(e) = std::fs::write(&prom_path, tracer.metrics().render_prometheus()) {
-            eprintln!("warning: could not write {prom_path}: {e}");
-        } else {
-            eprintln!("metrics written to {prom_path}");
+    }
+    let html = if args.observability_enabled() {
+        let mut sections = Vec::new();
+        if !artifacts.chokepoints.is_empty() {
+            sections.push(chokepoints::html_section(&artifacts.chokepoints));
         }
+        graphalytics_core::html::html_report_with(&result, title, Some(tracer.metrics()), &sections)
+    } else {
+        graphalytics_core::html::html_report(&result, title)
+    };
+    let html_path = format!("{config_path}.report.html");
+    if let Err(e) = std::fs::write(&html_path, html) {
+        eprintln!("warning: could not write {html_path}: {e}");
+    } else {
+        eprintln!("html report written to {html_path}");
     }
 
     let (_, invalid, _) = report::validation_counts(&result);

@@ -10,13 +10,23 @@
 //! on CONN).
 //!
 //! Knobs: the shared [`PaperSetup`] set (`GX_SCALE`, `GX_DIVISOR`,
-//! `GX_PERSONS`, `GX_GRAPHX_MB`, `GX_TIMEOUT_SECS`).
+//! `GX_PERSONS`, `GX_GRAPHX_MB`, `GX_TIMEOUT_SECS`), plus the shared
+//! observability flags (`--trace-out`, `--profile-out`, `--threads`).
 
-use graphalytics_bench::PaperSetup;
+use graphalytics_bench::{ObsArgs, ObsSession, PaperSetup};
 use graphalytics_core::report;
 use graphalytics_core::BenchmarkSuite;
 
 fn main() {
+    let args = ObsArgs::parse_env_or_exit("fig4", "");
+    if !args.positional.is_empty() {
+        eprintln!(
+            "fig4 takes no positional arguments (got {:?})",
+            args.positional
+        );
+        std::process::exit(2);
+    }
+    args.warn_unused_threads("fig4");
     let setup = PaperSetup::from_env();
     let mut platforms = setup.platforms();
     let suite = BenchmarkSuite::new(
@@ -26,7 +36,9 @@ fn main() {
     );
 
     eprintln!("Figure 4 run: {}", setup.describe());
-    let result = suite.run(&mut platforms);
+    let session = ObsSession::start(&args);
+    let result = suite.run_traced(&mut platforms, &session.tracer);
+    session.finish("Figure 4");
 
     println!("Figure 4: runtimes [s] — missing values (—) are failures, DNF are timeouts\n");
     for dataset in result.datasets() {

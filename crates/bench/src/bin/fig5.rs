@@ -9,13 +9,23 @@
 //! 364 on Patents), and the platform ordering from Figure 4 carries over.
 //!
 //! Knobs: the shared [`PaperSetup`] set (`GX_SCALE`, `GX_DIVISOR`,
-//! `GX_PERSONS`, `GX_GRAPHX_MB`, `GX_TIMEOUT_SECS`).
+//! `GX_PERSONS`, `GX_GRAPHX_MB`, `GX_TIMEOUT_SECS`), plus the shared
+//! observability flags (`--trace-out`, `--profile-out`, `--threads`).
 
-use graphalytics_bench::PaperSetup;
+use graphalytics_bench::{ObsArgs, ObsSession, PaperSetup};
 use graphalytics_core::report;
 use graphalytics_core::BenchmarkSuite;
 
 fn main() {
+    let args = ObsArgs::parse_env_or_exit("fig5", "");
+    if !args.positional.is_empty() {
+        eprintln!(
+            "fig5 takes no positional arguments (got {:?})",
+            args.positional
+        );
+        std::process::exit(2);
+    }
+    args.warn_unused_threads("fig5");
     let setup = PaperSetup::from_env();
     let mut platforms = setup.platforms();
     let suite = BenchmarkSuite::new(
@@ -24,7 +34,9 @@ fn main() {
         setup.config(),
     );
     eprintln!("Figure 5 run (CONN only): {}", setup.describe());
-    let result = suite.run(&mut platforms);
+    let session = ObsSession::start(&args);
+    let result = suite.run_traced(&mut platforms, &session.tracer);
+    session.finish("Figure 5 (CONN)");
     println!("Figure 5: CONN throughput — missing values (—) are failures\n");
     println!("{}", report::kteps_table(&result, "CONN"));
     let (_, invalid, _) = report::validation_counts(&result);

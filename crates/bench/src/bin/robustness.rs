@@ -20,13 +20,15 @@
 //! (default 42), `GX_FAULT_RATES` (comma-separated, default
 //! `0.02,0.05,0.1`), `GX_ROUNDS` (rounds per rate, default 3),
 //! `GX_CHECKPOINT_INTERVAL` (Giraph checkpoint interval, default 4),
-//! `GX_TIMEOUT_SECS` (per-run cooperative timeout, default 180).
+//! `GX_TIMEOUT_SECS` (per-run cooperative timeout, default 180), plus the
+//! shared observability flags (`--trace-out`, `--profile-out`,
+//! `--threads`) — the trace/profile covers every round, baseline included.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use graphalytics_bench::{env_u64, env_usize, print_table};
+use graphalytics_bench::{env_u64, env_usize, print_table, ObsArgs, ObsSession};
 use graphalytics_core::faults::{FaultInjector, FaultPlan, RetryPolicy};
 use graphalytics_core::{BenchmarkConfig, BenchmarkSuite, Dataset, Platform};
 use graphalytics_dataflow::GraphXPlatform;
@@ -47,6 +49,16 @@ fn fleet(checkpoint_interval: usize) -> Vec<Box<dyn Platform>> {
 }
 
 fn main() {
+    let args = ObsArgs::parse_env_or_exit("robustness", "");
+    if !args.positional.is_empty() {
+        eprintln!(
+            "robustness takes no positional arguments (got {:?})",
+            args.positional
+        );
+        std::process::exit(2);
+    }
+    args.warn_unused_threads("robustness");
+    let session = ObsSession::start(&args);
     let scale = env_usize("GX_SCALE", 8) as u32;
     let seed = env_u64("GX_FAULT_SEED", 42);
     let rounds = env_usize("GX_ROUNDS", 3);
@@ -76,7 +88,7 @@ fn main() {
 
     // Fault-free baseline: the denominator for the overhead column.
     let suite = BenchmarkSuite::new(datasets.clone(), algorithms.clone(), base_config.clone());
-    let baseline = suite.run(&mut fleet(checkpoint_interval));
+    let baseline = suite.run_traced(&mut fleet(checkpoint_interval), &session.tracer);
     let mut base_runtime: BTreeMap<(String, String), f64> = BTreeMap::new();
     for r in &baseline.runs {
         assert!(
@@ -121,7 +133,7 @@ fn main() {
                 ..base_config.clone()
             };
             let suite = BenchmarkSuite::new(datasets.clone(), algorithms.clone(), config);
-            let result = suite.run(&mut fleet(checkpoint_interval));
+            let result = suite.run_traced(&mut fleet(checkpoint_interval), &session.tracer);
             for r in &result.runs {
                 let key = (r.platform.clone(), r.algorithm.clone());
                 let cell = &mut cells
@@ -173,6 +185,7 @@ fn main() {
          (Graph500 {scale}, {rounds} rounds per rate, seed {seed})\n"
     );
     print_table(&header_refs, &rows);
+    session.finish("Robustness");
     println!();
     for (ri, rate) in rates.iter().enumerate() {
         println!(

@@ -15,7 +15,15 @@
 //!
 //! Each binary accepts scale knobs through environment variables
 //! (documented per binary) so the experiments can be grown toward the
-//! paper's original sizes on bigger machines.
+//! paper's original sizes on bigger machines. The driver binaries share
+//! one observability CLI surface ([`ObsArgs`]: `--trace-out`,
+//! `--profile-out`, `--threads`) and one artifact writer ([`ObsSession`]);
+//! the `bench` binary hosts the perf-regression observatory ([`regress`]).
+
+pub mod obs;
+pub mod regress;
+
+pub use obs::{ObsArgs, ObsArtifacts, ObsSession, OBS_USAGE};
 
 use std::time::Duration;
 

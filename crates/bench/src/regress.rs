@@ -1,0 +1,149 @@
+//! The measurement side of the perf-regression observatory.
+//!
+//! `bench regress` times a fixed workload — the paper's five-kernel
+//! workload on the reference platform over one Graph500 graph — and
+//! records, per kernel, the median-of-N execution seconds plus EVPS
+//! (edges-plus-vertices per second, the Graphalytics normalized
+//! throughput), and per phase the `run.load` median. `--record` writes
+//! the committed `BENCH_baseline.json`; `--check` re-measures and holds
+//! the result against the baseline with the noise-aware thresholds of
+//! [`graphalytics_obs::regress`] (calibration-scaled relative factor plus
+//! an absolute floor), exiting non-zero on regression.
+//!
+//! Knobs: `GX_REGRESS_SCALE` (Graph500 scale, default 16),
+//! `GX_REGRESS_RUNS` (measurement rounds, default 5),
+//! `GX_REGRESS_HANDICAP` (multiplier applied to measured medians,
+//! default 1.0 — exists so the failure path of the gate itself can be
+//! exercised in tests and demos).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use graphalytics_core::metrics::evps;
+use graphalytics_core::{
+    BenchmarkConfig, BenchmarkSuite, Dataset, Platform, ReferencePlatform, Tracer,
+};
+use graphalytics_obs::regress::{
+    calibration_loop, compare, median, Baseline, BaselineEntry, CompareReport, Thresholds,
+};
+
+use crate::{env_f64, env_usize};
+
+/// The regression workload's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressConfig {
+    /// Graph500 scale of the measured graph.
+    pub scale: u32,
+    /// Measurement rounds (median-of-N).
+    pub runs: usize,
+    /// Multiplier applied to every measured median — 1.0 in production;
+    /// tests raise it to simulate a regression.
+    pub handicap: f64,
+}
+
+impl RegressConfig {
+    /// Reads the knobs from the environment.
+    pub fn from_env() -> Self {
+        Self {
+            scale: env_usize("GX_REGRESS_SCALE", 16) as u32,
+            runs: env_usize("GX_REGRESS_RUNS", 5).max(1),
+            handicap: env_f64("GX_REGRESS_HANDICAP", 1.0),
+        }
+    }
+
+    /// One-line description for stderr banners.
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "Graph500 {} × paper workload on the reference platform, median of {} round(s)",
+            self.scale, self.runs
+        );
+        if self.handicap != 1.0 {
+            out.push_str(&format!(", handicap ×{}", self.handicap));
+        }
+        out
+    }
+}
+
+/// Times the workload: every run of the suite is traced so the `run.load`
+/// phase can be measured next to the per-kernel execution times reported
+/// by the run records. Keys are `Reference/<dataset>/<kernel>` plus one
+/// `Reference/<dataset>/load` phase entry.
+pub fn measure(cfg: &RegressConfig) -> Result<Vec<BaselineEntry>, String> {
+    let dataset = Dataset::graph500(cfg.scale);
+    let graph = dataset
+        .load()
+        .map_err(|e| format!("cannot build {}: {e}", dataset.name))?;
+    let (vertices, edges) = (graph.num_vertices(), graph.num_arcs());
+    drop(graph);
+
+    let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for _round in 0..cfg.runs {
+        let tracer = Arc::new(Tracer::new());
+        let suite = BenchmarkSuite::new(
+            vec![dataset.clone()],
+            graphalytics_algos::Algorithm::paper_workload(),
+            BenchmarkConfig::default(),
+        );
+        let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(ReferencePlatform::new())];
+        let result = suite.run_traced(&mut platforms, &tracer);
+        let mut platform_name = String::from("Reference");
+        for r in &result.runs {
+            if !r.status.is_success() || !r.validation.is_valid() {
+                return Err(format!(
+                    "regress kernel failed: {}/{}/{} was {:?}",
+                    r.platform, r.dataset, r.algorithm, r.status
+                ));
+            }
+            platform_name = r.platform.clone();
+            if let Some(rt) = r.runtime_seconds {
+                samples
+                    .entry(format!("{}/{}/{}", r.platform, r.dataset, r.algorithm))
+                    .or_default()
+                    .push(rt);
+            }
+        }
+        let load_key = format!("{platform_name}/{}/load", dataset.name);
+        for span in tracer
+            .finished_spans()
+            .iter()
+            .filter(|s| s.name == "run.load")
+        {
+            samples
+                .entry(load_key.clone())
+                .or_default()
+                .push(span.duration_seconds());
+        }
+    }
+
+    Ok(samples
+        .into_iter()
+        .map(|(key, timings)| {
+            let med = median(timings) * cfg.handicap;
+            BaselineEntry {
+                key,
+                median_seconds: med,
+                evps: evps(vertices, edges, med),
+            }
+        })
+        .collect())
+}
+
+/// Measures the workload and stamps it with a fresh calibration run —
+/// the document `--record` writes to `BENCH_baseline.json`.
+pub fn record(cfg: &RegressConfig) -> Result<Baseline, String> {
+    let entries = measure(cfg)?;
+    Ok(Baseline {
+        calibration_seconds: calibration_loop(),
+        entries,
+    })
+}
+
+/// Measures the workload and compares it against `baseline`.
+pub fn check(
+    cfg: &RegressConfig,
+    baseline: &Baseline,
+    thresholds: Thresholds,
+) -> Result<CompareReport, String> {
+    let entries = measure(cfg)?;
+    Ok(compare(baseline, &entries, calibration_loop(), thresholds))
+}

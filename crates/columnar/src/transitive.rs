@@ -242,7 +242,11 @@ pub fn transitive_closure(
         .field("reachable", profile.reachable)
         .field("random_lookups", profile.random_lookups)
         .field("endpoints_visited", profile.endpoints_visited)
-        .field("rounds", profile.rounds);
+        .field("rounds", profile.rounds)
+        // The column scan streams endpoints in order; each hash probe is
+        // a random lookup — the same split the profile already counts.
+        .field("seq_accesses", profile.endpoints_visited)
+        .field("rand_accesses", profile.random_lookups);
     let mut all_depths: Vec<DepthRecord> = depths.into_iter().flatten().collect();
     all_depths.sort_unstable();
     Ok((profile, all_depths))

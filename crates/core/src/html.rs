@@ -8,6 +8,7 @@
 
 use crate::report::validation_counts;
 use crate::runner::{RunStatus, SuiteResult};
+use crate::trace::MetricsRegistry;
 use crate::validator::Validation;
 use std::fmt::Write as _;
 
@@ -49,6 +50,55 @@ fn runtime_cell_html(result: &SuiteResult, platform: &str, dataset: &str, alg: &
 
 /// Renders the full HTML report document.
 pub fn html_report(result: &SuiteResult, title: &str) -> String {
+    html_report_with(result, title, None, &[])
+}
+
+/// Renders the run-latency quantile table from the per-platform
+/// `graphalytics_run_seconds` histograms: p50/p95/p99 via the
+/// histogram's bucket-interpolation estimator.
+fn quantile_table(out: &mut String, metrics: &MetricsRegistry) {
+    let mut series = metrics.histograms_named("graphalytics_run_seconds");
+    if series.is_empty() {
+        return;
+    }
+    series.sort_by(|a, b| a.0.cmp(&b.0));
+    out.push_str(
+        "<table><caption>Run latency quantiles [s]</caption>\
+         <tr><th>Platform</th><th>Runs</th><th>p50</th><th>p95</th><th>p99</th></tr>",
+    );
+    for (labels, h) in series {
+        let platform = labels
+            .iter()
+            .find(|(k, _)| k == "platform")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| "all".to_string());
+        let q = |p: f64| match h.quantile(p) {
+            Some(v) => format!("{v:.3}"),
+            None => "—".to_string(),
+        };
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            escape(&platform),
+            h.count,
+            q(0.50),
+            q(0.95),
+            q(0.99),
+        );
+    }
+    out.push_str("</table>");
+}
+
+/// Renders the full HTML report with optional observability extensions:
+/// a run-latency quantile table when a metrics registry is supplied, and
+/// caller-provided extra sections (e.g. the choke-point attribution
+/// table) spliced in before the validation summary.
+pub fn html_report_with(
+    result: &SuiteResult,
+    title: &str,
+    metrics: Option<&MetricsRegistry>,
+    extra_sections: &[String],
+) -> String {
     let platforms = result.platforms();
     let mut out = String::new();
     let _ = write!(
@@ -182,6 +232,13 @@ pub fn html_report(result: &SuiteResult, title: &str) -> String {
         out.push_str("</table>");
     }
 
+    if let Some(metrics) = metrics {
+        quantile_table(&mut out, metrics);
+    }
+    for section in extra_sections {
+        out.push_str(section);
+    }
+
     let (valid, invalid, skipped) = validation_counts(result);
     let _ = write!(
         out,
@@ -279,6 +336,34 @@ mod tests {
         assert!(html.contains("<td>1.25</td>"), "{html}");
         // Runs without a timeline stay out of the table.
         assert_eq!(html.matches("Per-run phase timeline").count(), 1);
+    }
+
+    #[test]
+    fn quantile_table_renders_from_registry() {
+        let metrics = MetricsRegistry::new();
+        for v in [0.2, 0.4, 0.6] {
+            metrics.observe("graphalytics_run_seconds", &[("platform", "Giraph")], v);
+        }
+        let html = html_report_with(&sample(), "t", Some(&metrics), &[]);
+        assert!(html.contains("Run latency quantiles"), "{html}");
+        assert!(html.contains("<td>Giraph</td><td>3</td>"), "{html}");
+        // Without a registry (or with no series) the table is absent.
+        assert!(!html_report(&sample(), "t").contains("Run latency quantiles"));
+        let empty = MetricsRegistry::new();
+        assert!(
+            !html_report_with(&sample(), "t", Some(&empty), &[]).contains("Run latency quantiles")
+        );
+    }
+
+    #[test]
+    fn extra_sections_splice_before_validation_summary() {
+        let section =
+            "<h2>Choke-point attribution</h2><table><tr><td>x</td></tr></table>".to_string();
+        let html = html_report_with(&sample(), "t", None, &[section]);
+        let choke = html.find("Choke-point attribution").unwrap();
+        let validation = html.find("Validation:").unwrap();
+        assert!(choke < validation);
+        assert!(html.ends_with("</html>"));
     }
 
     #[test]

@@ -26,6 +26,16 @@ pub fn mteps(edges_traversed: usize, seconds: f64) -> f64 {
     teps(edges_traversed, seconds) / 1e6
 }
 
+/// Edges-plus-vertices per second — the LDBC Graphalytics specification's
+/// EVPS throughput metric: graph size (|V| + |E|) over processing time,
+/// which normalizes runtimes across datasets of different shapes.
+pub fn evps(vertices: usize, edges: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    (vertices + edges) as f64 / seconds
+}
+
 /// Number of edges an algorithm run "traversed" for TEPS purposes:
 ///
 /// * CONN (and other whole-graph kernels): every edge — the paper computes
@@ -50,6 +60,8 @@ mod tests {
         assert_eq!(kteps(10_000, 2.0), 5.0);
         assert_eq!(mteps(2_000_000, 1.0), 2.0);
         assert_eq!(teps(100, 0.0), 0.0);
+        assert_eq!(evps(100, 900, 2.0), 500.0);
+        assert_eq!(evps(1, 1, 0.0), 0.0);
     }
 
     #[test]

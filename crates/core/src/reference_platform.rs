@@ -74,7 +74,12 @@ impl Platform for ReferencePlatform {
         span.field("algorithm", algorithm.name())
             .field("threads", self.threads.max(1) as i64)
             .field("vertices", graph.num_vertices() as i64)
-            .field("arcs", graph.num_arcs() as i64);
+            .field("arcs", graph.num_arcs() as i64)
+            // Locality proxies for the CSR kernels: the offset and arc
+            // arrays stream sequentially; per-destination state updates
+            // land at arbitrary vertex indices.
+            .field("seq_accesses", graph.num_vertices() + graph.num_arcs())
+            .field("rand_accesses", graph.num_arcs());
         ctx.tracer().metrics().set_gauge(
             "graphalytics_reference_threads",
             &[("algorithm", algorithm.name())],

@@ -44,6 +44,25 @@ impl ResultsDb {
         Ok(())
     }
 
+    /// Appends arbitrary JSON documents — one compact line each. Used for
+    /// auxiliary records that ride along with run records, e.g. the
+    /// per-run choke-point reports (`"type": "chokepoints"`); [`Self::load`]
+    /// returns them alongside run records, and typed consumers filter on
+    /// the `type`/`platform` keys they understand.
+    pub fn submit_docs(&self, docs: &[Json]) -> Result<(), GraphError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        let mut buf = String::new();
+        for doc in docs {
+            buf.push_str(&doc.to_string_compact());
+            buf.push('\n');
+        }
+        file.write_all(buf.as_bytes())?;
+        Ok(())
+    }
+
     /// Loads every stored record as JSON. Unparseable lines are skipped
     /// (the database is append-only across versions; tolerate old junk).
     pub fn load(&self) -> Result<Vec<Json>, GraphError> {
@@ -160,6 +179,27 @@ mod tests {
             Some(7.5)
         );
         assert_eq!(db.best_runtime("Neo4j", "Patents", "BFS").unwrap(), None);
+    }
+
+    #[test]
+    fn auxiliary_docs_ride_along_with_run_records() {
+        let path = tmpfile("docs");
+        let _ = std::fs::remove_file(&path);
+        let db = ResultsDb::open(&path).unwrap();
+        db.submit(&[record("Giraph", 10.0)]).unwrap();
+        db.submit_docs(&[Json::obj([
+            ("type", Json::from("chokepoints")),
+            ("platform", Json::from("Giraph")),
+        ])])
+        .unwrap();
+        let docs = db.load().unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(
+            docs[1].get("type").and_then(Json::as_str),
+            Some("chokepoints")
+        );
+        // Filters still see both lines for the platform.
+        assert_eq!(db.query(Some("Giraph"), None, None).unwrap().len(), 2);
     }
 
     #[test]

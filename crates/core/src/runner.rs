@@ -271,12 +271,18 @@ impl BenchmarkSuite {
         let mut load_span = tracer.span("run.load");
         load_span
             .field("platform", platform.name())
-            .field("dataset", dataset.name.clone());
+            .field("dataset", dataset.name.clone())
+            .field("graph_bytes", graph.memory_footprint());
         let handle = match platform.load_graph(graph) {
             Ok(h) => {
                 let load_seconds = load_started.elapsed().as_secs_f64();
                 load_span.field("load_seconds", load_seconds);
                 drop(load_span);
+                tracer.metrics().set_gauge(
+                    "graphalytics_graph_bytes",
+                    &[("dataset", &dataset.name)],
+                    graph.memory_footprint() as f64,
+                );
                 tracer.metrics().observe(
                     "graphalytics_load_seconds",
                     &[("platform", platform.name())],

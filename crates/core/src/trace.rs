@@ -20,8 +20,8 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -147,6 +147,9 @@ pub struct Span {
     pub start_seconds: f64,
     /// End, seconds since the tracer epoch.
     pub end_seconds: f64,
+    /// Ordinal of the thread the span started on (process-wide, assigned
+    /// in registration order starting at 1) — the Chrome-trace `tid`.
+    pub thread: u64,
     /// Typed key-value fields.
     pub fields: Vec<(String, FieldValue)>,
 }
@@ -182,17 +185,118 @@ impl Span {
             ("start_seconds", Json::from(self.start_seconds)),
             ("end_seconds", Json::from(self.end_seconds)),
             ("duration_seconds", Json::from(self.duration_seconds())),
+            ("thread", Json::from(self.thread as usize)),
             ("fields", Json::Obj(fields)),
         ])
     }
 }
 
 static TRACER_UIDS: AtomicUsize = AtomicUsize::new(1);
+static THREAD_ORDINALS: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     /// Per-thread stack of open spans, keyed by tracer uid so independent
     /// tracers on the same thread don't adopt each other's parents.
     static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+
+    /// The thread's slot in the global sampling registry, registered
+    /// lazily on the first span/event. The handle's drop marks the slot
+    /// dead so samplers skip exited threads.
+    static THREAD_SLOT: ThreadSlotHandle = ThreadSlotHandle::register();
+}
+
+/// One open-span frame mirrored into the cross-thread sampling registry.
+struct SharedFrame {
+    tracer_uid: usize,
+    span_id: u64,
+    name: Arc<str>,
+}
+
+/// Per-thread shared state a sampler thread can read: the thread's
+/// identity plus a mirror of its open-span stack.
+struct ThreadSlot {
+    ordinal: u64,
+    name: String,
+    alive: AtomicBool,
+    frames: Mutex<Vec<SharedFrame>>,
+}
+
+struct ThreadSlotHandle(Arc<ThreadSlot>);
+
+impl ThreadSlotHandle {
+    fn register() -> Self {
+        let ordinal = THREAD_ORDINALS.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{ordinal}"));
+        let slot = Arc::new(ThreadSlot {
+            ordinal,
+            name,
+            alive: AtomicBool::new(true),
+            frames: Mutex::new(Vec::new()),
+        });
+        let mut registry = thread_registry().lock();
+        // Exited threads leave dead slots behind; reclaim them here so
+        // long-lived processes spawning many workers don't leak slots.
+        registry.retain(|s| s.alive.load(Ordering::Acquire));
+        registry.push(Arc::clone(&slot));
+        Self(slot)
+    }
+}
+
+impl Drop for ThreadSlotHandle {
+    fn drop(&mut self) {
+        self.0.alive.store(false, Ordering::Release);
+    }
+}
+
+fn thread_registry() -> &'static Mutex<Vec<Arc<ThreadSlot>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadSlot>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// This thread's sampling-registry ordinal (registering the thread on
+/// first use). Falls back to 0 during thread teardown, when the TLS slot
+/// may already be destructed.
+fn current_thread_ordinal() -> u64 {
+    THREAD_SLOT
+        .try_with(|slot| slot.0.ordinal)
+        .unwrap_or_default()
+}
+
+fn shared_stack_push(tracer_uid: usize, span_id: u64, name: &Arc<str>) {
+    let _ = THREAD_SLOT.try_with(|slot| {
+        slot.0.frames.lock().push(SharedFrame {
+            tracer_uid,
+            span_id,
+            name: Arc::clone(name),
+        });
+    });
+}
+
+fn shared_stack_pop(tracer_uid: usize, span_id: u64) {
+    let _ = THREAD_SLOT.try_with(|slot| {
+        let mut frames = slot.0.frames.lock();
+        if let Some(pos) = frames
+            .iter()
+            .rposition(|f| f.tracer_uid == tracer_uid && f.span_id == span_id)
+        {
+            frames.remove(pos);
+        }
+    });
+}
+
+/// One sampled thread: its identity and the names of the spans open on it
+/// at the instant of the sample, outermost first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackSample {
+    /// Thread ordinal (matches [`Span::thread`]).
+    pub thread: u64,
+    /// Thread name (`std::thread` name, or `thread-<ordinal>`).
+    pub thread_name: String,
+    /// Open span names, outermost → innermost.
+    pub frames: Vec<String>,
 }
 
 #[derive(Default)]
@@ -304,14 +408,17 @@ impl Tracer {
             inner.next_id += 1;
             inner.next_id
         };
+        let name: Arc<str> = Arc::from(name);
         SPAN_STACK.with(|s| s.borrow_mut().push((self.uid, id)));
+        shared_stack_push(self.uid, id, &name);
         SpanGuard {
             tracer: self,
             open: Some(OpenSpan {
                 id,
                 parent,
-                name: name.to_string(),
+                name,
                 start_seconds: self.now_seconds(),
+                thread: current_thread_ordinal(),
                 fields: Vec::new(),
             }),
         }
@@ -324,6 +431,7 @@ impl Tracer {
             return;
         }
         let t = self.now_seconds();
+        let thread = current_thread_ordinal();
         let mut inner = self.inner.lock();
         inner.next_id += 1;
         let id = inner.next_id;
@@ -333,6 +441,7 @@ impl Tracer {
             name: name.to_string(),
             start_seconds: t,
             end_seconds: t,
+            thread,
             fields,
         });
     }
@@ -355,6 +464,41 @@ impl Tracer {
         spans
     }
 
+    /// Samples the open-span stack of every live registered thread — the
+    /// sampling profiler's read side. Threads register automatically on
+    /// their first span; only frames belonging to *this* tracer are
+    /// returned, and threads with no open spans for it are skipped.
+    /// Results are sorted by thread ordinal so samples are stable.
+    pub fn sample_stacks(&self) -> Vec<StackSample> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let registry = thread_registry().lock();
+        let mut out = Vec::new();
+        for slot in registry.iter() {
+            if !slot.alive.load(Ordering::Acquire) {
+                continue;
+            }
+            let frames: Vec<String> = slot
+                .frames
+                .lock()
+                .iter()
+                .filter(|f| f.tracer_uid == self.uid)
+                .map(|f| f.name.to_string())
+                .collect();
+            if frames.is_empty() {
+                continue;
+            }
+            out.push(StackSample {
+                thread: slot.ordinal,
+                thread_name: slot.name.clone(),
+                frames,
+            });
+        }
+        out.sort_by_key(|s| s.thread);
+        out
+    }
+
     /// Serializes finished spans plus the metrics registry as JSONL: one
     /// `{"type":"span",...}` object per span (in start order) followed by
     /// one `{"type":"counter"|"gauge"|"histogram",...}` object per metric.
@@ -374,8 +518,9 @@ impl Tracer {
 struct OpenSpan {
     id: u64,
     parent: Option<u64>,
-    name: String,
+    name: Arc<str>,
     start_seconds: f64,
+    thread: u64,
     fields: Vec<(String, FieldValue)>,
 }
 
@@ -415,13 +560,15 @@ impl Drop for SpanGuard<'_> {
                 stack.remove(pos);
             }
         });
+        shared_stack_pop(self.tracer.uid, open.id);
         let end_seconds = self.tracer.now_seconds();
         self.tracer.inner.lock().finished.push(Span {
             id: open.id,
             parent: open.parent,
-            name: open.name,
+            name: open.name.to_string(),
             start_seconds: open.start_seconds,
             end_seconds,
+            thread: open.thread,
             fields: open.fields,
         });
     }
@@ -466,6 +613,41 @@ impl Histogram {
         self.counts[slot] += 1;
         self.sum += value;
         self.count += 1;
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// over the bucket bounds — the `histogram_quantile` method: find the
+    /// bucket the target rank falls in and interpolate between its lower
+    /// and upper bound by the rank's position within the bucket. Ranks in
+    /// the +Inf bucket clamp to the last finite bound (the estimate cannot
+    /// exceed what the buckets resolve). Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || self.bounds.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &bucket_count) in self.counts.iter().enumerate() {
+            let prev = cumulative;
+            cumulative += bucket_count;
+            if bucket_count == 0 || (cumulative as f64) < rank {
+                continue;
+            }
+            if i >= self.bounds.len() {
+                // +Inf bucket: clamp to the largest finite bound.
+                return self.bounds.last().copied();
+            }
+            let upper = self.bounds[i];
+            let lower = if i == 0 {
+                0.0f64.min(upper)
+            } else {
+                self.bounds[i - 1]
+            };
+            let fraction = ((rank - prev as f64) / bucket_count as f64).clamp(0.0, 1.0);
+            return Some(lower + (upper - lower) * fraction);
+        }
+        self.bounds.last().copied()
     }
 }
 
@@ -608,6 +790,19 @@ impl MetricsRegistry {
             .cloned()
     }
 
+    /// Snapshot of every histogram series with the given metric name,
+    /// with their label sets — how the report enumerates per-platform
+    /// latency series without knowing the platforms in advance.
+    pub fn histograms_named(&self, name: &str) -> Vec<(Labels, Histogram)> {
+        self.inner
+            .lock()
+            .histograms
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|((_, labels), h)| (labels.clone(), h.clone()))
+            .collect()
+    }
+
     /// Renders the Prometheus text exposition format: `# TYPE` comments
     /// and `name{label="value"} value` sample lines, histograms expanded
     /// into cumulative `_bucket`/`_sum`/`_count` series.
@@ -697,6 +892,9 @@ impl MetricsRegistry {
 
     /// Serializes every series as one JSON object per line.
     pub fn to_jsonl(&self) -> String {
+        fn quantile_json(h: &Histogram, q: f64) -> Json {
+            h.quantile(q).map(Json::Num).unwrap_or(Json::Null)
+        }
         fn labels_json(labels: &Labels) -> Json {
             Json::Obj(
                 labels
@@ -742,6 +940,9 @@ impl MetricsRegistry {
                 ),
                 ("sum", Json::from(h.sum)),
                 ("count", Json::from(h.count as usize)),
+                ("p50", quantile_json(h, 0.50)),
+                ("p95", quantile_json(h, 0.95)),
+                ("p99", quantile_json(h, 0.99)),
             ]);
             out.push_str(&doc.to_string_compact());
             out.push('\n');
@@ -1058,6 +1259,128 @@ gx_run_seconds_count 2
         let fields = doc.get("fields").unwrap();
         assert_eq!(fields.get("n").unwrap().as_f64(), Some(3.0));
         assert_eq!(fields.get("what").unwrap().as_str(), Some("etl"));
+    }
+
+    #[test]
+    fn sample_stacks_sees_open_spans() {
+        let tracer = Tracer::new();
+        assert!(tracer.sample_stacks().is_empty());
+        {
+            let _outer = tracer.span("suite");
+            let _inner = tracer.span("suite.run");
+            let samples = tracer.sample_stacks();
+            let mine = samples
+                .iter()
+                .find(|s| s.frames == ["suite", "suite.run"])
+                .expect("this thread's stack is sampled");
+            assert!(mine.thread > 0);
+            assert!(!mine.thread_name.is_empty());
+        }
+        // After the guards drop, this tracer has no open frames anywhere.
+        assert!(tracer
+            .sample_stacks()
+            .iter()
+            .all(|s| !s.frames.iter().any(|f| f.starts_with("suite"))));
+    }
+
+    #[test]
+    fn sample_stacks_isolates_tracers_and_threads() {
+        let a = Arc::new(Tracer::new());
+        let b = Tracer::new();
+        let _span_b = b.span("other.tracer");
+        let _span_a = a.span("main.work");
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+        let worker = {
+            let a = Arc::clone(&a);
+            std::thread::Builder::new()
+                .name("sampled-worker".into())
+                .spawn(move || {
+                    let _w = a.span_with_parent("worker.busy", None);
+                    ready_tx.send(()).unwrap();
+                    rx.recv().unwrap();
+                })
+                .unwrap()
+        };
+        ready_rx.recv().unwrap();
+        let samples = a.sample_stacks();
+        // Tracer a sees its own two threads and never tracer b's frames.
+        assert!(samples.iter().any(|s| s.frames == ["main.work"]));
+        let w = samples
+            .iter()
+            .find(|s| s.frames == ["worker.busy"])
+            .expect("worker thread sampled");
+        assert_eq!(w.thread_name, "sampled-worker");
+        assert!(samples
+            .iter()
+            .all(|s| !s.frames.iter().any(|f| f == "other.tracer")));
+        tx.send(()).unwrap();
+        worker.join().unwrap();
+        // Dead threads disappear from subsequent samples.
+        assert!(a.sample_stacks().iter().all(|s| s.thread != w.thread));
+    }
+
+    #[test]
+    fn disabled_tracer_never_registers_sampling_frames() {
+        let tracer = Tracer::disabled();
+        let _s = tracer.span("invisible");
+        assert!(tracer.sample_stacks().is_empty());
+    }
+
+    #[test]
+    fn spans_record_their_thread() {
+        let tracer = Arc::new(Tracer::new());
+        {
+            let _main = tracer.span("main");
+            let tracer2 = Arc::clone(&tracer);
+            std::thread::spawn(move || {
+                let _w = tracer2.span_with_parent("worker", None);
+            })
+            .join()
+            .unwrap();
+        }
+        let spans = tracer.finished_spans();
+        let main = spans.iter().find(|s| s.name == "main").unwrap();
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        assert!(main.thread > 0);
+        assert!(worker.thread > 0);
+        assert_ne!(main.thread, worker.thread);
+        let json = main.to_json();
+        assert_eq!(
+            json.get("thread").unwrap().as_f64(),
+            Some(main.thread as f64)
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), None);
+        for v in [0.5, 1.5, 1.5, 3.0] {
+            h.observe(v);
+        }
+        // Rank 2 of 4 lands at the upper edge of the (1,2] bucket's first
+        // observation: cumulative 1 before, bucket holds 2 → fraction 1/2.
+        assert_eq!(h.quantile(0.5), Some(1.5));
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        // Everything beyond the largest bound clamps to it.
+        h.observe(100.0);
+        assert_eq!(h.quantile(0.99), Some(4.0));
+    }
+
+    #[test]
+    fn histogram_quantiles_in_jsonl() {
+        let registry = MetricsRegistry::new();
+        registry.observe_with_buckets("lat_seconds", &[], 0.5, &[1.0, 2.0]);
+        registry.observe_with_buckets("lat_seconds", &[], 1.5, &[1.0, 2.0]);
+        let line = registry.to_jsonl();
+        let doc = crate::json::parse(line.trim()).unwrap();
+        assert_eq!(doc.get("type").unwrap().as_str(), Some("histogram"));
+        let p50 = doc.get("p50").unwrap().as_f64().unwrap();
+        let p99 = doc.get("p99").unwrap().as_f64().unwrap();
+        assert!(p50 > 0.0 && p50 <= 2.0, "p50 = {p50}");
+        assert!(p99 >= p50 && p99 <= 2.0, "p99 = {p99}");
     }
 
     #[test]

@@ -110,7 +110,9 @@ impl Platform for GraphXPlatform {
         let frame = &loaded.frame;
         let mut job_span = ctx.tracer().span("graphx.job");
         job_span.field("job", algorithm.name());
-        let stages_before = loaded.ctx.stats().stages;
+        let stats_before = loaded.ctx.stats();
+        let stages_before = stats_before.stages;
+        let shuffle_before = stats_before.shuffle_records;
         let result = match algorithm {
             Algorithm::Stats => {
                 let mean = frame.mean_local_cc(ctx)?;
@@ -163,7 +165,14 @@ impl Platform for GraphXPlatform {
                 ctx,
             )?)),
         };
-        job_span.field("stages", loaded.ctx.stats().stages - stages_before);
+        let stats_after = loaded.ctx.stats();
+        job_span.field("stages", stats_after.stages - stages_before);
+        // Shuffled records cross partition boundaries — the dataflow
+        // engine's contribution to the network choke point.
+        job_span.field(
+            "shuffle_records",
+            stats_after.shuffle_records - shuffle_before,
+        );
         result
     }
 

@@ -27,6 +27,7 @@ pub fn bfs(
     depths[src as usize] = 0;
     queue.push_back(src);
     let mut visited = 0usize;
+    let mut chain_hops = 0usize;
     while let Some(v) = queue.pop_front() {
         visited += 1;
         if visited.is_multiple_of(4096) {
@@ -34,6 +35,7 @@ pub fn bfs(
         }
         let next = depths[v as usize] + 1;
         for (_, u) in store.neighbors(v) {
+            chain_hops += 1;
             if depths[u as usize] < 0 {
                 depths[u as usize] = next;
                 queue.push_back(u);
@@ -41,7 +43,11 @@ pub fn bfs(
         }
     }
     span.field("visited", visited)
-        .field("max_depth", depths.iter().copied().max().unwrap_or(-1));
+        .field("max_depth", depths.iter().copied().max().unwrap_or(-1))
+        // Locality proxies: the frontier pops stream in order; every
+        // relationship-chain hop is a pointer chase to a random record.
+        .field("seq_accesses", visited)
+        .field("rand_accesses", chain_hops);
     Ok(depths)
 }
 
@@ -56,6 +62,7 @@ pub fn connected_components(
     let mut components = 0usize;
     let mut labels = vec![u32::MAX; n];
     let mut queue = VecDeque::new();
+    let mut chain_hops = 0usize;
     for start in 0..n as u32 {
         if labels[start as usize] != u32::MAX {
             continue;
@@ -66,6 +73,7 @@ pub fn connected_components(
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
             for (_, u) in store.neighbors(v) {
+                chain_hops += 1;
                 if labels[u as usize] == u32::MAX {
                     labels[u as usize] = start;
                     queue.push_back(u);
@@ -73,7 +81,10 @@ pub fn connected_components(
             }
         }
     }
-    span.field("components", components).field("nodes", n);
+    span.field("components", components)
+        .field("nodes", n)
+        .field("seq_accesses", n)
+        .field("rand_accesses", chain_hops);
     Ok(labels)
 }
 
@@ -105,6 +116,8 @@ pub fn mean_local_cc(store: &GraphStore, ctx: &RunContext) -> Result<f64, Platfo
         project_adjacency(store)
     };
     let mut sum = 0.0;
+    let mut seq_scans = 0usize;
+    let mut chain_hops = 0usize;
     for (v, mine) in adjacency.iter().enumerate() {
         if v.is_multiple_of(4096) {
             ctx.check_deadline()?;
@@ -116,11 +129,17 @@ pub fn mean_local_cc(store: &GraphStore, ctx: &RunContext) -> Result<f64, Platfo
         let mut links = 0usize;
         for &u in mine {
             let theirs = &adjacency[u as usize];
+            chain_hops += 1;
+            seq_scans += mine.len() + theirs.len();
             links += sorted_intersection(mine, theirs);
         }
         let triangles = links / 2;
         sum += triangles as f64 / (d * (d - 1) / 2) as f64;
     }
+    // Each neighbor lookup jumps to a random adjacency list, then the
+    // intersection merges both sorted lists sequentially.
+    span.field("seq_accesses", seq_scans)
+        .field("rand_accesses", chain_hops);
     Ok(sum / n as f64)
 }
 
@@ -158,6 +177,7 @@ pub fn community_detection(
     let mut next_labels = labels.clone();
     let mut next_scores = scores.clone();
     let mut weight: FxHashMap<u32, (Vec<f64>, f64)> = FxHashMap::default();
+    let mut chain_hops = 0usize;
     for _ in 0..iterations {
         ctx.check_deadline()?;
         rounds += 1;
@@ -167,6 +187,7 @@ pub fn community_detection(
             let mut any = false;
             for (_, u) in store.neighbors(v) {
                 any = true;
+                chain_hops += 1;
                 let influence = scores[u as usize] * (store.degree(u) as f64).powf(degree_exponent);
                 let entry = weight
                     .entry(labels[u as usize])
@@ -195,7 +216,10 @@ pub fn community_detection(
             break;
         }
     }
-    span.field("iterations", rounds).field("nodes", n);
+    span.field("iterations", rounds)
+        .field("nodes", n)
+        .field("seq_accesses", rounds * n)
+        .field("rand_accesses", chain_hops);
     Ok(labels)
 }
 
@@ -215,6 +239,7 @@ pub fn pagerank(
     let inv_n = 1.0 / n as f64;
     let mut ranks = vec![inv_n; n];
     let mut next = vec![0.0f64; n];
+    let mut chain_hops = 0usize;
     for _ in 0..iterations {
         ctx.check_deadline()?;
         next.iter_mut().for_each(|x| *x = 0.0);
@@ -227,6 +252,7 @@ pub fn pagerank(
             }
             let share = ranks[v as usize] / out as f64;
             for (_, u) in store.neighbors(v) {
+                chain_hops += 1;
                 next[u as usize] += share;
             }
         }
@@ -236,6 +262,8 @@ pub fn pagerank(
         }
         std::mem::swap(&mut ranks, &mut next);
     }
+    span.field("seq_accesses", iterations * n)
+        .field("rand_accesses", chain_hops);
     Ok(ranks)
 }
 

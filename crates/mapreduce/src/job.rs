@@ -296,9 +296,23 @@ pub fn run_job_traced<M: Mapper, R: CountingReducer>(
     })
     .map_err(|_| PlatformError::Internal("map scope failed".to_string()))?;
     let mut counters = JobCounters::default();
-    for r in map_results {
+    let map_span_id = map_span.id();
+    for (task, r) in map_results.into_iter().enumerate() {
         let (i, o, s) =
             r.map_err(|_| PlatformError::Internal("map task panicked".to_string()))??;
+        // One work-distribution event per map task: straggler tasks are
+        // what the skew choke point measures for MapReduce.
+        tracer.event(
+            "mapreduce.task",
+            map_span_id,
+            vec![
+                ("phase".to_string(), "map".into()),
+                ("task".to_string(), task.into()),
+                ("work".to_string(), i.into()),
+                ("output".to_string(), o.into()),
+                ("spilled".to_string(), s.into()),
+            ],
+        );
         counters.map_input += i;
         counters.map_output += o;
         counters.spill_bytes += s;
@@ -306,7 +320,11 @@ pub fn run_job_traced<M: Mapper, R: CountingReducer>(
     map_span
         .field("map_input", counters.map_input)
         .field("map_output", counters.map_output)
-        .field("spill_bytes", counters.spill_bytes);
+        .field("spill_bytes", counters.spill_bytes)
+        // Locality proxies: input files stream sequentially; every mapped
+        // record hash-partitions into a random reducer bucket.
+        .field("seq_accesses", counters.map_input)
+        .field("rand_accesses", counters.map_output);
     drop(map_span);
 
     // --- Reduce phase: each task merges its partition's spills. ---
@@ -359,15 +377,29 @@ pub fn run_job_traced<M: Mapper, R: CountingReducer>(
         handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
     })
     .map_err(|_| PlatformError::Internal("reduce scope failed".to_string()))?;
-    for r in reduce_results {
+    let reduce_span_id = reduce_span.id();
+    for (task, r) in reduce_results.into_iter().enumerate() {
         let (count, user) =
             r.map_err(|_| PlatformError::Internal("reduce task panicked".to_string()))??;
+        tracer.event(
+            "mapreduce.task",
+            reduce_span_id,
+            vec![
+                ("phase".to_string(), "reduce".into()),
+                ("task".to_string(), task.into()),
+                ("work".to_string(), count.into()),
+            ],
+        );
         counters.reduce_output += count;
         for (k, v) in user {
             *counters.user.entry(k).or_insert(0) += v;
         }
     }
-    reduce_span.field("reduce_output", counters.reduce_output);
+    reduce_span
+        .field("reduce_output", counters.reduce_output)
+        // The sorted-spill merge streams each fragment sequentially.
+        .field("seq_accesses", counters.reduce_output)
+        .field("rand_accesses", 0usize);
     drop(reduce_span);
     job_span
         .field("map_input", counters.map_input)

@@ -1,0 +1,500 @@
+//! The choke-point attribution engine.
+//!
+//! The paper selects workloads by the *choke points* they stress (§2.1):
+//! network traffic, memory pressure, access locality, and workload skew.
+//! This module walks a run's span tree and attributes its counters onto
+//! those four axes, producing one report per `run` span:
+//!
+//! * **network** — remote-message volume: `messages_remote` from pregel
+//!   supersteps, `shuffle_records` from dataflow jobs, `spill_bytes`
+//!   from MapReduce's sort-based shuffle;
+//! * **memory** — the monitor's RSS peak against the canonical graph's
+//!   in-memory footprint (`graph_bytes` on the `run.load` span): the
+//!   platform's memory amplification factor;
+//! * **locality** — the `seq_accesses` / `rand_accesses` proxy counters
+//!   each platform emits at its kernel span sites: what fraction of
+//!   accesses were pointer-chases rather than streams;
+//! * **skew** — the Gini coefficient of per-worker / per-task work
+//!   (`pregel.task`, `mapreduce.task` events), grouped per superstep or
+//!   phase; when a platform has no task events the per-repetition
+//!   `run.execute` durations stand in, so the section is always
+//!   populated.
+
+use std::collections::BTreeMap;
+
+use graphalytics_core::json::Json;
+use graphalytics_core::trace::{FieldValue, Span};
+
+/// Network choke point: data volume that crossed worker boundaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetworkSection {
+    /// Remote messages routed between pregel workers.
+    pub remote_messages: u64,
+    /// Records moved between dataflow partitions by shuffles.
+    pub shuffle_records: u64,
+    /// Bytes spilled to MapReduce's intermediate shuffle files.
+    pub spill_bytes: u64,
+}
+
+impl NetworkSection {
+    /// Total cross-worker units (messages + records; bytes reported
+    /// separately since the unit differs).
+    pub fn remote_units(&self) -> u64 {
+        self.remote_messages + self.shuffle_records
+    }
+}
+
+/// Memory choke point: RSS peak vs the canonical graph's footprint.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemorySection {
+    /// Monitor-observed peak RSS during the run (bytes).
+    pub peak_rss_bytes: u64,
+    /// Canonical CSR footprint of the dataset (bytes).
+    pub graph_bytes: u64,
+    /// `peak_rss / graph_bytes` (0 when the footprint is unknown).
+    pub amplification: f64,
+}
+
+/// Locality choke point: sequential vs random access proxies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LocalitySection {
+    /// Streaming accesses (CSR scans, sorted merges, column scans).
+    pub seq_accesses: u64,
+    /// Pointer-chases (message routing, chain hops, hash probes).
+    pub rand_accesses: u64,
+    /// `rand / (seq + rand)` — 0 when no proxies were emitted.
+    pub random_fraction: f64,
+}
+
+/// Skew choke point: work-distribution inequality across workers/tasks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SkewSection {
+    /// Task groups measured (supersteps, map/reduce waves, repetitions).
+    pub groups: usize,
+    /// Worst per-group Gini coefficient (0 = perfectly balanced).
+    pub max_gini: f64,
+    /// Mean per-group Gini coefficient.
+    pub mean_gini: f64,
+    /// What the Gini was computed over ("pregel.task", "run.execute", ...).
+    pub source: String,
+}
+
+/// The four-section choke-point attribution of one benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunChokePoints {
+    /// Platform name from the run span.
+    pub platform: String,
+    /// Dataset name from the run span.
+    pub dataset: String,
+    /// Algorithm name from the run span.
+    pub algorithm: String,
+    /// Network attribution.
+    pub network: NetworkSection,
+    /// Memory attribution.
+    pub memory: MemorySection,
+    /// Locality attribution.
+    pub locality: LocalitySection,
+    /// Skew attribution.
+    pub skew: SkewSection,
+}
+
+/// Gini coefficient of a work distribution: mean absolute difference
+/// over twice the mean. 0 for empty, single-element, or all-zero input.
+pub fn gini(values: &[u64]) -> f64 {
+    let n = values.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let sum: u64 = values.iter().sum();
+    if sum == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = values.to_vec();
+    sorted.sort_unstable();
+    // Gini via the sorted form: (2·Σ i·x_i / (n·Σx)) - (n+1)/n.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as u64 + 1) as f64 * x as f64)
+        .sum();
+    (2.0 * weighted / (n as f64 * sum as f64) - (n as f64 + 1.0) / n as f64).max(0.0)
+}
+
+fn field_u64(span: &Span, key: &str) -> u64 {
+    span.field(key)
+        .and_then(FieldValue::as_i64)
+        .map(|x| x.max(0) as u64)
+        .unwrap_or(0)
+}
+
+fn field_str<'a>(span: &'a Span, key: &str) -> Option<&'a str> {
+    span.field(key).and_then(FieldValue::as_str)
+}
+
+/// Attributes every `run` span in `spans` onto the four choke points.
+/// Spans must come from one tracer (ids unique); order is preserved.
+pub fn attribute(spans: &[Span]) -> Vec<RunChokePoints> {
+    // Children adjacency over span ids; events are spans too.
+    let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (idx, span) in spans.iter().enumerate() {
+        if let Some(parent) = span.parent {
+            children.entry(parent).or_default().push(idx);
+        }
+    }
+    let mut reports = Vec::new();
+    for run in spans.iter().filter(|s| s.name == "run") {
+        let platform = field_str(run, "platform").unwrap_or("?").to_string();
+        let dataset = field_str(run, "dataset").unwrap_or("?").to_string();
+        let algorithm = field_str(run, "algorithm").unwrap_or("?").to_string();
+
+        // Collect the run's subtree (the run span itself included).
+        let mut subtree: Vec<&Span> = Vec::new();
+        let mut stack = vec![run];
+        while let Some(span) = stack.pop() {
+            subtree.push(span);
+            if let Some(kids) = children.get(&span.id) {
+                for &k in kids {
+                    stack.push(&spans[k]);
+                }
+            }
+        }
+
+        let mut network = NetworkSection::default();
+        let mut locality = LocalitySection::default();
+        // Per-parent task-work groups: one group per superstep / phase.
+        let mut task_groups: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        let mut task_source = "";
+        let mut execute_durations: Vec<u64> = Vec::new();
+        for span in &subtree {
+            network.remote_messages += field_u64(span, "messages_remote");
+            network.shuffle_records += field_u64(span, "shuffle_records");
+            network.spill_bytes += field_u64(span, "spill_bytes");
+            locality.seq_accesses += field_u64(span, "seq_accesses");
+            locality.rand_accesses += field_u64(span, "rand_accesses");
+            if span.name.ends_with(".task") {
+                task_groups
+                    .entry(span.parent.unwrap_or(0))
+                    .or_default()
+                    .push(field_u64(span, "work"));
+                if task_source.is_empty() {
+                    task_source = &span.name;
+                }
+            }
+            if span.name == "run.execute" {
+                // Microsecond resolution keeps the Gini integral.
+                execute_durations.push((span.duration_seconds() * 1e6) as u64);
+            }
+        }
+        let total = locality.seq_accesses + locality.rand_accesses;
+        if total > 0 {
+            locality.random_fraction = locality.rand_accesses as f64 / total as f64;
+        }
+
+        let skew = if !task_groups.is_empty() {
+            let ginis: Vec<f64> = task_groups.values().map(|g| gini(g)).collect();
+            SkewSection {
+                groups: ginis.len(),
+                max_gini: ginis.iter().copied().fold(0.0, f64::max),
+                mean_gini: ginis.iter().sum::<f64>() / ginis.len() as f64,
+                source: task_source.to_string(),
+            }
+        } else {
+            let g = gini(&execute_durations);
+            SkewSection {
+                groups: 1,
+                max_gini: g,
+                mean_gini: g,
+                source: "run.execute".to_string(),
+            }
+        };
+
+        // The graph footprint lives on the sibling run.load span for the
+        // same (platform, dataset) — loads happen once per pair.
+        let graph_bytes = spans
+            .iter()
+            .find(|s| {
+                s.name == "run.load"
+                    && field_str(s, "platform") == Some(platform.as_str())
+                    && field_str(s, "dataset") == Some(dataset.as_str())
+            })
+            .map(|s| field_u64(s, "graph_bytes"))
+            .unwrap_or(0);
+        let peak_rss_bytes = field_u64(run, "peak_rss_bytes");
+        let amplification = if graph_bytes > 0 {
+            peak_rss_bytes as f64 / graph_bytes as f64
+        } else {
+            0.0
+        };
+
+        reports.push(RunChokePoints {
+            platform,
+            dataset,
+            algorithm,
+            network,
+            memory: MemorySection {
+                peak_rss_bytes,
+                graph_bytes,
+                amplification,
+            },
+            locality,
+            skew,
+        });
+    }
+    reports
+}
+
+impl RunChokePoints {
+    /// One results-JSONL document (`{"type":"chokepoints",...}`) — the
+    /// shape appended to `graphalytics-results.jsonl` next to run records.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("type", Json::from("chokepoints")),
+            ("platform", Json::from(self.platform.clone())),
+            ("dataset", Json::from(self.dataset.clone())),
+            ("algorithm", Json::from(self.algorithm.clone())),
+            (
+                "network",
+                Json::obj([
+                    (
+                        "remote_messages",
+                        Json::from(self.network.remote_messages as usize),
+                    ),
+                    (
+                        "shuffle_records",
+                        Json::from(self.network.shuffle_records as usize),
+                    ),
+                    ("spill_bytes", Json::from(self.network.spill_bytes as usize)),
+                ]),
+            ),
+            (
+                "memory",
+                Json::obj([
+                    (
+                        "peak_rss_bytes",
+                        Json::from(self.memory.peak_rss_bytes as usize),
+                    ),
+                    ("graph_bytes", Json::from(self.memory.graph_bytes as usize)),
+                    ("amplification", Json::from(self.memory.amplification)),
+                ]),
+            ),
+            (
+                "locality",
+                Json::obj([
+                    (
+                        "seq_accesses",
+                        Json::from(self.locality.seq_accesses as usize),
+                    ),
+                    (
+                        "rand_accesses",
+                        Json::from(self.locality.rand_accesses as usize),
+                    ),
+                    ("random_fraction", Json::from(self.locality.random_fraction)),
+                ]),
+            ),
+            (
+                "skew",
+                Json::obj([
+                    ("groups", Json::from(self.skew.groups)),
+                    ("max_gini", Json::from(self.skew.max_gini)),
+                    ("mean_gini", Json::from(self.skew.mean_gini)),
+                    ("source", Json::from(self.skew.source.clone())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Plain-text summary table of per-run choke-point attributions.
+pub fn render_text(reports: &[RunChokePoints]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "platform      dataset            algorithm  net-units  rss/graph  rand-frac  skew-gini\n",
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "{:<13} {:<18} {:<10} {:>9} {:>10.2} {:>10.3} {:>10.3}\n",
+            r.platform,
+            r.dataset,
+            r.algorithm,
+            r.network.remote_units(),
+            r.memory.amplification,
+            r.locality.random_fraction,
+            r.skew.max_gini,
+        ));
+    }
+    out
+}
+
+/// The choke-point section of the HTML report: one row per run with all
+/// four attributions, ready to splice into `html_report_with`.
+pub fn html_section(reports: &[RunChokePoints]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;")
+    }
+    let mut out = String::new();
+    out.push_str("<h2>Choke-point attribution</h2>\n");
+    out.push_str(
+        "<p>Per-run attribution onto the paper's four choke points (&sect;2.1): \
+                  network volume, memory amplification, access locality, and work skew.</p>\n",
+    );
+    out.push_str(
+        "<table>\n<tr><th>Platform</th><th>Dataset</th><th>Algorithm</th>\
+         <th>Remote msgs</th><th>Shuffle records</th><th>Spill bytes</th>\
+         <th>Peak RSS / graph</th><th>Random-access fraction</th>\
+         <th>Skew (max Gini)</th><th>Skew source</th></tr>\n",
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{:.2}</td><td>{:.3}</td><td>{:.3}</td><td>{}</td></tr>\n",
+            esc(&r.platform),
+            esc(&r.dataset),
+            esc(&r.algorithm),
+            r.network.remote_messages,
+            r.network.shuffle_records,
+            r.network.spill_bytes,
+            r.memory.amplification,
+            r.locality.random_fraction,
+            r.skew.max_gini,
+            esc(&r.skew.source),
+        ));
+    }
+    out.push_str("</table>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalytics_core::trace::Tracer;
+
+    #[test]
+    fn gini_of_known_distributions() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[5]), 0.0);
+        assert_eq!(gini(&[4, 4, 4, 4]), 0.0);
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        // All work on one worker of n: Gini = (n-1)/n.
+        let g = gini(&[0, 0, 0, 100]);
+        assert!((g - 0.75).abs() < 1e-12, "{g}");
+        // More unequal ⇒ larger Gini.
+        assert!(gini(&[1, 9]) > gini(&[4, 6]));
+    }
+
+    fn traced_run(tracer: &Tracer) {
+        {
+            let mut load = tracer.span("run.load");
+            load.field("platform", "Giraph")
+                .field("dataset", "ldbc-16")
+                .field("graph_bytes", 1000usize);
+        }
+        let mut run = tracer.span("run");
+        run.field("platform", "Giraph")
+            .field("dataset", "ldbc-16")
+            .field("algorithm", "BFS")
+            .field("peak_rss_bytes", 2500usize);
+        let run_id = run.id();
+        let step_id = {
+            let mut step = tracer.span_with_parent("pregel.superstep", run_id);
+            step.field("messages_remote", 40usize)
+                .field("seq_accesses", 90usize)
+                .field("rand_accesses", 10usize);
+            step.id()
+        };
+        for (worker, work) in [(0u64, 10u64), (1, 30)] {
+            tracer.event(
+                "pregel.task",
+                step_id,
+                vec![
+                    ("worker".to_string(), worker.into()),
+                    ("work".to_string(), work.into()),
+                ],
+            );
+        }
+        {
+            let _exec = tracer.span_with_parent("run.execute", run_id);
+        }
+    }
+
+    #[test]
+    fn attributes_all_four_sections() {
+        let tracer = Tracer::new();
+        traced_run(&tracer);
+        let reports = attribute(&tracer.finished_spans());
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(
+            (
+                r.platform.as_str(),
+                r.dataset.as_str(),
+                r.algorithm.as_str()
+            ),
+            ("Giraph", "ldbc-16", "BFS")
+        );
+        assert_eq!(r.network.remote_messages, 40);
+        assert_eq!(r.memory.peak_rss_bytes, 2500);
+        assert_eq!(r.memory.graph_bytes, 1000);
+        assert!((r.memory.amplification - 2.5).abs() < 1e-12);
+        assert_eq!(r.locality.seq_accesses, 90);
+        assert_eq!(r.locality.rand_accesses, 10);
+        assert!((r.locality.random_fraction - 0.1).abs() < 1e-12);
+        assert_eq!(r.skew.source, "pregel.task");
+        assert_eq!(r.skew.groups, 1);
+        // Two workers at 10/30: Gini = 0.25.
+        assert!(
+            (r.skew.max_gini - 0.25).abs() < 1e-12,
+            "{}",
+            r.skew.max_gini
+        );
+    }
+
+    #[test]
+    fn skew_falls_back_to_execute_durations() {
+        let tracer = Tracer::new();
+        let mut run = tracer.span("run");
+        run.field("platform", "Reference")
+            .field("dataset", "d")
+            .field("algorithm", "BFS");
+        let run_id = run.id();
+        for _ in 0..2 {
+            let _exec = tracer.span_with_parent("run.execute", run_id);
+        }
+        drop(run);
+        let reports = attribute(&tracer.finished_spans());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].skew.source, "run.execute");
+        assert_eq!(reports[0].skew.groups, 1);
+        assert!(reports[0].skew.max_gini >= 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let tracer = Tracer::new();
+        traced_run(&tracer);
+        let reports = attribute(&tracer.finished_spans());
+        let line = reports[0].to_json().to_string_compact();
+        let doc = graphalytics_core::json::parse(&line).expect("parses");
+        assert_eq!(doc.get("type").unwrap().as_str(), Some("chokepoints"));
+        for section in ["network", "memory", "locality", "skew"] {
+            assert!(doc.get(section).is_some(), "section {section} present");
+        }
+        assert_eq!(
+            doc.get("skew").unwrap().get("source").unwrap().as_str(),
+            Some("pregel.task")
+        );
+    }
+
+    #[test]
+    fn text_and_html_render() {
+        let tracer = Tracer::new();
+        traced_run(&tracer);
+        let reports = attribute(&tracer.finished_spans());
+        let text = render_text(&reports);
+        assert!(text.contains("Giraph"));
+        let html = html_section(&reports);
+        assert!(html.contains("<h2>Choke-point attribution</h2>"));
+        assert!(html.contains("<td>Giraph</td>"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # graphalytics-obs
+//!
+//! The analysis layer over the harness's observability primitives — where
+//! the paper's choke-point methodology (§2.1) meets the System Monitor's
+//! raw data (§2.3). The tracing layer *records* spans and counters; this
+//! crate *interprets* them:
+//!
+//! * [`profiler`] — a span-stack sampling profiler: a background thread
+//!   periodically snapshots every worker thread's open-span stack (threads
+//!   register through the TLS hook in `graphalytics_core::trace`) and
+//!   aggregates folded stacks;
+//! * [`export`] — exporters for flamegraph folded-stack text, a
+//!   self-contained SVG flamegraph, and Chrome `trace_event` JSON that
+//!   opens directly in `chrome://tracing` / Perfetto;
+//! * [`chokepoints`] — the choke-point attribution engine mapping each
+//!   run's spans and counters onto the paper's four choke points
+//!   (network, memory, locality, skew);
+//! * [`regress`] — the regression observatory: committed performance
+//!   baselines with noise-aware comparison for CI gating.
+//!
+//! Everything here is analysis-only: with no profiler attached and no
+//! exporter invoked, nothing in this crate runs and platform outputs are
+//! untouched.
+
+pub mod chokepoints;
+pub mod export;
+pub mod profiler;
+pub mod regress;
+
+pub use chokepoints::{attribute, RunChokePoints};
+pub use export::{chrome_trace, flamegraph_svg};
+pub use profiler::{Profile, SamplingProfiler};
+pub use regress::{Baseline, BaselineEntry, CompareReport, Thresholds};

@@ -1,0 +1,370 @@
+//! The perf-regression observatory.
+//!
+//! A committed [`Baseline`] (`BENCH_baseline.json`) records the
+//! median-of-N runtime and EVPS of each measured kernel plus a
+//! *calibration* measurement — a fixed SplitMix64 mixing loop timed on
+//! the recording machine. A fresh run re-times the same kernels and the
+//! same calibration loop; [`compare`] scales the baseline by the
+//! calibration ratio (so a uniformly slower CI machine doesn't trip the
+//! gate) and flags a kernel only when its runtime exceeds *both* a
+//! relative factor and an absolute floor — the noise-aware thresholds
+//! documented in `DESIGN.md` §5d. `bench regress --check` exits non-zero
+//! on any flagged kernel, which is what CI blocks on.
+
+use graphalytics_core::json::{self, Json};
+
+/// One measured kernel: a stable key plus its median timing and EVPS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Stable kernel key, e.g. `reference/bfs/scale-14`.
+    pub key: String,
+    /// Median-of-N wall seconds for one execution.
+    pub median_seconds: f64,
+    /// Edges-plus-vertices per second at the median runtime.
+    pub evps: f64,
+}
+
+/// A committed performance baseline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Baseline {
+    /// Calibration-loop seconds on the recording machine.
+    pub calibration_seconds: f64,
+    /// Measured kernels, sorted by key.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Looks up an entry by key.
+    pub fn entry(&self, key: &str) -> Option<&BaselineEntry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+
+    /// Serializes the baseline as deterministic JSON (entries sorted by
+    /// key, one compact line) — the `BENCH_baseline.json` file format.
+    pub fn to_json_string(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        let doc = Json::obj([
+            ("type", Json::from("bench_baseline")),
+            ("calibration_seconds", Json::from(self.calibration_seconds)),
+            (
+                "entries",
+                Json::Arr(
+                    entries
+                        .iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("key", Json::from(e.key.clone())),
+                                ("median_seconds", Json::from(e.median_seconds)),
+                                ("evps", Json::from(e.evps)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let mut out = doc.to_string_compact();
+        out.push('\n');
+        out
+    }
+
+    /// Parses a `BENCH_baseline.json` document.
+    pub fn parse(text: &str) -> Option<Baseline> {
+        let doc = json::parse(text.trim())?;
+        if doc.get("type")?.as_str()? != "bench_baseline" {
+            return None;
+        }
+        let calibration_seconds = doc.get("calibration_seconds")?.as_f64()?;
+        let Json::Arr(raw) = doc.get("entries")? else {
+            return None;
+        };
+        let mut entries = Vec::with_capacity(raw.len());
+        for item in raw {
+            entries.push(BaselineEntry {
+                key: item.get("key")?.as_str()?.to_string(),
+                median_seconds: item.get("median_seconds")?.as_f64()?,
+                evps: item.get("evps")?.as_f64()?,
+            });
+        }
+        Some(Baseline {
+            calibration_seconds,
+            entries,
+        })
+    }
+}
+
+/// Median of a sample (0 when empty). Uses the lower-middle element for
+/// even sizes — conservative for timing data.
+pub fn median(mut samples: Vec<f64>) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[(samples.len() - 1) / 2]
+}
+
+/// Times the fixed SplitMix64 mixing loop used to normalize baselines
+/// across machines: the ratio of check-time to record-time calibration
+/// scales every threshold. The clock read exists to *measure* this
+/// machine's speed; it feeds thresholds, never run outputs.
+pub fn calibration_loop() -> f64 {
+    // lint:allow(determinism-time): calibration measures machine speed for thresholds only
+    let start = std::time::Instant::now();
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let mut acc = 0u64;
+    for _ in 0..20_000_000u64 {
+        x = x.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        acc ^= z ^ (z >> 31);
+    }
+    // Publish the accumulator so the loop cannot be optimized away.
+    std::hint::black_box(acc);
+    start.elapsed().as_secs_f64()
+}
+
+/// Noise-aware regression thresholds. A kernel regresses only when its
+/// current median exceeds `baseline × rel_factor × calibration_ratio`
+/// *and* the excess over the scaled baseline is larger than
+/// `abs_floor_seconds` — so microsecond kernels can't trip the gate on
+/// scheduler noise, and big kernels can't hide a 2× slowdown behind the
+/// floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Allowed slowdown factor over the scaled baseline.
+    pub rel_factor: f64,
+    /// Minimum absolute excess (seconds) before flagging.
+    pub abs_floor_seconds: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Self {
+            rel_factor: 1.6,
+            abs_floor_seconds: 0.05,
+        }
+    }
+}
+
+/// One kernel's comparison verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Kernel key.
+    pub key: String,
+    /// Baseline median, already scaled by the calibration ratio.
+    pub scaled_baseline_seconds: f64,
+    /// Fresh median.
+    pub current_seconds: f64,
+    /// The limit the current median was held against.
+    pub allowed_seconds: f64,
+    /// True when the kernel regressed.
+    pub regressed: bool,
+}
+
+/// Outcome of checking fresh measurements against a baseline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompareReport {
+    /// Per-kernel verdicts, in baseline order.
+    pub verdicts: Vec<Verdict>,
+    /// Baseline keys the fresh run did not measure (treated as failure:
+    /// a silently skipped kernel would otherwise disable its gate).
+    pub missing: Vec<String>,
+    /// Fresh keys absent from the baseline (informational only).
+    pub new_keys: Vec<String>,
+    /// check-time / record-time calibration ratio after clamping.
+    pub calibration_ratio: f64,
+}
+
+impl CompareReport {
+    /// True when CI should fail: any regressed kernel or missing key.
+    pub fn failed(&self) -> bool {
+        !self.missing.is_empty() || self.verdicts.iter().any(|v| v.regressed)
+    }
+
+    /// Human-readable summary, one line per kernel.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "calibration ratio {:.2} (check machine vs baseline machine)\n",
+            self.calibration_ratio
+        );
+        for v in &self.verdicts {
+            out.push_str(&format!(
+                "{} {:<40} current {:>9.4}s  allowed {:>9.4}s  (baseline {:>9.4}s)\n",
+                if v.regressed {
+                    "REGRESSED"
+                } else {
+                    "ok       "
+                },
+                v.key,
+                v.current_seconds,
+                v.allowed_seconds,
+                v.scaled_baseline_seconds,
+            ));
+        }
+        for key in &self.missing {
+            out.push_str(&format!("MISSING   {key} (baseline kernel not measured)\n"));
+        }
+        for key in &self.new_keys {
+            out.push_str(&format!("new       {key} (not in baseline)\n"));
+        }
+        out
+    }
+}
+
+/// Compares fresh measurements against a baseline. `calibration_seconds`
+/// is the check machine's [`calibration_loop`] timing; the ratio to the
+/// baseline's recording is clamped to `[0.25, 4.0]` so a wildly wrong
+/// calibration can't disable the gate.
+pub fn compare(
+    baseline: &Baseline,
+    current: &[BaselineEntry],
+    calibration_seconds: f64,
+    thresholds: Thresholds,
+) -> CompareReport {
+    let ratio = if baseline.calibration_seconds > 0.0 && calibration_seconds > 0.0 {
+        (calibration_seconds / baseline.calibration_seconds).clamp(0.25, 4.0)
+    } else {
+        1.0
+    };
+    let mut report = CompareReport {
+        calibration_ratio: ratio,
+        ..CompareReport::default()
+    };
+    for base in &baseline.entries {
+        let Some(fresh) = current.iter().find(|e| e.key == base.key) else {
+            report.missing.push(base.key.clone());
+            continue;
+        };
+        let scaled = base.median_seconds * ratio;
+        let allowed = scaled * thresholds.rel_factor + thresholds.abs_floor_seconds;
+        report.verdicts.push(Verdict {
+            key: base.key.clone(),
+            scaled_baseline_seconds: scaled,
+            current_seconds: fresh.median_seconds,
+            allowed_seconds: allowed,
+            regressed: fresh.median_seconds > allowed,
+        });
+    }
+    for fresh in current {
+        if baseline.entry(&fresh.key).is_none() {
+            report.new_keys.push(fresh.key.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: &str, seconds: f64) -> BaselineEntry {
+        BaselineEntry {
+            key: key.to_string(),
+            median_seconds: seconds,
+            evps: 1000.0 / seconds.max(1e-9),
+        }
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let baseline = Baseline {
+            calibration_seconds: 0.5,
+            entries: vec![entry("ref/bfs/14", 0.25), entry("ref/conn/14", 1.5)],
+        };
+        let text = baseline.to_json_string();
+        assert!(text.ends_with('\n'));
+        let parsed = Baseline::parse(&text).expect("parses back");
+        assert_eq!(parsed, baseline);
+        assert!(Baseline::parse("{}").is_none());
+        assert!(Baseline::parse("{\"type\":\"other\"}").is_none());
+    }
+
+    #[test]
+    fn median_is_order_invariant_and_conservative() {
+        assert_eq!(median(vec![]), 0.0);
+        assert_eq!(median(vec![3.0]), 3.0);
+        assert_eq!(median(vec![5.0, 1.0, 3.0]), 3.0);
+        // Even count takes the lower middle.
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn identical_measurements_pass() {
+        let baseline = Baseline {
+            calibration_seconds: 0.5,
+            entries: vec![entry("a", 0.2), entry("b", 1.0)],
+        };
+        let report = compare(&baseline, &baseline.entries, 0.5, Thresholds::default());
+        assert!(!report.failed(), "{}", report.render_text());
+        assert_eq!(report.verdicts.len(), 2);
+        assert_eq!(report.calibration_ratio, 1.0);
+    }
+
+    #[test]
+    fn synthetic_slowdown_fails() {
+        let baseline = Baseline {
+            calibration_seconds: 0.5,
+            entries: vec![entry("a", 0.2)],
+        };
+        let slowed = vec![entry("a", 0.2 * 3.0)];
+        let report = compare(&baseline, &slowed, 0.5, Thresholds::default());
+        assert!(report.failed());
+        assert!(report.verdicts[0].regressed);
+        assert!(report.render_text().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn abs_floor_absorbs_micro_noise() {
+        let baseline = Baseline {
+            calibration_seconds: 0.5,
+            // A 2 ms kernel tripling is absorbed by the 50 ms floor.
+            entries: vec![entry("tiny", 0.002)],
+        };
+        let report = compare(
+            &baseline,
+            &[entry("tiny", 0.006)],
+            0.5,
+            Thresholds::default(),
+        );
+        assert!(!report.failed(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn calibration_ratio_scales_thresholds() {
+        let baseline = Baseline {
+            calibration_seconds: 0.5,
+            entries: vec![entry("a", 1.0)],
+        };
+        // The check machine is 2× slower: 1.9 s still passes there.
+        let report = compare(&baseline, &[entry("a", 1.9)], 1.0, Thresholds::default());
+        assert_eq!(report.calibration_ratio, 2.0);
+        assert!(!report.failed(), "{}", report.render_text());
+        // On an equal-speed machine the same 1.9 s would regress.
+        let report = compare(&baseline, &[entry("a", 1.9)], 0.5, Thresholds::default());
+        assert!(report.failed());
+    }
+
+    #[test]
+    fn missing_and_new_keys_are_reported() {
+        let baseline = Baseline {
+            calibration_seconds: 0.5,
+            entries: vec![entry("gone", 0.2)],
+        };
+        let report = compare(
+            &baseline,
+            &[entry("brand-new", 0.2)],
+            0.5,
+            Thresholds::default(),
+        );
+        assert_eq!(report.missing, vec!["gone".to_string()]);
+        assert_eq!(report.new_keys, vec!["brand-new".to_string()]);
+        assert!(report.failed(), "missing baseline keys must fail the gate");
+    }
+
+    #[test]
+    fn calibration_loop_is_positive_and_repeatable() {
+        let t = calibration_loop();
+        assert!(t > 0.0);
+    }
+}

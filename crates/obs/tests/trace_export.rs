@@ -1,0 +1,191 @@
+//! Trace-export coverage: the span JSONL round-trips through the
+//! zero-dep `core::json` parser, finished spans obey parent/ordering
+//! invariants, and the Chrome-trace exporter's schema is pinned by a
+//! committed golden fixture.
+
+use std::collections::BTreeSet;
+
+use graphalytics_core::json::{self, Json};
+use graphalytics_core::trace::Tracer;
+use graphalytics_obs::export::{chrome_trace, TRACE_EVENT_REQUIRED_FIELDS};
+
+/// A tracer exercised the way the runner exercises one: nested phases,
+/// fields, metrics.
+fn busy_tracer() -> Tracer {
+    let tracer = Tracer::new();
+    {
+        let mut run = tracer.span("run");
+        run.field("platform", "Reference")
+            .field("dataset", "Graph500 8")
+            .field("algorithm", "BFS");
+        {
+            let mut load = tracer.span("run.load");
+            load.field("graph_bytes", 1usize << 19);
+        }
+        {
+            let mut exec = tracer.span("run.execute");
+            exec.field("seq_accesses", 8192usize)
+                .field("rand_accesses", 4096usize);
+        }
+        let _validate = tracer.span("run.validate");
+    }
+    tracer
+        .metrics()
+        .inc_counter("graphalytics_runs_total", &[("platform", "Reference")], 1);
+    tracer.metrics().observe(
+        "graphalytics_run_seconds",
+        &[("platform", "Reference")],
+        0.25,
+    );
+    tracer
+}
+
+#[test]
+fn exported_jsonl_round_trips_through_core_json() {
+    let tracer = busy_tracer();
+    let jsonl = tracer.export_jsonl();
+    let mut span_lines = 0;
+    let mut metric_lines = 0;
+    for line in jsonl.lines() {
+        let doc = json::parse(line).unwrap_or_else(|| panic!("unparseable line: {line}"));
+        match doc.get("type").and_then(Json::as_str) {
+            Some("span") => {
+                span_lines += 1;
+                for key in [
+                    "id",
+                    "name",
+                    "start_seconds",
+                    "end_seconds",
+                    "duration_seconds",
+                    "thread",
+                    "fields",
+                ] {
+                    assert!(doc.get(key).is_some(), "span line missing {key}: {line}");
+                }
+                // Re-serializing the parsed document must parse again —
+                // the JSON subset is closed under round-trips.
+                assert!(json::parse(&doc.to_string_compact()).is_some());
+            }
+            Some("counter") | Some("gauge") | Some("histogram") => metric_lines += 1,
+            other => panic!("unexpected line type {other:?}: {line}"),
+        }
+    }
+    assert_eq!(span_lines, 4, "run + three phases");
+    assert!(metric_lines >= 2, "counter and histogram lines expected");
+}
+
+#[test]
+fn finished_spans_obey_parent_and_ordering_invariants() {
+    let tracer = busy_tracer();
+    let spans = tracer.finished_spans();
+    assert_eq!(spans.len(), 4);
+
+    // Ids are unique and assigned in start order.
+    let ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), spans.len(), "duplicate span ids: {ids:?}");
+    let mut by_start = spans.clone();
+    by_start.sort_by(|a, b| {
+        a.start_seconds
+            .total_cmp(&b.start_seconds)
+            .then(a.id.cmp(&b.id))
+    });
+    let start_ordered_ids: Vec<u64> = by_start.iter().map(|s| s.id).collect();
+    let mut expected = ids.clone();
+    expected.sort_unstable();
+    assert_eq!(
+        start_ordered_ids, expected,
+        "span ids must be monotone in start time"
+    );
+
+    // Every parent reference resolves, and a child's lifetime nests
+    // inside its parent's.
+    for span in &spans {
+        let Some(parent_id) = span.parent else {
+            continue;
+        };
+        let parent = spans
+            .iter()
+            .find(|s| s.id == parent_id)
+            .unwrap_or_else(|| panic!("dangling parent {parent_id} for {}", span.name));
+        assert!(parent.start_seconds <= span.start_seconds);
+        assert!(span.end_seconds <= parent.end_seconds);
+        // Phase spans take their name prefix from the parent.
+        assert!(
+            span.name.starts_with(&format!("{}.", parent.name)),
+            "{} not nested under {}",
+            span.name,
+            parent.name
+        );
+    }
+    // Exactly one root.
+    assert_eq!(spans.iter().filter(|s| s.parent.is_none()).count(), 1);
+}
+
+/// Per-event key sets, split by phase type, for schema comparison.
+fn event_keysets(doc: &Json) -> Vec<(String, BTreeSet<String>)> {
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents missing");
+    };
+    events
+        .iter()
+        .map(|e| {
+            let ph = e.get("ph").and_then(Json::as_str).expect("ph").to_string();
+            let Json::Obj(map) = e else {
+                panic!("event not an object")
+            };
+            (ph, map.keys().cloned().collect())
+        })
+        .collect()
+}
+
+#[test]
+fn chrome_trace_schema_matches_committed_golden() {
+    let golden_text = include_str!("fixtures/chrome_trace_golden.json");
+    let golden = json::parse(golden_text).expect("golden fixture parses");
+
+    // The fixture itself satisfies the trace_event contract.
+    let Some(Json::Arr(events)) = golden.get("traceEvents") else {
+        panic!("golden fixture has no traceEvents");
+    };
+    for event in events {
+        for field in TRACE_EVENT_REQUIRED_FIELDS {
+            assert!(event.get(field).is_some(), "golden missing {field}");
+        }
+        let ph = event.get("ph").and_then(Json::as_str).unwrap();
+        assert!(ph == "X" || ph == "M", "unexpected phase {ph:?}");
+    }
+    assert_eq!(
+        golden.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+
+    // A freshly exported trace uses exactly the golden's schema: same
+    // top-level key for each phase type, same per-event key sets.
+    let tracer = busy_tracer();
+    let fresh = json::parse(&chrome_trace(&tracer.finished_spans())).expect("fresh trace parses");
+    let golden_keys: BTreeSet<(String, BTreeSet<String>)> =
+        event_keysets(&golden).into_iter().collect();
+    let fresh_keys: BTreeSet<(String, BTreeSet<String>)> =
+        event_keysets(&fresh).into_iter().collect();
+    // Args contents vary per span, but the envelope schema — which keys
+    // an event of each phase type carries — must not drift.
+    assert_eq!(
+        golden_keys, fresh_keys,
+        "chrome trace schema drifted from the committed golden"
+    );
+
+    // Timestamps in the fresh trace are microseconds: span durations in
+    // the tracer are seconds, so every dur must be ≥ 0 and finite.
+    let Some(Json::Arr(events)) = fresh.get("traceEvents") else {
+        unreachable!()
+    };
+    for event in events {
+        if event.get("ph").and_then(Json::as_str) == Some("X") {
+            let dur = event.get("dur").and_then(Json::as_f64).unwrap();
+            assert!(dur.is_finite() && dur >= 0.0);
+        }
+    }
+}

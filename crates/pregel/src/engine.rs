@@ -400,11 +400,23 @@ pub fn run<P: VertexProgram>(
         let mut max_worker_messages = 0usize;
         let mut step_active = 0usize;
         let combiner = program.combiner();
+        let step_span_id = step_span.id();
         for (w, out) in worker_outputs.into_iter().enumerate() {
             per_worker_active[w] = out.active_count;
             stats.active_total += out.active_count;
             step_active += out.active_count;
             max_worker_messages = max_worker_messages.max(out.messages);
+            // One work-distribution event per worker per superstep — the
+            // skew choke point is the Gini over these within a superstep.
+            ctx.tracer().event(
+                "pregel.task",
+                step_span_id,
+                vec![
+                    ("worker".to_string(), (w as u64).into()),
+                    ("work".to_string(), out.active_count.into()),
+                    ("messages".to_string(), out.messages.into()),
+                ],
+            );
             step_aggregate += out.aggregate;
             for (v, state, stay_active) in out.updates {
                 states[v as usize] = state;
@@ -433,7 +445,11 @@ pub fn run<P: VertexProgram>(
             .field("active_vertices", step_active)
             .field("messages_sent", sent_this_step)
             .field("messages_remote", stats.messages_remote - remote_before)
-            .field("aggregate", step_aggregate);
+            .field("aggregate", step_aggregate)
+            // Locality proxies: vertex state is scanned sequentially per
+            // active vertex; every routed message is a random inbox write.
+            .field("seq_accesses", step_active)
+            .field("rand_accesses", sent_this_step);
         if !any_message && !active.iter().any(|&a| a) {
             break;
         }
