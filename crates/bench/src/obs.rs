@@ -140,6 +140,10 @@ impl ObsSession {
         } else {
             Tracer::disabled()
         });
+        // Every observability export identifies the binary that produced
+        // it (satisfies scrapes and JSONL consumers alike); no-op when
+        // observability is off, keeping default outputs byte-identical.
+        tracer.metrics().register_build_info();
         let profiler = args
             .profile_out
             .as_ref()

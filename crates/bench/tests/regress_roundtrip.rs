@@ -2,7 +2,7 @@
 //! passes an immediate check on the same machine, and a synthetically
 //! slowed measurement fails the gate.
 
-use graphalytics_bench::regress::{check, measure, record, RegressConfig};
+use graphalytics_bench::regress::{check, measure, record, RegressConfig, SERVE_KEY};
 use graphalytics_obs::regress::Thresholds;
 
 fn small() -> RegressConfig {
@@ -10,6 +10,8 @@ fn small() -> RegressConfig {
         scale: 10,
         runs: 2,
         handicap: 1.0,
+        serve: false,
+        serve_scale: 8,
     }
 }
 
@@ -60,6 +62,8 @@ fn baseline_file_round_trips_through_disk() {
         scale: 8,
         runs: 1,
         handicap: 1.0,
+        serve: false,
+        serve_scale: 8,
     };
     let baseline = record(&cfg).expect("record");
     let path =
@@ -77,8 +81,34 @@ fn measure_keys_are_stable_across_rounds() {
         scale: 8,
         runs: 1,
         handicap: 1.0,
+        serve: false,
+        serve_scale: 8,
     };
     let a: Vec<String> = measure(&cfg).unwrap().into_iter().map(|e| e.key).collect();
     let b: Vec<String> = measure(&cfg).unwrap().into_iter().map(|e| e.key).collect();
     assert_eq!(a, b, "kernel keys must be deterministic");
+}
+
+#[test]
+fn serve_measurement_contributes_a_p99_entry() {
+    let cfg = RegressConfig {
+        scale: 8,
+        runs: 1,
+        handicap: 1.0,
+        serve: true,
+        serve_scale: 8,
+    };
+    let entries = measure(&cfg).unwrap();
+    // Kernel entries first (sorted), the serving-plane entry last.
+    assert_eq!(entries.last().unwrap().key, SERVE_KEY);
+    let serve = entries.iter().find(|e| e.key == SERVE_KEY).unwrap();
+    assert!(serve.median_seconds > 0.0, "p99 must be positive");
+    assert!(serve.evps > 0.0, "serve entry must carry throughput");
+    // The handicap scales the serving-plane number like any kernel, so
+    // the synthetic-slowdown gate test covers this entry too.
+    assert_eq!(
+        entries.iter().filter(|e| e.key == SERVE_KEY).count(),
+        1,
+        "exactly one serving-plane entry"
+    );
 }

@@ -185,7 +185,11 @@ fn split_list(value: Option<&String>) -> Vec<String> {
         .unwrap_or_default()
 }
 
-fn parse_dataset(name: &str) -> Result<Dataset, String> {
+/// Parses a dataset name in the configuration syntax (`graph500-<scale>`,
+/// `snb-<persons>`, `patents[-<divisor>]`, `file:<prefix>`, ...) — public
+/// so other entry points (e.g. the HTTP job API) accept the same names as
+/// configuration files.
+pub fn parse_dataset(name: &str) -> Result<Dataset, String> {
     if let Some(prefix) = name.strip_prefix("file:") {
         return Ok(Dataset {
             name: prefix.to_string(),
@@ -236,7 +240,10 @@ fn parse_dataset(name: &str) -> Result<Dataset, String> {
     }
 }
 
-fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+/// Parses an algorithm name in the configuration syntax (`stats`,
+/// `bfs[:<source>]`, `conn`, `cd`, `evo`, `pagerank`) — shared with the
+/// HTTP job API.
+pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
     let (base, param) = match name.split_once(':') {
         Some((b, p)) => (b, Some(p)),
         None => (name, None),

@@ -259,6 +259,25 @@ impl BenchmarkSuite {
         result
     }
 
+    /// Like [`BenchmarkSuite::run_traced`], but against an
+    /// already-materialized graph instead of re-running ETL per dataset —
+    /// the serving path, where a graph registry caches canonical graphs
+    /// across jobs. Only `dataset` (the graph's dataset descriptor) is
+    /// exercised; the suite's own dataset list is ignored.
+    pub fn run_traced_on_graph(
+        &self,
+        platforms: &mut [Box<dyn Platform>],
+        dataset: &Dataset,
+        graph: &Arc<CsrGraph>,
+        tracer: &Arc<Tracer>,
+    ) -> SuiteResult {
+        let mut result = SuiteResult::default();
+        for platform in platforms.iter_mut() {
+            self.run_platform_on_dataset(platform.as_mut(), dataset, graph, &mut result, tracer);
+        }
+        result
+    }
+
     fn run_platform_on_dataset(
         &self,
         platform: &mut dyn Platform,

@@ -305,6 +305,9 @@ struct TracerInner {
     finished: Vec<Span>,
 }
 
+/// A span-finish subscriber (see [`Tracer::subscribe`]).
+type SpanListener = Arc<dyn Fn(&Span) + Send + Sync>;
+
 /// A thread-safe span recorder with an embedded metrics registry.
 ///
 /// Spans started on the same thread nest automatically (parent links via a
@@ -316,6 +319,10 @@ pub struct Tracer {
     epoch: Instant,
     inner: Mutex<TracerInner>,
     metrics: MetricsRegistry,
+    /// Span-finish subscribers. Guarded by the fast-path flag below so the
+    /// common case (no subscribers) costs one relaxed atomic load.
+    listeners: Mutex<Vec<SpanListener>>,
+    has_listeners: AtomicBool,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -341,6 +348,8 @@ impl Tracer {
             epoch: Instant::now(),
             inner: Mutex::new(TracerInner::default()),
             metrics: MetricsRegistry::new(),
+            listeners: Mutex::new(Vec::new()),
+            has_listeners: AtomicBool::new(false),
         }
     }
 
@@ -352,6 +361,8 @@ impl Tracer {
             epoch: Instant::now(),
             inner: Mutex::new(TracerInner::default()),
             metrics: MetricsRegistry::disabled(),
+            listeners: Mutex::new(Vec::new()),
+            has_listeners: AtomicBool::new(false),
         }
     }
 
@@ -432,10 +443,12 @@ impl Tracer {
         }
         let t = self.now_seconds();
         let thread = current_thread_ordinal();
-        let mut inner = self.inner.lock();
-        inner.next_id += 1;
-        let id = inner.next_id;
-        inner.finished.push(Span {
+        let id = {
+            let mut inner = self.inner.lock();
+            inner.next_id += 1;
+            inner.next_id
+        };
+        self.finish(Span {
             id,
             parent,
             name: name.to_string(),
@@ -444,6 +457,34 @@ impl Tracer {
             thread,
             fields,
         });
+    }
+
+    /// Registers a span-finish subscriber: `f` is called once per finished
+    /// span (and per [`Tracer::event`]), on the thread that finished it,
+    /// after the span has been recorded. Subscribers must not start spans
+    /// on this tracer. Disabled tracers never notify. This is how an online
+    /// consumer (e.g. a job event stream) observes progress live instead of
+    /// waiting for [`Tracer::finished_spans`] post-mortem.
+    pub fn subscribe(&self, f: impl Fn(&Span) + Send + Sync + 'static) {
+        if !self.enabled {
+            return;
+        }
+        self.listeners.lock().push(Arc::new(f));
+        self.has_listeners.store(true, Ordering::Release);
+    }
+
+    /// Records a finished span and notifies subscribers (outside the span
+    /// lock, so a subscriber may query the tracer).
+    fn finish(&self, span: Span) {
+        if !self.has_listeners.load(Ordering::Acquire) {
+            self.inner.lock().finished.push(span);
+            return;
+        }
+        self.inner.lock().finished.push(span.clone());
+        let listeners: Vec<SpanListener> = self.listeners.lock().clone();
+        for listener in &listeners {
+            listener(&span);
+        }
     }
 
     /// Id of the innermost open span on this thread (for this tracer).
@@ -562,7 +603,7 @@ impl Drop for SpanGuard<'_> {
         });
         shared_stack_pop(self.tracer.uid, open.id);
         let end_seconds = self.tracer.now_seconds();
-        self.tracer.inner.lock().finished.push(Span {
+        self.tracer.finish(Span {
             id: open.id,
             parent: open.parent,
             name: open.name.to_string(),
@@ -656,7 +697,46 @@ struct RegistryInner {
     counters: BTreeMap<(String, Labels), u64>,
     gauges: BTreeMap<(String, Labels), f64>,
     histograms: BTreeMap<(String, Labels), Histogram>,
+    help: BTreeMap<String, String>,
 }
+
+/// `# HELP` text for the metric families core emits, preloaded into every
+/// enabled registry so scrapes are self-describing without every call site
+/// repeating [`MetricsRegistry::describe`].
+const WELL_KNOWN_HELP: &[(&str, &str)] = &[
+    (
+        "graphalytics_build_info",
+        "Constant 1 gauge whose version/profile labels identify the binary.",
+    ),
+    (
+        "graphalytics_graph_bytes",
+        "Canonical CSR memory footprint of a loaded dataset, in bytes.",
+    ),
+    (
+        "graphalytics_load_seconds",
+        "Platform graph import (ETL) time per dataset, in seconds.",
+    ),
+    (
+        "graphalytics_peak_rss_bytes",
+        "Peak resident set size observed per platform during runs.",
+    ),
+    (
+        "graphalytics_run_seconds",
+        "Algorithm execution time per repetition, in seconds.",
+    ),
+    (
+        "graphalytics_runs_total",
+        "Benchmark runs by platform, algorithm, and terminal status.",
+    ),
+];
+
+/// The cargo profile this crate was compiled under, used as the `profile`
+/// label of `graphalytics_build_info`.
+pub const BUILD_PROFILE: &str = if cfg!(debug_assertions) {
+    "debug"
+} else {
+    "release"
+};
 
 /// A thread-safe counter/gauge/histogram registry with Prometheus
 /// text-format and JSONL exporters.
@@ -672,11 +752,16 @@ impl Default for MetricsRegistry {
 }
 
 impl MetricsRegistry {
-    /// An enabled registry.
+    /// An enabled registry, pre-seeded with help text for the well-known
+    /// core metric families.
     pub fn new() -> Self {
+        let mut inner = RegistryInner::default();
+        for (name, help) in WELL_KNOWN_HELP {
+            inner.help.insert(name.to_string(), help.to_string());
+        }
         Self {
             enabled: true,
-            inner: Mutex::new(RegistryInner::default()),
+            inner: Mutex::new(inner),
         }
     }
 
@@ -686,6 +771,32 @@ impl MetricsRegistry {
             enabled: false,
             inner: Mutex::new(RegistryInner::default()),
         }
+    }
+
+    /// Registers `# HELP` text for a metric family. Idempotent; the last
+    /// call wins. Families without registered help render a generic line.
+    pub fn describe(&self, name: &str, help: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.inner
+            .lock()
+            .help
+            .insert(name.to_string(), help.to_string());
+    }
+
+    /// Sets the `graphalytics_build_info` gauge: constant 1, with the
+    /// workspace version and compile profile as labels — the Prometheus
+    /// idiom for identifying which binary a scrape came from.
+    pub fn register_build_info(&self) {
+        self.set_gauge(
+            "graphalytics_build_info",
+            &[
+                ("profile", BUILD_PROFILE),
+                ("version", env!("CARGO_PKG_VERSION")),
+            ],
+            1.0,
+        );
     }
 
     fn key(name: &str, labels: &[(&str, &str)]) -> (String, Labels) {
@@ -803,10 +914,23 @@ impl MetricsRegistry {
             .collect()
     }
 
-    /// Renders the Prometheus text exposition format: `# TYPE` comments
-    /// and `name{label="value"} value` sample lines, histograms expanded
-    /// into cumulative `_bucket`/`_sum`/`_count` series.
+    /// Renders the Prometheus text exposition format: `# HELP`/`# TYPE`
+    /// comments and `name{label="value"} value` sample lines, histograms
+    /// expanded into cumulative `_bucket`/`_sum`/`_count` series.
     pub fn render_prometheus(&self) -> String {
+        // HELP text escapes backslash and newline (but not quotes), per the
+        // text-format spec; label values additionally escape quotes.
+        fn escape_help(v: &str) -> String {
+            let mut out = String::with_capacity(v.len());
+            for c in v.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
         fn escape_label(v: &str) -> String {
             let mut out = String::with_capacity(v.len());
             for c in v.chars() {
@@ -841,10 +965,16 @@ impl MetricsRegistry {
             }
         }
         let inner = self.inner.lock();
+        let help = &inner.help;
         let mut out = String::new();
         let mut last_type: Option<String> = None;
         let mut type_line = |out: &mut String, name: &str, kind: &str| {
             if last_type.as_deref().is_none_or(|n| n != name) {
+                let text = help
+                    .get(name)
+                    .map(|h| escape_help(h))
+                    .unwrap_or_else(|| format!("Graphalytics {kind} {name}."));
+                out.push_str(&format!("# HELP {name} {text}\n"));
                 out.push_str(&format!("# TYPE {name} {kind}\n"));
                 last_type = Some(name.to_string());
             }
@@ -1148,12 +1278,16 @@ mod tests {
         registry.set_gauge("gx_peak_rss_bytes", &[], 1048576.0);
         registry.observe_with_buckets("gx_run_seconds", &[], 0.3, &[0.1, 1.0]);
         registry.observe_with_buckets("gx_run_seconds", &[], 5.0, &[0.1, 1.0]);
+        registry.describe("gx_runs_total", "Total runs.");
         let text = registry.render_prometheus();
         let expected = "\
+# HELP gx_runs_total Total runs.
 # TYPE gx_runs_total counter
 gx_runs_total{platform=\"Giraph\"} 3
+# HELP gx_peak_rss_bytes Graphalytics gauge gx_peak_rss_bytes.
 # TYPE gx_peak_rss_bytes gauge
 gx_peak_rss_bytes 1048576
+# HELP gx_run_seconds Graphalytics histogram gx_run_seconds.
 # TYPE gx_run_seconds histogram
 gx_run_seconds_bucket{le=\"0.1\"} 0
 gx_run_seconds_bucket{le=\"1\"} 1
@@ -1162,6 +1296,86 @@ gx_run_seconds_sum 5.3
 gx_run_seconds_count 2
 ";
         assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_help_lines_precede_every_type_line() {
+        let registry = MetricsRegistry::new();
+        registry.inc_counter("graphalytics_runs_total", &[("p", "x")], 1);
+        registry.set_gauge("custom_gauge", &[], 1.0);
+        registry.observe("lat_seconds", &[], 0.1);
+        registry.describe("weird", "line one\nline two \\ backslash");
+        registry.inc_counter("weird", &[], 1);
+        let text = registry.render_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split(' ').next().unwrap();
+                let help = lines[i - 1];
+                assert!(
+                    help.starts_with(&format!("# HELP {name} ")),
+                    "TYPE for {name} not preceded by HELP: {help:?}"
+                );
+            }
+        }
+        // Well-known families carry their curated help text.
+        assert!(text.contains("# HELP graphalytics_runs_total Benchmark runs"));
+        // Explicit describe() escapes newline and backslash.
+        assert!(text.contains("# HELP weird line one\\nline two \\\\ backslash\n"));
+        // Un-described families fall back to a generic line.
+        assert!(text.contains("# HELP custom_gauge Graphalytics gauge custom_gauge.\n"));
+    }
+
+    #[test]
+    fn build_info_gauge_identifies_binary() {
+        let registry = MetricsRegistry::new();
+        registry.register_build_info();
+        assert_eq!(
+            registry.gauge_value(
+                "graphalytics_build_info",
+                &[
+                    ("profile", BUILD_PROFILE),
+                    ("version", env!("CARGO_PKG_VERSION"))
+                ]
+            ),
+            Some(1.0)
+        );
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE graphalytics_build_info gauge"));
+        assert!(text.contains(&format!("version=\"{}\"", env!("CARGO_PKG_VERSION"))));
+    }
+
+    #[test]
+    fn span_listeners_observe_finishes_and_events() {
+        let tracer = Arc::new(Tracer::new());
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let seen = Arc::clone(&seen);
+            let tracer2 = Arc::clone(&tracer);
+            tracer.subscribe(move |span| {
+                // Subscribers may query the tracer (no lock is held).
+                let _ = tracer2.finished_spans();
+                seen.lock().push(span.name.clone());
+            });
+        }
+        {
+            let _outer = tracer.span("outer");
+            let _inner = tracer.span("inner");
+        }
+        tracer.event("tick", None, vec![]);
+        assert_eq!(&*seen.lock(), &["inner", "outer", "tick"]);
+    }
+
+    #[test]
+    fn disabled_tracer_never_notifies_listeners() {
+        let tracer = Tracer::disabled();
+        let fired = Arc::new(AtomicBool::new(false));
+        let fired2 = Arc::clone(&fired);
+        tracer.subscribe(move |_| fired2.store(true, Ordering::SeqCst));
+        let _s = tracer.span("ignored");
+        drop(_s);
+        tracer.event("e", None, vec![]);
+        assert!(!fired.load(Ordering::SeqCst));
     }
 
     /// Parses one exposition line into (name, labels, value); None for
@@ -1367,6 +1581,65 @@ gx_run_seconds_count 2
         // Everything beyond the largest bound clamps to it.
         h.observe(100.0);
         assert_eq!(h.quantile(0.99), Some(4.0));
+    }
+
+    #[test]
+    fn histogram_quantile_empty_returns_none() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+        // Degenerate: no buckets at all.
+        let mut none = Histogram::new(&[]);
+        none.observe(1.0);
+        assert_eq!(none.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantile_single_sample() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        h.observe(1.5);
+        // Every quantile resolves inside the (1, 2] bucket that holds the
+        // only observation.
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!(v > 1.0 && v <= 2.0, "q={q} -> {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_all_samples_in_one_bucket() {
+        let mut h = Histogram::new(&[0.1, 1.0, 10.0]);
+        for _ in 0..100 {
+            h.observe(0.5);
+        }
+        // All mass in (0.1, 1]: quantiles interpolate across that bucket
+        // and stay within its bounds, and are non-decreasing in q.
+        let p50 = h.quantile(0.50).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        for (q, v) in [(0.5, p50), (0.95, p95), (0.99, p99)] {
+            assert!(v > 0.1 && v <= 1.0, "q={q} -> {v}");
+        }
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        // Spread observations over several buckets, including +Inf.
+        let mut h = Histogram::new(&[0.01, 0.1, 1.0, 10.0]);
+        for i in 0..50 {
+            h.observe(0.005 * (1 + i % 7) as f64);
+            h.observe(0.5 * (1 + i % 3) as f64);
+        }
+        h.observe(1000.0); // lands in +Inf, clamps to 10.0
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!(v >= prev, "quantile not monotone at q={q}: {v} < {prev}");
+            prev = v;
+        }
+        assert_eq!(h.quantile(1.0), Some(10.0));
     }
 
     #[test]

@@ -10,11 +10,15 @@
 /// Crates whose outputs must be bit-reproducible: the data generator, the
 /// reference algorithms, the graph substrate they share, the parallel
 /// runtime the kernels run on, the fault-injection plan (same seed
-/// must fault the same sites on every run), and the observability layer
+/// must fault the same sites on every run), the observability layer
 /// (profiles and choke-point reports are derived from span *structure*;
 /// the few clock reads the sampler/calibrator need carry explicit
-/// `lint:allow(determinism-time)` pragmas).
-pub const DETERMINISM_CRATES: &[&str] = &["datagen", "algos", "graph", "parallel", "faults", "obs"];
+/// `lint:allow(determinism-time)` pragmas), and the serving plane (job
+/// timestamps flow from the shared `Tracer` epoch clock so event streams
+/// and artifacts stay replayable).
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "datagen", "algos", "graph", "parallel", "faults", "obs", "serve",
+];
 
 /// The five platform crates, where an `unwrap()` on a failure path turns a
 /// benchmark failure cell (Figure 4's "missing values") into a crash.
@@ -37,8 +41,8 @@ pub const RULES: &[Rule] = &[
         id: "determinism-time",
         crates: Some(DETERMINISM_CRATES),
         summary: "no Instant/SystemTime/std::time in datagen, algos, graph, parallel, \
-                  faults, or obs: generated data, reference outputs, fault plans, and \
-                  profile analysis must not depend on wall clocks",
+                  faults, obs, or serve: generated data, reference outputs, fault plans, \
+                  profile analysis, and job timelines must not depend on wall clocks",
     },
     Rule {
         id: "determinism-entropy",

@@ -1,0 +1,136 @@
+//! `loadgen` — the p99 load observatory CLI.
+//!
+//! ```text
+//! cargo run --release -p graphalytics-serve --bin loadgen -- \
+//!     [--server 127.0.0.1:8642] [--clients 8] [--jobs 16] [--scale 12] \
+//!     [--platforms reference,giraph] [--timeout-secs 120]
+//! ```
+//!
+//! With `--server`, drives the given running server. Without it, spawns
+//! an in-process server on an ephemeral port (preloading the mix graphs)
+//! and drives that — the one-command demo. Exits non-zero if any job
+//! fails, times out, or produces invalid output.
+
+use graphalytics_serve::loadgen::{run, LoadgenConfig};
+use graphalytics_serve::server::{start, ServerConfig};
+
+const USAGE: &str = "usage: loadgen [--server <host:port>] [--clients <n>] [--jobs <n>] \
+                     [--scale <n>] [--platforms <p1,p2,...>] [--timeout-secs <n>]";
+
+struct Args {
+    server: Option<String>,
+    loadgen: LoadgenConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        server: None,
+        loadgen: LoadgenConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let int = |flag: &str, v: String| -> Result<usize, String> {
+            v.parse()
+                .map_err(|_| format!("{flag} must be a positive integer, got {v:?}"))
+        };
+        match arg.as_str() {
+            "--server" => out.server = Some(value("--server")?),
+            "--clients" => out.loadgen.clients = int("--clients", value("--clients")?)?,
+            "--jobs" => out.loadgen.jobs = int("--jobs", value("--jobs")?)?,
+            "--scale" => out.loadgen.scale = int("--scale", value("--scale")?)? as u32,
+            "--timeout-secs" => {
+                out.loadgen.timeout_secs = int("--timeout-secs", value("--timeout-secs")?)? as u64;
+            }
+            "--platforms" => {
+                out.loadgen.platforms = value("--platforms")?
+                    .split(',')
+                    .map(|s| s.trim().to_lowercase())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if out.loadgen.platforms.is_empty() {
+                    return Err("--platforms needs at least one platform".to_string());
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() {
+    let mut args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    // No --server: spin up an in-process server preloading the mix graphs.
+    let spawned = match &args.server {
+        Some(addr) => {
+            args.loadgen.addr = addr.clone();
+            None
+        }
+        None => {
+            let scale = args.loadgen.scale;
+            let config = ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                preload: vec![
+                    format!("graph500-{scale}"),
+                    format!("graph500-{}", scale.saturating_sub(1).max(1)),
+                ],
+                queue_capacity: args.loadgen.jobs.max(32),
+                ..Default::default()
+            };
+            match start(config) {
+                Ok(handle) => {
+                    args.loadgen.addr = handle.local_addr().to_string();
+                    eprintln!("spawned in-process server on {}", args.loadgen.addr);
+                    Some(handle)
+                }
+                Err(e) => {
+                    eprintln!("failed to start in-process server: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
+    // Wait for readiness (preload can take a while at higher scales).
+    loop {
+        match graphalytics_serve::http::http_call(&args.loadgen.addr, "GET", "/readyz", None) {
+            Ok((200, _)) => break,
+            Ok(_) => std::thread::sleep(core::time::Duration::from_millis(50)),
+            Err(e) => {
+                eprintln!("cannot reach server at {}: {e}", args.loadgen.addr);
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!(
+        "loadgen: {} job(s) over {} client(s) against {}",
+        args.loadgen.jobs, args.loadgen.clients, args.loadgen.addr
+    );
+    let report = match run(&args.loadgen) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render_text());
+    let failed = !report.failures.is_empty();
+    if let Some(handle) = spawned {
+        handle.shutdown();
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,94 @@
+//! `graphalytics-serve` — the benchmark service CLI.
+//!
+//! ```text
+//! cargo run --release -p graphalytics-serve --bin graphalytics-serve -- \
+//!     [--addr 127.0.0.1:8642] [--preload graph500-14,graph500-13] \
+//!     [--queue-capacity 32] [--workers 1] [--timeout-secs 300] [--threads N]
+//! ```
+//!
+//! Runs in the foreground until killed. `/readyz` answers 503 until the
+//! preload set is materialized; submit jobs with
+//! `curl -X POST :8642/jobs -d '{"platform":"reference","algorithm":"bfs:0","graph":"graph500-14"}'`.
+
+use graphalytics_serve::server::{start, ServerConfig};
+
+const USAGE: &str = "usage: graphalytics-serve [--addr <host:port>] [--preload <g1,g2,...>] \
+                     [--queue-capacity <n>] [--workers <n>] [--timeout-secs <n>] [--threads <n>]";
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--preload" => {
+                config.preload = value("--preload")?
+                    .split(',')
+                    .map(|s| s.trim().to_lowercase())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|_| "--queue-capacity must be a positive integer".to_string())?;
+            }
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be a positive integer".to_string())?;
+            }
+            "--timeout-secs" => {
+                config.default_timeout_secs = value("--timeout-secs")?
+                    .parse()
+                    .map_err(|_| "--timeout-secs must be a positive integer".to_string())?;
+            }
+            "--threads" => {
+                config.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads must be a non-negative integer".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let preload = config.preload.join(", ");
+    match start(config) {
+        Ok(handle) => {
+            eprintln!(
+                "graphalytics-serve listening on http://{} (preloading: {})",
+                handle.local_addr(),
+                if preload.is_empty() {
+                    "nothing"
+                } else {
+                    &preload
+                }
+            );
+            handle.wait();
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

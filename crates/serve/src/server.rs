@@ -1,0 +1,698 @@
+//! The benchmark service: routing, workers, and the telemetry surface.
+//!
+//! One accept loop (thread-per-connection), a small worker pool draining
+//! the [`JobStore`] queue, and a preload thread that materializes the
+//! configured graphs before flipping `/readyz`. Every endpoint's latency
+//! and status land in the server's [`MetricsRegistry`], which `/metrics`
+//! renders in the Prometheus text exposition format.
+//!
+//! Endpoints:
+//!
+//! | Route | Purpose |
+//! |---|---|
+//! | `GET /healthz` | liveness (always 200 while the process accepts) |
+//! | `GET /readyz` | readiness (503 until the preload set is cached) |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `POST /jobs` | submit a job (202, or 400/429/503) |
+//! | `GET /jobs` | list all jobs |
+//! | `GET /jobs/{id}` | one job's status document |
+//! | `GET /jobs/{id}/events[?since=N]` | lifecycle event stream, JSONL |
+//! | `GET /jobs/{id}/artifacts/{name}` | flamegraph.svg, trace.json, results.jsonl |
+//!
+//! [`MetricsRegistry`]: graphalytics_core::MetricsRegistry
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use graphalytics_core::config::parse_algorithm;
+use graphalytics_core::json::{parse as parse_json, Json};
+use graphalytics_core::report::record_to_json;
+use graphalytics_core::runner::RunStatus;
+use graphalytics_core::validator::Validation;
+use graphalytics_core::{BenchmarkConfig, BenchmarkSuite, Tracer};
+use graphalytics_obs::{chrome_trace, flamegraph_svg, SamplingProfiler};
+
+use crate::http::{read_request, Request, Response};
+use crate::jobs::{build_platform, Artifacts, JobSpec, JobState, JobStore, SubmitError};
+use crate::registry::GraphRegistry;
+
+/// Request-latency buckets — an HTTP API lives well below the runner's
+/// seconds-oriented [`DEFAULT_BUCKETS`](graphalytics_core::trace::DEFAULT_BUCKETS).
+const REQUEST_BUCKETS: &[f64] = &[0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0];
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port (tests).
+    pub addr: String,
+    /// Bounded queue capacity (admission control).
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Graphs to materialize before `/readyz` flips (configuration
+    /// syntax, e.g. `graph500-14`).
+    pub preload: Vec<String>,
+    /// Default per-job timeout when a submission does not set one.
+    pub default_timeout_secs: u64,
+    /// Reference-platform worker count for jobs (None = sequential).
+    pub threads: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8642".to_string(),
+            queue_capacity: 32,
+            workers: 1,
+            preload: Vec::new(),
+            default_timeout_secs: 300,
+            threads: None,
+        }
+    }
+}
+
+/// Everything handlers and workers share.
+struct ServerCtx {
+    config: ServerConfig,
+    tracer: Arc<Tracer>,
+    registry: GraphRegistry,
+    store: JobStore,
+    shutdown: AtomicBool,
+}
+
+/// A running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServerCtx>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    preload_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's tracer (metrics registry included).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.ctx.tracer
+    }
+
+    /// Blocks until a shutdown is requested from another thread — the
+    /// foreground CLI path.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Requests shutdown and joins every server thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.ctx.shutdown.store(true, Ordering::Release);
+        self.ctx.store.notify_all();
+        // The accept loop only observes the flag on its next connection;
+        // poke it so the join below cannot hang.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.preload_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// Registers `# HELP` text for every server metric family.
+fn describe_serve_metrics(tracer: &Tracer) {
+    let m = tracer.metrics();
+    m.describe(
+        "graphalytics_serve_jobs_total",
+        "Jobs reaching a terminal state, by state (done/failed/timeout).",
+    );
+    m.describe(
+        "graphalytics_serve_job_seconds",
+        "End-to-end job latency (submit to terminal) by platform and algorithm.",
+    );
+    m.describe(
+        "graphalytics_serve_queue_wait_seconds",
+        "Time jobs spent queued before a worker picked them up.",
+    );
+    m.describe(
+        "graphalytics_serve_queue_depth",
+        "Jobs currently waiting in the bounded FIFO queue.",
+    );
+    m.describe(
+        "graphalytics_serve_active_jobs",
+        "Jobs currently loading or running on a worker.",
+    );
+    m.describe(
+        "graphalytics_serve_ready",
+        "1 once the preload set is materialized and /readyz returns 200.",
+    );
+    m.describe(
+        "graphalytics_serve_graphs_loaded",
+        "Graphs currently cached in the registry.",
+    );
+    m.describe(
+        "graphalytics_serve_graph_cache_hits_total",
+        "Jobs that found their graph already cached in the registry.",
+    );
+    m.describe(
+        "graphalytics_serve_requests_total",
+        "HTTP requests by normalized endpoint and status code.",
+    );
+    m.describe(
+        "graphalytics_serve_request_seconds",
+        "HTTP request handling latency by normalized endpoint.",
+    );
+}
+
+/// Starts the server: binds, spawns the preload thread, the worker pool,
+/// and the accept loop, and returns immediately.
+pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let tracer = Arc::new(Tracer::new());
+    tracer.metrics().register_build_info();
+    describe_serve_metrics(&tracer);
+    let store = JobStore::new(Arc::clone(&tracer), config.queue_capacity);
+    let ctx = Arc::new(ServerCtx {
+        tracer,
+        registry: GraphRegistry::new(),
+        store,
+        shutdown: AtomicBool::new(false),
+        config,
+    });
+    refresh_gauges(&ctx);
+
+    let preload_thread = {
+        let ctx = Arc::clone(&ctx);
+        std::thread::Builder::new()
+            .name("gx-serve-preload".into())
+            .spawn(move || {
+                for spec in ctx.config.preload.clone() {
+                    match ctx.registry.get_or_load(&spec) {
+                        Ok((dataset, graph, _)) => eprintln!(
+                            "preloaded {} ({} vertices, {} edges)",
+                            dataset.name,
+                            graph.num_vertices(),
+                            graph.num_edges()
+                        ),
+                        Err(e) => eprintln!("preload {spec:?} failed: {e}"),
+                    }
+                }
+                ctx.registry.mark_ready();
+                refresh_gauges(&ctx);
+            })
+            .map_err(|e| format!("spawn preload thread: {e}"))?
+    };
+
+    let mut worker_threads = Vec::new();
+    for w in 0..ctx.config.workers.max(1) {
+        let ctx = Arc::clone(&ctx);
+        let t = std::thread::Builder::new()
+            .name(format!("gx-serve-worker-{w}"))
+            .spawn(move || {
+                while let Some(id) = ctx.store.next_job(&ctx.shutdown) {
+                    run_job(&ctx, id);
+                }
+            })
+            .map_err(|e| format!("spawn worker thread: {e}"))?;
+        worker_threads.push(t);
+    }
+
+    let accept_thread = {
+        let ctx = Arc::clone(&ctx);
+        std::thread::Builder::new()
+            .name("gx-serve-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if ctx.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let ctx = Arc::clone(&ctx);
+                    // Connection threads are detached: `Connection: close`
+                    // bounds each one to a single exchange.
+                    let _ = std::thread::Builder::new()
+                        .name("gx-serve-conn".into())
+                        .spawn(move || handle_connection(&ctx, stream));
+                }
+            })
+            .map_err(|e| format!("spawn accept thread: {e}"))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        ctx,
+        accept_thread: Some(accept_thread),
+        worker_threads,
+        preload_thread: Some(preload_thread),
+    })
+}
+
+/// Updates the point-in-time server gauges.
+fn refresh_gauges(ctx: &ServerCtx) {
+    let m = ctx.tracer.metrics();
+    m.set_gauge(
+        "graphalytics_serve_queue_depth",
+        &[],
+        ctx.store.queue_depth() as f64,
+    );
+    m.set_gauge(
+        "graphalytics_serve_active_jobs",
+        &[],
+        ctx.store.active_count() as f64,
+    );
+    m.set_gauge(
+        "graphalytics_serve_graphs_loaded",
+        &[],
+        ctx.registry.len() as f64,
+    );
+    m.set_gauge(
+        "graphalytics_serve_ready",
+        &[],
+        if ctx.registry.is_ready() { 1.0 } else { 0.0 },
+    );
+}
+
+fn handle_connection(ctx: &Arc<ServerCtx>, stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    let response = match read_request(&mut reader) {
+        Ok(request) => {
+            let started = ctx.tracer.now_seconds();
+            let endpoint = normalize_endpoint(&request.method, &request.path);
+            let response = route(ctx, &request);
+            let m = ctx.tracer.metrics();
+            m.observe_with_buckets(
+                "graphalytics_serve_request_seconds",
+                &[("endpoint", endpoint)],
+                ctx.tracer.now_seconds() - started,
+                REQUEST_BUCKETS,
+            );
+            m.inc_counter(
+                "graphalytics_serve_requests_total",
+                &[
+                    ("endpoint", endpoint),
+                    ("status", &response.status.to_string()),
+                ],
+                1,
+            );
+            response
+        }
+        Err(e) => Response::error(400, &e),
+    };
+    let _ = response.write_to(reader.get_mut());
+}
+
+/// Collapses job-specific paths so the per-endpoint metrics stay
+/// low-cardinality.
+fn normalize_endpoint(method: &str, path: &str) -> &'static str {
+    let parts: Vec<&str> = path.trim_matches('/').split('/').collect();
+    match (method, parts.as_slice()) {
+        ("GET", [""]) => "/",
+        ("GET", ["healthz"]) => "/healthz",
+        ("GET", ["readyz"]) => "/readyz",
+        ("GET", ["metrics"]) => "/metrics",
+        ("POST", ["jobs"]) => "POST /jobs",
+        ("GET", ["jobs"]) => "/jobs",
+        ("GET", ["jobs", _]) => "/jobs/{id}",
+        ("GET", ["jobs", _, "events"]) => "/jobs/{id}/events",
+        ("GET", ["jobs", _, "artifacts", _]) => "/jobs/{id}/artifacts/{name}",
+        _ => "other",
+    }
+}
+
+/// Parses `j-12` or `12`.
+fn parse_job_id(raw: &str) -> Option<u64> {
+    raw.strip_prefix("j-").unwrap_or(raw).parse().ok()
+}
+
+fn route(ctx: &Arc<ServerCtx>, request: &Request) -> Response {
+    let parts: Vec<&str> = request.path.trim_matches('/').split('/').collect();
+    match (request.method.as_str(), parts.as_slice()) {
+        ("GET", [""]) => index(ctx),
+        ("GET", ["healthz"]) => Response::text(200, "ok\n".into()),
+        ("GET", ["readyz"]) => {
+            if ctx.registry.is_ready() {
+                Response::text(200, "ready\n".into())
+            } else {
+                Response::text(503, "initializing graph registry\n".into())
+            }
+        }
+        ("GET", ["metrics"]) => {
+            refresh_gauges(ctx);
+            Response::with_type(
+                200,
+                "text/plain; version=0.0.4",
+                ctx.tracer.metrics().render_prometheus(),
+            )
+        }
+        ("POST", ["jobs"]) => submit_job(ctx, request),
+        ("GET", ["jobs"]) => Response::json(200, ctx.store.list_json().to_string_compact()),
+        ("GET", ["jobs", id]) => match parse_job_id(id).and_then(|id| ctx.store.snapshot(id)) {
+            Some(job) => Response::json(200, job.to_json().to_string_compact()),
+            None => Response::error(404, &format!("no such job {id:?}")),
+        },
+        ("GET", ["jobs", id, "events"]) => {
+            let since = request
+                .query_param("since")
+                .and_then(|s| s.parse::<u64>().ok());
+            match parse_job_id(id).and_then(|id| ctx.store.events_jsonl(id, since)) {
+                Some((body, _terminal)) => Response::with_type(200, "application/jsonl", body),
+                None => Response::error(404, &format!("no such job {id:?}")),
+            }
+        }
+        ("GET", ["jobs", id, "artifacts", name]) => {
+            match parse_job_id(id).and_then(|id| ctx.store.artifact(id, name)) {
+                Some((content_type, body)) => Response::with_type(200, content_type, body),
+                None => Response::error(
+                    404,
+                    "no such artifact (job unknown, still running, or artifact name not one of \
+                     flamegraph.svg, trace.json, results.jsonl)",
+                ),
+            }
+        }
+        ("GET" | "POST", _) => Response::error(404, &format!("no route for {:?}", request.path)),
+        _ => Response::error(405, &format!("method {} not allowed", request.method)),
+    }
+}
+
+/// `GET /` — a small machine-readable index.
+fn index(ctx: &Arc<ServerCtx>) -> Response {
+    let doc = Json::obj([
+        ("service", Json::from("graphalytics-serve")),
+        ("ready", Json::Bool(ctx.registry.is_ready())),
+        (
+            "graphs_loaded",
+            Json::Arr(
+                ctx.registry
+                    .loaded_names()
+                    .into_iter()
+                    .map(Json::from)
+                    .collect(),
+            ),
+        ),
+        ("queue_depth", Json::from(ctx.store.queue_depth())),
+        (
+            "endpoints",
+            Json::Arr(
+                [
+                    "GET /healthz",
+                    "GET /readyz",
+                    "GET /metrics",
+                    "POST /jobs",
+                    "GET /jobs",
+                    "GET /jobs/{id}",
+                    "GET /jobs/{id}/events",
+                    "GET /jobs/{id}/artifacts/{name}",
+                ]
+                .iter()
+                .map(|e| Json::from(*e))
+                .collect(),
+            ),
+        ),
+    ]);
+    Response::json(200, doc.to_string_compact())
+}
+
+fn submit_job(ctx: &Arc<ServerCtx>, request: &Request) -> Response {
+    if !ctx.registry.is_ready() {
+        return Response::error(
+            503,
+            "graph registry still initializing; retry after /readyz",
+        );
+    }
+    let body = match request.body_utf8() {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &e),
+    };
+    let Some(doc) = parse_json(body) else {
+        return Response::error(400, "body is not valid JSON");
+    };
+    let spec = match JobSpec::from_json(&doc, ctx.config.default_timeout_secs) {
+        Ok(s) => s,
+        Err(e) => return Response::error(400, &e),
+    };
+    match ctx.store.submit(spec) {
+        Ok(id) => {
+            refresh_gauges(ctx);
+            let doc = Json::obj([
+                ("id", Json::from(format!("j-{id}"))),
+                ("state", Json::from("queued")),
+                ("queue_depth", Json::from(ctx.store.queue_depth())),
+            ]);
+            Response::json(202, doc.to_string_compact())
+        }
+        Err(SubmitError::QueueFull { capacity }) => Response::error(
+            429,
+            &format!("queue full (capacity {capacity}); retry after a job drains"),
+        ),
+    }
+}
+
+/// Executes one job on a worker thread: graph via the registry, platform
+/// via the factory, the cell through the traced runner, artifacts from
+/// the job's own tracer/profiler, and every outcome into the store and
+/// the server metrics.
+fn run_job(ctx: &Arc<ServerCtx>, id: u64) {
+    let Some(job) = ctx.store.snapshot(id) else {
+        return;
+    };
+    let spec = job.spec.clone();
+    ctx.store.set_state(id, JobState::Loading);
+    refresh_gauges(ctx);
+
+    let load_started = ctx.tracer.now_seconds();
+    let (dataset, graph, cached) = match ctx.registry.get_or_load(&spec.graph) {
+        Ok(v) => v,
+        Err(e) => {
+            finish_job(ctx, id, JobState::Failed, None, None, Some(e), None);
+            return;
+        }
+    };
+    if cached {
+        ctx.tracer
+            .metrics()
+            .inc_counter("graphalytics_serve_graph_cache_hits_total", &[], 1);
+    }
+    ctx.store.push_event(
+        id,
+        "graph_ready",
+        vec![
+            ("cached".to_string(), Json::Bool(cached)),
+            ("vertices".to_string(), Json::from(graph.num_vertices())),
+            ("edges".to_string(), Json::from(graph.num_edges())),
+            (
+                "load_seconds".to_string(),
+                Json::Num(ctx.tracer.now_seconds() - load_started),
+            ),
+        ],
+    );
+    refresh_gauges(ctx);
+
+    let algorithm = match parse_algorithm(&spec.algorithm) {
+        Ok(a) => a,
+        Err(e) => {
+            finish_job(ctx, id, JobState::Failed, None, None, Some(e), None);
+            return;
+        }
+    };
+    let mut platforms = match build_platform(&spec.platform, ctx.config.threads) {
+        Ok(p) => vec![p],
+        Err(e) => {
+            finish_job(ctx, id, JobState::Failed, None, None, Some(e), None);
+            return;
+        }
+    };
+
+    // The job gets its own tracer (span ids and timestamps relative to
+    // this job) bridged into the store's event log, plus a sampling
+    // profiler for the flamegraph artifact.
+    let job_tracer = Arc::new(Tracer::new());
+    {
+        let ctx2 = Arc::clone(ctx);
+        job_tracer.subscribe(move |span| {
+            if span.name == "run" || span.name.starts_with("run.") || span.name == "suite.etl" {
+                ctx2.store.push_event(
+                    id,
+                    "phase",
+                    vec![
+                        ("span".to_string(), Json::from(span.name.clone())),
+                        (
+                            "duration_seconds".to_string(),
+                            Json::Num(span.duration_seconds()),
+                        ),
+                    ],
+                );
+            }
+        });
+    }
+    let profiler = SamplingProfiler::start(Arc::clone(&job_tracer));
+
+    ctx.store.set_state(id, JobState::Running);
+    refresh_gauges(ctx);
+
+    let suite = BenchmarkSuite::new(
+        vec![dataset.clone()],
+        vec![algorithm],
+        BenchmarkConfig {
+            timeout: Some(core::time::Duration::from_secs(spec.timeout_secs)),
+            repetitions: 1,
+            validate: true,
+            ..Default::default()
+        },
+    );
+    let result = suite.run_traced_on_graph(&mut platforms, &dataset, &graph, &job_tracer);
+
+    let profile = profiler.stop();
+    let spans = job_tracer.finished_spans();
+    let mut results_jsonl = String::new();
+    for record in &result.runs {
+        results_jsonl.push_str(&record_to_json(record).to_string_compact());
+        results_jsonl.push('\n');
+    }
+    let artifacts = Artifacts {
+        flamegraph_svg: flamegraph_svg(
+            &profile,
+            &format!(
+                "j-{id}: {}/{}/{}",
+                spec.platform, spec.algorithm, spec.graph
+            ),
+        ),
+        trace_json: chrome_trace(&spans),
+        results_jsonl,
+    };
+
+    let Some(record) = result.runs.first() else {
+        finish_job(
+            ctx,
+            id,
+            JobState::Failed,
+            None,
+            None,
+            Some("runner produced no record".to_string()),
+            Some(artifacts),
+        );
+        return;
+    };
+    let validation = Some(validation_label(&record.validation).to_string());
+    let (state, error) = match &record.status {
+        RunStatus::Success => match &record.validation {
+            Validation::Invalid(diag) => (
+                JobState::Failed,
+                Some(format!("output validation failed: {diag}")),
+            ),
+            _ => (JobState::Done, None),
+        },
+        RunStatus::Timeout => (
+            JobState::TimedOut,
+            Some(format!("deadline of {}s expired", spec.timeout_secs)),
+        ),
+        RunStatus::Failed(e) => (JobState::Failed, Some(e.clone())),
+    };
+    finish_job(
+        ctx,
+        id,
+        state,
+        record.runtime_seconds,
+        validation,
+        error,
+        Some(artifacts),
+    );
+}
+
+fn validation_label(v: &Validation) -> &'static str {
+    match v {
+        Validation::Valid => "valid",
+        Validation::Invalid(_) => "invalid",
+        Validation::Skipped => "skipped",
+    }
+}
+
+/// Terminal bookkeeping shared by every job outcome.
+fn finish_job(
+    ctx: &Arc<ServerCtx>,
+    id: u64,
+    state: JobState,
+    runtime_seconds: Option<f64>,
+    validation: Option<String>,
+    error: Option<String>,
+    artifacts: Option<Artifacts>,
+) {
+    ctx.store
+        .finish(id, state, runtime_seconds, validation, error, artifacts);
+    let m = ctx.tracer.metrics();
+    m.inc_counter(
+        "graphalytics_serve_jobs_total",
+        &[("state", state.as_str())],
+        1,
+    );
+    if let Some(job) = ctx.store.snapshot(id) {
+        if let Some(e2e) = job.e2e_seconds() {
+            m.observe(
+                "graphalytics_serve_job_seconds",
+                &[
+                    ("platform", &job.spec.platform),
+                    ("algorithm", &job.spec.algorithm),
+                ],
+                e2e,
+            );
+        }
+        if let Some(wait) = job.queue_wait_seconds() {
+            m.observe("graphalytics_serve_queue_wait_seconds", &[], wait);
+        }
+    }
+    refresh_gauges(ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_normalize_to_fixed_cardinality() {
+        assert_eq!(normalize_endpoint("GET", "/jobs/j-12"), "/jobs/{id}");
+        assert_eq!(
+            normalize_endpoint("GET", "/jobs/7/events"),
+            "/jobs/{id}/events"
+        );
+        assert_eq!(
+            normalize_endpoint("GET", "/jobs/7/artifacts/flamegraph.svg"),
+            "/jobs/{id}/artifacts/{name}"
+        );
+        assert_eq!(normalize_endpoint("POST", "/jobs"), "POST /jobs");
+        assert_eq!(normalize_endpoint("GET", "/nope/nope"), "other");
+    }
+
+    #[test]
+    fn job_ids_parse_both_spellings() {
+        assert_eq!(parse_job_id("j-12"), Some(12));
+        assert_eq!(parse_job_id("12"), Some(12));
+        assert_eq!(parse_job_id("j-"), None);
+        assert_eq!(parse_job_id("nope"), None);
+    }
+}
