@@ -171,7 +171,7 @@ pub fn transitive_closure(
                         out.endpoints += targets.len();
                         let t1 = Instant::now();
                         for &c in &targets {
-                            // SAFETY: `out.outgoing` was built as
+                            // SAFETY[ee55ed1e]: `out.outgoing` was built as
                             // `vec![Vec::new(); p]`, and `mix64(c) % p` is
                             // always < p, so the index is in bounds. This is
                             // the hottest exchange-routing line; skipping the

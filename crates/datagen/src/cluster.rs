@@ -205,6 +205,7 @@ fn single_node(
                 let degrees = &degrees;
                 let next = &next;
                 let slot_ptr = &slot_ptr;
+                // lint:allow(spawn-audit): scoped workers drain a block-indexed queue into ordered slots — thread count cannot reorder output
                 scope.spawn(move |_| loop {
                     let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if b >= blocks {
@@ -272,6 +273,7 @@ fn cluster(
             let spill_dir = spill_dir.to_path_buf();
             let degrees = &degrees;
             let orders = &orders;
+            // lint:allow(spawn-audit): scoped spill workers own whole blocks round-robin; file contents depend only on block identity
             handles.push(scope.spawn(move |_| -> Result<(), GraphError> {
                 for (pass, order) in orders.iter().enumerate() {
                     if n < 2 {

@@ -179,6 +179,7 @@ pub fn generate_pass(
                 let next = &next;
                 let slot_ptr = &slot_ptr;
                 let order = &order;
+                // lint:allow(spawn-audit): scoped workers drain a block-indexed queue into ordered slots — thread count cannot reorder output
                 scope.spawn(move |_| loop {
                     let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if b >= blocks {

@@ -86,11 +86,11 @@ where
                 let v = start + off;
                 let mut run = 0u32;
                 for col in &columns {
-                    // SAFETY: vertex column `v` belongs to exactly one
-                    // chunk of `totals`, so only this worker touches
-                    // index `v` of any per-chunk count array.
+                    // SAFETY[36243a01]: vertex column `v` belongs to
+                    // exactly one chunk of `totals`, so only this worker
+                    // touches index `v` of any per-chunk count array.
                     let c = unsafe { col.read(v) };
-                    // SAFETY: same column-ownership argument.
+                    // SAFETY[c1a535cb]: same column-ownership argument.
                     unsafe { col.write(v, run) };
                     run += c;
                 }
@@ -118,11 +118,11 @@ where
                     for (slot, target) in std::iter::once(a).chain(b) {
                         let pos = offsets[slot as usize] + cursors[slot as usize] as usize;
                         cursors[slot as usize] += 1;
-                        // SAFETY: `pos` lies in the half-open cursor range
-                        // this chunk owns within vertex `slot`'s run; the
-                        // ranges of distinct (chunk, vertex) pairs are
-                        // disjoint, and `targets` is not read until the
-                        // scope joins.
+                        // SAFETY[e6ddcc60]: `pos` lies in the half-open
+                        // cursor range this chunk owns within vertex
+                        // `slot`'s run; the ranges of distinct
+                        // (chunk, vertex) pairs are disjoint, and `targets`
+                        // is not read until the scope joins.
                         unsafe { scatter.write(pos, target) };
                     }
                 }

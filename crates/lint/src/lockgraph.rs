@@ -1,0 +1,262 @@
+//! The workspace lock-acquisition graph and its cycle check.
+//!
+//! Each function's region model contributes directed edges: `A → B`
+//! whenever lock `B` is acquired while a guard for lock `A` is still
+//! live. Lock identity is crate-qualified (`serve:inner`), so two crates'
+//! same-named fields never alias; within a crate, same-named fields *do*
+//! alias, which over-approximates toward reporting — the right direction
+//! for a deadlock check.
+//!
+//! A cycle in the accumulated graph (including a self-loop, which is a
+//! re-entrant acquisition of a non-reentrant mutex) is potential
+//! deadlock: two threads walking the cycle from different entry points
+//! can each hold the lock the other wants. The check is workspace-wide
+//! but intra-procedural per edge — it sees `A` held while `B.lock()` is
+//! called in the *same function body*. Cross-function nesting (helper
+//! acquires `B` while the caller holds `A`) needs interprocedural
+//! analysis and is out of scope; the sanitizer CI tier covers that
+//! dynamically.
+
+use crate::check::Finding;
+use crate::regions::Acquire;
+
+/// One `A → B` acquisition edge with the source position of the inner
+/// acquisition (where the diagnostic points).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Crate-qualified identity of the lock already held.
+    pub held: String,
+    /// Crate-qualified identity of the lock being acquired.
+    pub acquired: String,
+    /// File of the inner acquisition.
+    pub path: String,
+    /// 1-based line of the inner acquisition.
+    pub line: u32,
+}
+
+/// Derives the nested-acquisition edges of one function's region model.
+/// `krate` qualifies lock identities; `path` labels the edge sites.
+pub fn fn_edges(krate: &str, path: &str, acquires: &[Acquire]) -> Vec<LockEdge> {
+    let mut edges = Vec::new();
+    for outer in acquires {
+        for inner in acquires {
+            if inner.at <= outer.at || inner.at > outer.live_end {
+                continue;
+            }
+            edges.push(LockEdge {
+                held: format!("{krate}:{}", outer.lock),
+                acquired: format!("{krate}:{}", inner.lock),
+                path: path.to_string(),
+                line: inner.line,
+            });
+        }
+    }
+    edges
+}
+
+/// Checks the accumulated workspace graph for cycles and emits one
+/// `lock-order` finding per edge site that participates in one, naming
+/// the full cycle so the report is actionable without re-deriving it.
+pub fn check_cycles(edges: &[LockEdge]) -> Vec<Finding> {
+    // Adjacency over deduplicated node pairs; sites kept per pair so every
+    // source location in a cycle gets its own diagnostic.
+    let mut names: Vec<String> = Vec::new();
+    let index_of = |names: &mut Vec<String>, name: &str| -> usize {
+        if let Some(i) = names.iter().position(|n| n == name) {
+            i
+        } else {
+            names.push(name.to_string());
+            names.len() - 1
+        }
+    };
+    type Sites<'a> = Vec<(&'a str, u32)>;
+    let mut adj: Vec<Vec<usize>> = Vec::new();
+    let mut pair_sites: Vec<((usize, usize), Sites)> = Vec::new();
+    for e in edges {
+        let u = index_of(&mut names, &e.held);
+        let v = index_of(&mut names, &e.acquired);
+        while adj.len() < names.len() {
+            adj.push(Vec::new());
+        }
+        if !adj[u].contains(&v) {
+            adj[u].push(v);
+        }
+        match pair_sites.iter_mut().find(|(p, _)| *p == (u, v)) {
+            Some((_, sites)) => {
+                if !sites.contains(&(e.path.as_str(), e.line)) {
+                    sites.push((e.path.as_str(), e.line));
+                }
+            }
+            None => pair_sites.push(((u, v), vec![(e.path.as_str(), e.line)])),
+        }
+    }
+    let n = names.len();
+    // Edge (u, v) lies on a cycle iff v can reach u.
+    let mut findings = Vec::new();
+    for &((u, v), ref sites) in &pair_sites {
+        if !reaches(&adj, n, v, u) {
+            continue;
+        }
+        let cycle = cycle_path(&adj, u, v);
+        let rendered = cycle
+            .iter()
+            .map(|&i| names[i].as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        for (path, line) in sites {
+            findings.push(Finding {
+                rule: "lock-order",
+                path: (*path).to_string(),
+                line: *line,
+                message: format!(
+                    "acquiring `{}` while holding `{}` closes a lock cycle ({rendered}); \
+                     acquire locks in one global order or narrow the outer guard",
+                    names[v], names[u]
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    findings
+}
+
+/// Reachability `from → to` (true also when `from == to` via any cycle
+/// through it — but we only call it with `from = v, to = u` for an
+/// existing edge `u → v`, so self-loops resolve as `v` reaching itself).
+fn reaches(adj: &[Vec<usize>], n: usize, from: usize, to: usize) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![from];
+    seen[from] = true;
+    while let Some(x) = stack.pop() {
+        for &y in &adj[x] {
+            if y == to {
+                return true;
+            }
+            if !seen[y] {
+                seen[y] = true;
+                stack.push(y);
+            }
+        }
+    }
+    false
+}
+
+/// Reconstructs one cycle through edge `u → v` for the diagnostic,
+/// rendered `u -> v -> ... -> u`: the edge itself plus a shortest BFS
+/// path from `v` back to `u`.
+fn cycle_path(adj: &[Vec<usize>], u: usize, v: usize) -> Vec<usize> {
+    if u == v {
+        return vec![u, u];
+    }
+    let n = adj.len();
+    let mut parent = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::from([v]);
+    let mut seen = vec![false; n];
+    seen[v] = true;
+    'bfs: while let Some(x) = queue.pop_front() {
+        for &y in &adj[x] {
+            if !seen[y] {
+                seen[y] = true;
+                parent[y] = x;
+                if y == u {
+                    break 'bfs;
+                }
+                queue.push_back(y);
+            }
+        }
+    }
+    // Walk the parent chain u → … → v, then flip it into v → … → u and
+    // prefix the starting node.
+    let mut back = vec![u];
+    let mut x = u;
+    while x != v && parent[x] != usize::MAX {
+        x = parent[x];
+        back.push(x);
+    }
+    back.reverse(); // Now v → … → u.
+    let mut cycle = vec![u];
+    cycle.extend(back);
+    cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(held: &str, acquired: &str, line: u32) -> LockEdge {
+        LockEdge {
+            held: held.to_string(),
+            acquired: acquired.to_string(),
+            path: "crates/x/src/lib.rs".to_string(),
+            line,
+        }
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let edges = vec![edge("x:a", "x:b", 10), edge("x:a", "x:b", 20)];
+        assert!(check_cycles(&edges).is_empty());
+    }
+
+    #[test]
+    fn two_lock_cycle_flags_both_sites() {
+        let edges = vec![edge("x:a", "x:b", 10), edge("x:b", "x:a", 30)];
+        let f = check_cycles(&edges);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].rule, "lock-order");
+        assert_eq!((f[0].line, f[1].line), (10, 30));
+        assert!(f[0].message.contains("x:a"), "{}", f[0].message);
+        assert!(f[0].message.contains("x:b"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn self_loop_is_reentrant_deadlock() {
+        let edges = vec![edge("x:a", "x:a", 7)];
+        let f = check_cycles(&edges);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 7);
+    }
+
+    #[test]
+    fn cross_crate_names_do_not_alias() {
+        let edges = vec![edge("x:a", "x:b", 10), edge("y:b", "y:a", 30)];
+        assert!(check_cycles(&edges).is_empty());
+    }
+
+    #[test]
+    fn fn_edges_respect_live_ranges() {
+        use crate::regions::Acquire;
+        let acquires = vec![
+            Acquire {
+                lock: "a".into(),
+                name: Some("g".into()),
+                at: 5,
+                line: 2,
+                live_end: 20,
+            },
+            Acquire {
+                lock: "b".into(),
+                name: None,
+                at: 10,
+                line: 3,
+                live_end: 15,
+            },
+            Acquire {
+                lock: "c".into(),
+                name: None,
+                at: 30,
+                line: 9,
+                live_end: 35,
+            },
+        ];
+        let edges = fn_edges("x", "p.rs", &acquires);
+        // a→b (nested) and b is not live at c, a is not live at c.
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].held, "x:a");
+        assert_eq!(edges[0].acquired, "x:b");
+        assert_eq!(edges[0].line, 3);
+    }
+}

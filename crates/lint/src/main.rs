@@ -6,14 +6,21 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use graphalytics_lint::{check_workspace, find_workspace_root, findings_to_json, rules};
+use graphalytics_lint::{
+    check_workspace, find_workspace_root, report_json, rules, summary_markdown,
+};
 
 const USAGE: &str = "\
 graphalytics-lint — workspace invariant checker
 
 USAGE:
-    lint check [--json] [--root <dir>]    check every governed .rs file
+    lint check [--json] [--root <dir>] [--summary-out <file>]
+                                          check every governed .rs file
     lint rules                            list rules with their rationale
+
+--json emits the graphalytics-lint/2 report envelope (tool catalog,
+per-rule counts, findings); --summary-out appends a markdown per-rule
+violation table to <file> (CI points it at $GITHUB_STEP_SUMMARY).
 
 Exit status: 0 clean, 1 violations found, 2 usage/IO error.";
 
@@ -41,6 +48,7 @@ fn main() -> ExitCode {
 fn check_cmd(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut summary_out: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,6 +57,13 @@ fn check_cmd(args: &[String]) -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("--root requires a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--summary-out" => match it.next() {
+                Some(file) => summary_out = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--summary-out requires a file\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -85,7 +100,7 @@ fn check_cmd(args: &[String]) -> ExitCode {
         }
     };
     if json {
-        print!("{}", findings_to_json(&findings));
+        print!("{}", report_json(&findings));
     } else {
         for f in &findings {
             println!("{}", f.render());
@@ -94,6 +109,20 @@ fn check_cmd(args: &[String]) -> ExitCode {
             println!("lint: workspace clean ({} rules)", rules::RULES.len());
         } else {
             println!("lint: {} violation(s)", findings.len());
+        }
+    }
+    if let Some(path) = summary_out {
+        // Append, not truncate: $GITHUB_STEP_SUMMARY accumulates sections
+        // from every step in the job.
+        use std::io::Write;
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(summary_markdown(&findings).as_bytes()));
+        if let Err(e) = appended {
+            eprintln!("cannot write summary to {}: {e}", path.display());
+            return ExitCode::from(2);
         }
     }
     if findings.is_empty() {

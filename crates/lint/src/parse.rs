@@ -1,0 +1,254 @@
+//! A lightweight item/block parser over the lexer's token stream.
+//!
+//! The flow-aware rules (lock-order, guard-across-blocking,
+//! unsafe-contract) need more structure than a flat token list: which
+//! tokens form a function body, where a brace-balanced block ends, and
+//! what the extent of an `unsafe` item is. This module recovers exactly
+//! that much structure — no types, no expressions, no name resolution —
+//! which keeps the parser a few hundred lines and immune to most syntax
+//! it has never seen (unknown constructs simply contribute tokens to the
+//! enclosing block).
+//!
+//! All indices are into the *code* token vector (comments already
+//! filtered out by the caller), so adjacency here means source adjacency
+//! modulo whitespace and comments.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One parsed `fn` item: the tokens of its header and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Func {
+    /// Function name (the identifier after `fn`).
+    pub name: String,
+    /// Index of the `fn` keyword token.
+    pub fn_idx: usize,
+    /// Indices of the body's `{` and matching `}`; `None` for bodyless
+    /// declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// One `unsafe` occurrence with its syntactic extent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeExtent {
+    /// Index of the `unsafe` keyword token.
+    pub start: usize,
+    /// Index of the last token of the extent (matching `}` of the block /
+    /// item body, or the `;` of a bodyless declaration).
+    pub end: usize,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+}
+
+/// Finds the matching `}` for the `{` at `open` (or `)` for `(`,
+/// `]` for `[`). Only the opener's bracket class is tracked: a `{` search
+/// ignores parens entirely, which is safe because Rust keeps bracket kinds
+/// individually balanced. Returns `code.len() - 1` on unbalanced input
+/// (truncated source) so extents stay in bounds.
+pub fn matching_close(code: &[&Tok], open: usize) -> usize {
+    let (o, c) = match code[open].text.as_str() {
+        "{" => ('{', '}'),
+        "(" => ('(', ')'),
+        "[" => ('[', ']'),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Extracts every `fn` item (free functions and methods at any nesting
+/// depth, including nested fns and fns inside `impl`/`trait` blocks).
+pub fn functions(code: &[&Tok]) -> Vec<Func> {
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if !code[i].is_ident("fn") {
+            continue;
+        }
+        // `fn` pointer types (`fn(usize) -> u8`) have no name ident.
+        let Some(name_tok) = code.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        // Scan forward for the body `{` at paren depth 0; a `;` first
+        // means a bodyless declaration. Generic params, argument lists,
+        // return types, and where clauses contain no braces, so the first
+        // `{` outside parens is the body.
+        let mut paren = 0usize;
+        let mut body = None;
+        for (j, t) in code.iter().enumerate().skip(i + 2) {
+            if t.is_punct('(') || t.is_punct('[') {
+                paren += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                paren = paren.saturating_sub(1);
+            } else if paren == 0 && t.is_punct('{') {
+                body = Some((j, matching_close(code, j)));
+                break;
+            } else if paren == 0 && t.is_punct(';') {
+                break;
+            }
+        }
+        out.push(Func {
+            name: name_tok.text.clone(),
+            fn_idx: i,
+            body,
+            line: code[i].line,
+        });
+    }
+    out
+}
+
+/// Extracts every `unsafe` occurrence — including blocks nested inside
+/// `unsafe fn` bodies: each one is a distinct proof obligation.
+pub fn unsafe_extents(code: &[&Tok]) -> Vec<UnsafeExtent> {
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if !code[i].is_ident("unsafe") {
+            continue;
+        }
+        let end = match code.get(i + 1) {
+            // `unsafe { ... }` block.
+            Some(t) if t.is_punct('{') => matching_close(code, i + 1),
+            // `unsafe fn` / `unsafe impl` / `unsafe trait`: extent runs
+            // through the item body's matching `}` (or a terminating `;`
+            // for bodyless forms like `unsafe fn f();` in traits).
+            Some(_) => {
+                let mut paren = 0usize;
+                let mut end = code.len().saturating_sub(1);
+                for (j, t) in code.iter().enumerate().skip(i + 1) {
+                    if t.is_punct('(') || t.is_punct('[') {
+                        paren += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        paren = paren.saturating_sub(1);
+                    } else if paren == 0 && t.is_punct('{') {
+                        end = matching_close(code, j);
+                        break;
+                    } else if paren == 0 && t.is_punct(';') {
+                        end = j;
+                        break;
+                    }
+                }
+                end
+            }
+            None => i,
+        };
+        out.push(UnsafeExtent {
+            start: i,
+            end,
+            line: code[i].line,
+        });
+    }
+    out
+}
+
+/// A stable 32-bit hash of a token range — the `SAFETY[xxxxxxxx]` proof
+/// pin. Computed over token text + kind only (whitespace and comments
+/// never reach `code`), so editing the proof comment does not invalidate
+/// it, while any change to the guarded code does.
+pub fn token_hash(code: &[&Tok], start: usize, end: usize) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis.
+    let mut mix = |b: u8| h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    for t in &code[start..=end.min(code.len().saturating_sub(1))] {
+        for b in t.text.bytes() {
+            mix(b);
+        }
+        // Kind tag + separator keep `a b` distinct from `ab`.
+        mix(match t.kind {
+            TokKind::Ident => 1,
+            TokKind::Str => 2,
+            TokKind::Char => 3,
+            TokKind::Num => 4,
+            TokKind::Lifetime => 5,
+            TokKind::Punct => 6,
+            TokKind::LineComment | TokKind::BlockComment => 7,
+        });
+    }
+    ((h >> 32) as u32) ^ (h as u32)
+}
+
+/// Renders a [`token_hash`] the way contracts spell it: 8 lowercase hex
+/// digits.
+pub fn render_hash(h: u32) -> String {
+    format!("{h:08x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code(src: &str) -> Vec<Tok> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect()
+    }
+
+    #[test]
+    fn functions_are_found_with_bodies() {
+        let toks = code(
+            "impl Foo { fn a(&self) -> u8 { 1 } }\n\
+             fn b<T: Fn(usize)>(x: T) { x(1); }\n\
+             trait T { fn c(&self); }\n",
+        );
+        let refs: Vec<&Tok> = toks.iter().collect();
+        let fns = functions(&refs);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(fns[0].body.is_some());
+        assert!(fns[1].body.is_some());
+        assert!(fns[2].body.is_none());
+        // Body extents are balanced.
+        let (open, close) = fns[1].body.unwrap();
+        assert!(refs[open].is_punct('{') && refs[close].is_punct('}'));
+    }
+
+    #[test]
+    fn matching_close_tracks_nesting() {
+        let toks = code("{ a { b } c }");
+        let refs: Vec<&Tok> = toks.iter().collect();
+        assert_eq!(matching_close(&refs, 0), refs.len() - 1);
+        assert_eq!(matching_close(&refs, 2), 4);
+    }
+
+    #[test]
+    fn unsafe_extents_cover_blocks_and_items() {
+        let toks = code(
+            "unsafe impl Send for X {}\n\
+             pub unsafe fn f(&self) { unsafe { g() } }\n",
+        );
+        let refs: Vec<&Tok> = toks.iter().collect();
+        let extents = unsafe_extents(&refs);
+        assert_eq!(extents.len(), 3);
+        // The impl extent ends at its `}`.
+        assert!(refs[extents[0].end].is_punct('}'));
+        // The fn extent contains the inner block extent.
+        assert!(extents[1].start < extents[2].start);
+        assert!(extents[1].end >= extents[2].end);
+    }
+
+    #[test]
+    fn token_hash_ignores_comments_but_not_code() {
+        let a = code("unsafe { ptr.add(i).write(v) }");
+        let b = code("unsafe { /* proof edited */ ptr.add(i).write(v) }");
+        let c = code("unsafe { ptr.add(i).read() }");
+        let ha = token_hash(&a.iter().collect::<Vec<_>>(), 0, a.len() - 1);
+        let hb = token_hash(&b.iter().collect::<Vec<_>>(), 0, b.len() - 1);
+        let hc = token_hash(&c.iter().collect::<Vec<_>>(), 0, c.len() - 1);
+        assert_eq!(ha, hb);
+        assert_ne!(ha, hc);
+        assert_eq!(render_hash(ha).len(), 8);
+    }
+}

@@ -24,6 +24,30 @@ pub const DETERMINISM_CRATES: &[&str] = &[
 /// benchmark failure cell (Figure 4's "missing values") into a crash.
 pub const PLATFORM_CRATES: &[&str] = &["pregel", "dataflow", "mapreduce", "graphdb", "columnar"];
 
+/// Crates whose `unsafe` blocks must carry *pinned* proofs
+/// (`SAFETY[<token-hash>]:`): the ones doing raw-pointer scatter under
+/// parallelism, where a stale justification is worse than none.
+pub const UNSAFE_CONTRACT_CRATES: &[&str] = &["parallel", "columnar", "graph"];
+
+/// Crates where a silently-discarded `Result` erases a fault-taxonomy
+/// signal: the five platforms (retry/recovery paths), the serving plane
+/// (client-visible failures), and the fault injector itself.
+pub const SWALLOWED_RESULT_CRATES: &[&str] = &[
+    "pregel",
+    "dataflow",
+    "mapreduce",
+    "graphdb",
+    "columnar",
+    "serve",
+    "faults",
+];
+
+/// The two files that *implement* sanctioned thread creation — the
+/// deterministic thread pool and the serve worker pool/acceptor — and are
+/// therefore exempt from `spawn-audit` wholesale.
+pub const SPAWN_AUDIT_EXEMPT_FILES: &[&str] =
+    &["crates/parallel/src/lib.rs", "crates/serve/src/server.rs"];
+
 /// One lint rule's metadata.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rule {
@@ -65,8 +89,40 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "unsafe-audit",
         crates: None,
-        summary: "every `unsafe` must carry a `// SAFETY:` comment on the same line \
-                  or in the comment block directly above it",
+        summary: "every `unsafe` must carry a `// SAFETY:` (or pinned `// SAFETY[hash]:`) \
+                  comment on the same line or in the comment block directly above it",
+    },
+    Rule {
+        id: "lock-order",
+        crates: None,
+        summary: "the workspace lock-acquisition graph (lock B taken while a guard for \
+                  lock A is live) must be acyclic: a cycle is potential deadlock",
+    },
+    Rule {
+        id: "guard-across-blocking",
+        crates: None,
+        summary: "no Mutex/RwLock guard may stay live across a blocking call (sleep, \
+                  join, channel recv, socket/file I/O, or a Condvar wait on a different \
+                  lock): every other consumer of the lock stalls behind it",
+    },
+    Rule {
+        id: "unsafe-contract",
+        crates: Some(UNSAFE_CONTRACT_CRATES),
+        summary: "every `unsafe` in parallel/columnar/graph must carry a structured \
+                  `// SAFETY[<hash>]: <invariant>` proof whose token hash matches the \
+                  guarded code — editing the code without re-reviewing the proof is an error",
+    },
+    Rule {
+        id: "swallowed-result",
+        crates: Some(SWALLOWED_RESULT_CRATES),
+        summary: "`let _ = <fallible call>` at fault-taxonomy sites discards a Result \
+                  the taxonomy needs: handle it, surface it, or allow with a reason",
+    },
+    Rule {
+        id: "spawn-audit",
+        crates: Some(DETERMINISM_CRATES),
+        summary: "threads in determinism-scoped crates must come from the parallel \
+                  runtime or the serve worker pool, not ad-hoc `spawn` calls",
     },
     Rule {
         id: "metric-grammar",

@@ -65,9 +65,15 @@ fn panic_safety_fixture() {
 #[test]
 fn unsafe_audit_fixture() {
     let src = include_str!("fixtures/unsafe_audit.rs");
+    // Outside the unsafe-contract crates only the bare audit applies.
+    assert_eq!(
+        findings("crates/serve/src/fixture.rs", src),
+        vec![("unsafe-audit", 6)]
+    );
+    // In a contract crate the same block additionally needs a pinned proof.
     assert_eq!(
         findings("crates/columnar/src/fixture.rs", src),
-        vec![("unsafe-audit", 6)]
+        vec![("unsafe-audit", 6), ("unsafe-contract", 6)]
     );
 }
 
@@ -93,6 +99,83 @@ fn allow_roundtrip_fixture() {
     assert_eq!(
         findings("crates/datagen/src/fixture.rs", src),
         vec![("determinism-time", 2), ("allow-pragma", 12)]
+    );
+}
+
+#[test]
+fn lock_order_fixture() {
+    let src = include_str!("fixtures/lock_order.rs");
+    // `forward` (alpha → beta) and `backward` (beta → alpha) close a
+    // cycle: the diagnostic lands on each inner acquisition. The
+    // consistent alpha → gamma nesting contributes no finding.
+    assert_eq!(
+        findings("crates/serve/src/fixture.rs", src),
+        vec![("lock-order", 13), ("lock-order", 20)]
+    );
+}
+
+#[test]
+fn guard_across_blocking_fixture() {
+    let src = include_str!("fixtures/guard_across_blocking.rs");
+    // `bad_sleep` holds the guard across a sleep, `bad_foreign_recv`
+    // across a channel recv. The scoped guard, the Condvar wait on its
+    // own guard, and the allowed sleep are all clean.
+    assert_eq!(
+        findings("crates/core/src/fixture.rs", src),
+        vec![("guard-across-blocking", 12), ("guard-across-blocking", 32),]
+    );
+}
+
+#[test]
+fn unsafe_contract_fixture() {
+    let src = include_str!("fixtures/unsafe_contract.rs");
+    // Missing proof (also an audit failure), unpinned proof, stale pin;
+    // the correctly pinned block on line 20 is clean.
+    assert_eq!(
+        findings("crates/parallel/src/fixture.rs", src),
+        vec![
+            ("unsafe-audit", 5),
+            ("unsafe-contract", 5),
+            ("unsafe-contract", 9),
+            ("unsafe-contract", 14),
+        ]
+    );
+    // Outside parallel/columnar/graph the pinned-contract rule is off —
+    // only the bare audit applies.
+    assert_eq!(
+        findings("crates/serve/src/fixture.rs", src),
+        vec![("unsafe-audit", 5)]
+    );
+}
+
+#[test]
+fn swallowed_result_fixture() {
+    let src = include_str!("fixtures/swallowed_result.rs");
+    assert_eq!(
+        findings("crates/mapreduce/src/fixture.rs", src),
+        vec![("swallowed-result", 4)]
+    );
+    // algos is outside the fault-taxonomy scope: the discard is fine
+    // there, which in turn leaves the fixture's allow pragma unused —
+    // and unused allows are themselves findings, in any crate.
+    assert_eq!(
+        findings("crates/algos/src/fixture.rs", src),
+        vec![("allow-pragma", 16)]
+    );
+}
+
+#[test]
+fn spawn_audit_fixture() {
+    let src = include_str!("fixtures/spawn_audit.rs");
+    assert_eq!(
+        findings("crates/datagen/src/fixture.rs", src),
+        vec![("spawn-audit", 4)]
+    );
+    // The pool implementation files are exempt wholesale — which leaves
+    // the fixture's allow pragma unused, and that is still reported.
+    assert_eq!(
+        findings("crates/parallel/src/lib.rs", src),
+        vec![("allow-pragma", 12)]
     );
 }
 

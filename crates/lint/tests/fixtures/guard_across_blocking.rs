@@ -1,0 +1,43 @@
+//! Fixture: guard-across-blocking — a mutex guard live across a sleep or
+//! a channel recv stalls every other consumer of the lock.
+
+pub struct Store {
+    state: std::sync::Mutex<u32>,
+    wakeup: std::sync::Condvar,
+}
+
+impl Store {
+    pub fn bad_sleep(&self) {
+        let g = self.state.lock();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(g);
+    }
+
+    pub fn good_scoped(&self) {
+        {
+            let g = self.state.lock();
+            drop(g);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    pub fn good_condvar(&self) {
+        let mut inner = self.state.lock();
+        inner = self.wakeup.wait(inner);
+        drop(inner);
+    }
+
+    pub fn bad_foreign_recv(&self, rx: &std::sync::mpsc::Receiver<u32>) {
+        let g = self.state.lock();
+        let msg = rx.recv();
+        drop(g);
+        drop(msg);
+    }
+
+    pub fn allowed(&self) {
+        let g = self.state.lock();
+        // lint:allow(guard-across-blocking): startup path — no other thread exists yet
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(g);
+    }
+}

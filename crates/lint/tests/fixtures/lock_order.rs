@@ -1,0 +1,31 @@
+//! Fixture: lock-order — `forward` and `backward` acquire the same pair
+//! of locks in opposite orders, closing a cycle in the acquisition graph.
+
+pub struct Registry {
+    alpha: std::sync::Mutex<u32>,
+    beta: std::sync::Mutex<u32>,
+    gamma: std::sync::Mutex<u32>,
+}
+
+impl Registry {
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+
+    pub fn consistent(&self) {
+        let a = self.alpha.lock();
+        let g = self.gamma.lock();
+        drop(g);
+        drop(a);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: spawn-audit — ad-hoc threads in determinism-scoped crates.
+
+pub fn rogue() {
+    std::thread::spawn(|| {});
+}
+
+pub fn spawn(work: impl FnOnce()) {
+    work();
+}
+
+pub fn allowed() {
+    // lint:allow(spawn-audit): watchdog thread only logs, never touches outputs
+    std::thread::spawn(|| {});
+}

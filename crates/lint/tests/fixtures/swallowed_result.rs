@@ -1,0 +1,18 @@
+//! Fixture: swallowed-result — `let _ =` on fault-taxonomy calls.
+
+pub fn cleanup(dir: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+pub fn checked(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::remove_dir_all(dir)
+}
+
+pub fn harmless(x: u32) {
+    let _ = x + 1;
+}
+
+pub fn allowed(dir: &std::path::Path) {
+    // lint:allow(swallowed-result): best-effort temp cleanup on the success path
+    let _ = std::fs::remove_dir_all(dir);
+}

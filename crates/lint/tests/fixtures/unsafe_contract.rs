@@ -1,0 +1,21 @@
+//! Fixture: unsafe-contract — pinned SAFETY proofs in the unsafe-heavy
+//! crates. Four shapes: no proof, unpinned, stale pin, valid pin.
+
+pub fn no_proof(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn unpinned(xs: &[u8]) -> u8 {
+    // SAFETY: caller guarantees xs.len() > 1.
+    unsafe { *xs.get_unchecked(1) }
+}
+
+pub fn stale(xs: &[u8]) -> u8 {
+    // SAFETY[00000000]: caller guarantees xs.len() > 2.
+    unsafe { *xs.get_unchecked(2) }
+}
+
+pub fn pinned(xs: &[u8]) -> u8 {
+    // SAFETY[5047aee1]: caller guarantees xs.len() > 3.
+    unsafe { *xs.get_unchecked(3) }
+}

@@ -407,6 +407,7 @@ pub fn run_job_traced<M: Mapper, R: CountingReducer>(
         .field("reduce_output", counters.reduce_output)
         .field("spill_bytes", counters.spill_bytes);
     // Clean intermediate spills (Hadoop removes them after the job).
+    // lint:allow(swallowed-result): spill cleanup is cosmetic; the job's outputs are already spilled and counted
     let _ = std::fs::remove_dir_all(&spill_dir);
     Ok(counters)
 }

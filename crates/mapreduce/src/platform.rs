@@ -237,6 +237,7 @@ impl Platform for MapReducePlatform {
 
     fn unload(&mut self, handle: GraphHandle) {
         if let Some(loaded) = self.graphs.remove(&handle.0) {
+            // lint:allow(swallowed-result): unload is infallible by contract; a lingering work dir costs disk, not correctness
             let _ = std::fs::remove_dir_all(&loaded.work_dir);
         }
     }

@@ -92,6 +92,7 @@ impl SamplingProfiler {
         let thread_profile = Arc::clone(&profile);
         let handle = std::thread::Builder::new()
             .name("gx-sampler".to_string())
+            // lint:allow(spawn-audit): the sampler must live outside the pools it observes; it only reads span stacks, never outputs
             .spawn(move || {
                 while !thread_stop.load(Ordering::Acquire) {
                     let stacks = tracer.sample_stacks();

@@ -236,12 +236,12 @@ pub struct SharedSlice<'a, T> {
     _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
-// SAFETY: the slice is only accessed through `write`, whose contract
-// requires callers to touch disjoint indices from different threads; with
-// that upheld there is no aliased mutation, so sharing the view across
-// threads is sound for any Send element type.
+// SAFETY[4809a84b]: the slice is only accessed through `write`, whose
+// contract requires callers to touch disjoint indices from different
+// threads; with that upheld there is no aliased mutation, so sharing the
+// view across threads is sound for any Send element type.
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
-// SAFETY: same reasoning — the view carries no thread-affine state.
+// SAFETY[c0981114]: same reasoning — the view carries no thread-affine state.
 unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {
@@ -272,12 +272,13 @@ impl<'a, T> SharedSlice<'a, T> {
     /// target the same `idx`, and nothing may read the slice until all
     /// writers are joined. `idx` must be in bounds (checked in debug
     /// builds).
-    // SAFETY: callers uphold the bounds + disjointness contract above.
+    // SAFETY[6c7b54b3]: callers uphold the bounds + disjointness contract
+    // above.
     pub unsafe fn write(&self, idx: usize, value: T) {
         debug_assert!(idx < self.len, "SharedSlice write out of bounds");
-        // SAFETY: `idx < len` per the caller contract (debug-asserted), and
-        // the disjointness contract guarantees this slot has no concurrent
-        // reader or writer.
+        // SAFETY[a2cd072f]: `idx < len` per the caller contract
+        // (debug-asserted), and the disjointness contract guarantees this
+        // slot has no concurrent reader or writer.
         unsafe { self.ptr.add(idx).write(value) };
     }
 
@@ -289,14 +290,16 @@ impl<'a, T> SharedSlice<'a, T> {
     /// view is shared across threads, slot `idx` must be accessed by only
     /// one worker — the column-ownership discipline of the CSR cursor
     /// passes.
-    // SAFETY: callers uphold the bounds + single-owner contract above.
+    // SAFETY[950f03ee]: callers uphold the bounds + single-owner contract
+    // above.
     pub unsafe fn read(&self, idx: usize) -> T
     where
         T: Copy,
     {
         debug_assert!(idx < self.len, "SharedSlice read out of bounds");
-        // SAFETY: `idx < len` per the caller contract (debug-asserted), and
-        // the single-owner contract rules out a concurrent writer.
+        // SAFETY[38689708]: `idx < len` per the caller contract
+        // (debug-asserted), and the single-owner contract rules out a
+        // concurrent writer.
         unsafe { self.ptr.add(idx).read() }
     }
 }

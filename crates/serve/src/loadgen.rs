@@ -242,6 +242,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         let clock = Arc::clone(&clock);
         let handle = std::thread::Builder::new()
             .name(format!("gx-loadgen-{c}"))
+            // lint:allow(spawn-audit): load clients model external users, not determinism-scoped work; the job mix is index-deterministic
             .spawn(move || {
                 let mut failures = Vec::new();
                 let mut completed = 0usize;

@@ -107,6 +107,7 @@ impl ServerHandle {
     /// foreground CLI path.
     pub fn wait(mut self) {
         if let Some(t) = self.accept_thread.take() {
+            // lint:allow(swallowed-result): a panicked acceptor already logged; wait() has no caller to report to
             let _ = t.join();
         }
     }
@@ -123,12 +124,15 @@ impl ServerHandle {
         // poke it so the join below cannot hang.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
+            // lint:allow(swallowed-result): shutdown is best-effort teardown; a panicked thread must not abort the others' joins
             let _ = t.join();
         }
         for t in self.worker_threads.drain(..) {
+            // lint:allow(swallowed-result): shutdown is best-effort teardown; a panicked thread must not abort the others' joins
             let _ = t.join();
         }
         if let Some(t) = self.preload_thread.take() {
+            // lint:allow(swallowed-result): shutdown is best-effort teardown; a panicked thread must not abort the others' joins
             let _ = t.join();
         }
     }
@@ -325,6 +329,7 @@ fn handle_connection(ctx: &Arc<ServerCtx>, stream: TcpStream) {
         }
         Err(e) => Response::error(400, &e),
     };
+    // lint:allow(swallowed-result): the peer hanging up mid-response is its prerogative; there is no one left to tell
     let _ = response.write_to(reader.get_mut());
 }
 
