@@ -11,7 +11,10 @@
 //!   attenuation, deterministic variant);
 //! * **EVO** — forest-fire graph evolution (Leskovec et al.);
 //! * **PageRank** — the classic iterative ranking (an extension beyond the
-//!   paper's five, used by the choke-point benchmarks).
+//!   paper's five, used by the choke-point benchmarks);
+//! * **SSSP** — single-source shortest paths over fixed-point edge weights
+//!   (from LDBC Graphalytics, the paper's successor benchmark);
+//! * **LCC** — per-vertex local clustering coefficient (ditto).
 //!
 //! The [`Algorithm`] enum is the workload description the harness hands to
 //! a platform; [`Output`] is what the platform must return, in *internal
@@ -23,11 +26,14 @@ pub mod bfs;
 pub mod cd;
 pub mod conn;
 pub mod evo;
+pub mod lcc;
 pub mod pagerank;
+pub mod sssp;
 pub mod stats;
 
 use graphalytics_graph::{CsrGraph, Edge, VertexId};
 
+pub use sssp::INFINITY;
 pub use stats::StatsResult;
 
 /// A workload algorithm with its parameters (paper §3.2).
@@ -71,6 +77,14 @@ pub enum Algorithm {
         /// Damping factor (0.85 classically).
         damping: f64,
     },
+    /// Single-source shortest paths over the fixed-point edge weights
+    /// (LDBC Graphalytics SSSP; delta-stepping in the parallel reference).
+    Sssp {
+        /// External id of the source vertex.
+        source: VertexId,
+    },
+    /// Local clustering coefficient per vertex (LDBC Graphalytics LCC).
+    Lcc,
 }
 
 impl Algorithm {
@@ -83,6 +97,8 @@ impl Algorithm {
             Algorithm::Cd { .. } => "CD",
             Algorithm::Evo { .. } => "EVO",
             Algorithm::PageRank { .. } => "PR",
+            Algorithm::Sssp { .. } => "SSSP",
+            Algorithm::Lcc => "LCC",
         }
     }
 
@@ -118,6 +134,11 @@ impl Algorithm {
         }
     }
 
+    /// Default SSSP workload (source vertex 0).
+    pub fn default_sssp() -> Self {
+        Algorithm::Sssp { source: 0 }
+    }
+
     /// The paper's five-kernel workload with default parameters.
     pub fn paper_workload() -> Vec<Algorithm> {
         vec![
@@ -127,6 +148,15 @@ impl Algorithm {
             Algorithm::default_cd(),
             Algorithm::default_evo(),
         ]
+    }
+
+    /// The LDBC Graphalytics successor workload: the paper's five kernels
+    /// plus SSSP and LCC (arXiv 2011.15028).
+    pub fn ldbc_workload() -> Vec<Algorithm> {
+        let mut w = Self::paper_workload();
+        w.push(Algorithm::default_sssp());
+        w.push(Algorithm::Lcc);
+        w
     }
 }
 
@@ -146,6 +176,11 @@ pub enum Output {
     Evolution(Vec<Edge>),
     /// PageRank score per vertex.
     Ranks(Vec<f64>),
+    /// SSSP fixed-point distance per vertex; [`INFINITY`] when unreachable.
+    /// Integer-scaled weights make path sums exact, so comparison is exact.
+    Distances(Vec<u64>),
+    /// Local clustering coefficient per vertex, in `[0, 1]`.
+    LocalClustering(Vec<f64>),
 }
 
 impl Output {
@@ -164,6 +199,13 @@ impl Output {
             (Output::Communities(a), Output::Communities(b)) => a == b,
             (Output::Evolution(a), Output::Evolution(b)) => a == b,
             (Output::Ranks(a), Output::Ranks(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|(x, y)| (x - y).abs() <= 1e-9 + 1e-6 * x.abs().max(y.abs()))
+            }
+            (Output::Distances(a), Output::Distances(b)) => a == b,
+            (Output::LocalClustering(a), Output::LocalClustering(b)) => {
                 a.len() == b.len()
                     && a.iter()
                         .zip(b)
@@ -195,6 +237,23 @@ impl Output {
             Output::Ranks(r) => {
                 let sum: f64 = r.iter().sum();
                 format!("vertices={} sum={sum:.4}", r.len())
+            }
+            Output::Distances(d) => {
+                let reached = d.iter().filter(|&&x| x != INFINITY).count();
+                let max = d.iter().copied().filter(|&x| x != INFINITY).max();
+                match max {
+                    Some(m) => format!("reached={reached} maxDist={m}"),
+                    None => format!("reached={reached}"),
+                }
+            }
+            Output::LocalClustering(c) => {
+                let n = c.len();
+                let mean = if n == 0 {
+                    0.0
+                } else {
+                    c.iter().sum::<f64>() / n as f64
+                };
+                format!("vertices={n} meanLCC={mean:.4}")
             }
         }
     }
@@ -256,6 +315,8 @@ pub fn reference_with_threads(g: &CsrGraph, alg: &Algorithm, threads: usize) -> 
             *damping,
             threads,
         )),
+        Algorithm::Sssp { source } => Output::Distances(sssp::sssp_parallel(g, *source, threads)),
+        Algorithm::Lcc => Output::LocalClustering(lcc::local_clustering_parallel(g, threads)),
         other => reference(g, other),
     }
 }
@@ -292,6 +353,8 @@ pub fn reference(g: &CsrGraph, alg: &Algorithm) -> Output {
             iterations,
             damping,
         } => Output::Ranks(pagerank::pagerank(g, *iterations, *damping)),
+        Algorithm::Sssp { source } => Output::Distances(sssp::sssp(g, *source)),
+        Algorithm::Lcc => Output::LocalClustering(lcc::local_clustering(g)),
     }
 }
 
@@ -333,19 +396,41 @@ mod tests {
         assert!(Output::Components(vec![1, 1, 2]).equivalent(&Output::Components(vec![9, 9, 4])));
         assert!(Output::Ranks(vec![0.5, 0.5]).equivalent(&Output::Ranks(vec![0.5 + 1e-10, 0.5])));
         assert!(!Output::Ranks(vec![0.5, 0.5]).equivalent(&Output::Ranks(vec![0.6, 0.4])));
+        // SSSP distances compare exactly (integer-scaled weights).
+        assert!(Output::Distances(vec![0, 7, INFINITY])
+            .equivalent(&Output::Distances(vec![0, 7, INFINITY])));
+        assert!(!Output::Distances(vec![0, 7]).equivalent(&Output::Distances(vec![0, 8])));
+        // LCC coefficients compare with the floating-point tolerance.
+        assert!(Output::LocalClustering(vec![0.5])
+            .equivalent(&Output::LocalClustering(vec![0.5 + 1e-10])));
+        assert!(!Output::LocalClustering(vec![0.5]).equivalent(&Output::LocalClustering(vec![0.6])));
         // Cross-kind comparisons are never equivalent.
         assert!(!Output::Depths(vec![]).equivalent(&Output::Components(vec![])));
+        assert!(!Output::Distances(vec![]).equivalent(&Output::Depths(vec![])));
+        assert!(!Output::LocalClustering(vec![]).equivalent(&Output::Ranks(vec![])));
     }
 
     #[test]
     fn reference_dispatches_every_algorithm() {
         let g = triangle();
-        for alg in Algorithm::paper_workload() {
+        for alg in Algorithm::ldbc_workload() {
             let out = reference(&g, &alg);
             assert!(!out.summary().is_empty(), "{alg:?}");
         }
         let pr = reference(&g, &Algorithm::default_pagerank());
         assert!(matches!(pr, Output::Ranks(_)));
+    }
+
+    #[test]
+    fn ldbc_workload_extends_the_paper_five() {
+        let names: Vec<&str> = Algorithm::ldbc_workload()
+            .iter()
+            .map(|a| a.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["STATS", "BFS", "CONN", "CD", "EVO", "SSSP", "LCC"]
+        );
     }
 
     #[test]

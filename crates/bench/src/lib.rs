@@ -18,8 +18,10 @@
 //! paper's original sizes on bigger machines. The driver binaries share
 //! one observability CLI surface ([`ObsArgs`]: `--trace-out`,
 //! `--profile-out`, `--threads`) and one artifact writer ([`ObsSession`]);
-//! the `bench` binary hosts the perf-regression observatory ([`regress`]).
+//! the `bench` binary hosts the perf-regression observatory ([`regress`])
+//! and the time-to-failure scale ladder ([`ladder`]).
 
+pub mod ladder;
 pub mod obs;
 pub mod regress;
 

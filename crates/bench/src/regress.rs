@@ -1,7 +1,8 @@
 //! The measurement side of the perf-regression observatory.
 //!
-//! `bench regress` times a fixed workload — the paper's five-kernel
-//! workload on the reference platform over one Graph500 graph — and
+//! `bench regress` times a fixed workload — the seven-kernel LDBC
+//! workload (the paper's five plus SSSP and LCC) on the reference
+//! platform over one Graph500 graph — and
 //! records, per kernel, the median-of-N execution seconds plus EVPS
 //! (edges-plus-vertices per second, the Graphalytics normalized
 //! throughput), and per phase the `run.load` median. `--record` writes
@@ -76,7 +77,7 @@ impl RegressConfig {
     /// One-line description for stderr banners.
     pub fn describe(&self) -> String {
         let mut out = format!(
-            "Graph500 {} × paper workload on the reference platform, median of {} round(s)",
+            "Graph500 {} × LDBC workload on the reference platform, median of {} round(s)",
             self.scale, self.runs
         );
         if self.serve {
@@ -109,7 +110,7 @@ pub fn measure(cfg: &RegressConfig) -> Result<Vec<BaselineEntry>, String> {
         let tracer = Arc::new(Tracer::new());
         let suite = BenchmarkSuite::new(
             vec![dataset.clone()],
-            graphalytics_algos::Algorithm::paper_workload(),
+            graphalytics_algos::Algorithm::ldbc_workload(),
             BenchmarkConfig::default(),
         );
         let mut platforms: Vec<Box<dyn Platform>> = vec![Box::new(ReferencePlatform::new())];

@@ -11,9 +11,11 @@
 //! * [`transitive`] — the partitioned-hash-table transitive operator with
 //!   an exchange stage and a per-phase CPU profile;
 //! * [`sql`] — a parser for the paper's transitive count query;
-//! * [`platform`] — the [`VirtuosoPlatform`] harness adapter (BFS only,
-//!   like the paper's driver).
+//! * [`analytics`] — driver-side SSSP and LCC queries over the table;
+//! * [`platform`] — the [`VirtuosoPlatform`] harness adapter (BFS, SSSP,
+//!   and LCC; other kernels are unsupported, like the paper's driver).
 
+pub mod analytics;
 pub mod column;
 pub mod platform;
 pub mod sql;

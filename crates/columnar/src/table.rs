@@ -10,10 +10,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::column::{Column, BLOCK};
 
-/// A two-column edge table sorted by `(spe_from, spe_to)`.
+/// An edge table sorted by `(spe_from, spe_to)` with a fixed-point weight
+/// column (`spe_weight`).
 pub struct EdgeTable {
     spe_from: Column,
     spe_to: Column,
+    spe_weight: Column,
     /// Block index: first `spe_from` value of every block.
     block_first: Vec<u64>,
     /// Random lookups served (the §3.4 counter).
@@ -30,18 +32,27 @@ fn next_table_epoch() -> u64 {
 }
 
 impl EdgeTable {
-    /// Builds the table from arcs; sorts them into `(from, to)` order.
-    pub fn from_arcs(mut arcs: Vec<(u64, u64)>) -> Self {
+    /// Builds the table from unweighted arcs; every row gets weight zero.
+    pub fn from_arcs(arcs: Vec<(u64, u64)>) -> Self {
+        Self::from_weighted_arcs(arcs.into_iter().map(|(f, t)| (f, t, 0)).collect())
+    }
+
+    /// Builds the table from weighted arcs; sorts them into `(from, to)`
+    /// order. Duplicate `(from, to)` rows collapse to the smallest weight.
+    pub fn from_weighted_arcs(mut arcs: Vec<(u64, u64, u64)>) -> Self {
         arcs.sort_unstable();
-        arcs.dedup();
+        arcs.dedup_by_key(|&mut (f, t, _)| (f, t));
         let mut spe_from = Column::new();
         let mut spe_to = Column::new();
-        for &(f, t) in &arcs {
+        let mut spe_weight = Column::new();
+        for &(f, t, w) in &arcs {
             spe_from.push(f);
             spe_to.push(t);
+            spe_weight.push(w);
         }
         spe_from.seal();
         spe_to.seal();
+        spe_weight.seal();
         let mut block_first = Vec::with_capacity(spe_from.num_blocks());
         let mut scratch = Vec::new();
         for b in 0..spe_from.num_blocks() {
@@ -51,6 +62,7 @@ impl EdgeTable {
         Self {
             spe_from,
             spe_to,
+            spe_weight,
             block_first,
             lookups: AtomicUsize::new(0),
             num_rows: arcs.len(),
@@ -63,14 +75,16 @@ impl EdgeTable {
         self.num_rows
     }
 
-    /// Compressed size of both columns.
+    /// Compressed size of all columns.
     pub fn compressed_bytes(&self) -> usize {
-        self.spe_from.compressed_bytes() + self.spe_to.compressed_bytes()
+        self.spe_from.compressed_bytes()
+            + self.spe_to.compressed_bytes()
+            + self.spe_weight.compressed_bytes()
     }
 
-    /// Uncompressed size of both columns.
+    /// Uncompressed size of all columns.
     pub fn raw_bytes(&self) -> usize {
-        self.spe_from.raw_bytes() + self.spe_to.raw_bytes()
+        self.spe_from.raw_bytes() + self.spe_to.raw_bytes() + self.spe_weight.raw_bytes()
     }
 
     /// Random lookups served since construction.
@@ -118,6 +132,54 @@ impl EdgeTable {
         found
     }
 
+    /// Like [`outbound`](Self::outbound), but appends `(target, weight)`
+    /// pairs — the three-column variant backing weighted traversals. The
+    /// weight block is decompressed lazily under its own cache key, so
+    /// plain BFS lookups never pay for the weight column.
+    pub fn outbound_weighted(
+        &self,
+        vertex: u64,
+        out: &mut Vec<(u64, u64)>,
+        scratch: &mut LookupScratch,
+    ) -> usize {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let mut b = self.block_first.partition_point(|&f| f < vertex);
+        b = b.saturating_sub(1);
+        let mut found = 0usize;
+        while b < self.spe_from.num_blocks() {
+            if self.block_first[b] > vertex {
+                break;
+            }
+            if scratch.cached_block != Some(b) || scratch.cached_epoch != self.epoch {
+                self.spe_from.block(b, &mut scratch.from);
+                self.spe_to.block(b, &mut scratch.to);
+                scratch.cached_block = Some(b);
+                scratch.cached_epoch = self.epoch;
+            }
+            if scratch.cached_weight_block != Some(b) || scratch.cached_weight_epoch != self.epoch {
+                self.spe_weight.block(b, &mut scratch.weight);
+                scratch.cached_weight_block = Some(b);
+                scratch.cached_weight_epoch = self.epoch;
+            }
+            let lo = scratch.from.partition_point(|&f| f < vertex);
+            let hi = scratch.from.partition_point(|&f| f <= vertex);
+            if lo < hi {
+                out.extend(
+                    scratch.to[lo..hi]
+                        .iter()
+                        .copied()
+                        .zip(scratch.weight[lo..hi].iter().copied()),
+                );
+                found += hi - lo;
+            }
+            if hi < scratch.from.len() {
+                break;
+            }
+            b += 1;
+        }
+        found
+    }
+
     /// Full-scan iterator over `(from, to)` rows, block at a time, calling
     /// `f` per block with parallel slices.
     pub fn scan(&self, mut f: impl FnMut(&[u64], &[u64])) {
@@ -137,8 +199,13 @@ impl EdgeTable {
 pub struct LookupScratch {
     from: Vec<u64>,
     to: Vec<u64>,
+    weight: Vec<u64>,
     cached_block: Option<usize>,
     cached_epoch: u64,
+    /// The weight column caches independently: unweighted lookups skip it,
+    /// so its freshness can lag the from/to cache.
+    cached_weight_block: Option<usize>,
+    cached_weight_epoch: u64,
 }
 
 #[cfg(test)]
@@ -209,6 +276,64 @@ mod tests {
         let mut scratch = LookupScratch::default();
         t.outbound(1, &mut out, &mut scratch);
         assert_eq!(out, vec![3, 5]);
+    }
+
+    #[test]
+    fn weighted_lookup_returns_weights_in_run_order() {
+        let t = EdgeTable::from_weighted_arcs(vec![(1, 5, 70), (1, 3, 30), (2, 1, 10)]);
+        let mut out = Vec::new();
+        let mut scratch = LookupScratch::default();
+        assert_eq!(t.outbound_weighted(1, &mut out, &mut scratch), 2);
+        assert_eq!(out, vec![(3, 30), (5, 70)]);
+    }
+
+    #[test]
+    fn duplicate_weighted_arcs_keep_min_weight() {
+        let t = EdgeTable::from_weighted_arcs(vec![(1, 3, 50), (1, 3, 20), (1, 3, 90)]);
+        assert_eq!(t.num_rows(), 1);
+        let mut out = Vec::new();
+        let mut scratch = LookupScratch::default();
+        t.outbound_weighted(1, &mut out, &mut scratch);
+        assert_eq!(out, vec![(3, 20)]);
+    }
+
+    #[test]
+    fn weighted_run_crossing_blocks_keeps_alignment() {
+        let mut arcs: Vec<(u64, u64, u64)> = (0..(BLOCK as u64 + 100))
+            .map(|j| (5, 10 + j, 1000 + j))
+            .collect();
+        arcs.push((6, 1, 7));
+        let t = EdgeTable::from_weighted_arcs(arcs);
+        let mut out = Vec::new();
+        let mut scratch = LookupScratch::default();
+        assert_eq!(t.outbound_weighted(5, &mut out, &mut scratch), BLOCK + 100);
+        assert_eq!(out[0], (10, 1000));
+        assert_eq!(
+            *out.last().unwrap(),
+            (10 + BLOCK as u64 + 99, 1000 + BLOCK as u64 + 99)
+        );
+        out.clear();
+        assert_eq!(t.outbound_weighted(6, &mut out, &mut scratch), 1);
+        assert_eq!(out, vec![(1, 7)]);
+    }
+
+    #[test]
+    fn weight_cache_does_not_leak_across_tables() {
+        // Same block index in two tables: the scratch must not serve table
+        // A's weights for table B, even when only the weight cache is stale.
+        let a = EdgeTable::from_weighted_arcs(vec![(0, 1, 111)]);
+        let b = EdgeTable::from_weighted_arcs(vec![(0, 1, 222)]);
+        let mut scratch = LookupScratch::default();
+        let mut out = Vec::new();
+        a.outbound_weighted(0, &mut out, &mut scratch);
+        assert_eq!(out, vec![(1, 111)]);
+        // Refresh only the from/to cache on table B via a plain lookup...
+        let mut targets = Vec::new();
+        b.outbound(0, &mut targets, &mut scratch);
+        // ...then the weighted lookup must still reload B's weight block.
+        out.clear();
+        b.outbound_weighted(0, &mut out, &mut scratch);
+        assert_eq!(out, vec![(1, 222)]);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! # datasets: graph500-<scale> | snb-<persons> | amazon|youtube|
 //! #           livejournal|patents|wikipedia[-<divisor>] | file:<prefix>
 //! graphs = graph500-13, patents-200, snb-10000
-//! # algorithms: stats, bfs[:<source>], conn, cd, evo, pagerank
+//! # algorithms: stats, bfs[:<source>], conn, cd, evo, pagerank,
+//! #             sssp[:<source>], lcc
 //! algorithms = stats, bfs:0, conn, cd, evo
 //! timeout_secs = 180
 //! repetitions = 1
@@ -241,8 +242,8 @@ pub fn parse_dataset(name: &str) -> Result<Dataset, String> {
 }
 
 /// Parses an algorithm name in the configuration syntax (`stats`,
-/// `bfs[:<source>]`, `conn`, `cd`, `evo`, `pagerank`) — shared with the
-/// HTTP job API.
+/// `bfs[:<source>]`, `conn`, `cd`, `evo`, `pagerank`, `sssp[:<source>]`,
+/// `lcc`) — shared with the HTTP job API.
 pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
     let (base, param) = match name.split_once(':') {
         Some((b, p)) => (b, Some(p)),
@@ -264,6 +265,17 @@ pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
         "cd" => Ok(Algorithm::default_cd()),
         "evo" => Ok(Algorithm::default_evo()),
         "pagerank" | "pr" => Ok(Algorithm::default_pagerank()),
+        "sssp" => {
+            let source = param
+                .map(|p| {
+                    p.parse::<u64>()
+                        .map_err(|_| format!("bad sssp source {p:?}"))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            Ok(Algorithm::Sssp { source })
+        }
+        "lcc" => Ok(Algorithm::Lcc),
         other => Err(format!("unknown algorithm {other:?}")),
     }
 }
@@ -310,6 +322,17 @@ graphx.memory_mb = 11
         let spec = BenchmarkSpec::parse("graphs = graph500-8").unwrap();
         let names: Vec<&str> = spec.algorithms.iter().map(|a| a.name()).collect();
         assert_eq!(names, vec!["STATS", "BFS", "CONN", "CD", "EVO"]);
+    }
+
+    #[test]
+    fn sssp_and_lcc_parse() {
+        let spec = BenchmarkSpec::parse("graphs = graph500-8\nalgorithms = sssp:7, lcc").unwrap();
+        assert_eq!(spec.algorithms[0], Algorithm::Sssp { source: 7 });
+        assert_eq!(spec.algorithms[1], Algorithm::Lcc);
+        let spec = BenchmarkSpec::parse("graphs = graph500-8\nalgorithms = sssp").unwrap();
+        assert_eq!(spec.algorithms[0], Algorithm::Sssp { source: 0 });
+        let e = BenchmarkSpec::parse("graphs = graph500-8\nalgorithms = sssp:x").unwrap_err();
+        assert!(e.message.contains("bad sssp source"), "{e}");
     }
 
     #[test]

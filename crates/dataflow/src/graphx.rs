@@ -24,6 +24,9 @@ pub struct GraphFrame {
     ctx: Arc<SparkContext>,
     /// (src, dst) arcs.
     arcs: Dataset<(u32, u32)>,
+    /// (src, (dst, weight)) arcs — the weighted triplet view SSSP joins
+    /// against (GraphX keeps edge attributes in the edge RDD the same way).
+    weighted_arcs: Dataset<(u32, (u32, u64))>,
     /// Vertex count (ids are dense internal ids of the canonical graph).
     pub num_vertices: usize,
 }
@@ -32,14 +35,17 @@ impl GraphFrame {
     /// Loads a canonical CSR graph into datasets ("ETL").
     pub fn from_csr(ctx: &Arc<SparkContext>, g: &CsrGraph) -> Result<Self, PlatformError> {
         let mut arcs = Vec::with_capacity(g.num_arcs());
+        let mut weighted = Vec::with_capacity(g.num_arcs());
         for v in 0..g.num_vertices() as Vid {
-            for &u in g.neighbors(v) {
+            for (&u, &w) in g.neighbors(v).iter().zip(g.neighbor_weights(v)) {
                 arcs.push((v, u));
+                weighted.push((v, (u, w)));
             }
         }
         Ok(Self {
             ctx: Arc::clone(ctx),
             arcs: Dataset::from_vec(ctx, arcs)?,
+            weighted_arcs: Dataset::from_vec(ctx, weighted)?,
             num_vertices: g.num_vertices(),
         })
     }
@@ -112,6 +118,44 @@ impl GraphFrame {
             iteration += 1;
         }
         Ok(depths)
+    }
+
+    /// SSSP fixed-point distances from an internal source vertex:
+    /// Bellman-Ford rounds where the improved frontier joins the weighted
+    /// arc dataset and proposals are min-reduced per destination — the
+    /// shape of GraphX's built-in `ShortestPaths`.
+    pub fn sssp(&self, source: Option<Vid>, ctx: &RunContext) -> Result<Vec<u64>, PlatformError> {
+        let n = self.num_vertices;
+        let mut dists = vec![graphalytics_algos::INFINITY; n];
+        let Some(src) = source else {
+            return Ok(dists);
+        };
+        dists[src as usize] = 0;
+        let mut frontier: Vec<(u32, u64)> = vec![(src, 0)];
+        let mut iteration = 0usize;
+        while !frontier.is_empty() {
+            ctx.check_deadline()?;
+            let mut span = ctx.tracer().span("graphx.iteration");
+            span.field("job", "sssp")
+                .field("iteration", iteration)
+                .field("frontier", frontier.len());
+            let stages_before = self.ctx.stats().stages;
+            let state_ds = Dataset::from_vec(&self.ctx, frontier)?;
+            let triplets = self.weighted_arcs.join(&state_ds)?;
+            let messages = triplets.map(|(_src, ((dst, w), d))| (*dst, d.saturating_add(*w)))?;
+            let proposals = messages.reduce_by_key(|a, b| a.min(b))?.collect();
+            let mut next = Vec::new();
+            for (v, d) in proposals {
+                if d < dists[v as usize] {
+                    dists[v as usize] = d;
+                    next.push((v, d));
+                }
+            }
+            span.field("stages", self.ctx.stats().stages - stages_before);
+            frontier = next;
+            iteration += 1;
+        }
+        Ok(dists)
     }
 
     /// Connected components via HashMin label propagation (this uses the
@@ -204,14 +248,16 @@ impl GraphFrame {
         Ok(labels)
     }
 
-    /// Mean local clustering coefficient, computed entirely in dataflow:
-    /// neighbor lists are built with `group_by_key`, shipped across the
-    /// edges with a join, and intersected per destination.
-    pub fn mean_local_cc(&self, ctx: &RunContext) -> Result<f64, PlatformError> {
+    /// Per-vertex local clustering coefficients, computed entirely in
+    /// dataflow: neighbor lists are built with `group_by_key`, shipped
+    /// across the edges with a join, and intersected per destination.
+    /// Vertices that receive no lists (degree < 2) stay at 0.
+    pub fn local_clustering(&self, ctx: &RunContext) -> Result<Vec<f64>, PlatformError> {
         ctx.check_deadline()?;
         let n = self.num_vertices;
+        let mut coefficients = vec![0.0f64; n];
         if n == 0 {
-            return Ok(0.0);
+            return Ok(coefficients);
         }
         let mut span = ctx.tracer().span("graphx.iteration");
         span.field("job", "lcc").field("iteration", 0usize);
@@ -229,20 +275,33 @@ impl GraphFrame {
         ctx.check_deadline()?;
         // Intersect with the local list.
         let with_own = gathered.join(&adjacency)?;
-        let lcc = with_own.map(|(_v, (lists, own))| {
+        let lcc = with_own.map(|(v, (lists, own))| {
             let d = own.len();
             if d < 2 {
-                return 0.0;
+                return (*v, 0.0);
             }
             let mut links = 0usize;
             for list in lists {
                 links += graphalytics_graph::metrics::sorted_intersection_len(own, list);
             }
             let triangles = links / 2;
-            triangles as f64 / (d * (d - 1) / 2) as f64
+            (*v, triangles as f64 / (d * (d - 1) / 2) as f64)
         })?;
-        let total: f64 = lcc.collect().iter().sum();
+        for (v, c) in lcc.collect() {
+            coefficients[v as usize] = c;
+        }
         span.field("stages", self.ctx.stats().stages - stages_before);
+        Ok(coefficients)
+    }
+
+    /// Mean local clustering coefficient — the STATS half of the workload,
+    /// averaging [`Self::local_clustering`] over all vertices.
+    pub fn mean_local_cc(&self, ctx: &RunContext) -> Result<f64, PlatformError> {
+        let n = self.num_vertices;
+        if n == 0 {
+            return Ok(0.0);
+        }
+        let total: f64 = self.local_clustering(ctx)?.iter().sum();
         Ok(total / n as f64)
     }
 
@@ -346,6 +405,37 @@ mod tests {
         let (_c, g, frame) = setup(test_edges());
         let depths = frame.bfs(Some(0), &RunContext::unbounded()).unwrap();
         assert_eq!(depths, algos::bfs::bfs(&g, 0));
+    }
+
+    #[test]
+    fn sssp_matches_reference_on_weighted_graph() {
+        let g = Arc::new(CsrGraph::from_edge_list(&EdgeListGraph::new_weighted(
+            Vec::new(),
+            vec![
+                (0, 1, 2_000_000),
+                (1, 2, 500_000),
+                (0, 2, 4_000_000),
+                (2, 3, 1_500_000),
+                (4, 5, 1_000_000),
+            ],
+            false,
+        )));
+        let ctx = SparkContext::new(4, None);
+        let frame = GraphFrame::from_csr(&ctx, &g).unwrap();
+        let dists = frame
+            .sssp(g.internal_id(0), &RunContext::unbounded())
+            .unwrap();
+        assert_eq!(dists, algos::sssp::sssp(&g, 0));
+        assert_eq!(dists[4], algos::INFINITY);
+        let unreached = frame.sssp(None, &RunContext::unbounded()).unwrap();
+        assert!(unreached.iter().all(|&d| d == algos::INFINITY));
+    }
+
+    #[test]
+    fn local_clustering_matches_reference() {
+        let (_c, g, frame) = setup(test_edges());
+        let lccs = frame.local_clustering(&RunContext::unbounded()).unwrap();
+        assert_eq!(lccs, algos::lcc::local_clustering(&g));
     }
 
     #[test]

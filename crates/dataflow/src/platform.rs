@@ -155,6 +155,10 @@ impl Platform for GraphXPlatform {
                     ctx,
                 )?))
             }
+            Algorithm::Sssp { source } => Ok(Output::Distances(
+                frame.sssp(graph.internal_id(*source), ctx)?,
+            )),
+            Algorithm::Lcc => Ok(Output::LocalClustering(frame.local_clustering(ctx)?)),
             Algorithm::PageRank {
                 iterations,
                 damping,
@@ -204,6 +208,17 @@ mod tests {
         let mut p = GraphXPlatform::with_defaults();
         let (handle, graph) = load(&mut p);
         for alg in Algorithm::paper_workload() {
+            let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
+            let expected = reference(&graph, &alg);
+            assert!(expected.equivalent(&out), "{alg:?}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn ldbc_workload_algorithms_validate() {
+        let mut p = GraphXPlatform::with_defaults();
+        let (handle, graph) = load(&mut p);
+        for alg in Algorithm::ldbc_workload() {
             let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
             let expected = reference(&graph, &alg);
             assert!(expected.equivalent(&out), "{alg:?}: {out:?}");

@@ -8,7 +8,7 @@
 //! internal indices (with an O(1) fast path when external ids are already
 //! dense `0..n`).
 
-use crate::edgelist::{Edge, EdgeListGraph, VertexId};
+use crate::edgelist::{Edge, EdgeListGraph, VertexId, Weight};
 use crate::GraphError;
 use graphalytics_parallel as par;
 
@@ -29,10 +29,14 @@ pub struct CsrGraph {
     out_offsets: Vec<usize>,
     /// Out-adjacency targets, sorted within each vertex's range.
     out_targets: Vec<Vid>,
+    /// Per-arc weights, parallel to `out_targets`.
+    out_weights: Vec<Weight>,
     /// In-adjacency offsets; empty for undirected graphs.
     in_offsets: Vec<usize>,
     /// In-adjacency sources; empty for undirected graphs.
     in_targets: Vec<Vid>,
+    /// Per-arc weights, parallel to `in_targets`; empty for undirected.
+    in_weights: Vec<Weight>,
     /// Logical edge count (undirected edges count once).
     num_edges: usize,
     directed: bool,
@@ -143,6 +147,32 @@ where
     (offsets, targets)
 }
 
+/// Attaches a weight to every arc of one adjacency side: `weights[i]` is
+/// the weight of the edge behind `targets[i]`. Each worker fills the arc
+/// runs of its fixed vertex chunk, so the result is independent of the
+/// thread count (chunk results concatenate in chunk order).
+fn build_weights<W>(
+    threads: usize,
+    n: usize,
+    offsets: &[usize],
+    targets: &[Vid],
+    weight_of: W,
+) -> Vec<Weight>
+where
+    W: Fn(Vid, Vid) -> Weight + Sync,
+{
+    par::map_chunks(threads, n, |_, range| {
+        let mut part = Vec::with_capacity(offsets[range.end] - offsets[range.start]);
+        for v in range {
+            for &t in &targets[offsets[v]..offsets[v + 1]] {
+                part.push(weight_of(v as Vid, t));
+            }
+        }
+        part
+    })
+    .concat()
+}
+
 impl CsrGraph {
     /// Builds a CSR graph from an edge list (single-threaded).
     pub fn from_edge_list(g: &EdgeListGraph) -> Self {
@@ -184,13 +214,30 @@ impl CsrGraph {
             (Vec::new(), Vec::new())
         };
 
+        // Arc weights come from the (sorted, deduplicated) edge list; the
+        // endpoint pair is guaranteed present there.
+        let weight_of = |a: Vid, b: Vid| -> Weight {
+            g.edge_weight(ext_ids[a as usize], ext_ids[b as usize])
+                .expect("arc endpoint pair in edge list")
+        };
+        let out_weights = build_weights(threads, n, &out_offsets, &out_targets, |v, t| {
+            weight_of(v, t)
+        });
+        let in_weights = if directed {
+            build_weights(threads, n, &in_offsets, &in_targets, |v, s| weight_of(s, v))
+        } else {
+            Vec::new()
+        };
+
         Self {
             ext_ids,
             dense_ids,
             out_offsets,
             out_targets,
+            out_weights,
             in_offsets,
             in_targets,
+            in_weights,
             num_edges: g.num_edges(),
             directed,
         }
@@ -256,6 +303,22 @@ impl CsrGraph {
         }
     }
 
+    /// Weights of the out-arcs of `v`, parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn neighbor_weights(&self, v: Vid) -> &[Weight] {
+        &self.out_weights[self.out_offsets[v as usize]..self.out_offsets[v as usize + 1]]
+    }
+
+    /// Weights of the in-arcs of `v`, parallel to [`Self::in_neighbors`].
+    #[inline]
+    pub fn in_neighbor_weights(&self, v: Vid) -> &[Weight] {
+        if self.directed {
+            &self.in_weights[self.in_offsets[v as usize]..self.in_offsets[v as usize + 1]]
+        } else {
+            self.neighbor_weights(v)
+        }
+    }
+
     /// Out-degree (total degree for undirected graphs).
     #[inline]
     pub fn degree(&self, v: Vid) -> usize {
@@ -296,6 +359,7 @@ impl CsrGraph {
         self.ext_ids.len() * std::mem::size_of::<VertexId>()
             + (self.out_offsets.len() + self.in_offsets.len()) * std::mem::size_of::<usize>()
             + (self.out_targets.len() + self.in_targets.len()) * std::mem::size_of::<Vid>()
+            + (self.out_weights.len() + self.in_weights.len()) * std::mem::size_of::<Weight>()
     }
 
     /// Converts back to an edge list (used in round-trip tests and by the
@@ -303,13 +367,13 @@ impl CsrGraph {
     pub fn to_edge_list(&self) -> EdgeListGraph {
         let mut edges = Vec::with_capacity(self.num_edges);
         for v in 0..self.num_vertices() as Vid {
-            for &t in self.neighbors(v) {
+            for (&t, &w) in self.neighbors(v).iter().zip(self.neighbor_weights(v)) {
                 if self.directed || v < t {
-                    edges.push((self.external_id(v), self.external_id(t)));
+                    edges.push((self.external_id(v), self.external_id(t), w));
                 }
             }
         }
-        EdgeListGraph::new(self.ext_ids.clone(), edges, self.directed)
+        EdgeListGraph::new_weighted(self.ext_ids.clone(), edges, self.directed)
     }
 
     /// Structural invariant checks for tests and the validator.
@@ -320,6 +384,11 @@ impl CsrGraph {
         }
         if self.out_offsets[n] != self.out_targets.len() {
             return Err(GraphError::Invariant("offsets/targets mismatch".into()));
+        }
+        if self.out_weights.len() != self.out_targets.len()
+            || self.in_weights.len() != self.in_targets.len()
+        {
+            return Err(GraphError::Invariant("weights/targets mismatch".into()));
         }
         for v in 0..n as Vid {
             let run = self.neighbors(v);
@@ -458,6 +527,50 @@ mod tests {
         let csr = CsrGraph::from_edge_list_with_threads(&el, 4);
         csr.validate().unwrap();
         assert_eq!(csr.to_edge_list(), el);
+    }
+
+    #[test]
+    fn weights_follow_arcs_on_both_sides() {
+        use crate::edgelist::WEIGHT_SCALE;
+        let und = EdgeListGraph::new_weighted(
+            Vec::new(),
+            vec![(0, 1, 100), (1, 2, 200), (0, 2, 300)],
+            false,
+        );
+        let g = CsrGraph::from_edge_list(&und);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbor_weights(1), &[100, 200]);
+        assert_eq!(g.in_neighbor_weights(1), &[100, 200]);
+        assert_eq!(g.to_edge_list(), und);
+        g.validate().unwrap();
+
+        let dir = EdgeListGraph::new_weighted(Vec::new(), vec![(0, 1, 5), (2, 1, 7)], true);
+        let g = CsrGraph::from_edge_list(&dir);
+        assert_eq!(g.neighbor_weights(0), &[5]);
+        assert_eq!(g.in_neighbors(1), &[0, 2]);
+        assert_eq!(g.in_neighbor_weights(1), &[5, 7]);
+        assert_eq!(g.to_edge_list(), dir);
+        g.validate().unwrap();
+
+        // Unweighted construction carries unit weights everywhere.
+        let plain = path_graph();
+        assert!(plain.neighbor_weights(1).iter().all(|&w| w == WEIGHT_SCALE));
+    }
+
+    #[test]
+    fn weighted_parallel_construction_is_thread_count_invariant() {
+        let edges: Vec<(u64, u64, u64)> = (1..300u64)
+            .map(|i| (i % 37, i, 1 + (i * 2_654_435_761) % 1_000_000))
+            .collect();
+        for directed in [false, true] {
+            let el = EdgeListGraph::new_weighted(Vec::new(), edges.clone(), directed);
+            let base = CsrGraph::from_edge_list_with_threads(&el, 1);
+            base.validate().unwrap();
+            for threads in [2usize, 8] {
+                let par = CsrGraph::from_edge_list_with_threads(&el, threads);
+                assert_eq!(base, par, "directed={directed} threads={threads}");
+            }
+        }
     }
 
     #[test]

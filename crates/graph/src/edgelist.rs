@@ -9,6 +9,20 @@ pub type VertexId = u64;
 /// A directed or undirected edge between two external vertex ids.
 pub type Edge = (VertexId, VertexId);
 
+/// Fixed-point edge weight: the decimal weight from a `.e` file scaled by
+/// [`WEIGHT_SCALE`]. Integer weights keep graph equality exact (`Eq`) and
+/// make SSSP path sums associative, so parallel relaxation order cannot
+/// change the result.
+pub type Weight = u64;
+
+/// The fixed-point scale: a file weight of `1.0` is stored as this value.
+/// Unweighted edges default to it, so SSSP on an unweighted graph counts
+/// hops (scaled).
+pub const WEIGHT_SCALE: Weight = 1_000_000;
+
+/// A weighted edge as `(source, target, weight)`.
+pub type WeightedEdge = (VertexId, VertexId, Weight);
+
 /// A graph held as a flat list of edges plus an explicit vertex set.
 ///
 /// This is the "wire" representation: cheap to produce from generators and
@@ -21,6 +35,9 @@ pub struct EdgeListGraph {
     vertices: Vec<VertexId>,
     /// Edges as (source, target) pairs of external ids.
     edges: Vec<Edge>,
+    /// Per-edge fixed-point weights, parallel to `edges`. Unweighted graphs
+    /// carry [`WEIGHT_SCALE`] (one hop) everywhere.
+    weights: Vec<Weight>,
     /// Whether edges are directed. Undirected graphs store each edge once,
     /// in canonical (min, max) order.
     directed: bool,
@@ -31,22 +48,51 @@ impl EdgeListGraph {
     ///
     /// Self-loops are dropped, duplicate edges are dropped, and endpoints are
     /// added to the vertex set if missing. For undirected graphs, edges are
-    /// canonicalized so `(a, b)` and `(b, a)` are the same edge.
+    /// canonicalized so `(a, b)` and `(b, a)` are the same edge. Every edge
+    /// gets the unit weight [`WEIGHT_SCALE`].
     pub fn new(vertices: Vec<VertexId>, edges: Vec<Edge>, directed: bool) -> Self {
-        let mut vertices = vertices;
-        let mut edges: Vec<Edge> = edges
+        let weighted = edges
             .into_iter()
-            .filter(|&(s, t)| s != t)
-            .map(|(s, t)| if directed || s <= t { (s, t) } else { (t, s) })
+            .map(|(s, t)| (s, t, WEIGHT_SCALE))
             .collect();
-        edges.sort_unstable();
-        edges.dedup();
+        Self::new_weighted(vertices, weighted, directed)
+    }
+
+    /// Builds a graph from explicitly weighted edges.
+    ///
+    /// Same normalization as [`Self::new`]; when duplicates of an edge carry
+    /// different weights, the minimum survives (duplicate lines in a `.e`
+    /// file cannot lengthen a shortest path).
+    pub fn new_weighted(vertices: Vec<VertexId>, edges: Vec<WeightedEdge>, directed: bool) -> Self {
+        let mut vertices = vertices;
+        let mut weighted: Vec<WeightedEdge> = edges
+            .into_iter()
+            .filter(|&(s, t, _)| s != t)
+            .map(|(s, t, w)| {
+                if directed || s <= t {
+                    (s, t, w)
+                } else {
+                    (t, s, w)
+                }
+            })
+            .collect();
+        // Sorting by (s, t, w) puts the minimum weight first within each
+        // duplicate group, so keep-first dedup keeps the minimum.
+        weighted.sort_unstable();
+        weighted.dedup_by_key(|&mut (s, t, _)| (s, t));
+        let mut edges = Vec::with_capacity(weighted.len());
+        let mut weights = Vec::with_capacity(weighted.len());
+        for (s, t, w) in weighted {
+            edges.push((s, t));
+            weights.push(w);
+        }
         vertices.extend(edges.iter().flat_map(|&(s, t)| [s, t]));
         vertices.sort_unstable();
         vertices.dedup();
         Self {
             vertices,
             edges,
+            weights,
             directed,
         }
     }
@@ -86,6 +132,26 @@ impl EdgeListGraph {
         &self.edges
     }
 
+    /// Per-edge fixed-point weights, parallel to [`Self::edges`].
+    pub fn weights(&self) -> &[Weight] {
+        &self.weights
+    }
+
+    /// True if any edge carries a non-unit weight.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.iter().any(|&w| w != WEIGHT_SCALE)
+    }
+
+    /// The weight of an edge (respecting directedness), if it exists.
+    pub fn edge_weight(&self, s: VertexId, t: VertexId) -> Option<Weight> {
+        let key = if self.directed || s <= t {
+            (s, t)
+        } else {
+            (t, s)
+        };
+        self.edges.binary_search(&key).ok().map(|i| self.weights[i])
+    }
+
     /// True if the external id belongs to this graph.
     pub fn contains_vertex(&self, v: VertexId) -> bool {
         self.vertices.binary_search(&v).is_ok()
@@ -102,16 +168,28 @@ impl EdgeListGraph {
     }
 
     /// Returns an undirected copy: directed edges are canonicalized and
-    /// deduplicated; undirected graphs are returned as-is.
+    /// deduplicated (reciprocal edges keep the minimum weight); undirected
+    /// graphs are returned as-is.
     pub fn to_undirected(&self) -> Self {
         if !self.directed {
             return self.clone();
         }
-        Self::new(self.vertices.clone(), self.edges.clone(), false)
+        let weighted = self
+            .edges
+            .iter()
+            .zip(&self.weights)
+            .map(|(&(s, t), &w)| (s, t, w))
+            .collect();
+        Self::new_weighted(self.vertices.clone(), weighted, false)
     }
 
     /// Checks structural invariants; used by tests and the output validator.
     pub fn validate(&self) -> Result<(), GraphError> {
+        if self.weights.len() != self.edges.len() {
+            return Err(GraphError::Invariant(
+                "weight list length differs from edge list".into(),
+            ));
+        }
         if self.vertices.windows(2).any(|w| w[0] >= w[1]) {
             return Err(GraphError::Invariant(
                 "vertex list not strictly sorted".into(),
@@ -195,5 +273,37 @@ mod tests {
         assert_eq!(g.num_vertices(), 0);
         assert_eq!(g.num_edges(), 0);
         g.validate().unwrap();
+    }
+
+    #[test]
+    fn unweighted_edges_default_to_unit_weight() {
+        let g = EdgeListGraph::undirected_from_edges(vec![(0, 1), (1, 2)]);
+        assert_eq!(g.weights(), &[WEIGHT_SCALE, WEIGHT_SCALE]);
+        assert!(!g.is_weighted());
+        assert_eq!(g.edge_weight(1, 0), Some(WEIGHT_SCALE));
+        assert_eq!(g.edge_weight(0, 2), None);
+    }
+
+    #[test]
+    fn weighted_duplicates_keep_the_minimum() {
+        let g = EdgeListGraph::new_weighted(
+            Vec::new(),
+            vec![(2, 1, 500_000), (1, 2, 250_000), (0, 1, 3_000_000)],
+            false,
+        );
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(g.weights(), &[3_000_000, 250_000]);
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(2, 1), Some(250_000));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn to_undirected_keeps_minimum_weight_of_reciprocal_edges() {
+        let g =
+            EdgeListGraph::new_weighted(Vec::new(), vec![(1, 2, 700_000), (2, 1, 300_000)], true);
+        let und = g.to_undirected();
+        assert_eq!(und.edges(), &[(1, 2)]);
+        assert_eq!(und.weights(), &[300_000]);
     }
 }

@@ -26,7 +26,7 @@ pub mod partition;
 pub mod rng;
 
 pub use csr::{CsrGraph, Vid};
-pub use edgelist::{Edge, EdgeListGraph, VertexId};
+pub use edgelist::{Edge, EdgeListGraph, VertexId, Weight, WeightedEdge, WEIGHT_SCALE};
 pub use metrics::GraphCharacteristics;
 
 /// Errors produced by the graph substrate.

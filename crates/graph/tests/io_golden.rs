@@ -6,8 +6,11 @@
 //! reader must accept all of them and canonicalize to the same graph, and
 //! the writer's output must be byte-stable under a read → write round trip.
 
-use graphalytics_graph::io::{read_edge_file, read_graph, read_vertex_file, write_graph};
-use graphalytics_graph::EdgeListGraph;
+use graphalytics_graph::io::{
+    read_edge_file, read_graph, read_vertex_file, read_weighted_edge_file, read_weighted_graph,
+    write_graph,
+};
+use graphalytics_graph::{EdgeListGraph, GraphError, WEIGHT_SCALE};
 use std::path::{Path, PathBuf};
 
 fn scratch(name: &str) -> PathBuf {
@@ -149,6 +152,102 @@ fn read_write_round_trip_is_byte_stable() {
         std::fs::read(clean.with_extension("v")).unwrap(),
         std::fs::read(clean2.with_extension("v")).unwrap()
     );
+    assert_eq!(
+        std::fs::read(clean.with_extension("e")).unwrap(),
+        std::fs::read(clean2.with_extension("e")).unwrap()
+    );
+}
+
+/// The canonical weighted graph the weighted variants below parse into.
+fn weighted_golden_graph() -> EdgeListGraph {
+    EdgeListGraph::new_weighted(
+        vec![0, 1, 2, 3, 7],
+        vec![
+            (0, 1, 2 * WEIGHT_SCALE),
+            (1, 2, WEIGHT_SCALE / 2),
+            (2, 3, WEIGHT_SCALE + WEIGHT_SCALE / 2),
+        ],
+        false,
+    )
+}
+
+#[test]
+fn weighted_lf_files_parse_to_exact_fixed_point() {
+    let dir = scratch("w-lf");
+    let prefix = write_pair(&dir, "g", "0\n1\n2\n3\n7\n", "0 1 2\n1 2 0.5\n2 3 1.5\n");
+    assert_eq!(
+        read_weighted_graph(&prefix, false).unwrap(),
+        weighted_golden_graph()
+    );
+}
+
+#[test]
+fn weighted_crlf_bom_and_comments_parse_identically() {
+    let dir = scratch("w-messy");
+    let prefix = write_pair(
+        &dir,
+        "g",
+        "\u{feff}# ids\n0\r\n1\r\n2\n3\n7\n",
+        "\u{feff}# src dst w\n0 1 2.0\r\n1 2 0.500000\r\n2 3 1.5\n\n",
+    );
+    assert_eq!(
+        read_weighted_graph(&prefix, false).unwrap(),
+        weighted_golden_graph()
+    );
+}
+
+#[test]
+fn missing_weight_is_a_parse_error_with_line_context() {
+    let dir = scratch("w-missing");
+    let epath = dir.join("g.e");
+    std::fs::write(&epath, "0 1 2\n1 2\n2 3 1.5\n").expect("write");
+    match read_weighted_edge_file(&epath).unwrap_err() {
+        GraphError::Parse { line, content, .. } => {
+            assert_eq!(line, 2);
+            assert_eq!(content, "1 2");
+        }
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn negative_and_malformed_weights_are_rejected() {
+    let dir = scratch("w-bad");
+    for (i, bad) in ["-1", "-0.5", "1e3", "0.1234567", "nan"].iter().enumerate() {
+        let epath = dir.join(format!("g{i}.e"));
+        std::fs::write(&epath, format!("0 1 {bad}\n")).expect("write");
+        match read_weighted_edge_file(&epath).unwrap_err() {
+            GraphError::Parse { line, .. } => assert_eq!(line, 1, "weight {bad:?}"),
+            other => panic!("weight {bad:?}: expected Parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn duplicate_weighted_edges_keep_the_minimum_weight() {
+    let dir = scratch("w-dup");
+    // The same undirected edge three times (once reversed) with different
+    // weights; canonicalization keeps one arc with the minimum.
+    let prefix = write_pair(&dir, "g", "0\n1\n", "0 1 3\n1 0 1.25\n0 1 2\n");
+    let g = read_weighted_graph(&prefix, false).unwrap();
+    assert_eq!(g.edges(), &[(0, 1)]);
+    assert_eq!(g.weights(), &[WEIGHT_SCALE + WEIGHT_SCALE / 4]);
+}
+
+#[test]
+fn weighted_read_write_round_trip_is_byte_stable() {
+    let dir = scratch("w-fixpoint");
+    let g = weighted_golden_graph();
+    let clean = dir.join("clean");
+    write_graph(&g, &clean).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(clean.with_extension("e")).unwrap(),
+        "0 1 2\n1 2 0.5\n2 3 1.5\n"
+    );
+    let reread = read_weighted_graph(&clean, false).unwrap();
+    assert_eq!(reread, g);
+    let clean2 = dir.join("clean2");
+    write_graph(&reread, &clean2).unwrap();
     assert_eq!(
         std::fs::read(clean.with_extension("e")).unwrap(),
         std::fs::read(clean2.with_extension("e")).unwrap()

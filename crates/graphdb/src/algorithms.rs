@@ -88,6 +88,53 @@ pub fn connected_components(
     Ok(labels)
 }
 
+/// SSSP fixed-point distances from an internal source node: Dijkstra over
+/// the relationship chains, reading each relationship's weight from the
+/// rel-id-indexed `rel_weights` table (the property-store lookup a real
+/// Neo4j procedure would do per relationship).
+pub fn sssp(
+    store: &GraphStore,
+    rel_weights: &[u64],
+    source: Option<u32>,
+    ctx: &RunContext,
+) -> Result<Vec<u64>, PlatformError> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = store.nodes.len();
+    let mut dists = vec![graphalytics_algos::INFINITY; n];
+    let Some(src) = source else {
+        return Ok(dists);
+    };
+    let mut span = ctx.tracer().span("neo4j.sssp");
+    dists[src as usize] = 0;
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    heap.push(Reverse((0, src)));
+    let mut settled = 0usize;
+    let mut chain_hops = 0usize;
+    while let Some(Reverse((dv, v))) = heap.pop() {
+        if dv > dists[v as usize] {
+            continue; // Stale heap entry.
+        }
+        settled += 1;
+        if settled.is_multiple_of(4096) {
+            ctx.check_deadline()?;
+        }
+        for (rel, u) in store.neighbors(v) {
+            chain_hops += 1;
+            let nd = dv.saturating_add(rel_weights[rel as usize]);
+            if nd < dists[u as usize] {
+                dists[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    span.field("settled", settled)
+        .field("seq_accesses", settled)
+        .field("rand_accesses", chain_hops);
+    Ok(dists)
+}
+
 /// Sorted, deduplicated adjacency materialized from the chains — Neo4j's
 /// graph-algorithm library does the same projection before running
 /// analytics.
@@ -103,11 +150,13 @@ pub fn project_adjacency(store: &GraphStore) -> Vec<Vec<u32>> {
     adjacency
 }
 
-/// Mean local clustering coefficient over the projected adjacency.
-pub fn mean_local_cc(store: &GraphStore, ctx: &RunContext) -> Result<f64, PlatformError> {
+/// Per-vertex local clustering coefficients over the projected adjacency
+/// (nodes of degree < 2 stay at 0).
+pub fn local_clustering(store: &GraphStore, ctx: &RunContext) -> Result<Vec<f64>, PlatformError> {
     let n = store.nodes.len();
+    let mut coefficients = vec![0.0f64; n];
     if n == 0 {
-        return Ok(0.0);
+        return Ok(coefficients);
     }
     let mut span = ctx.tracer().span("neo4j.lcc");
     span.field("nodes", n);
@@ -115,7 +164,6 @@ pub fn mean_local_cc(store: &GraphStore, ctx: &RunContext) -> Result<f64, Platfo
         let _project = ctx.tracer().span("neo4j.project");
         project_adjacency(store)
     };
-    let mut sum = 0.0;
     let mut seq_scans = 0usize;
     let mut chain_hops = 0usize;
     for (v, mine) in adjacency.iter().enumerate() {
@@ -134,12 +182,22 @@ pub fn mean_local_cc(store: &GraphStore, ctx: &RunContext) -> Result<f64, Platfo
             links += sorted_intersection(mine, theirs);
         }
         let triangles = links / 2;
-        sum += triangles as f64 / (d * (d - 1) / 2) as f64;
+        coefficients[v] = triangles as f64 / (d * (d - 1) / 2) as f64;
     }
     // Each neighbor lookup jumps to a random adjacency list, then the
     // intersection merges both sorted lists sequentially.
     span.field("seq_accesses", seq_scans)
         .field("rand_accesses", chain_hops);
+    Ok(coefficients)
+}
+
+/// Mean local clustering coefficient over the projected adjacency.
+pub fn mean_local_cc(store: &GraphStore, ctx: &RunContext) -> Result<f64, PlatformError> {
+    let n = store.nodes.len();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let sum: f64 = local_clustering(store, ctx)?.iter().sum();
     Ok(sum / n as f64)
 }
 

@@ -20,6 +20,9 @@ pub struct Neo4jConfig {
 
 struct LoadedGraph {
     store: GraphStore,
+    /// Fixed-point weight per relationship, indexed by rel id (rel ids are
+    /// assigned sequentially at import time) — the weight "property".
+    rel_weights: Vec<u64>,
     external_ids: Vec<u64>,
     num_edges: usize,
 }
@@ -62,11 +65,14 @@ impl Platform for Neo4jPlatform {
     fn load_graph(&mut self, graph: &CsrGraph) -> Result<GraphHandle, PlatformError> {
         // ETL: bulk-import into the record stores.
         let mut store = GraphStore::new();
+        let mut rel_weights = Vec::new();
         store.create_nodes(graph.num_vertices());
         for v in 0..graph.num_vertices() as Vid {
-            for &u in graph.neighbors(v) {
+            for (&u, &w) in graph.neighbors(v).iter().zip(graph.neighbor_weights(v)) {
                 if v < u {
-                    store.create_relationship(v, u);
+                    let rel = store.create_relationship(v, u);
+                    debug_assert_eq!(rel as usize, rel_weights.len());
+                    rel_weights.push(w);
                 }
             }
         }
@@ -77,6 +83,7 @@ impl Platform for Neo4jPlatform {
             handle.0,
             LoadedGraph {
                 store,
+                rel_weights,
                 external_ids: (0..graph.num_vertices() as Vid)
                     .map(|v| graph.external_id(v))
                     .collect(),
@@ -141,6 +148,22 @@ impl Platform for Neo4jPlatform {
                     ),
                 ))
             }
+            Algorithm::Sssp { source } => {
+                let source = loaded
+                    .external_ids
+                    .iter()
+                    .position(|&e| e == *source)
+                    .map(|i| i as u32);
+                Ok(Output::Distances(algorithms::sssp(
+                    store,
+                    &loaded.rel_weights,
+                    source,
+                    ctx,
+                )?))
+            }
+            Algorithm::Lcc => Ok(Output::LocalClustering(algorithms::local_clustering(
+                store, ctx,
+            )?)),
             Algorithm::PageRank {
                 iterations,
                 damping,
@@ -181,6 +204,38 @@ mod tests {
             let expected = reference(&g, &alg);
             assert!(expected.equivalent(&out), "{alg:?}: got {out:?}");
         }
+    }
+
+    #[test]
+    fn ldbc_workload_algorithms_validate() {
+        let mut p = Neo4jPlatform::with_defaults();
+        let g = test_graph();
+        let handle = p.load_graph(&g).unwrap();
+        for alg in Algorithm::ldbc_workload() {
+            let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
+            let expected = reference(&g, &alg);
+            assert!(expected.equivalent(&out), "{alg:?}: got {out:?}");
+        }
+    }
+
+    #[test]
+    fn sssp_validates_on_weighted_graph() {
+        let mut p = Neo4jPlatform::with_defaults();
+        let g = Arc::new(CsrGraph::from_edge_list(&EdgeListGraph::new_weighted(
+            Vec::new(),
+            vec![
+                (0, 1, 2_000_000),
+                (1, 2, 500_000),
+                (0, 2, 4_000_000),
+                (2, 3, 1_500_000),
+                (4, 5, 1_000_000),
+            ],
+            false,
+        )));
+        let handle = p.load_graph(&g).unwrap();
+        let alg = Algorithm::Sssp { source: 0 };
+        let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
+        assert!(reference(&g, &alg).equivalent(&out), "{out:?}");
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //!
 //! Record formats (key `\t` value):
 //! * edge files: key = vertex, value = `E <neighbor>` (one record per arc);
+//! * weighted edge files: value = `W <neighbor> <weight>` (fixed-point
+//!   weight, one record per arc — the SSSP inputs);
 //! * label/state files: value = `L <label>` (CONN), `D <depth>` (BFS),
-//!   `S <label> <score>` (CD), `R <rank>` (PageRank), `N <n1,n2,...>`
-//!   (adjacency lists).
+//!   `T <distance>` (SSSP), `S <label> <score>` (CD), `R <rank>`
+//!   (PageRank), `N <n1,n2,...>` (adjacency lists).
 
 use std::path::{Path, PathBuf};
 
@@ -274,6 +276,123 @@ pub fn bfs(
     }
 }
 
+// ---------------------------------------------------------------- SSSP --
+
+/// SSSP propagate: vertices with a finite distance send `dist + weight`
+/// along each weighted arc (`W <neighbor> <weight>` records).
+struct PropagateDistances;
+
+impl Reducer for PropagateDistances {
+    fn reduce(&self, key: &str, values: &[String], out: &mut Emitter) {
+        let mut dist: Option<u64> = None;
+        let mut arcs: Vec<(&str, u64)> = Vec::new();
+        for v in values {
+            if let Some(d) = v.strip_prefix("T ") {
+                dist = d.trim().parse().ok();
+            } else if let Some(a) = v.strip_prefix("W ") {
+                let mut parts = a.split_whitespace();
+                let neighbor = parts.next();
+                let weight = parts.next().and_then(|x| x.parse().ok());
+                if let (Some(n), Some(w)) = (neighbor, weight) {
+                    arcs.push((n, w));
+                }
+            }
+        }
+        let Some(dist) = dist else { return };
+        out.emit(key, format!("T {dist}"));
+        if dist != graphalytics_algos::INFINITY {
+            for (n, w) in arcs {
+                out.emit(n, format!("C {}", dist.saturating_add(w)));
+            }
+        }
+    }
+}
+
+/// SSSP update: vertices adopt the minimum candidate distance when it
+/// improves on their own.
+struct UpdateDistances;
+
+impl crate::job::CountingReducer for UpdateDistances {
+    fn reduce(&self, key: &str, values: &[String], ctx: &mut ReduceContext<'_>) {
+        let mut own: Option<u64> = None;
+        let mut best: Option<u64> = None;
+        for v in values {
+            if let Some(d) = v.strip_prefix("T ") {
+                own = d.trim().parse().ok();
+            } else if let Some(c) = v.strip_prefix("C ") {
+                let c: Option<u64> = c.trim().parse().ok();
+                best = match (best, c) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
+        let Some(own) = own else { return };
+        let new = best.map_or(own, |b| b.min(own));
+        if new < own {
+            *ctx.counters.entry("changed".into()).or_insert(0) += 1;
+        }
+        ctx.out.emit(key, format!("T {new}"));
+    }
+}
+
+/// SSSP from `source` (internal id; `None` = unreachable everywhere):
+/// Bellman-Ford rounds over the weighted edge files until no distance
+/// improves.
+pub fn sssp(
+    config: &JobConfig,
+    weighted_edge_files: &[PathBuf],
+    n: usize,
+    source: Option<u32>,
+    ctx: &RunContext,
+) -> Result<Vec<u64>, PlatformError> {
+    let inf = graphalytics_algos::INFINITY;
+    let mut dist_file = config.work_dir.join("sssp-dists-0");
+    let init: Vec<Record> = (0..n)
+        .map(|v| {
+            let d = if Some(v as u32) == source { 0 } else { inf };
+            (v.to_string(), format!("T {d}"))
+        })
+        .collect();
+    write_records(&dist_file, &init)?;
+    let mut iteration = 0usize;
+    loop {
+        ctx.check_deadline()?;
+        let mut inputs = weighted_edge_files.to_vec();
+        inputs.push(dist_file.clone());
+        let prop_dir = config.work_dir.join(format!("sssp-prop-{iteration}"));
+        run_job_traced(
+            config,
+            &format!("sssp-prop-{iteration}"),
+            &inputs,
+            &IdentityMapper,
+            &PropagateDistances,
+            &prop_dir,
+            ctx,
+        )?;
+        ctx.check_deadline()?;
+        let update_dir = config.work_dir.join(format!("sssp-update-{iteration}"));
+        let counters = run_job_traced(
+            config,
+            &format!("sssp-update-{iteration}"),
+            &part_files(&prop_dir)?,
+            &IdentityMapper,
+            &UpdateDistances,
+            &update_dir,
+            ctx,
+        )?;
+        let records = read_output(&update_dir)?;
+        dist_file = config
+            .work_dir
+            .join(format!("sssp-dists-{}", iteration + 1));
+        write_records(&dist_file, &records)?;
+        if counters.user_counter("changed") == 0 {
+            return collect_per_vertex(&records, n, "T", |s| s.parse().ok(), inf);
+        }
+        iteration += 1;
+    }
+}
+
 // ------------------------------------------------------------------ CD --
 
 /// CD propagate: each vertex ships `(label, score, influence)` to all
@@ -506,17 +625,13 @@ fn sorted_intersection_u64(a: &[u64], b: &[u64]) -> usize {
     count
 }
 
-/// STATS: adjacency job, then the list-shipping triangle job; the mean is
-/// computed client-side from the per-vertex LCC records.
-pub fn mean_local_cc(
+/// Runs the adjacency job followed by the list-shipping triangle job and
+/// returns the raw per-vertex `LCC <coefficient>` records.
+fn lcc_records(
     config: &JobConfig,
     edge_files: &[PathBuf],
-    n: usize,
     ctx: &RunContext,
-) -> Result<f64, PlatformError> {
-    if n == 0 {
-        return Ok(0.0);
-    }
+) -> Result<Vec<Record>, PlatformError> {
     ctx.check_deadline()?;
     let adj_dir = config.work_dir.join("stats-adjacency");
     run_job_traced(
@@ -539,7 +654,21 @@ pub fn mean_local_cc(
         &lcc_dir,
         ctx,
     )?;
-    let records = read_output(&lcc_dir)?;
+    read_output(&lcc_dir)
+}
+
+/// STATS: adjacency job, then the list-shipping triangle job; the mean is
+/// computed client-side from the per-vertex LCC records.
+pub fn mean_local_cc(
+    config: &JobConfig,
+    edge_files: &[PathBuf],
+    n: usize,
+    ctx: &RunContext,
+) -> Result<f64, PlatformError> {
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let records = lcc_records(config, edge_files, ctx)?;
     let mut sum = 0.0f64;
     for (_k, v) in &records {
         if let Some(x) = v.strip_prefix("LCC ") {
@@ -547,6 +676,21 @@ pub fn mean_local_cc(
         }
     }
     Ok(sum / n as f64)
+}
+
+/// LCC: the same job chain as STATS, but the per-vertex coefficients are
+/// the output (vertices with no record — degree < 2 — stay at 0).
+pub fn local_clustering(
+    config: &JobConfig,
+    edge_files: &[PathBuf],
+    n: usize,
+    ctx: &RunContext,
+) -> Result<Vec<f64>, PlatformError> {
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let records = lcc_records(config, edge_files, ctx)?;
+    collect_per_vertex(&records, n, "LCC", |s| s.parse().ok(), 0.0f64)
 }
 
 // ------------------------------------------------------------ PageRank --

@@ -36,6 +36,9 @@ impl Default for MapReduceConfig {
 
 struct LoadedGraph {
     edge_files: Vec<PathBuf>,
+    /// `W <neighbor> <weight>` records, one file per split — the SSSP
+    /// inputs (fixed-point weights survive the text round-trip exactly).
+    weighted_edge_files: Vec<PathBuf>,
     num_vertices: usize,
     external_ids: Vec<u64>,
     work_dir: PathBuf,
@@ -106,10 +109,12 @@ impl Platform for MapReducePlatform {
             .map_err(|e| PlatformError::TransientIo(format!("i/o: {e}")))?;
         let splits = self.config.input_splits.max(1);
         let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); splits];
+        let mut weighted_buckets: Vec<Vec<Record>> = vec![Vec::new(); splits];
         for v in 0..graph.num_vertices() as Vid {
             let bucket = v as usize % splits;
-            for &u in graph.neighbors(v) {
+            for (&u, &w) in graph.neighbors(v).iter().zip(graph.neighbor_weights(v)) {
                 buckets[bucket].push((v.to_string(), format!("E {u}")));
+                weighted_buckets[bucket].push((v.to_string(), format!("W {u} {w}")));
             }
         }
         let mut edge_files = Vec::new();
@@ -118,6 +123,12 @@ impl Platform for MapReducePlatform {
             write_records(&path, bucket)?;
             edge_files.push(path);
         }
+        let mut weighted_edge_files = Vec::new();
+        for (i, bucket) in weighted_buckets.iter().enumerate() {
+            let path = work_dir.join(format!("wedges-{i:05}"));
+            write_records(&path, bucket)?;
+            weighted_edge_files.push(path);
+        }
         let external_ids = (0..graph.num_vertices() as Vid)
             .map(|v| graph.external_id(v))
             .collect();
@@ -125,6 +136,7 @@ impl Platform for MapReducePlatform {
             handle.0,
             LoadedGraph {
                 edge_files,
+                weighted_edge_files,
                 num_vertices: graph.num_vertices(),
                 external_ids,
                 work_dir,
@@ -218,6 +230,30 @@ impl Platform for MapReducePlatform {
                     ctx,
                 )?))
             }
+            Algorithm::Sssp { source } => {
+                let config = self.job_config(loaded, "sssp")?;
+                let source = loaded
+                    .external_ids
+                    .iter()
+                    .position(|&e| e == *source)
+                    .map(|i| i as u32);
+                Ok(Output::Distances(algorithms::sssp(
+                    &config,
+                    &loaded.weighted_edge_files,
+                    n,
+                    source,
+                    ctx,
+                )?))
+            }
+            Algorithm::Lcc => {
+                let config = self.job_config(loaded, "lcc")?;
+                Ok(Output::LocalClustering(algorithms::local_clustering(
+                    &config,
+                    &loaded.edge_files,
+                    n,
+                    ctx,
+                )?))
+            }
             Algorithm::PageRank {
                 iterations,
                 damping,
@@ -267,6 +303,40 @@ mod tests {
             let expected = reference(&g, &alg);
             assert!(expected.equivalent(&out), "{alg:?}: got {out:?}");
         }
+        p.unload(handle);
+    }
+
+    #[test]
+    fn ldbc_workload_algorithms_validate() {
+        let mut p = MapReducePlatform::with_defaults();
+        let g = test_graph();
+        let handle = p.load_graph(&g).unwrap();
+        for alg in Algorithm::ldbc_workload() {
+            let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
+            let expected = reference(&g, &alg);
+            assert!(expected.equivalent(&out), "{alg:?}: got {out:?}");
+        }
+        p.unload(handle);
+    }
+
+    #[test]
+    fn sssp_validates_on_weighted_graph() {
+        let mut p = MapReducePlatform::with_defaults();
+        let g = Arc::new(CsrGraph::from_edge_list(&EdgeListGraph::new_weighted(
+            Vec::new(),
+            vec![
+                (0, 1, 2_000_000),
+                (1, 2, 500_000),
+                (0, 2, 4_000_000),
+                (2, 3, 1_500_000),
+                (4, 5, 1_000_000),
+            ],
+            false,
+        )));
+        let handle = p.load_graph(&g).unwrap();
+        let alg = Algorithm::Sssp { source: 0 };
+        let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
+        assert!(reference(&g, &alg).equivalent(&out), "{out:?}");
         p.unload(handle);
     }
 

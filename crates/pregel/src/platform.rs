@@ -9,7 +9,9 @@ use graphalytics_graph::CsrGraph;
 use rustc_hash::FxHashMap;
 
 use crate::engine::{run, PregelConfig};
-use crate::programs::{BfsProgram, CdProgram, ConnProgram, PageRankProgram, StatsProgram};
+use crate::programs::{
+    BfsProgram, CdProgram, ConnProgram, LccProgram, PageRankProgram, SsspProgram, StatsProgram,
+};
 
 /// Giraph stand-in: a BSP vertex-centric engine with hash-partitioned
 /// workers.
@@ -130,6 +132,17 @@ impl Platform for GiraphPlatform {
                     *seed,
                 )))
             }
+            Algorithm::Sssp { source } => {
+                let program = SsspProgram {
+                    source: graph.internal_id(*source),
+                };
+                let result = run(&graph, &program, &self.config, ctx)?;
+                Ok(Output::Distances(result.states))
+            }
+            Algorithm::Lcc => {
+                let result = run(&graph, &LccProgram, &self.config, ctx)?;
+                Ok(Output::LocalClustering(result.states))
+            }
             Algorithm::PageRank {
                 iterations,
                 damping,
@@ -172,6 +185,17 @@ mod tests {
         let mut p = GiraphPlatform::with_defaults();
         let (handle, graph) = load(&mut p);
         for alg in Algorithm::paper_workload() {
+            let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
+            let expected = reference(&graph, &alg);
+            assert!(expected.equivalent(&out), "{alg:?}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn ldbc_workload_algorithms_validate() {
+        let mut p = GiraphPlatform::with_defaults();
+        let (handle, graph) = load(&mut p);
+        for alg in Algorithm::ldbc_workload() {
             let out = p.run(handle, &alg, &RunContext::unbounded()).unwrap();
             let expected = reference(&graph, &alg);
             assert!(expected.equivalent(&out), "{alg:?}: {out:?}");

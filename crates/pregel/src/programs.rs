@@ -39,6 +39,79 @@ impl VertexProgram for BfsProgram {
     }
 }
 
+/// SSSP: Bellman-Ford-style relaxation in supersteps. Every vertex keeps
+/// its tentative fixed-point distance; whenever a message improves it, the
+/// vertex relaxes all out-edges with their weights. Message receipt
+/// reactivates halted vertices, so the run converges exactly when no
+/// distance can improve — the unique integer shortest-path fixpoint.
+pub struct SsspProgram {
+    /// Internal id of the seed vertex; `None` when the seed is absent from
+    /// the graph (every vertex stays at infinity).
+    pub source: Option<Vid>,
+}
+
+impl SsspProgram {
+    fn relax(state: u64, ctx: &mut ComputeContext<'_, u64>) {
+        let graph = ctx.graph;
+        let v = ctx.vertex;
+        for (&u, &w) in graph.neighbors(v).iter().zip(graph.neighbor_weights(v)) {
+            ctx.send(u, state.saturating_add(w));
+        }
+    }
+}
+
+impl VertexProgram for SsspProgram {
+    type State = u64;
+    type Message = u64;
+
+    fn init(&self, _vertex: Vid, _graph: &CsrGraph) -> u64 {
+        graphalytics_algos::INFINITY
+    }
+
+    fn compute(&self, state: &mut u64, messages: &[u64], ctx: &mut ComputeContext<'_, u64>) {
+        if ctx.superstep == 0 {
+            if Some(ctx.vertex) == self.source {
+                *state = 0;
+                Self::relax(0, ctx);
+            }
+        } else if let Some(&best) = messages.iter().min() {
+            if best < *state {
+                *state = best;
+                Self::relax(best, ctx);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combiner(&self) -> Option<fn(&mut u64, u64)> {
+        Some(|acc, m| *acc = (*acc).min(m))
+    }
+}
+
+/// LCC: the per-vertex local clustering coefficient. The message plan is
+/// identical to [`StatsProgram`] — superstep 0 ships adjacency lists,
+/// superstep 1 intersects them — but the per-vertex coefficients *are* the
+/// output instead of being averaged into a scalar.
+pub struct LccProgram;
+
+impl VertexProgram for LccProgram {
+    type State = f64;
+    type Message = Vec<Vid>;
+
+    fn init(&self, vertex: Vid, graph: &CsrGraph) -> f64 {
+        StatsProgram.init(vertex, graph)
+    }
+
+    fn compute(
+        &self,
+        state: &mut f64,
+        messages: &[Vec<Vid>],
+        ctx: &mut ComputeContext<'_, Vec<Vid>>,
+    ) {
+        StatsProgram.compute(state, messages, ctx);
+    }
+}
+
 /// CONN: HashMin label propagation — every vertex repeatedly adopts the
 /// minimum label among itself and its neighbors. Converges to the minimum
 /// internal id per component, which is the canonical CONN labeling.
@@ -284,6 +357,46 @@ mod tests {
         let g = graph(vec![(0, 1)]);
         let depths = run_default(&g, &BfsProgram { source: None });
         assert_eq!(depths, vec![-1, -1]);
+    }
+
+    #[test]
+    fn sssp_program_matches_reference() {
+        let g = Arc::new(CsrGraph::from_edge_list(&EdgeListGraph::new_weighted(
+            Vec::new(),
+            vec![
+                (0, 1, 2_000_000),
+                (1, 2, 500_000),
+                (0, 2, 4_000_000),
+                (2, 3, 1_500_000),
+                (4, 5, 1_000_000),
+            ],
+            false,
+        )));
+        let dists = run_default(
+            &g,
+            &SsspProgram {
+                source: g.internal_id(0),
+            },
+        );
+        assert_eq!(dists, graphalytics_algos::sssp::sssp(&g, 0));
+        assert_eq!(dists[4], graphalytics_algos::INFINITY);
+    }
+
+    #[test]
+    fn sssp_without_source_reaches_nothing() {
+        let g = graph(vec![(0, 1)]);
+        let dists = run_default(&g, &SsspProgram { source: None });
+        assert_eq!(
+            dists,
+            vec![graphalytics_algos::INFINITY, graphalytics_algos::INFINITY]
+        );
+    }
+
+    #[test]
+    fn lcc_program_matches_reference() {
+        let g = graph(vec![(0, 1), (1, 2), (0, 2), (0, 3), (3, 4)]);
+        let lccs = run_default(&g, &LccProgram);
+        assert_eq!(lccs, graphalytics_algos::lcc::local_clustering(&g));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! cargo run --release --example custom_platform
 //! ```
 
-use graphalytics::algos::{bfs, cd, conn, evo, pagerank, stats};
+use graphalytics::algos::{bfs, cd, conn, evo, lcc, pagerank, sssp, stats};
 use graphalytics::core::platform::GraphHandle;
 use graphalytics::core::report;
 use graphalytics::prelude::*;
@@ -90,6 +90,8 @@ impl Platform for MyPlatform {
                 iterations,
                 damping,
             } => Output::Ranks(pagerank::pagerank(g, *iterations, *damping)),
+            Algorithm::Sssp { source } => Output::Distances(sssp::sssp(g, *source)),
+            Algorithm::Lcc => Output::LocalClustering(lcc::local_clustering(g)),
         })
     }
 

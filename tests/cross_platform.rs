@@ -3,7 +3,8 @@
 //! a spread of graph shapes — the Output Validator contract end to end.
 
 use graphalytics::prelude::*;
-use graphalytics_algos::reference;
+use graphalytics_algos::{reference, INFINITY};
+use graphalytics_graph::WEIGHT_SCALE;
 use std::sync::Arc;
 
 fn platforms() -> Vec<Box<dyn Platform>> {
@@ -63,10 +64,11 @@ fn graphs() -> Vec<(&'static str, Arc<CsrGraph>)> {
 fn every_platform_matches_reference_on_every_kernel() {
     let ctx = RunContext::unbounded();
     for (graph_name, graph) in graphs() {
-        let mut algorithms = Algorithm::paper_workload();
+        let mut algorithms = Algorithm::ldbc_workload();
         algorithms.push(Algorithm::default_pagerank());
-        // Also BFS from a non-zero seed.
+        // Also BFS and SSSP from a non-zero seed.
         algorithms.push(Algorithm::Bfs { source: 3 });
+        algorithms.push(Algorithm::Sssp { source: 3 });
         for platform in platforms().iter_mut() {
             let handle = platform
                 .load_graph(&graph)
@@ -105,6 +107,132 @@ fn virtuoso_bfs_matches_reference() {
             );
         }
     }
+}
+
+/// Weighted graphs for the SSSP conformance sweep: a hand-checked graph
+/// (cheapest 0→2 goes through 1; the 4–5 component is unreachable) and the
+/// graph500-7 topology re-weighted with deterministic pseudo-weights so the
+/// skewed R-MAT degree structure is exercised with non-uniform costs.
+fn weighted_graphs() -> Vec<(&'static str, Arc<CsrGraph>)> {
+    let small = EdgeListGraph::new_weighted(
+        vec![0, 1, 2, 3, 4, 5],
+        vec![
+            (0, 1, 2 * WEIGHT_SCALE),
+            (1, 2, WEIGHT_SCALE / 2),
+            (0, 2, 4 * WEIGHT_SCALE),
+            (2, 3, WEIGHT_SCALE + WEIGHT_SCALE / 2),
+            (4, 5, WEIGHT_SCALE),
+        ],
+        false,
+    );
+    let base = Dataset::graph500(7)
+        .load()
+        .expect("generate")
+        .to_edge_list();
+    let reweighted = EdgeListGraph::new_weighted(
+        base.vertices().to_vec(),
+        base.edges()
+            .iter()
+            .map(|&(u, v)| (u, v, ((u * 31 + v * 17) % 9 + 1) * (WEIGHT_SCALE / 4)))
+            .collect(),
+        false,
+    );
+    vec![
+        ("weighted-hand", Arc::new(CsrGraph::from_edge_list(&small))),
+        (
+            "graph500-7-reweighted",
+            Arc::new(CsrGraph::from_edge_list(&reweighted)),
+        ),
+    ]
+}
+
+#[test]
+fn every_platform_matches_reference_on_weighted_graphs() {
+    let ctx = RunContext::unbounded();
+    let algorithms = [
+        Algorithm::Sssp { source: 0 },
+        Algorithm::Sssp { source: 3 },
+        Algorithm::Lcc,
+    ];
+    for (graph_name, graph) in weighted_graphs() {
+        let mut fleet = platforms();
+        fleet.push(Box::new(VirtuosoPlatform::with_defaults()));
+        for platform in fleet.iter_mut() {
+            let handle = platform
+                .load_graph(&graph)
+                .unwrap_or_else(|e| panic!("{} load {graph_name}: {e}", platform.name()));
+            for alg in &algorithms {
+                let out = platform
+                    .run(handle, alg, &ctx)
+                    .unwrap_or_else(|e| panic!("{} {graph_name} {alg:?}: {e}", platform.name()));
+                let expected = reference(&graph, alg);
+                assert!(
+                    expected.equivalent(&out),
+                    "{} diverges on {graph_name}/{}: expected {} got {}",
+                    platform.name(),
+                    alg.name(),
+                    expected.summary(),
+                    out.summary()
+                );
+            }
+            platform.unload(handle);
+        }
+    }
+}
+
+#[test]
+fn virtuoso_sssp_and_lcc_match_reference() {
+    let ctx = RunContext::unbounded();
+    for (graph_name, graph) in graphs() {
+        let mut platform = VirtuosoPlatform::with_defaults();
+        let handle = platform.load_graph(&graph).expect("load");
+        for alg in [
+            Algorithm::Sssp { source: 0 },
+            Algorithm::Sssp { source: 3 },
+            Algorithm::Lcc,
+        ] {
+            let out = platform.run(handle, &alg, &ctx).expect("run");
+            assert!(
+                reference(&graph, &alg).equivalent(&out),
+                "virtuoso diverges on {graph_name}/{}",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn conformance_rejects_deliberate_mismatches() {
+    // The equivalence relation the suite is built on must actually have
+    // teeth: a distance off by one fixed-point unit and a clustering
+    // coefficient off by far more than the float tolerance both fail.
+    let (_, graph) = weighted_graphs().remove(0);
+    let sssp = reference(&graph, &Algorithm::Sssp { source: 0 });
+    let Output::Distances(d) = &sssp else {
+        panic!("sssp output shape")
+    };
+    let i = d
+        .iter()
+        .position(|&x| x != 0 && x != INFINITY)
+        .expect("a reachable non-source vertex");
+    let mut off = d.clone();
+    off[i] += 1;
+    assert!(!sssp.equivalent(&Output::Distances(off)));
+    let mut unreach = d.clone();
+    let j = d
+        .iter()
+        .position(|&x| x == INFINITY)
+        .expect("an unreachable vertex");
+    unreach[j] = 0;
+    assert!(!sssp.equivalent(&Output::Distances(unreach)));
+
+    let lcc = reference(&graph, &Algorithm::Lcc);
+    let Output::LocalClustering(c) = &lcc else {
+        panic!("lcc output shape")
+    };
+    let mut off = c.clone();
+    off[0] += 1e-3;
+    assert!(!lcc.equivalent(&Output::LocalClustering(off)));
 }
 
 #[test]

@@ -8,7 +8,7 @@
 //! given*. These tests run the Datagen generator and a Pregel program at
 //! different parallelism levels and require bit-identical outputs.
 
-use graphalytics_algos::{bfs, conn, pagerank};
+use graphalytics_algos::{bfs, conn, lcc, pagerank, sssp};
 use graphalytics_core::platform::RunContext;
 use graphalytics_datagen::cluster::{generate_to_disk, GenerationMode};
 use graphalytics_datagen::DatagenConfig;
@@ -176,12 +176,49 @@ fn parallel_kernels_are_thread_count_invariant() {
     let pr_seq = pagerank::pagerank(&graph, 20, 0.85);
     assert!(bfs_seq.iter().any(|&d| d > 0), "BFS never left source");
 
+    // SSSP runs on the same topology re-weighted with deterministic
+    // pseudo-weights (non-uniform costs exercise the bucket relaxation);
+    // LCC runs on the social graph directly.
+    let el = graph.to_edge_list();
+    let weighted = Arc::new(CsrGraph::from_edge_list(
+        &graphalytics_graph::EdgeListGraph::new_weighted(
+            el.vertices().to_vec(),
+            el.edges()
+                .iter()
+                .map(|&(u, v)| (u, v, (u * 13 + v * 7) % 11 + 1))
+                .collect(),
+            false,
+        ),
+    ));
+    let sssp_seq = sssp::sssp(&weighted, 0);
+    let lcc_seq = lcc::local_clustering(&graph);
+    assert!(
+        sssp_seq
+            .iter()
+            .any(|&d| d > 0 && d != graphalytics_algos::INFINITY),
+        "SSSP never left source"
+    );
+
     for threads in [1usize, 8] {
         assert_eq!(
             bfs::bfs_parallel(&graph, 0, threads),
             bfs_seq,
             "BFS depths differ at {threads} threads"
         );
+        assert_eq!(
+            sssp::sssp_parallel(&weighted, 0, threads),
+            sssp_seq,
+            "SSSP distances differ at {threads} threads"
+        );
+        let lcc_par = lcc::local_clustering_parallel(&graph, threads);
+        assert_eq!(lcc_par.len(), lcc_seq.len());
+        for (v, (a, b)) in lcc_par.iter().zip(&lcc_seq).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "LCC bits differ at vertex {v}, {threads} threads"
+            );
+        }
         assert_eq!(
             conn::connected_components_parallel(&graph, threads),
             conn_seq,

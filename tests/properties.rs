@@ -2,7 +2,7 @@
 //! randomly generated graphs and parameters.
 
 use graphalytics::prelude::*;
-use graphalytics_algos::{bfs, conn, pagerank, reference};
+use graphalytics_algos::{bfs, conn, lcc, pagerank, reference, sssp, INFINITY};
 use graphalytics_datagen::{rewire, RewireTargets};
 use graphalytics_graph::{metrics, partition, partition::Partitioner};
 use proptest::prelude::*;
@@ -18,6 +18,22 @@ fn arb_graph() -> impl Strategy<Value = EdgeListGraph> {
             let edges: Vec<(u64, u64)> =
                 raw_edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
             EdgeListGraph::new((0..n).collect(), edges, false)
+        })
+}
+
+/// Strategy: an arbitrary small weighted undirected graph (weights span
+/// sub-unit to multi-unit fixed-point values).
+fn arb_weighted_graph() -> impl Strategy<Value = EdgeListGraph> {
+    (
+        2u64..40,
+        proptest::collection::vec((0u64..40, 0u64..40, 1u64..10_000_000), 0..120),
+    )
+        .prop_map(|(n, raw_edges)| {
+            let edges: Vec<(u64, u64, u64)> = raw_edges
+                .into_iter()
+                .map(|(a, b, w)| (a % n, b % n, w))
+                .collect();
+            EdgeListGraph::new_weighted((0..n).collect(), edges, false)
         })
 }
 
@@ -54,6 +70,82 @@ proptest! {
         if let Some(s) = csr.internal_id(source) {
             prop_assert_eq!(depths[s as usize], 0);
             prop_assert_eq!(depths.iter().filter(|&&d| d == 0).count(), 1);
+        }
+    }
+
+    #[test]
+    fn sssp_distances_satisfy_the_triangle_inequality(
+        g in arb_weighted_graph(),
+        source in 0u64..40,
+    ) {
+        let csr = CsrGraph::from_edge_list(&g);
+        let dist = sssp::sssp(&csr, source);
+        // Relaxed triangle inequality on every edge: when both endpoints
+        // are reached, neither distance exceeds the other plus the edge
+        // weight; an edge from a reached to an unreached vertex is
+        // impossible.
+        for v in 0..csr.num_vertices() as u32 {
+            for (&u, &w) in csr.neighbors(v).iter().zip(csr.neighbor_weights(v)) {
+                let (dv, du) = (dist[v as usize], dist[u as usize]);
+                match (dv != INFINITY, du != INFINITY) {
+                    (true, true) => {
+                        prop_assert!(du <= dv.saturating_add(w), "{v}-{u}: {du} > {dv}+{w}");
+                        prop_assert!(dv <= du.saturating_add(w), "{v}-{u}: {dv} > {du}+{w}");
+                    }
+                    (true, false) | (false, true) => {
+                        prop_assert!(false, "reached/unreached edge {v}-{u}")
+                    }
+                    (false, false) => {}
+                }
+            }
+        }
+        // A present source has distance 0; a missing one reaches nothing.
+        if let Some(s) = csr.internal_id(source) {
+            prop_assert_eq!(dist[s as usize], 0);
+        } else {
+            prop_assert!(dist.iter().all(|&d| d == INFINITY));
+        }
+    }
+
+    #[test]
+    fn lcc_coefficients_are_well_defined(g in arb_graph()) {
+        let csr = CsrGraph::from_edge_list(&g);
+        let coefs = lcc::local_clustering(&csr);
+        prop_assert_eq!(coefs.len(), csr.num_vertices());
+        for (v, &c) in coefs.iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(&c), "lcc[{v}]={c}");
+            if csr.neighbors(v as u32).len() < 2 {
+                prop_assert_eq!(c, 0.0, "degree<2 vertex {v} must have lcc 0");
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_and_lcc_are_invariant_under_monotone_relabeling(
+        g in arb_weighted_graph(),
+        source in 0u64..40,
+        mult in 1u64..50,
+        offset in 0u64..1000,
+    ) {
+        // A strictly monotone external-id map preserves internal vertex
+        // order, so the positional output vectors must be bit-identical.
+        let map = |v: u64| v * mult + offset;
+        let renamed = EdgeListGraph::new_weighted(
+            g.vertices().iter().map(|&v| map(v)).collect(),
+            g.edges()
+                .iter()
+                .zip(g.weights())
+                .map(|(&(a, b), &w)| (map(a), map(b), w))
+                .collect(),
+            false,
+        );
+        let csr_a = CsrGraph::from_edge_list(&g);
+        let csr_b = CsrGraph::from_edge_list(&renamed);
+        prop_assert_eq!(sssp::sssp(&csr_a, source), sssp::sssp(&csr_b, map(source)));
+        let (la, lb) = (lcc::local_clustering(&csr_a), lcc::local_clustering(&csr_b));
+        prop_assert_eq!(la.len(), lb.len());
+        for (x, y) in la.iter().zip(&lb) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 
@@ -261,6 +353,28 @@ proptest! {
                 !Output::Evolution(edges).equivalent(&Output::Evolution(truncated))
             );
         }
+
+        // SSSP: distances compare exactly — one fixed-point unit off is a
+        // mismatch, as is claiming an unreachable vertex was reached.
+        let dist = sssp::sssp(&csr, source);
+        if let Some(i) = dist.iter().position(|&d| d != INFINITY) {
+            let mut bad = dist.clone();
+            bad[i] += 1;
+            prop_assert!(!Output::Distances(dist.clone()).equivalent(&Output::Distances(bad)));
+        }
+        if let Some(j) = dist.iter().position(|&d| d == INFINITY) {
+            let mut bad = dist.clone();
+            bad[j] = 0;
+            prop_assert!(!Output::Distances(dist).equivalent(&Output::Distances(bad)));
+        }
+
+        // LCC: a shift far beyond the float tolerance is a mismatch.
+        let coefs = lcc::local_clustering(&csr);
+        let mut bad = coefs.clone();
+        bad[0] += 1e-3;
+        prop_assert!(
+            !Output::LocalClustering(coefs).equivalent(&Output::LocalClustering(bad))
+        );
 
         // PR: perturb one score beyond tolerance.
         let ranks = pagerank::pagerank(&csr, 5, 0.85);
