@@ -81,7 +81,13 @@ fn ladder_main(args: &[String]) {
         }
     };
     print_table(
-        &["platform", "largest scale", "seconds", "climb ended by"],
+        &[
+            "platform",
+            "workers",
+            "largest scale",
+            "seconds",
+            "climb ended by",
+        ],
         &ladder::report_rows(&cells),
     );
     if cells.iter().all(|c| c.largest_passing.is_none()) {

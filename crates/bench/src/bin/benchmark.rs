@@ -30,6 +30,7 @@ use graphalytics_core::config::BenchmarkSpec;
 use graphalytics_core::results::ResultsDb;
 use graphalytics_core::{report, BenchmarkSuite, Platform, ReferencePlatform};
 use graphalytics_dataflow::{GraphXConfig, GraphXPlatform};
+use graphalytics_distrib::{DistribConfig, DistributedPlatform};
 use graphalytics_graphdb::{Neo4jConfig, Neo4jPlatform};
 use graphalytics_mapreduce::MapReducePlatform;
 use graphalytics_obs::chokepoints;
@@ -59,6 +60,10 @@ fn build_platform(
         "virtuoso" => Ok(Box::new(
             graphalytics_columnar::VirtuosoPlatform::with_defaults(),
         )),
+        "distributed-pregel" | "distrib" => Ok(Box::new(DistributedPlatform::new(DistribConfig {
+            workers: spec.property_usize("distrib.workers").unwrap_or(4) as u32,
+            ..DistribConfig::default()
+        }))),
         "reference" => Ok(Box::new(
             match threads.or_else(|| spec.property_usize("reference.threads")) {
                 Some(t) => ReferencePlatform::with_threads(t),
@@ -67,7 +72,7 @@ fn build_platform(
         )),
         other => Err(format!(
             "unknown platform {other:?} (available: giraph, graphx, mapreduce, neo4j, \
-             virtuoso, reference)"
+             virtuoso, reference, distributed-pregel)"
         )),
     }
 }

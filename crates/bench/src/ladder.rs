@@ -21,18 +21,20 @@ use graphalytics_core::{
     BenchmarkConfig, BenchmarkSuite, Dataset, Platform, ReferencePlatform, RunStatus,
 };
 use graphalytics_dataflow::GraphXPlatform;
+use graphalytics_distrib::DistributedPlatform;
 use graphalytics_graphdb::Neo4jPlatform;
 use graphalytics_mapreduce::MapReducePlatform;
 use graphalytics_pregel::GiraphPlatform;
 
 /// Platform names the default fleet knows, in report order.
-pub const FLEET: [&str; 6] = [
+pub const FLEET: [&str; 7] = [
     "reference",
     "giraph",
     "graphx",
     "mapreduce",
     "neo4j",
     "virtuoso",
+    "distributed-pregel",
 ];
 
 /// Ladder parameters (from the `bench ladder` command line).
@@ -162,6 +164,9 @@ impl LadderConfig {
 pub struct LadderCell {
     /// Platform (fleet name).
     pub platform: String,
+    /// Worker parallelism the platform climbed with (None when unknown,
+    /// e.g. for custom factories).
+    pub workers: Option<usize>,
     /// Largest Graph500 scale at which every kernel passed.
     pub largest_passing: Option<u32>,
     /// Wall seconds summed over the kernels at the largest passing scale.
@@ -188,6 +193,18 @@ pub fn fleet_platform(name: &str) -> Option<Box<dyn Platform>> {
         "mapreduce" => Some(Box::new(MapReducePlatform::with_defaults())),
         "neo4j" => Some(Box::new(Neo4jPlatform::with_defaults())),
         "virtuoso" => Some(Box::new(VirtuosoPlatform::with_defaults())),
+        "distributed-pregel" => Some(Box::new(DistributedPlatform::with_defaults())),
+        _ => None,
+    }
+}
+
+/// Worker parallelism each fleet platform climbs with: OS *processes* for
+/// `distributed-pregel`, in-process workers/partitions/threads for the
+/// simulated platforms, 1 for the single-threaded engines.
+pub fn fleet_workers(name: &str) -> Option<usize> {
+    match name {
+        "reference" | "neo4j" => Some(1),
+        "giraph" | "graphx" | "mapreduce" | "virtuoso" | "distributed-pregel" => Some(4),
         _ => None,
     }
 }
@@ -205,6 +222,7 @@ pub fn climb_with(
     for name in cfg.platform_names() {
         let mut cell = LadderCell {
             platform: name.clone(),
+            workers: fleet_workers(&name),
             largest_passing: None,
             seconds_at_largest: None,
             failing_scale: None,
@@ -269,14 +287,18 @@ pub fn climb(
     climb_with(cfg, fleet_platform, progress)
 }
 
-/// Renders the report rows (platform, largest passing scale, wall time
-/// there, and what stopped the climb) for [`crate::print_table`].
+/// Renders the report rows (platform, worker count, largest passing
+/// scale, wall time there, and what stopped the climb) for
+/// [`crate::print_table`].
 pub fn report_rows(cells: &[LadderCell]) -> Vec<Vec<String>> {
     cells
         .iter()
         .map(|c| {
             vec![
                 c.platform.clone(),
+                c.workers
+                    .map(|w| w.to_string())
+                    .unwrap_or_else(|| "-".to_string()),
                 c.largest_passing
                     .map(|s| s.to_string())
                     .unwrap_or_else(|| "-".to_string()),
@@ -340,8 +362,10 @@ mod tests {
     fn fleet_covers_all_names() {
         for name in FLEET {
             assert!(fleet_platform(name).is_some(), "{name}");
+            assert!(fleet_workers(name).is_some(), "{name} has no worker count");
         }
         assert!(fleet_platform("hive").is_none());
+        assert!(fleet_workers("hive").is_none());
     }
 
     #[test]
@@ -423,8 +447,9 @@ mod tests {
         assert!(c.failure.as_deref().unwrap().contains("memory"), "{c:?}");
         assert!(!c.reached_ceiling());
         let rows = report_rows(&cells);
-        assert_eq!(rows[0][1], "6");
-        assert!(rows[0][3].contains("scale 7"), "{:?}", rows[0]);
+        assert_eq!(rows[0][1], "-", "unknown platform has no worker count");
+        assert_eq!(rows[0][2], "6");
+        assert!(rows[0][4].contains("scale 7"), "{:?}", rows[0]);
     }
 
     #[test]
@@ -446,6 +471,6 @@ mod tests {
         let c = &cells[0];
         assert_eq!(c.largest_passing, None);
         assert_eq!(c.failing_scale, Some(8));
-        assert_eq!(report_rows(&cells)[0][1], "-");
+        assert_eq!(report_rows(&cells)[0][2], "-");
     }
 }

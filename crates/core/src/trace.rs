@@ -717,6 +717,14 @@ const WELL_KNOWN_HELP: &[(&str, &str)] = &[
         "Platform graph import (ETL) time per dataset, in seconds.",
     ),
     (
+        "graphalytics_network_bytes_total",
+        "Real wire bytes moved by the distributed runtime (shuffle and control frames).",
+    ),
+    (
+        "graphalytics_network_messages_total",
+        "Messages that crossed worker processes in the distributed runtime.",
+    ),
+    (
         "graphalytics_peak_rss_bytes",
         "Peak resident set size observed per platform during runs.",
     ),

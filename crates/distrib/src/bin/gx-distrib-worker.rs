@@ -1,0 +1,10 @@
+//! The distributed-Pregel worker process. Spawned by the master (see
+//! `graphalytics_distrib::master`); not meant to be invoked by hand.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = graphalytics_distrib::worker::worker_main(&args) {
+        eprintln!("gx-distrib-worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,302 @@
+//! The harness adapter: [`DistributedPlatform`] implements [`Platform`] by
+//! forking a master-coordinated fleet of `gx-distrib-worker` processes.
+//!
+//! `load_graph` performs the ETL step: the CSR graph is written back to the
+//! Graphalytics `.v`/`.e` file format in a scratch directory, and every
+//! worker process loads and partitions it independently (the assignment is
+//! a pure function of the dataset, so nothing but messages travels the
+//! wire). `run` coordinates the fleet and reassembles per-worker outputs
+//! into the same global vectors the in-process engine produces.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use graphalytics_algos::{Algorithm, Output};
+use graphalytics_core::faults::FaultPlan;
+use graphalytics_core::platform::{GraphHandle, Platform, PlatformError, RunContext};
+use graphalytics_graph::CsrGraph;
+use graphalytics_pregel::programs::CdState;
+
+use crate::master::{coordinate, MasterConfig, MasterStats};
+use crate::partition::PartitionPlan;
+
+/// Distinguishes scratch directories across platform instances within one
+/// process (the process id distinguishes across processes).
+static NEXT_SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+/// Configuration of the distributed runtime.
+#[derive(Debug, Clone)]
+pub struct DistribConfig {
+    /// Worker process count.
+    pub workers: u32,
+    /// Checkpoint every N supersteps (`None` disables checkpointing and
+    /// therefore crash recovery).
+    pub checkpoint_interval: Option<u64>,
+    /// Hard superstep cap.
+    pub max_supersteps: u64,
+    /// Fleet restarts allowed before a worker loss escalates.
+    pub max_restarts: u32,
+    /// Explicit path of the `gx-distrib-worker` binary; when `None` the
+    /// `GX_DISTRIB_WORKER_BIN` environment variable is consulted, then the
+    /// directory of the current executable and its parent (where Cargo
+    /// places sibling binaries for test executables).
+    pub worker_bin: Option<PathBuf>,
+    /// Scratch directory root; defaults to the system temp directory.
+    pub work_dir: Option<PathBuf>,
+}
+
+impl Default for DistribConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            checkpoint_interval: Some(8),
+            max_supersteps: 10_000,
+            max_restarts: 8,
+            worker_bin: None,
+            work_dir: None,
+        }
+    }
+}
+
+struct LoadedGraph {
+    graph: Arc<CsrGraph>,
+    dir: PathBuf,
+    prefix: PathBuf,
+    weighted: bool,
+}
+
+/// A graph-processing platform that actually distributes: one master
+/// process (this one) and N `gx-distrib-worker` processes exchanging
+/// superstep messages over localhost TCP.
+pub struct DistributedPlatform {
+    config: DistribConfig,
+    graphs: BTreeMap<u64, LoadedGraph>,
+    next_handle: u64,
+    run_seq: u64,
+}
+
+impl DistributedPlatform {
+    /// Creates the platform with the given configuration.
+    pub fn new(config: DistribConfig) -> Self {
+        Self {
+            config,
+            graphs: BTreeMap::new(),
+            next_handle: 0,
+            run_seq: 0,
+        }
+    }
+
+    /// Default configuration: 4 worker processes, checkpoints every 8
+    /// supersteps.
+    pub fn with_defaults() -> Self {
+        Self::new(DistribConfig::default())
+    }
+
+    /// A fleet of `workers` processes with the remaining defaults.
+    pub fn with_workers(workers: u32) -> Self {
+        Self::new(DistribConfig {
+            workers,
+            ..DistribConfig::default()
+        })
+    }
+
+    fn loaded(&self, handle: GraphHandle) -> Result<&LoadedGraph, PlatformError> {
+        self.graphs
+            .get(&handle.0)
+            .ok_or(PlatformError::InvalidHandle)
+    }
+
+    fn resolve_worker_bin(&self) -> Result<PathBuf, PlatformError> {
+        if let Some(bin) = &self.config.worker_bin {
+            return Ok(bin.clone());
+        }
+        if let Ok(bin) = std::env::var("GX_DISTRIB_WORKER_BIN") {
+            return Ok(PathBuf::from(bin));
+        }
+        let name = format!("gx-distrib-worker{}", std::env::consts::EXE_SUFFIX);
+        if let Ok(exe) = std::env::current_exe() {
+            if let Some(dir) = exe.parent() {
+                // Test binaries live one level below the bin directory
+                // (`target/<profile>/deps/`), so probe the parent too.
+                for candidate in [dir.join(&name), dir.join("..").join(&name)] {
+                    if candidate.is_file() {
+                        return Ok(candidate);
+                    }
+                }
+            }
+        }
+        Err(PlatformError::Unsupported(
+            "gx-distrib-worker binary not found; build graphalytics-distrib or set \
+             GX_DISTRIB_WORKER_BIN"
+                .to_string(),
+        ))
+    }
+}
+
+impl Platform for DistributedPlatform {
+    fn name(&self) -> &'static str {
+        "Distributed"
+    }
+
+    fn load_graph(&mut self, graph: &CsrGraph) -> Result<GraphHandle, PlatformError> {
+        let root = self
+            .config
+            .work_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = root.join(format!(
+            "gx-distrib-{}-{}",
+            std::process::id(),
+            NEXT_SCRATCH.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| PlatformError::TransientIo(format!("scratch dir: {e}")))?;
+        let prefix = dir.join("graph");
+        let edge_list = graph.to_edge_list();
+        let weighted = edge_list.is_weighted();
+        graphalytics_graph::io::write_graph(&edge_list, &prefix)
+            .map_err(|e| PlatformError::TransientIo(format!("write dataset: {e:?}")))?;
+        let handle = GraphHandle(self.next_handle);
+        self.next_handle += 1;
+        self.graphs.insert(
+            handle.0,
+            LoadedGraph {
+                graph: Arc::new(graph.clone()),
+                dir,
+                prefix,
+                weighted,
+            },
+        );
+        Ok(handle)
+    }
+
+    fn run(
+        &mut self,
+        handle: GraphHandle,
+        algorithm: &Algorithm,
+        ctx: &RunContext,
+    ) -> Result<Output, PlatformError> {
+        self.run_seq += 1;
+        let run_seq = self.run_seq;
+        let loaded = self.loaded(handle)?;
+        let graph = Arc::clone(&loaded.graph);
+        if let Algorithm::Evo {
+            new_vertices,
+            p_forward,
+            max_burst,
+            seed,
+        } = algorithm
+        {
+            // EVO is coordinator-driven (the fires walk the adjacency from
+            // the master), exactly as in the in-process Giraph stand-in.
+            ctx.check_deadline()?;
+            return Ok(Output::Evolution(graphalytics_algos::evo::forest_fire(
+                &graph,
+                *new_vertices,
+                *p_forward,
+                *max_burst,
+                *seed,
+            )));
+        }
+        let n = graph.num_vertices();
+        let part = PartitionPlan::new(&graph, self.config.workers.max(1) as usize);
+        let cfg = MasterConfig {
+            workers: self.config.workers.max(1),
+            checkpoint_interval: self.config.checkpoint_interval,
+            max_supersteps: self.config.max_supersteps,
+            max_restarts: self.config.max_restarts,
+            worker_bin: self.resolve_worker_bin()?,
+            graph_prefix: loaded.prefix.clone(),
+            directed: graph.is_directed(),
+            weighted: loaded.weighted,
+            checkpoint_dir: loaded.dir.join(format!("run-{run_seq}")),
+        };
+        let fault_plan = ctx
+            .faults()
+            .map(|f| f.plan().clone())
+            .unwrap_or_else(FaultPlan::disabled);
+        let output = match algorithm {
+            Algorithm::Stats => {
+                let (states, _stats) =
+                    run_fleet::<f64>(&cfg, algorithm, &fault_plan, &part, ctx, n)?;
+                let mean = if n == 0 {
+                    0.0
+                } else {
+                    states.iter().sum::<f64>() / n as f64
+                };
+                Output::Stats(graphalytics_algos::StatsResult {
+                    num_vertices: n,
+                    num_edges: graph.num_edges(),
+                    mean_local_cc: mean,
+                })
+            }
+            Algorithm::Bfs { .. } => {
+                let (states, _stats) =
+                    run_fleet::<i64>(&cfg, algorithm, &fault_plan, &part, ctx, n)?;
+                Output::Depths(states)
+            }
+            Algorithm::Conn => {
+                let (states, _stats) =
+                    run_fleet::<u32>(&cfg, algorithm, &fault_plan, &part, ctx, n)?;
+                Output::Components(states)
+            }
+            Algorithm::Cd { .. } => {
+                let (states, _stats) =
+                    run_fleet::<CdState>(&cfg, algorithm, &fault_plan, &part, ctx, n)?;
+                Output::Communities(states.iter().map(|s| s.label).collect())
+            }
+            Algorithm::Sssp { .. } => {
+                let (states, _stats) =
+                    run_fleet::<u64>(&cfg, algorithm, &fault_plan, &part, ctx, n)?;
+                Output::Distances(states)
+            }
+            Algorithm::Lcc => {
+                let (states, _stats) =
+                    run_fleet::<f64>(&cfg, algorithm, &fault_plan, &part, ctx, n)?;
+                Output::LocalClustering(states)
+            }
+            Algorithm::PageRank { .. } => {
+                let (states, _stats) =
+                    run_fleet::<f64>(&cfg, algorithm, &fault_plan, &part, ctx, n)?;
+                Output::Ranks(states)
+            }
+            Algorithm::Evo { .. } => unreachable!("handled above"),
+        };
+        let _ = std::fs::remove_dir_all(&cfg.checkpoint_dir);
+        Ok(output)
+    }
+
+    fn unload(&mut self, handle: GraphHandle) {
+        if let Some(loaded) = self.graphs.remove(&handle.0) {
+            let _ = std::fs::remove_dir_all(&loaded.dir);
+        }
+    }
+}
+
+impl Drop for DistributedPlatform {
+    fn drop(&mut self) {
+        for loaded in self.graphs.values() {
+            let _ = std::fs::remove_dir_all(&loaded.dir);
+        }
+    }
+}
+
+/// Runs the fleet unless the graph is empty — an empty dataset needs no
+/// worker processes, and the in-process engine likewise returns the empty
+/// state vector without a single superstep.
+fn run_fleet<S: graphalytics_core::faults::CheckpointCodec + Clone>(
+    cfg: &MasterConfig,
+    algorithm: &Algorithm,
+    fault_plan: &FaultPlan,
+    part: &PartitionPlan,
+    ctx: &RunContext,
+    n: usize,
+) -> Result<(Vec<S>, MasterStats), PlatformError> {
+    if n == 0 {
+        ctx.check_deadline()?;
+        return Ok((Vec::new(), MasterStats::default()));
+    }
+    coordinate::<S>(cfg, algorithm, fault_plan, part, ctx)
+}

@@ -1,0 +1,33 @@
+//! # graphalytics-distrib
+//!
+//! True multi-process distributed execution: the Pregel engine as one
+//! master process and N worker processes exchanging superstep messages
+//! over a length-prefixed binary protocol on localhost TCP.
+//!
+//! * [`protocol`] — framed wire codec: version/type-tagged, CRC-checked
+//!   payloads in the checkpoint-codec encoding;
+//! * [`partition`] — deterministic vertex→worker assignment (computed
+//!   independently by master and workers) and ordered output merge;
+//! * [`worker`] — the worker process: local compute over its partition,
+//!   message shuffle to peers, checkpoint write/restore;
+//! * [`master`] — partition planning, superstep barrier, checkpoint
+//!   coordination, worker health tracking, fleet restart recovery;
+//! * [`driver`] — the self-spawning harness: [`DistributedPlatform`]
+//!   implements the `Platform` API by forking `gx-distrib-worker`
+//!   processes.
+//!
+//! Determinism is load-bearing: workers iterate partitions in ascending
+//! internal-id order, shuffle batches apply in sender-worker-id order, and
+//! the master folds aggregates in worker-id order, so an N-process run's
+//! output is byte-identical to the in-process engine's with N workers.
+
+pub mod driver;
+pub mod master;
+pub mod partition;
+pub mod protocol;
+pub mod worker;
+
+pub use driver::{DistribConfig, DistributedPlatform};
+pub use master::{coordinate, MasterConfig, MasterStats};
+pub use partition::PartitionPlan;
+pub use protocol::{read_frame, write_frame, Frame, PlanFrame, StepReport};

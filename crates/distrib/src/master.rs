@@ -1,0 +1,566 @@
+//! The master process side: spawns the worker fleet, drives the superstep
+//! barrier, coordinates checkpoints, and restarts the fleet from the last
+//! complete checkpoint when a worker process dies.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+// lint:allow(determinism-time): socket timeouts bound the wait for lost workers
+use std::time::Duration;
+
+use graphalytics_algos::Algorithm;
+use graphalytics_core::faults::{CheckpointCodec, FaultPlan, FaultSite, RecoveryAction};
+use graphalytics_core::platform::{PlatformError, RunContext};
+
+use crate::partition::PartitionPlan;
+use crate::protocol::{decode_blob, read_frame, write_frame, Frame, PlanFrame, StepReport};
+use crate::worker::io_timeout;
+
+/// Master-side configuration for one distributed run.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// Worker process count.
+    pub workers: u32,
+    /// Checkpoint every N supersteps (`None` never checkpoints — and a
+    /// worker loss then fails the run, as in the in-process engine).
+    pub checkpoint_interval: Option<u64>,
+    /// Hard superstep cap.
+    pub max_supersteps: u64,
+    /// Fleet restarts allowed before a worker loss escalates.
+    pub max_restarts: u32,
+    /// Path of the `gx-distrib-worker` binary.
+    pub worker_bin: PathBuf,
+    /// Dataset prefix workers read (`prefix.v` / `prefix.e`).
+    pub graph_prefix: PathBuf,
+    /// Whether the dataset is directed.
+    pub directed: bool,
+    /// Whether the edge file carries weights.
+    pub weighted: bool,
+    /// Directory for checkpoint files.
+    pub checkpoint_dir: PathBuf,
+}
+
+/// Fleet-level execution statistics of one coordinated run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MasterStats {
+    /// Supersteps executed (re-executed supersteps count again).
+    pub supersteps: u64,
+    /// Total messages generated.
+    pub messages_total: u64,
+    /// Messages that crossed worker processes.
+    pub messages_remote: u64,
+    /// Real wire bytes: shuffle frames between workers plus control frames
+    /// on the master connections.
+    pub network_bytes: u64,
+    /// Fleet restarts performed (checkpoint recoveries).
+    pub restarts: u32,
+}
+
+/// The label every distributed-runtime metric carries.
+pub const PLATFORM_LABEL: (&str, &str) = ("platform", "distributed-pregel");
+
+struct Fleet {
+    children: Vec<Child>,
+    conns: Vec<TcpStream>,
+    /// Fleet-wide runnable-vertex count reported at `Ready`.
+    runnable: u64,
+    /// Control-plane wire bytes (frames sent and received on the master
+    /// connections) since the last [`Fleet::take_control_bytes`].
+    control_bytes: u64,
+}
+
+impl Fleet {
+    /// Forks `workers` processes, completes the handshake (`Hello` →
+    /// `Plan` → `Ready` → `Peers` → `MeshReady`), and returns the
+    /// connected fleet.
+    fn launch(
+        cfg: &MasterConfig,
+        algorithm: &Algorithm,
+        fault_plan: &FaultPlan,
+        incarnation: u32,
+        resume: Option<(u64, f64)>,
+    ) -> Result<Fleet, PlatformError> {
+        let workers = cfg.workers.max(1) as usize;
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| PlatformError::TransientIo(format!("bind control: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| PlatformError::TransientIo(format!("control addr: {e}")))?;
+        let mut children = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let mut command = Command::new(&cfg.worker_bin);
+            command
+                .arg(format!("--master={addr}"))
+                .arg(format!("--worker={w}"))
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit());
+            // lint:allow(spawn-audit): forking the worker fleet is the point of this runtime
+            let child = command.spawn().map_err(|e| {
+                PlatformError::Unsupported(format!(
+                    "cannot spawn worker binary {}: {e}",
+                    cfg.worker_bin.display()
+                ))
+            })?;
+            children.push(child);
+        }
+        let mut fleet = Fleet {
+            children,
+            conns: Vec::new(),
+            runnable: 0,
+            control_bytes: 0,
+        };
+        // Accept one control connection per worker; identify by Hello.
+        let mut conns: Vec<Option<TcpStream>> = (0..workers).map(|_| None).collect();
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| PlatformError::TransientIo(e.to_string()))?;
+        let poll = Duration::from_millis(5);
+        let mut budget = io_timeout().as_millis() / 5 + 1;
+        let mut accepted = 0usize;
+        while accepted < workers {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .and_then(|()| stream.set_read_timeout(Some(io_timeout())))
+                        .map_err(|e| PlatformError::TransientIo(e.to_string()))?;
+                    let mut stream = stream;
+                    let frame = fleet.read_from(&mut stream).map_err(|e| {
+                        fleet.kill();
+                        PlatformError::TransientIo(format!("worker hello: {e}"))
+                    })?;
+                    let w = match frame {
+                        Frame::Hello { worker } => worker as usize,
+                        other => {
+                            fleet.kill();
+                            return Err(PlatformError::Internal(format!(
+                                "expected Hello, got tag {}",
+                                other.tag()
+                            )));
+                        }
+                    };
+                    if w >= workers || conns[w].is_some() {
+                        fleet.kill();
+                        return Err(PlatformError::Internal(format!(
+                            "unexpected hello from worker {w}"
+                        )));
+                    }
+                    conns[w] = Some(stream);
+                    accepted += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    budget = budget.saturating_sub(1);
+                    if budget == 0 {
+                        fleet.kill();
+                        return Err(PlatformError::TransientIo(
+                            "timed out waiting for worker fleet to connect".to_string(),
+                        ));
+                    }
+                    std::thread::sleep(poll);
+                }
+                Err(e) => {
+                    fleet.kill();
+                    return Err(PlatformError::TransientIo(format!("accept: {e}")));
+                }
+            }
+        }
+        fleet.conns = conns.into_iter().flatten().collect();
+        // Hand every worker its plan.
+        for w in 0..workers {
+            let plan = Frame::Plan(PlanFrame {
+                worker: w as u32,
+                workers: workers as u32,
+                algorithm: algorithm.clone(),
+                graph_prefix: cfg.graph_prefix.display().to_string(),
+                directed: cfg.directed,
+                weighted: cfg.weighted,
+                checkpoint_dir: cfg.checkpoint_dir.display().to_string(),
+                checkpoint_interval: cfg.checkpoint_interval.unwrap_or(0),
+                incarnation,
+                resume: resume.is_some(),
+                resume_superstep: resume.map_or(0, |r| r.0),
+                fault_plan: fault_plan.clone(),
+            });
+            if let Err(e) = fleet.send_to(w, &plan) {
+                fleet.kill();
+                return Err(PlatformError::TransientIo(format!("send plan to {w}: {e}")));
+            }
+        }
+        // Collect Ready (peer ports + runnable counts), broadcast the
+        // port map, and wait for every worker's mesh.
+        let mut ports = vec![0u32; workers];
+        for (w, port) in ports.iter_mut().enumerate() {
+            match fleet.recv_from(w) {
+                Ok(Frame::Ready {
+                    peer_port,
+                    runnable,
+                }) => {
+                    *port = peer_port;
+                    fleet.runnable += runnable;
+                }
+                Ok(other) => {
+                    fleet.kill();
+                    return Err(PlatformError::Internal(format!(
+                        "expected Ready from {w}, got tag {}",
+                        other.tag()
+                    )));
+                }
+                Err(e) => {
+                    fleet.kill();
+                    return Err(PlatformError::TransientIo(format!("ready from {w}: {e}")));
+                }
+            }
+        }
+        let peers = Frame::Peers { ports };
+        for w in 0..workers {
+            if let Err(e) = fleet.send_to(w, &peers) {
+                fleet.kill();
+                return Err(PlatformError::TransientIo(format!(
+                    "send peers to {w}: {e}"
+                )));
+            }
+        }
+        for w in 0..workers {
+            match fleet.recv_from(w) {
+                Ok(Frame::MeshReady) => {}
+                Ok(other) => {
+                    fleet.kill();
+                    return Err(PlatformError::Internal(format!(
+                        "expected MeshReady from {w}, got tag {}",
+                        other.tag()
+                    )));
+                }
+                Err(e) => {
+                    fleet.kill();
+                    return Err(PlatformError::TransientIo(format!("mesh from {w}: {e}")));
+                }
+            }
+        }
+        Ok(fleet)
+    }
+
+    fn read_from(&mut self, stream: &mut TcpStream) -> io::Result<Frame> {
+        let frame = read_frame(stream)?;
+        self.control_bytes += frame.encode().len() as u64;
+        Ok(frame)
+    }
+
+    fn send_to(&mut self, w: usize, frame: &Frame) -> io::Result<()> {
+        let n = write_frame(&mut self.conns[w], frame)?;
+        self.control_bytes += n as u64;
+        Ok(())
+    }
+
+    fn recv_from(&mut self, w: usize) -> io::Result<Frame> {
+        let frame = read_frame(&mut self.conns[w])?;
+        self.control_bytes += frame.encode().len() as u64;
+        Ok(frame)
+    }
+
+    fn take_control_bytes(&mut self) -> u64 {
+        std::mem::take(&mut self.control_bytes)
+    }
+
+    /// First child that has exited, if any, with its exit code.
+    fn first_dead(&mut self) -> Option<(u32, Option<i32>)> {
+        for (w, child) in self.children.iter_mut().enumerate() {
+            if let Ok(Some(status)) = child.try_wait() {
+                return Some((w as u32, status.code()));
+            }
+        }
+        None
+    }
+
+    /// Kills and reaps every worker process.
+    fn kill(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+        }
+        for child in &mut self.children {
+            let _ = child.wait();
+        }
+    }
+}
+
+/// What interrupted a barrier collection: the lost worker, or a hard error.
+enum Loss {
+    Worker(u32),
+    Fatal(PlatformError),
+}
+
+/// Runs `algorithm` on a fleet of worker processes to completion and
+/// returns the merged global state vector (internal-id order — the same
+/// vector the in-process engine returns) plus fleet statistics.
+///
+/// Recovery is a *fleet restart*: when a worker process dies, the fleet is
+/// killed, the incarnation counter bumps, and a fresh fleet resumes from
+/// the last superstep whose checkpoints all landed. Without a complete
+/// checkpoint (or past the restart budget) the loss escalates as
+/// [`PlatformError::WorkerLost`].
+pub fn coordinate<S: CheckpointCodec + Clone>(
+    cfg: &MasterConfig,
+    algorithm: &Algorithm,
+    fault_plan: &FaultPlan,
+    part: &PartitionPlan,
+    ctx: &RunContext,
+) -> Result<(Vec<S>, MasterStats), PlatformError> {
+    let workers = cfg.workers.max(1) as usize;
+    let mut stats = MasterStats::default();
+    let mut incarnation = 0u32;
+    let mut resume: Option<(u64, f64)> = None;
+    'fleet: loop {
+        ctx.check_deadline()?;
+        let mut fleet = Fleet::launch(cfg, algorithm, fault_plan, incarnation, resume)?;
+        let mut superstep = resume.map_or(0, |r| r.0);
+        let mut prev_aggregate = resume.map_or(0.0, |r| r.1);
+        let mut last_checkpoint = resume;
+        let mut runnable = fleet.runnable > 0;
+        let outcome: Result<(), Loss> = 'steps: loop {
+            if !runnable || superstep >= cfg.max_supersteps {
+                break 'steps Ok(());
+            }
+            if let Err(e) = ctx.check_deadline() {
+                break 'steps Err(Loss::Fatal(e));
+            }
+            let checkpoint = cfg
+                .checkpoint_interval
+                .is_some_and(|i| i > 0 && superstep.is_multiple_of(i));
+            let start = Frame::StartSuperstep {
+                superstep,
+                prev_aggregate,
+                checkpoint,
+            };
+            for w in 0..workers {
+                if let Err(_e) = fleet.send_to(w, &start) {
+                    break 'steps Err(Loss::Worker(w as u32));
+                }
+            }
+            if checkpoint {
+                let mut total = 0u64;
+                let mut lost = None;
+                for w in 0..workers {
+                    match fleet.recv_from(w) {
+                        Ok(Frame::CheckpointDone {
+                            superstep: s,
+                            bytes,
+                        }) if s == superstep => total += bytes,
+                        Ok(other) => {
+                            break 'steps Err(Loss::Fatal(PlatformError::Internal(format!(
+                                "expected CheckpointDone from {w}, got tag {}",
+                                other.tag()
+                            ))))
+                        }
+                        Err(_) => {
+                            lost = Some(w as u32);
+                            break;
+                        }
+                    }
+                }
+                if let Some(w) = lost {
+                    break 'steps Err(Loss::Worker(w));
+                }
+                // All N checkpoint files are durable: this superstep is now
+                // the fleet's restore point.
+                ctx.note_checkpoint(superstep, total as usize);
+                last_checkpoint = Some((superstep, prev_aggregate));
+            }
+            let mut reports: Vec<StepReport> = Vec::with_capacity(workers);
+            for w in 0..workers {
+                match fleet.recv_from(w) {
+                    Ok(Frame::StepDone(r)) if r.superstep == superstep => reports.push(r),
+                    Ok(other) => {
+                        break 'steps Err(Loss::Fatal(PlatformError::Internal(format!(
+                            "expected StepDone from {w}, got tag {}",
+                            other.tag()
+                        ))))
+                    }
+                    Err(_) => break 'steps Err(Loss::Worker(w as u32)),
+                }
+            }
+            // Barrier bookkeeping: aggregates fold in worker-id order so
+            // the f64 sum is bitwise-identical to the in-process engine's.
+            let computed: u64 = reports.iter().map(|r| r.computed).sum();
+            let active_after: u64 = reports.iter().map(|r| r.active_after).sum();
+            let sent: u64 = reports.iter().map(|r| r.sent).sum();
+            let remote: u64 = reports.iter().map(|r| r.sent_remote).sum();
+            let shuffle_bytes: u64 = reports.iter().map(|r| r.bytes_sent).sum();
+            let step_aggregate: f64 = reports.iter().map(|r| r.aggregate).sum();
+            let step_bytes = shuffle_bytes + fleet.take_control_bytes();
+            let mut span = ctx.tracer().span("distrib.superstep");
+            span.field("superstep", superstep)
+                .field("active_vertices", computed)
+                .field("messages_sent", sent)
+                .field("messages_remote", remote)
+                .field("network_bytes", step_bytes)
+                .field("aggregate", step_aggregate)
+                .field("seq_accesses", computed)
+                .field("rand_accesses", sent);
+            let span_id = span.id();
+            for (w, r) in reports.iter().enumerate() {
+                ctx.tracer().event(
+                    "distrib.task",
+                    span_id,
+                    vec![
+                        ("worker".to_string(), (w as u64).into()),
+                        ("work".to_string(), r.computed.into()),
+                        ("messages".to_string(), r.sent.into()),
+                    ],
+                );
+            }
+            let metrics = ctx.tracer().metrics();
+            metrics.inc_counter(
+                "graphalytics_network_bytes_total",
+                &[PLATFORM_LABEL],
+                step_bytes,
+            );
+            metrics.inc_counter(
+                "graphalytics_network_messages_total",
+                &[PLATFORM_LABEL],
+                remote,
+            );
+            stats.supersteps += 1;
+            stats.messages_total += sent;
+            stats.messages_remote += remote;
+            stats.network_bytes += step_bytes;
+            prev_aggregate = step_aggregate;
+            runnable = sent > 0 || active_after > 0;
+            superstep += 1;
+        };
+        match outcome {
+            Ok(()) => {
+                // Drain final states from every worker.
+                let mut per_worker: Vec<Vec<S>> = Vec::with_capacity(workers);
+                let mut lost = None;
+                for w in 0..workers {
+                    if fleet.send_to(w, &Frame::Finish).is_err() {
+                        lost = Some(w as u32);
+                        break;
+                    }
+                    match fleet.recv_from(w) {
+                        Ok(Frame::Output { worker, states }) if worker as usize == w => {
+                            match decode_blob::<Vec<S>>(&states) {
+                                Some(v) => per_worker.push(v),
+                                None => {
+                                    fleet.kill();
+                                    return Err(PlatformError::Internal(format!(
+                                        "corrupt output blob from worker {w}"
+                                    )));
+                                }
+                            }
+                        }
+                        Ok(other) => {
+                            fleet.kill();
+                            return Err(PlatformError::Internal(format!(
+                                "expected Output from {w}, got tag {}",
+                                other.tag()
+                            )));
+                        }
+                        Err(_) => {
+                            lost = Some(w as u32);
+                            break;
+                        }
+                    }
+                }
+                if let Some(w) = lost {
+                    let plan = recover(
+                        cfg,
+                        fault_plan,
+                        &mut fleet,
+                        w,
+                        superstep,
+                        incarnation,
+                        last_checkpoint,
+                        ctx,
+                    )?;
+                    incarnation += 1;
+                    stats.restarts += 1;
+                    resume = Some(plan.resume_from);
+                    continue 'fleet;
+                }
+                stats.network_bytes += fleet.take_control_bytes();
+                fleet.kill();
+                let merged = part
+                    .merge(&per_worker)
+                    .ok_or_else(|| PlatformError::Internal("output size mismatch".to_string()))?;
+                return Ok((merged, stats));
+            }
+            Err(Loss::Fatal(e)) => {
+                fleet.kill();
+                return Err(e);
+            }
+            Err(Loss::Worker(w)) => {
+                let plan = recover(
+                    cfg,
+                    fault_plan,
+                    &mut fleet,
+                    w,
+                    superstep,
+                    incarnation,
+                    last_checkpoint,
+                    ctx,
+                )?;
+                incarnation += 1;
+                stats.restarts += 1;
+                resume = Some(plan.resume_from);
+                continue 'fleet;
+            }
+        }
+    }
+}
+
+/// A decided fleet restart: where the next incarnation resumes.
+struct RecoveryPlan {
+    resume_from: (u64, f64),
+}
+
+/// Attributes a worker loss, records the injection and recovery against the
+/// run context, and either green-lights a fleet restart or escalates.
+#[allow(clippy::too_many_arguments)]
+fn recover(
+    cfg: &MasterConfig,
+    fault_plan: &FaultPlan,
+    fleet: &mut Fleet,
+    eof_worker: u32,
+    superstep: u64,
+    incarnation: u32,
+    last_checkpoint: Option<(u64, f64)>,
+    ctx: &RunContext,
+) -> Result<RecoveryPlan, PlatformError> {
+    // Attribute the loss. The fault plan is pure, so the master re-derives
+    // which worker the plan killed this superstep — scanning worker ids in
+    // ascending order, exactly like the in-process engine's probe — and
+    // only falls back to observed child exits for unplanned deaths.
+    let planned = (0..cfg.workers.max(1)).find(|&w| {
+        fault_plan.enabled()
+            && fault_plan.decides(&FaultSite::PregelWorker {
+                superstep,
+                worker: w,
+                incarnation,
+            })
+    });
+    let dead = planned
+        .or_else(|| fleet.first_dead().map(|(w, _)| w))
+        .unwrap_or(eof_worker);
+    let site = FaultSite::PregelWorker {
+        superstep,
+        worker: dead,
+        incarnation,
+    };
+    // Record the injection (the injector's log is the seed-stability
+    // evidence); for a planned site this returns the transient error the
+    // plan dictates, which recovery absorbs.
+    let injected_err = ctx.inject(site.clone()).err();
+    fleet.kill();
+    match last_checkpoint {
+        Some(resume_from) if incarnation < cfg.max_restarts => {
+            ctx.note_recovery(RecoveryAction::CheckpointRestart, Some(site), 0);
+            Ok(RecoveryPlan { resume_from })
+        }
+        _ => Err(injected_err.unwrap_or(PlatformError::WorkerLost {
+            worker: dead,
+            superstep: superstep as usize,
+        })),
+    }
+}

@@ -1,0 +1,794 @@
+//! Framed wire protocol for the distributed Pregel runtime.
+//!
+//! Every frame on a master↔worker or worker↔worker TCP connection is:
+//!
+//! ```text
+//! magic   u32 LE   0x4758_4450 ("GXDP")
+//! version u32 LE   1
+//! tag     u8       frame type (see [`Frame`])
+//! length  u64 LE   payload byte count
+//! crc     u32 LE   CRC-32 (IEEE) of the payload
+//! payload [u8]     fields encoded with the checkpoint codec (LE, fixed width)
+//! ```
+//!
+//! The payload reuses [`CheckpointCodec`] — the same little-endian
+//! fixed-width encoding the fault-tolerance snapshots use — so vertex
+//! states and messages travel the wire exactly as they rest on disk.
+//! Decoding rejects wrong magic, unknown versions or tags, CRC mismatches,
+//! truncation, and trailing payload bytes.
+
+use graphalytics_algos::Algorithm;
+use graphalytics_core::faults::{CheckpointCodec, FaultPlan};
+use std::io::{self, Read, Write};
+
+/// Frame magic: `"GXDP"` (GraphalyticX Distributed Pregel).
+pub const MAGIC: u32 = 0x4758_4450;
+/// Wire protocol version. Bump on any layout change.
+pub const VERSION: u32 = 1;
+/// Upper bound on a payload length; larger claims are treated as corrupt
+/// framing rather than honored with a giant allocation.
+pub const MAX_PAYLOAD: u64 = 1 << 33;
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// The run plan a master hands each worker right after `Hello`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanFrame {
+    /// This worker's id (0-based).
+    pub worker: u32,
+    /// Fleet size.
+    pub workers: u32,
+    /// The kernel to run.
+    pub algorithm: Algorithm,
+    /// Dataset path prefix (the worker reads `prefix.v` / `prefix.e`).
+    pub graph_prefix: String,
+    /// Whether the dataset is directed.
+    pub directed: bool,
+    /// Whether the edge file carries weights.
+    pub weighted: bool,
+    /// Directory for checkpoint files.
+    pub checkpoint_dir: String,
+    /// Checkpoint every N supersteps; 0 disables checkpointing.
+    pub checkpoint_interval: u64,
+    /// Fleet incarnation (bumped on every checkpoint restart).
+    pub incarnation: u32,
+    /// Restore local state from the checkpoint at this superstep.
+    pub resume: bool,
+    /// The superstep to restore when `resume` is set.
+    pub resume_superstep: u64,
+    /// Fault plan (workers probe their own crash sites).
+    pub fault_plan: FaultPlan,
+}
+
+/// Per-superstep result summary a worker reports at the barrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// The superstep this report closes.
+    pub superstep: u64,
+    /// Vertices computed (runnable) this superstep.
+    pub computed: u64,
+    /// Vertices still active after applying updates.
+    pub active_after: u64,
+    /// Messages generated.
+    pub sent: u64,
+    /// Messages whose destination lives on another worker.
+    pub sent_remote: u64,
+    /// Wire bytes of shuffle frames sent to *other* workers.
+    pub bytes_sent: u64,
+    /// This worker's aggregator contribution.
+    pub aggregate: f64,
+}
+
+/// One protocol frame. Tag values are part of the wire format and must
+/// never be reused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker → master: first frame on the control connection.
+    Hello {
+        /// The connecting worker's id.
+        worker: u32,
+    },
+    /// Master → worker: the run plan.
+    Plan(PlanFrame),
+    /// Worker → master: graph loaded, peer listener bound.
+    Ready {
+        /// Port of the worker's peer-mesh listener on 127.0.0.1.
+        peer_port: u32,
+        /// Local runnable-vertex count (active or with pending messages).
+        runnable: u64,
+    },
+    /// Master → worker: peer listener ports, indexed by worker id.
+    Peers {
+        /// `ports[w]` is worker `w`'s peer listener port.
+        ports: Vec<u32>,
+    },
+    /// Worker → master: all peer connections established.
+    MeshReady,
+    /// Master → worker: run one superstep.
+    StartSuperstep {
+        /// Superstep number.
+        superstep: u64,
+        /// Global aggregate from the previous superstep.
+        prev_aggregate: f64,
+        /// Write a checkpoint before computing.
+        checkpoint: bool,
+    },
+    /// Worker → master: checkpoint written durably.
+    CheckpointDone {
+        /// Superstep the checkpoint captures.
+        superstep: u64,
+        /// Encoded snapshot size.
+        bytes: u64,
+    },
+    /// Worker → master: superstep finished.
+    StepDone(StepReport),
+    /// Master → worker: send final states and exit.
+    Finish,
+    /// Worker → master: final vertex states for the worker's partition, in
+    /// partition-list order, as a checkpoint-codec blob.
+    Output {
+        /// Reporting worker.
+        worker: u32,
+        /// Encoded `Vec<State>`.
+        states: Vec<u8>,
+    },
+    /// Worker → worker: one superstep's message batch.
+    Shuffle {
+        /// Sending worker.
+        from: u32,
+        /// Superstep the batch belongs to.
+        superstep: u64,
+        /// Encoded `Vec<(Vid, Message)>` in generation order.
+        batch: Vec<u8>,
+    },
+    /// Worker → worker: identifies the dialing side of a mesh connection.
+    PeerHello {
+        /// The dialing worker's id.
+        from: u32,
+    },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_PLAN: u8 = 2;
+const TAG_READY: u8 = 3;
+const TAG_PEERS: u8 = 4;
+const TAG_MESH_READY: u8 = 5;
+const TAG_START_SUPERSTEP: u8 = 6;
+const TAG_CHECKPOINT_DONE: u8 = 7;
+const TAG_STEP_DONE: u8 = 8;
+const TAG_FINISH: u8 = 9;
+const TAG_OUTPUT: u8 = 10;
+const TAG_SHUFFLE: u8 = 11;
+const TAG_PEER_HELLO: u8 = 12;
+
+fn put_bytes(b: &[u8], out: &mut Vec<u8>) {
+    (b.len() as u64).encode_into(out);
+    out.extend_from_slice(b);
+}
+
+fn get_bytes(buf: &[u8], pos: &mut usize) -> Option<Vec<u8>> {
+    let len = u64::decode_from(buf, pos)? as usize;
+    let end = pos.checked_add(len)?;
+    if end > buf.len() {
+        return None;
+    }
+    let b = buf[*pos..end].to_vec();
+    *pos = end;
+    Some(b)
+}
+
+fn put_str(s: &str, out: &mut Vec<u8>) {
+    put_bytes(s.as_bytes(), out);
+}
+
+fn get_str(buf: &[u8], pos: &mut usize) -> Option<String> {
+    String::from_utf8(get_bytes(buf, pos)?).ok()
+}
+
+/// Stable numbered-tag encoding of [`Algorithm`] (tag values are wire
+/// format; `usize` parameters travel as `u64`).
+pub fn encode_algorithm(alg: &Algorithm, out: &mut Vec<u8>) {
+    match alg {
+        Algorithm::Stats => 0u8.encode_byte(out),
+        Algorithm::Bfs { source } => {
+            1u8.encode_byte(out);
+            source.encode_into(out);
+        }
+        Algorithm::Conn => 2u8.encode_byte(out),
+        Algorithm::Cd {
+            iterations,
+            hop_attenuation,
+            degree_exponent,
+        } => {
+            3u8.encode_byte(out);
+            (*iterations as u64).encode_into(out);
+            hop_attenuation.encode_into(out);
+            degree_exponent.encode_into(out);
+        }
+        Algorithm::Evo {
+            new_vertices,
+            p_forward,
+            max_burst,
+            seed,
+        } => {
+            4u8.encode_byte(out);
+            (*new_vertices as u64).encode_into(out);
+            p_forward.encode_into(out);
+            (*max_burst as u64).encode_into(out);
+            seed.encode_into(out);
+        }
+        Algorithm::PageRank {
+            iterations,
+            damping,
+        } => {
+            5u8.encode_byte(out);
+            (*iterations as u64).encode_into(out);
+            damping.encode_into(out);
+        }
+        Algorithm::Sssp { source } => {
+            6u8.encode_byte(out);
+            source.encode_into(out);
+        }
+        Algorithm::Lcc => 7u8.encode_byte(out),
+    }
+}
+
+/// Decodes an [`Algorithm`] written by [`encode_algorithm`].
+pub fn decode_algorithm(buf: &[u8], pos: &mut usize) -> Option<Algorithm> {
+    let tag = take_byte(buf, pos)?;
+    Some(match tag {
+        0 => Algorithm::Stats,
+        1 => Algorithm::Bfs {
+            source: u64::decode_from(buf, pos)?,
+        },
+        2 => Algorithm::Conn,
+        3 => Algorithm::Cd {
+            iterations: u64::decode_from(buf, pos)? as usize,
+            hop_attenuation: f64::decode_from(buf, pos)?,
+            degree_exponent: f64::decode_from(buf, pos)?,
+        },
+        4 => Algorithm::Evo {
+            new_vertices: u64::decode_from(buf, pos)? as usize,
+            p_forward: f64::decode_from(buf, pos)?,
+            max_burst: u64::decode_from(buf, pos)? as usize,
+            seed: u64::decode_from(buf, pos)?,
+        },
+        5 => Algorithm::PageRank {
+            iterations: u64::decode_from(buf, pos)? as usize,
+            damping: f64::decode_from(buf, pos)?,
+        },
+        6 => Algorithm::Sssp {
+            source: u64::decode_from(buf, pos)?,
+        },
+        7 => Algorithm::Lcc,
+        _ => return None,
+    })
+}
+
+trait ByteExt {
+    fn encode_byte(self, out: &mut Vec<u8>);
+}
+
+impl ByteExt for u8 {
+    fn encode_byte(self, out: &mut Vec<u8>) {
+        out.push(self);
+    }
+}
+
+fn take_byte(buf: &[u8], pos: &mut usize) -> Option<u8> {
+    let b = *buf.get(*pos)?;
+    *pos += 1;
+    Some(b)
+}
+
+impl Frame {
+    /// Frame-type tag (wire format).
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => TAG_HELLO,
+            Frame::Plan(_) => TAG_PLAN,
+            Frame::Ready { .. } => TAG_READY,
+            Frame::Peers { .. } => TAG_PEERS,
+            Frame::MeshReady => TAG_MESH_READY,
+            Frame::StartSuperstep { .. } => TAG_START_SUPERSTEP,
+            Frame::CheckpointDone { .. } => TAG_CHECKPOINT_DONE,
+            Frame::StepDone(_) => TAG_STEP_DONE,
+            Frame::Finish => TAG_FINISH,
+            Frame::Output { .. } => TAG_OUTPUT,
+            Frame::Shuffle { .. } => TAG_SHUFFLE,
+            Frame::PeerHello { .. } => TAG_PEER_HELLO,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Hello { worker } => worker.encode_into(&mut out),
+            Frame::Plan(p) => {
+                p.worker.encode_into(&mut out);
+                p.workers.encode_into(&mut out);
+                encode_algorithm(&p.algorithm, &mut out);
+                put_str(&p.graph_prefix, &mut out);
+                p.directed.encode_into(&mut out);
+                p.weighted.encode_into(&mut out);
+                put_str(&p.checkpoint_dir, &mut out);
+                p.checkpoint_interval.encode_into(&mut out);
+                p.incarnation.encode_into(&mut out);
+                p.resume.encode_into(&mut out);
+                p.resume_superstep.encode_into(&mut out);
+                p.fault_plan.encode_into(&mut out);
+            }
+            Frame::Ready {
+                peer_port,
+                runnable,
+            } => {
+                peer_port.encode_into(&mut out);
+                runnable.encode_into(&mut out);
+            }
+            Frame::Peers { ports } => ports.encode_into(&mut out),
+            Frame::MeshReady | Frame::Finish => {}
+            Frame::StartSuperstep {
+                superstep,
+                prev_aggregate,
+                checkpoint,
+            } => {
+                superstep.encode_into(&mut out);
+                prev_aggregate.encode_into(&mut out);
+                checkpoint.encode_into(&mut out);
+            }
+            Frame::CheckpointDone { superstep, bytes } => {
+                superstep.encode_into(&mut out);
+                bytes.encode_into(&mut out);
+            }
+            Frame::StepDone(r) => {
+                r.superstep.encode_into(&mut out);
+                r.computed.encode_into(&mut out);
+                r.active_after.encode_into(&mut out);
+                r.sent.encode_into(&mut out);
+                r.sent_remote.encode_into(&mut out);
+                r.bytes_sent.encode_into(&mut out);
+                r.aggregate.encode_into(&mut out);
+            }
+            Frame::Output { worker, states } => {
+                worker.encode_into(&mut out);
+                put_bytes(states, &mut out);
+            }
+            Frame::Shuffle {
+                from,
+                superstep,
+                batch,
+            } => {
+                from.encode_into(&mut out);
+                superstep.encode_into(&mut out);
+                put_bytes(batch, &mut out);
+            }
+            Frame::PeerHello { from } => from.encode_into(&mut out),
+        }
+        out
+    }
+
+    fn decode_payload(tag: u8, buf: &[u8]) -> Option<Frame> {
+        let mut pos = 0usize;
+        let frame = match tag {
+            TAG_HELLO => Frame::Hello {
+                worker: u32::decode_from(buf, &mut pos)?,
+            },
+            TAG_PLAN => Frame::Plan(PlanFrame {
+                worker: u32::decode_from(buf, &mut pos)?,
+                workers: u32::decode_from(buf, &mut pos)?,
+                algorithm: decode_algorithm(buf, &mut pos)?,
+                graph_prefix: get_str(buf, &mut pos)?,
+                directed: bool::decode_from(buf, &mut pos)?,
+                weighted: bool::decode_from(buf, &mut pos)?,
+                checkpoint_dir: get_str(buf, &mut pos)?,
+                checkpoint_interval: u64::decode_from(buf, &mut pos)?,
+                incarnation: u32::decode_from(buf, &mut pos)?,
+                resume: bool::decode_from(buf, &mut pos)?,
+                resume_superstep: u64::decode_from(buf, &mut pos)?,
+                fault_plan: FaultPlan::decode_from(buf, &mut pos)?,
+            }),
+            TAG_READY => Frame::Ready {
+                peer_port: u32::decode_from(buf, &mut pos)?,
+                runnable: u64::decode_from(buf, &mut pos)?,
+            },
+            TAG_PEERS => Frame::Peers {
+                ports: Vec::<u32>::decode_from(buf, &mut pos)?,
+            },
+            TAG_MESH_READY => Frame::MeshReady,
+            TAG_START_SUPERSTEP => Frame::StartSuperstep {
+                superstep: u64::decode_from(buf, &mut pos)?,
+                prev_aggregate: f64::decode_from(buf, &mut pos)?,
+                checkpoint: bool::decode_from(buf, &mut pos)?,
+            },
+            TAG_CHECKPOINT_DONE => Frame::CheckpointDone {
+                superstep: u64::decode_from(buf, &mut pos)?,
+                bytes: u64::decode_from(buf, &mut pos)?,
+            },
+            TAG_STEP_DONE => Frame::StepDone(StepReport {
+                superstep: u64::decode_from(buf, &mut pos)?,
+                computed: u64::decode_from(buf, &mut pos)?,
+                active_after: u64::decode_from(buf, &mut pos)?,
+                sent: u64::decode_from(buf, &mut pos)?,
+                sent_remote: u64::decode_from(buf, &mut pos)?,
+                bytes_sent: u64::decode_from(buf, &mut pos)?,
+                aggregate: f64::decode_from(buf, &mut pos)?,
+            }),
+            TAG_FINISH => Frame::Finish,
+            TAG_OUTPUT => Frame::Output {
+                worker: u32::decode_from(buf, &mut pos)?,
+                states: get_bytes(buf, &mut pos)?,
+            },
+            TAG_SHUFFLE => Frame::Shuffle {
+                from: u32::decode_from(buf, &mut pos)?,
+                superstep: u64::decode_from(buf, &mut pos)?,
+                batch: get_bytes(buf, &mut pos)?,
+            },
+            TAG_PEER_HELLO => Frame::PeerHello {
+                from: u32::decode_from(buf, &mut pos)?,
+            },
+            _ => return None,
+        };
+        if pos != buf.len() {
+            return None; // trailing garbage
+        }
+        Some(frame)
+    }
+
+    /// Full wire encoding (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(21 + payload.len());
+        MAGIC.encode_into(&mut out);
+        VERSION.encode_into(&mut out);
+        out.push(self.tag());
+        (payload.len() as u64).encode_into(&mut out);
+        crc32(&payload).encode_into(&mut out);
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes one frame; returns the number of wire bytes written (the unit the
+/// network-volume accounting reports).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<usize> {
+    let bytes = frame.encode();
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Reads one frame, verifying magic, version, length, and CRC.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut header = [0u8; 21];
+    r.read_exact(&mut header)?;
+    let mut pos = 0usize;
+    let magic = u32::decode_from(&header, &mut pos).ok_or_else(|| bad("short header"))?;
+    if magic != MAGIC {
+        return Err(bad(format!("bad frame magic {magic:#010x}")));
+    }
+    let version = u32::decode_from(&header, &mut pos).ok_or_else(|| bad("short header"))?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported protocol version {version}")));
+    }
+    let tag = header[pos];
+    pos += 1;
+    let len = u64::decode_from(&header, &mut pos).ok_or_else(|| bad("short header"))?;
+    if len > MAX_PAYLOAD {
+        return Err(bad(format!("payload length {len} exceeds limit")));
+    }
+    let crc = u32::decode_from(&header, &mut pos).ok_or_else(|| bad("short header"))?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32(&payload) != crc {
+        return Err(bad("frame CRC mismatch"));
+    }
+    Frame::decode_payload(tag, &payload)
+        .ok_or_else(|| bad(format!("malformed payload for frame tag {tag}")))
+}
+
+/// Encodes a typed value (e.g. a `Vec<(Vid, Message)>` shuffle batch or a
+/// `Vec<State>` output) to a checkpoint-codec blob.
+pub fn encode_blob<T: CheckpointCodec>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode_into(&mut out);
+    out
+}
+
+/// Decodes a blob written by [`encode_blob`], rejecting trailing bytes.
+pub fn decode_blob<T: CheckpointCodec>(buf: &[u8]) -> Option<T> {
+    let mut pos = 0usize;
+    let value = T::decode_from(buf, &mut pos)?;
+    if pos != buf.len() {
+        return None;
+    }
+    Some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalytics_core::faults::FaultSite;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { worker: 3 },
+            Frame::Plan(PlanFrame {
+                worker: 1,
+                workers: 4,
+                algorithm: Algorithm::Cd {
+                    iterations: 10,
+                    hop_attenuation: 0.1,
+                    degree_exponent: 1.0,
+                },
+                graph_prefix: "/tmp/gx/graph".to_string(),
+                directed: false,
+                weighted: true,
+                checkpoint_dir: "/tmp/gx/ckpt".to_string(),
+                checkpoint_interval: 4,
+                incarnation: 2,
+                resume: true,
+                resume_superstep: 8,
+                fault_plan: FaultPlan::seeded(7).force(FaultSite::PregelWorker {
+                    superstep: 9,
+                    worker: 1,
+                    incarnation: 2,
+                }),
+            }),
+            Frame::Ready {
+                peer_port: 40123,
+                runnable: 77,
+            },
+            Frame::Peers {
+                ports: vec![40123, 40124, 40125, 40126],
+            },
+            Frame::MeshReady,
+            Frame::StartSuperstep {
+                superstep: 12,
+                prev_aggregate: 0.25,
+                checkpoint: true,
+            },
+            Frame::CheckpointDone {
+                superstep: 12,
+                bytes: 4096,
+            },
+            Frame::StepDone(StepReport {
+                superstep: 12,
+                computed: 100,
+                active_after: 42,
+                sent: 321,
+                sent_remote: 200,
+                bytes_sent: 9000,
+                aggregate: -1.5,
+            }),
+            Frame::Finish,
+            Frame::Output {
+                worker: 2,
+                states: vec![1, 2, 3, 4],
+            },
+            Frame::Shuffle {
+                from: 0,
+                superstep: 3,
+                batch: vec![9, 9, 9],
+            },
+            Frame::PeerHello { from: 1 },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            let mut cursor = &bytes[..];
+            let decoded = read_frame(&mut cursor).expect("decodes");
+            assert_eq!(decoded, frame);
+            assert!(cursor.is_empty(), "frame fully consumed");
+        }
+    }
+
+    #[test]
+    fn frames_stream_back_to_back() {
+        let frames = sample_frames();
+        let mut wire = Vec::new();
+        for f in &frames {
+            let n = write_frame(&mut wire, f).unwrap();
+            assert_eq!(n, f.encode().len());
+        }
+        let mut cursor = &wire[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), f);
+        }
+        assert!(cursor.is_empty());
+    }
+
+    /// Golden fixture: the exact wire bytes of a `StartSuperstep` frame.
+    /// A layout change (field order, widths, endianness, header shape)
+    /// breaks this test — bump [`VERSION`] and regenerate deliberately.
+    #[test]
+    fn golden_start_superstep_layout_is_pinned() {
+        let frame = Frame::StartSuperstep {
+            superstep: 7,
+            prev_aggregate: 2.5,
+            checkpoint: true,
+        };
+        let expected: Vec<u8> = vec![
+            0x50, 0x44, 0x58, 0x47, // magic "GXDP" little-endian
+            0x01, 0x00, 0x00, 0x00, // version 1
+            0x06, // tag StartSuperstep
+            0x11, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // payload length 17
+            0xb9, 0x5a, 0x0a, 0x69, // crc32 of payload
+            0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // superstep 7
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x40, // f64 2.5 bits
+            0x01, // checkpoint = true
+        ];
+        assert_eq!(frame.encode(), expected);
+    }
+
+    /// Golden fixture for the `Hello` frame (the version handshake): the
+    /// first 9 bytes of every connection are pinned forever.
+    #[test]
+    fn golden_hello_layout_is_pinned() {
+        let frame = Frame::Hello { worker: 2 };
+        let expected: Vec<u8> = vec![
+            0x50, 0x44, 0x58, 0x47, // magic
+            0x01, 0x00, 0x00, 0x00, // version
+            0x01, // tag Hello
+            0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // payload length 4
+            0x97, 0x17, 0x4d, 0x8b, // crc32 of payload
+            0x02, 0x00, 0x00, 0x00, // worker 2
+        ];
+        assert_eq!(frame.encode(), expected);
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected_by_crc() {
+        let mut bytes = Frame::Hello { worker: 9 }.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let err = read_frame(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("CRC"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let good = Frame::MeshReady.encode();
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0x01;
+        assert!(read_frame(&mut &bad_magic[..]).is_err());
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xFE;
+        let err = read_frame(&mut &bad_version[..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut bytes = Frame::MeshReady.encode();
+        bytes[8] = 0xEE;
+        let err = read_frame(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let bytes = Frame::Ready {
+            peer_port: 1,
+            runnable: 2,
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            let err = read_frame(&mut &bytes[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_rejected() {
+        // Hand-build a Finish frame whose payload claims one stray byte.
+        let payload = [0u8];
+        let mut bytes = Vec::new();
+        MAGIC.encode_into(&mut bytes);
+        VERSION.encode_into(&mut bytes);
+        bytes.push(TAG_FINISH);
+        (payload.len() as u64).encode_into(&mut bytes);
+        crc32(&payload).encode_into(&mut bytes);
+        bytes.extend_from_slice(&payload);
+        let err = read_frame(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_length_claim_is_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        MAGIC.encode_into(&mut bytes);
+        VERSION.encode_into(&mut bytes);
+        bytes.push(TAG_FINISH);
+        u64::MAX.encode_into(&mut bytes);
+        0u32.encode_into(&mut bytes);
+        let err = read_frame(&mut &bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("length"), "{err}");
+    }
+
+    #[test]
+    fn all_algorithms_round_trip() {
+        let algorithms = vec![
+            Algorithm::Stats,
+            Algorithm::Bfs { source: 42 },
+            Algorithm::Conn,
+            Algorithm::Cd {
+                iterations: 9,
+                hop_attenuation: 0.5,
+                degree_exponent: 2.0,
+            },
+            Algorithm::Evo {
+                new_vertices: 64,
+                p_forward: 0.3,
+                max_burst: 100,
+                seed: 1234,
+            },
+            Algorithm::PageRank {
+                iterations: 30,
+                damping: 0.85,
+            },
+            Algorithm::Sssp { source: 7 },
+            Algorithm::Lcc,
+        ];
+        for alg in algorithms {
+            let mut buf = Vec::new();
+            encode_algorithm(&alg, &mut buf);
+            let mut pos = 0usize;
+            let decoded = decode_algorithm(&buf, &mut pos).expect("decodes");
+            assert_eq!(pos, buf.len());
+            assert_eq!(decoded, alg);
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn blob_round_trip_rejects_trailing_bytes() {
+        let batch: Vec<(u32, u64)> = vec![(1, 10), (2, 20)];
+        let mut blob = encode_blob(&batch);
+        assert_eq!(decode_blob::<Vec<(u32, u64)>>(&blob), Some(batch));
+        blob.push(0);
+        assert_eq!(decode_blob::<Vec<(u32, u64)>>(&blob), None);
+    }
+}

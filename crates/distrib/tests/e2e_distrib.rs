@@ -1,0 +1,203 @@
+//! End-to-end differential tests: a master + N real worker *processes*
+//! must produce byte-identical output to the in-process Pregel engine with
+//! the same worker count, for the full LDBC workload.
+//!
+//! Tests are named `e2e_*` so sanitizer CI jobs (which cannot follow forked
+//! processes) can `--skip e2e_`. The graph scale is `GX_DISTRIB_SCALE`
+//! (log2 vertices, default 8) so the CI smoke job can climb higher.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use graphalytics_algos::{Algorithm, Output};
+use graphalytics_core::platform::{Platform, RunContext};
+use graphalytics_core::trace::Tracer;
+use graphalytics_distrib::{DistribConfig, DistributedPlatform};
+use graphalytics_graph::{CsrGraph, EdgeListGraph, WEIGHT_SCALE};
+use graphalytics_pregel::{GiraphPlatform, PregelConfig};
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_gx-distrib-worker"))
+}
+
+fn scale() -> u32 {
+    std::env::var("GX_DISTRIB_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// A deterministic weighted test graph: a ring for connectivity, chords
+/// for cycles and triangles, and a hub for degree skew.
+fn test_graph() -> Arc<CsrGraph> {
+    let n: u64 = 1 << scale();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((
+            i,
+            (i + 1) % n,
+            WEIGHT_SCALE + (i * 37 % 100) * (WEIGHT_SCALE / 100),
+        ));
+        edges.push((
+            i,
+            (i * 7 + 3) % n,
+            WEIGHT_SCALE + (i * 13 % 50) * (WEIGHT_SCALE / 100),
+        ));
+        if i % 16 == 5 {
+            edges.push((0, i, 2 * WEIGHT_SCALE));
+        }
+    }
+    Arc::new(CsrGraph::from_edge_list(&EdgeListGraph::new_weighted(
+        (0..n).collect(),
+        edges,
+        false,
+    )))
+}
+
+fn distrib(workers: u32) -> DistributedPlatform {
+    DistributedPlatform::new(DistribConfig {
+        workers,
+        worker_bin: Some(worker_bin()),
+        ..DistribConfig::default()
+    })
+}
+
+fn giraph(workers: usize) -> GiraphPlatform {
+    GiraphPlatform::new(PregelConfig {
+        workers,
+        ..PregelConfig::default()
+    })
+}
+
+fn workload() -> Vec<Algorithm> {
+    let mut w = Algorithm::ldbc_workload();
+    w.push(Algorithm::default_pagerank());
+    w
+}
+
+fn run_all(platform: &mut dyn Platform, graph: &CsrGraph, ctx: &RunContext) -> Vec<Output> {
+    let handle = platform.load_graph(graph).expect("load");
+    let outputs = workload()
+        .iter()
+        .map(|alg| {
+            platform
+                .run(handle, alg, ctx)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", alg.name()))
+        })
+        .collect();
+    platform.unload(handle);
+    outputs
+}
+
+/// The acceptance differential: master + 4 worker processes vs the
+/// in-process engine with 4 worker threads, byte-identical output for all
+/// seven LDBC kernels plus PageRank.
+#[test]
+fn e2e_four_processes_match_in_process_engine() {
+    let graph = test_graph();
+    let expected = run_all(&mut giraph(4), &graph, &RunContext::unbounded());
+    let tracer = Arc::new(Tracer::new());
+    let ctx = RunContext::unbounded().with_tracer(Arc::clone(&tracer));
+    let actual = run_all(&mut distrib(4), &graph, &ctx);
+    for ((alg, want), got) in workload().iter().zip(&expected).zip(&actual) {
+        assert_eq!(want, got, "{} differs between engines", alg.name());
+    }
+    // Real network accounting: the distributed run produced superstep spans
+    // carrying actual wire-byte counts, and the Prometheus counters moved.
+    let spans = tracer.finished_spans();
+    let step_spans: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "distrib.superstep")
+        .collect();
+    assert!(!step_spans.is_empty(), "no distrib.superstep spans");
+    let bytes: i64 = step_spans
+        .iter()
+        .filter_map(|s| s.field("network_bytes").and_then(|f| f.as_i64()))
+        .sum();
+    assert!(bytes > 0, "no network bytes accounted");
+    let rendered = tracer.metrics().render_prometheus();
+    assert!(
+        rendered.contains("graphalytics_network_bytes_total"),
+        "missing network bytes counter:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("graphalytics_network_messages_total"),
+        "missing network messages counter:\n{rendered}"
+    );
+}
+
+/// One worker process (no peers at all) must equal the in-process engine
+/// with one worker thread — exercises the degenerate mesh.
+#[test]
+fn e2e_single_process_matches_in_process_engine() {
+    let graph = test_graph();
+    let ctx = RunContext::unbounded();
+    let expected = run_all(&mut giraph(1), &graph, &ctx);
+    let actual = run_all(&mut distrib(1), &graph, &ctx);
+    for ((alg, want), got) in workload().iter().zip(&expected).zip(&actual) {
+        assert_eq!(want, got, "{} differs between engines", alg.name());
+    }
+}
+
+/// Worker-count invariance: 1 process vs 4 processes. Integer kernels are
+/// byte-identical; floating-point kernels (whose message fold order
+/// legitimately depends on the partition count, as in the in-process
+/// engine) must still validate as equivalent.
+#[test]
+fn e2e_one_vs_four_workers_differential() {
+    let graph = test_graph();
+    let ctx = RunContext::unbounded();
+    let one = run_all(&mut distrib(1), &graph, &ctx);
+    let four = run_all(&mut distrib(4), &graph, &ctx);
+    for ((alg, a), b) in workload().iter().zip(&one).zip(&four) {
+        match alg {
+            Algorithm::Bfs { .. }
+            | Algorithm::Conn
+            | Algorithm::Sssp { .. }
+            | Algorithm::Evo { .. } => {
+                assert_eq!(a, b, "{} not worker-count invariant", alg.name());
+            }
+            _ => {
+                assert!(
+                    a.equivalent(b),
+                    "{} not equivalent across worker counts: {a:?} vs {b:?}",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+/// An empty graph runs without spawning any fleet.
+#[test]
+fn e2e_empty_graph_short_circuits() {
+    let graph = CsrGraph::from_edge_list(&EdgeListGraph::new(vec![], vec![], false));
+    let mut p = distrib(4);
+    let handle = p.load_graph(&graph).unwrap();
+    let out = p
+        .run(handle, &Algorithm::Conn, &RunContext::unbounded())
+        .unwrap();
+    assert_eq!(out, Output::Components(vec![]));
+}
+
+/// A missing worker binary is reported as `Unsupported`, not a hang.
+#[test]
+fn e2e_missing_worker_binary_is_reported() {
+    let graph = test_graph();
+    let mut p = DistributedPlatform::new(DistribConfig {
+        workers: 2,
+        worker_bin: Some(PathBuf::from("/nonexistent/gx-distrib-worker")),
+        ..DistribConfig::default()
+    });
+    let handle = p.load_graph(&graph).unwrap();
+    let err = p
+        .run(handle, &Algorithm::Conn, &RunContext::unbounded())
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            graphalytics_core::platform::PlatformError::Unsupported(_)
+        ),
+        "{err:?}"
+    );
+}

@@ -1,0 +1,181 @@
+//! Crash-recovery end-to-end tests: a worker *process* is killed
+//! mid-superstep by the fault plan; the master restores the fleet from the
+//! last complete checkpoint, and the final output is byte-identical to an
+//! unfaulted run. Injection and recovery logs are seed-stable run to run.
+//!
+//! Named `e2e_*` so sanitizer CI jobs can `--skip e2e_`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use graphalytics_algos::Algorithm;
+use graphalytics_core::faults::{FaultInjector, FaultPlan, FaultSite, RecoveryAction};
+use graphalytics_core::platform::{Platform, PlatformError, RunContext};
+use graphalytics_distrib::{DistribConfig, DistributedPlatform};
+use graphalytics_graph::{CsrGraph, EdgeListGraph};
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_gx-distrib-worker"))
+}
+
+fn test_graph() -> CsrGraph {
+    let n: u64 = 1
+        << std::env::var("GX_DISTRIB_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(8);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push((i, (i + 1) % n));
+        edges.push((i, (i * 5 + 2) % n));
+    }
+    CsrGraph::from_edge_list(&EdgeListGraph::new((0..n).collect(), edges, false))
+}
+
+fn platform(checkpoint_interval: Option<u64>) -> DistributedPlatform {
+    DistributedPlatform::new(DistribConfig {
+        workers: 4,
+        checkpoint_interval,
+        worker_bin: Some(worker_bin()),
+        ..DistribConfig::default()
+    })
+}
+
+/// PageRank runs a fixed superstep count, so the forced crash site at
+/// superstep 3 is always reached.
+fn algorithm() -> Algorithm {
+    Algorithm::PageRank {
+        iterations: 6,
+        damping: 0.85,
+    }
+}
+
+fn crash_plan() -> FaultPlan {
+    FaultPlan::seeded(11).force(FaultSite::PregelWorker {
+        superstep: 3,
+        worker: 1,
+        incarnation: 0,
+    })
+}
+
+#[test]
+fn e2e_killed_worker_recovers_byte_identically() {
+    let graph = test_graph();
+
+    // Unfaulted baseline.
+    let mut p = platform(Some(2));
+    let handle = p.load_graph(&graph).unwrap();
+    let baseline = p
+        .run(handle, &algorithm(), &RunContext::unbounded())
+        .unwrap();
+
+    // Kill worker 1's *process* at superstep 3; checkpoints land at even
+    // supersteps, so the fleet restarts from superstep 2.
+    let injector = Arc::new(FaultInjector::new(crash_plan()));
+    let ctx = RunContext::unbounded().with_faults(Arc::clone(&injector));
+    let recovered = p.run(handle, &algorithm(), &ctx).unwrap();
+    assert_eq!(baseline, recovered, "recovered output differs");
+
+    assert_eq!(injector.injected_count(), 1);
+    assert_eq!(injector.recovery_count(), 1);
+    // recoveries() also logs checkpoint saves; the actual restart carries
+    // the killed worker's site.
+    let restarts: Vec<_> = injector
+        .recoveries()
+        .into_iter()
+        .filter(|e| e.action == RecoveryAction::CheckpointRestart)
+        .collect();
+    assert_eq!(restarts.len(), 1);
+    assert_eq!(
+        restarts[0].site,
+        Some(FaultSite::PregelWorker {
+            superstep: 3,
+            worker: 1,
+            incarnation: 0,
+        })
+    );
+    p.unload(handle);
+}
+
+/// The same seed produces the same injection and recovery logs on every
+/// run — the distributed fault path is as deterministic as the in-process
+/// one.
+#[test]
+fn e2e_injection_and_recovery_logs_are_seed_stable() {
+    let graph = test_graph();
+    let mut logs = Vec::new();
+    for _ in 0..2 {
+        let mut p = platform(Some(2));
+        let handle = p.load_graph(&graph).unwrap();
+        let injector = Arc::new(FaultInjector::new(crash_plan()));
+        let ctx = RunContext::unbounded().with_faults(Arc::clone(&injector));
+        p.run(handle, &algorithm(), &ctx).unwrap();
+        logs.push((injector.injected(), injector.recoveries()));
+        p.unload(handle);
+    }
+    assert_eq!(logs[0].0, logs[1].0, "injection log not seed-stable");
+    assert_eq!(
+        logs[0].1.len(),
+        logs[1].1.len(),
+        "recovery log not seed-stable"
+    );
+    for (a, b) in logs[0].1.iter().zip(&logs[1].1) {
+        assert_eq!(a.action, b.action);
+        assert_eq!(a.site, b.site);
+    }
+}
+
+/// Without checkpointing there is nothing to restore: the loss escalates
+/// as `WorkerLost`, exactly like the in-process engine.
+#[test]
+fn e2e_crash_without_checkpoint_escalates() {
+    let graph = test_graph();
+    let mut p = platform(None);
+    let handle = p.load_graph(&graph).unwrap();
+    let plan = FaultPlan::seeded(7).force(FaultSite::PregelWorker {
+        superstep: 0,
+        worker: 0,
+        incarnation: 0,
+    });
+    let injector = Arc::new(FaultInjector::new(plan));
+    let ctx = RunContext::unbounded().with_faults(Arc::clone(&injector));
+    let err = p.run(handle, &algorithm(), &ctx).unwrap_err();
+    assert_eq!(
+        err,
+        PlatformError::WorkerLost {
+            worker: 0,
+            superstep: 0
+        }
+    );
+    assert_eq!(injector.injected_count(), 1);
+    assert_eq!(injector.recovery_count(), 0);
+}
+
+/// A crash striking every incarnation exhausts the restart budget and
+/// escalates after `max_restarts` recoveries.
+#[test]
+fn e2e_restart_budget_is_bounded() {
+    let graph = test_graph();
+    let mut plan = FaultPlan::seeded(3);
+    for incarnation in 0..=2 {
+        plan = plan.force(FaultSite::PregelWorker {
+            superstep: 2,
+            worker: 1,
+            incarnation,
+        });
+    }
+    let mut p = DistributedPlatform::new(DistribConfig {
+        workers: 4,
+        checkpoint_interval: Some(2),
+        max_restarts: 2,
+        worker_bin: Some(worker_bin()),
+        ..DistribConfig::default()
+    });
+    let handle = p.load_graph(&graph).unwrap();
+    let injector = Arc::new(FaultInjector::new(plan));
+    let ctx = RunContext::unbounded().with_faults(Arc::clone(&injector));
+    let err = p.run(handle, &algorithm(), &ctx).unwrap_err();
+    assert!(matches!(err, PlatformError::WorkerLost { .. }), "{err:?}");
+    assert_eq!(injector.injected_count(), 3);
+    assert_eq!(injector.recovery_count(), 2);
+}

@@ -190,6 +190,82 @@ impl FaultSite {
     }
 }
 
+/// Wire encoding for fault sites: a one-byte variant tag followed by the
+/// variant fields in declaration order. Used by the distributed runtime to
+/// ship a plan to worker processes; the encoding round-trips exactly, so a
+/// worker's plan decides the same sites as the master's.
+impl crate::checkpoint::CheckpointCodec for FaultSite {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            FaultSite::PregelWorker {
+                superstep,
+                worker,
+                incarnation,
+            } => {
+                out.push(0);
+                superstep.encode_into(out);
+                worker.encode_into(out);
+                incarnation.encode_into(out);
+            }
+            FaultSite::ShufflePartition {
+                shuffle,
+                partition,
+                attempt,
+            } => {
+                out.push(1);
+                shuffle.encode_into(out);
+                partition.encode_into(out);
+                attempt.encode_into(out);
+            }
+            FaultSite::TaskIo { job, task, attempt } => {
+                out.push(2);
+                job.encode_into(out);
+                task.encode_into(out);
+                attempt.encode_into(out);
+            }
+            FaultSite::Alloc {
+                scope,
+                sequence,
+                attempt,
+            } => {
+                out.push(3);
+                scope.encode_into(out);
+                sequence.encode_into(out);
+                attempt.encode_into(out);
+            }
+        }
+    }
+
+    fn decode_from(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        use crate::checkpoint::CheckpointCodec as C;
+        Some(match tag {
+            0 => FaultSite::PregelWorker {
+                superstep: C::decode_from(buf, pos)?,
+                worker: C::decode_from(buf, pos)?,
+                incarnation: C::decode_from(buf, pos)?,
+            },
+            1 => FaultSite::ShufflePartition {
+                shuffle: C::decode_from(buf, pos)?,
+                partition: C::decode_from(buf, pos)?,
+                attempt: C::decode_from(buf, pos)?,
+            },
+            2 => FaultSite::TaskIo {
+                job: C::decode_from(buf, pos)?,
+                task: C::decode_from(buf, pos)?,
+                attempt: C::decode_from(buf, pos)?,
+            },
+            3 => FaultSite::Alloc {
+                scope: C::decode_from(buf, pos)?,
+                sequence: C::decode_from(buf, pos)?,
+                attempt: C::decode_from(buf, pos)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
 /// A seed-derived fault schedule: per-kind probabilities plus an explicit
 /// list of forced sites (for differential tests that need "worker 0
 /// crashes at superstep 2" exactly once).
@@ -198,6 +274,30 @@ pub struct FaultPlan {
     seed: u64,
     rates: [f64; 4],
     forced: Vec<FaultSite>,
+}
+
+impl crate::checkpoint::CheckpointCodec for FaultPlan {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.seed.encode_into(out);
+        for r in self.rates {
+            r.encode_into(out);
+        }
+        self.forced.encode_into(out);
+    }
+
+    fn decode_from(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        use crate::checkpoint::CheckpointCodec as C;
+        let seed = u64::decode_from(buf, pos)?;
+        let mut rates = [0.0f64; 4];
+        for r in &mut rates {
+            *r = f64::decode_from(buf, pos)?;
+        }
+        Some(FaultPlan {
+            seed,
+            rates,
+            forced: C::decode_from(buf, pos)?,
+        })
+    }
 }
 
 impl FaultPlan {
@@ -354,6 +454,38 @@ mod tests {
             sequence: 0,
             attempt: 0,
         }));
+    }
+
+    #[test]
+    fn plan_and_site_wire_round_trip() {
+        use crate::checkpoint::CheckpointCodec;
+
+        let plan = FaultPlan::seeded(42)
+            .with_rate(FaultKind::WorkerCrash, 0.25)
+            .force(site(2, 0))
+            .force(FaultSite::Alloc {
+                scope: 7,
+                sequence: 9,
+                attempt: 1,
+            });
+        let mut buf = Vec::new();
+        plan.encode_into(&mut buf);
+        let mut pos = 0;
+        let back = FaultPlan::decode_from(&buf, &mut pos).expect("decodes");
+        assert_eq!(pos, buf.len());
+        assert_eq!(back, plan);
+        // The decoded plan makes identical decisions.
+        for s in 0..32 {
+            for w in 0..4 {
+                assert_eq!(plan.decides(&site(s, w)), back.decides(&site(s, w)));
+            }
+        }
+        // A truncated plan fails cleanly.
+        let mut pos = 0;
+        assert!(FaultPlan::decode_from(&buf[..buf.len() - 1], &mut pos).is_none());
+        // An unknown site tag fails cleanly.
+        let mut pos = 0;
+        assert!(FaultSite::decode_from(&[9u8; 16], &mut pos).is_none());
     }
 
     #[test]

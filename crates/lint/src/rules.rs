@@ -13,11 +13,13 @@
 /// must fault the same sites on every run), the observability layer
 /// (profiles and choke-point reports are derived from span *structure*;
 /// the few clock reads the sampler/calibrator need carry explicit
-/// `lint:allow(determinism-time)` pragmas), and the serving plane (job
+/// `lint:allow(determinism-time)` pragmas), the serving plane (job
 /// timestamps flow from the shared `Tracer` epoch clock so event streams
-/// and artifacts stay replayable).
+/// and artifacts stay replayable), and the distributed runtime (the
+/// master/worker protocol must replay byte-identically; its socket
+/// timeouts carry explicit pragmas).
 pub const DETERMINISM_CRATES: &[&str] = &[
-    "datagen", "algos", "graph", "parallel", "faults", "obs", "serve",
+    "datagen", "algos", "graph", "parallel", "faults", "obs", "serve", "distrib",
 ];
 
 /// The five platform crates, where an `unwrap()` on a failure path turns a
@@ -65,8 +67,9 @@ pub const RULES: &[Rule] = &[
         id: "determinism-time",
         crates: Some(DETERMINISM_CRATES),
         summary: "no Instant/SystemTime/std::time in datagen, algos, graph, parallel, \
-                  faults, obs, or serve: generated data, reference outputs, fault plans, \
-                  profile analysis, and job timelines must not depend on wall clocks",
+                  faults, obs, serve, or distrib: generated data, reference outputs, \
+                  fault plans, profile analysis, job timelines, and the distributed \
+                  wire protocol must not depend on wall clocks",
     },
     Rule {
         id: "determinism-entropy",

@@ -34,6 +34,10 @@ pub struct NetworkSection {
     pub shuffle_records: u64,
     /// Bytes spilled to MapReduce's intermediate shuffle files.
     pub spill_bytes: u64,
+    /// Real wire bytes measured by the distributed runtime (`network_bytes`
+    /// on `distrib.superstep` spans) — 0 for simulated platforms, so the
+    /// reports show real and simulated volume side by side.
+    pub network_bytes: u64,
 }
 
 impl NetworkSection {
@@ -169,6 +173,7 @@ pub fn attribute(spans: &[Span]) -> Vec<RunChokePoints> {
             network.remote_messages += field_u64(span, "messages_remote");
             network.shuffle_records += field_u64(span, "shuffle_records");
             network.spill_bytes += field_u64(span, "spill_bytes");
+            network.network_bytes += field_u64(span, "network_bytes");
             locality.seq_accesses += field_u64(span, "seq_accesses");
             locality.rand_accesses += field_u64(span, "rand_accesses");
             if span.name.ends_with(".task") {
@@ -264,6 +269,10 @@ impl RunChokePoints {
                         Json::from(self.network.shuffle_records as usize),
                     ),
                     ("spill_bytes", Json::from(self.network.spill_bytes as usize)),
+                    (
+                        "network_bytes",
+                        Json::from(self.network.network_bytes as usize),
+                    ),
                 ]),
             ),
             (
@@ -308,15 +317,16 @@ impl RunChokePoints {
 pub fn render_text(reports: &[RunChokePoints]) -> String {
     let mut out = String::new();
     out.push_str(
-        "platform      dataset            algorithm  net-units  rss/graph  rand-frac  skew-gini\n",
+        "platform      dataset            algorithm  net-units  net-bytes  rss/graph  rand-frac  skew-gini\n",
     );
     for r in reports {
         out.push_str(&format!(
-            "{:<13} {:<18} {:<10} {:>9} {:>10.2} {:>10.3} {:>10.3}\n",
+            "{:<13} {:<18} {:<10} {:>9} {:>9} {:>10.2} {:>10.3} {:>10.3}\n",
             r.platform,
             r.dataset,
             r.algorithm,
             r.network.remote_units(),
+            r.network.network_bytes,
             r.memory.amplification,
             r.locality.random_fraction,
             r.skew.max_gini,
@@ -342,19 +352,21 @@ pub fn html_section(reports: &[RunChokePoints]) -> String {
     out.push_str(
         "<table>\n<tr><th>Platform</th><th>Dataset</th><th>Algorithm</th>\
          <th>Remote msgs</th><th>Shuffle records</th><th>Spill bytes</th>\
+         <th>Network bytes (real)</th>\
          <th>Peak RSS / graph</th><th>Random-access fraction</th>\
          <th>Skew (max Gini)</th><th>Skew source</th></tr>\n",
     );
     for r in reports {
         out.push_str(&format!(
             "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
-             <td>{}</td><td>{:.2}</td><td>{:.3}</td><td>{:.3}</td><td>{}</td></tr>\n",
+             <td>{}</td><td>{}</td><td>{:.2}</td><td>{:.3}</td><td>{:.3}</td><td>{}</td></tr>\n",
             esc(&r.platform),
             esc(&r.dataset),
             esc(&r.algorithm),
             r.network.remote_messages,
             r.network.shuffle_records,
             r.network.spill_bytes,
+            r.network.network_bytes,
             r.memory.amplification,
             r.locality.random_fraction,
             r.skew.max_gini,
@@ -399,6 +411,7 @@ mod tests {
         let step_id = {
             let mut step = tracer.span_with_parent("pregel.superstep", run_id);
             step.field("messages_remote", 40usize)
+                .field("network_bytes", 4096usize)
                 .field("seq_accesses", 90usize)
                 .field("rand_accesses", 10usize);
             step.id()
@@ -434,6 +447,7 @@ mod tests {
             ("Giraph", "ldbc-16", "BFS")
         );
         assert_eq!(r.network.remote_messages, 40);
+        assert_eq!(r.network.network_bytes, 4096);
         assert_eq!(r.memory.peak_rss_bytes, 2500);
         assert_eq!(r.memory.graph_bytes, 1000);
         assert!((r.memory.amplification - 2.5).abs() < 1e-12);

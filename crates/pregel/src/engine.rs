@@ -347,36 +347,16 @@ pub fn run<P: VertexProgram>(
             crossbeam::thread::scope(|scope| {
                 for (w, slot) in outputs.iter_mut().enumerate() {
                     scope.spawn(move |_| {
-                        let mut out = WorkerOutput::<P> {
-                            updates: Vec::new(),
-                            outgoing: Vec::new(),
-                            aggregate: 0.0,
-                            active_count: 0,
-                            messages: 0,
-                        };
-                        for &v in &wv[w] {
-                            let msgs = &inbox_ref[v as usize];
-                            if !active_ref[v as usize] && msgs.is_empty() {
-                                continue;
-                            }
-                            out.active_count += 1;
-                            let mut cctx = ComputeContext {
-                                superstep,
-                                vertex: v,
-                                graph: graph_ref,
-                                prev_aggregate,
-                                outgoing: Vec::new(),
-                                halt: false,
-                                aggregate: 0.0,
-                            };
-                            let mut state = states_ref[v as usize].clone();
-                            program_ref.compute(&mut state, msgs, &mut cctx);
-                            out.aggregate += cctx.aggregate;
-                            out.messages += cctx.outgoing.len();
-                            out.updates.push((v, state, !cctx.halt));
-                            out.outgoing.extend(cctx.outgoing);
-                        }
-                        *slot = Some(out);
+                        *slot = Some(compute_partition(
+                            graph_ref,
+                            program_ref,
+                            superstep,
+                            prev_aggregate,
+                            &wv[w],
+                            states_ref,
+                            active_ref,
+                            inbox_ref,
+                        ));
                     });
                 }
             })
@@ -458,12 +438,70 @@ pub fn run<P: VertexProgram>(
     Ok(PregelResult { states, stats })
 }
 
-struct WorkerOutput<P: VertexProgram> {
-    updates: Vec<(Vid, P::State, bool)>,
-    outgoing: Vec<Envelope<P::Message>>,
-    aggregate: f64,
-    active_count: usize,
-    messages: usize,
+/// What one worker's compute phase produced over its partition: the unit of
+/// work the barrier merges — and, in the distributed runtime, the unit a
+/// worker process ships across the wire per superstep.
+pub struct WorkerOutput<P: VertexProgram> {
+    /// `(vertex, new state, stays active)` for every computed vertex, in
+    /// partition-list order.
+    pub updates: Vec<(Vid, P::State, bool)>,
+    /// Messages generated this superstep, in generation order.
+    pub outgoing: Vec<Envelope<P::Message>>,
+    /// Sum of the worker's aggregator contributions.
+    pub aggregate: f64,
+    /// Vertices computed (runnable) this superstep.
+    pub active_count: usize,
+    /// Messages generated (`outgoing.len()`).
+    pub messages: usize,
+}
+
+/// One worker's compute phase: runs `program` over the runnable vertices of
+/// `vertices` (a partition list) against the *global-length* `states`,
+/// `active`, and `inbox` slices, exactly as the in-process engine does
+/// inside its worker threads. Public so the distributed runtime executes
+/// byte-identical supersteps: same iteration order, same skip rule, same
+/// aggregate accumulation order.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_partition<P: VertexProgram>(
+    graph: &CsrGraph,
+    program: &P,
+    superstep: usize,
+    prev_aggregate: f64,
+    vertices: &[Vid],
+    states: &[P::State],
+    active: &[bool],
+    inbox: &[Vec<P::Message>],
+) -> WorkerOutput<P> {
+    let mut out = WorkerOutput::<P> {
+        updates: Vec::new(),
+        outgoing: Vec::new(),
+        aggregate: 0.0,
+        active_count: 0,
+        messages: 0,
+    };
+    for &v in vertices {
+        let msgs = &inbox[v as usize];
+        if !active[v as usize] && msgs.is_empty() {
+            continue;
+        }
+        out.active_count += 1;
+        let mut cctx = ComputeContext {
+            superstep,
+            vertex: v,
+            graph,
+            prev_aggregate,
+            outgoing: Vec::new(),
+            halt: false,
+            aggregate: 0.0,
+        };
+        let mut state = states[v as usize].clone();
+        program.compute(&mut state, msgs, &mut cctx);
+        out.aggregate += cctx.aggregate;
+        out.messages += cctx.outgoing.len();
+        out.updates.push((v, state, !cctx.halt));
+        out.outgoing.extend(cctx.outgoing);
+    }
+    out
 }
 
 /// Rough memory estimate for the budget check: graph + one state and one

@@ -15,6 +15,7 @@ pub mod platform;
 pub mod programs;
 
 pub use engine::{
-    run, ComputeContext, PartitionerKind, PregelConfig, PregelResult, PregelStats, VertexProgram,
+    compute_partition, run, ComputeContext, PartitionerKind, PregelConfig, PregelResult,
+    PregelStats, VertexProgram, WorkerOutput,
 };
 pub use platform::GiraphPlatform;

@@ -23,6 +23,7 @@ use graphalytics_core::config::{parse_algorithm, parse_dataset};
 use graphalytics_core::json::Json;
 use graphalytics_core::{Platform, ReferencePlatform, Tracer};
 use graphalytics_dataflow::{GraphXConfig, GraphXPlatform};
+use graphalytics_distrib::DistributedPlatform;
 use graphalytics_graphdb::{Neo4jConfig, Neo4jPlatform};
 use graphalytics_mapreduce::MapReducePlatform;
 use graphalytics_pregel::{GiraphPlatform, PregelConfig};
@@ -35,6 +36,7 @@ pub const PLATFORMS: &[&str] = &[
     "neo4j",
     "virtuoso",
     "reference",
+    "distributed-pregel",
 ];
 
 /// Builds a platform by configuration name, with driver defaults (the
@@ -60,6 +62,10 @@ pub fn build_platform(name: &str, threads: Option<usize>) -> Result<Box<dyn Plat
         "reference" => Ok(Box::new(match threads {
             Some(t) => ReferencePlatform::with_threads(t),
             None => ReferencePlatform::new(),
+        })),
+        "distributed-pregel" | "distrib" => Ok(Box::new(match threads {
+            Some(t) => DistributedPlatform::with_workers(t as u32),
+            None => DistributedPlatform::with_defaults(),
         })),
         other => Err(format!(
             "unknown platform {other:?} (available: {PLATFORMS:?})"
