@@ -86,6 +86,7 @@ fn ladder_main(args: &[String]) {
             "workers",
             "largest scale",
             "seconds",
+            "max-skew",
             "climb ended by",
         ],
         &ladder::report_rows(&cells),

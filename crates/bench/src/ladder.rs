@@ -12,13 +12,14 @@
 //! A platform that survives the whole ladder reports the ceiling scale
 //! with no failure — raise `--max-scale` to find its true limit.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use graphalytics_algos::Algorithm;
 use graphalytics_columnar::VirtuosoPlatform;
 use graphalytics_core::config::parse_algorithm;
 use graphalytics_core::{
-    BenchmarkConfig, BenchmarkSuite, Dataset, Platform, ReferencePlatform, RunStatus,
+    BenchmarkConfig, BenchmarkSuite, Dataset, Platform, ReferencePlatform, RunStatus, Tracer,
 };
 use graphalytics_dataflow::GraphXPlatform;
 use graphalytics_distrib::DistributedPlatform;
@@ -175,6 +176,10 @@ pub struct LadderCell {
     pub failing_scale: Option<u32>,
     /// What ended the climb (kernel and failure kind).
     pub failure: Option<String>,
+    /// Worst per-superstep worker-time Gini at the largest passing scale,
+    /// from the distributed runtime's merged worker telemetry. `None` for
+    /// platforms that ship no per-worker spans (everything in-process).
+    pub max_skew: Option<f64>,
 }
 
 impl LadderCell {
@@ -227,6 +232,7 @@ pub fn climb_with(
             seconds_at_largest: None,
             failing_scale: None,
             failure: None,
+            max_skew: None,
         };
         for scale in cfg.start_scale..=cfg.max_scale {
             let Some(platform) = factory(&name) else {
@@ -241,8 +247,11 @@ pub fn climb_with(
                     ..Default::default()
                 },
             );
+            // Traced so the distributed runtime's worker telemetry lands
+            // in the rung's span set for the skew column.
+            let tracer = Arc::new(Tracer::new());
             let mut fleet: Vec<Box<dyn Platform>> = vec![platform];
-            let result = suite.run(&mut fleet);
+            let result = suite.run_traced(&mut fleet, &tracer);
             let failure = result.runs.iter().find_map(|r| match &r.status {
                 RunStatus::Success if cfg.validate && !r.validation.is_valid() => {
                     Some(format!("{}: invalid output", r.algorithm))
@@ -264,6 +273,7 @@ pub fn climb_with(
                             .filter_map(|r| r.runtime_seconds)
                             .sum::<f64>(),
                     );
+                    cell.max_skew = rung_max_skew(&tracer.finished_spans());
                     progress(&name, scale, true);
                 }
                 Some(why) => {
@@ -279,6 +289,16 @@ pub fn climb_with(
     Ok(cells)
 }
 
+/// Worst per-superstep worker-time Gini across a rung's runs, from the
+/// choke-point engine's straggler table over the rung's merged spans.
+/// `None` when no run carried worker-process telemetry.
+fn rung_max_skew(spans: &[graphalytics_core::trace::Span]) -> Option<f64> {
+    graphalytics_obs::attribute(spans)
+        .iter()
+        .flat_map(|r| r.stragglers.iter().map(|row| row.gini))
+        .fold(None, |acc, g| Some(acc.map_or(g, |a: f64| a.max(g))))
+}
+
 /// [`climb_with`] over the default fleet.
 pub fn climb(
     cfg: &LadderConfig,
@@ -288,8 +308,8 @@ pub fn climb(
 }
 
 /// Renders the report rows (platform, worker count, largest passing
-/// scale, wall time there, and what stopped the climb) for
-/// [`crate::print_table`].
+/// scale, wall time there, worst worker-time Gini, and what stopped the
+/// climb) for [`crate::print_table`].
 pub fn report_rows(cells: &[LadderCell]) -> Vec<Vec<String>> {
     cells
         .iter()
@@ -304,6 +324,9 @@ pub fn report_rows(cells: &[LadderCell]) -> Vec<Vec<String>> {
                     .unwrap_or_else(|| "-".to_string()),
                 c.seconds_at_largest
                     .map(|s| format!("{s:.2}"))
+                    .unwrap_or_else(|| "-".to_string()),
+                c.max_skew
+                    .map(|g| format!("{g:.3}"))
                     .unwrap_or_else(|| "-".to_string()),
                 match (&c.failure, c.failing_scale) {
                     (Some(why), Some(at)) => format!("scale {at}: {why}"),
@@ -449,7 +472,8 @@ mod tests {
         let rows = report_rows(&cells);
         assert_eq!(rows[0][1], "-", "unknown platform has no worker count");
         assert_eq!(rows[0][2], "6");
-        assert!(rows[0][4].contains("scale 7"), "{:?}", rows[0]);
+        assert_eq!(rows[0][4], "-", "no worker telemetry, no skew");
+        assert!(rows[0][5].contains("scale 7"), "{:?}", rows[0]);
     }
 
     #[test]

@@ -487,6 +487,42 @@ impl Tracer {
         }
     }
 
+    /// Records an externally-timed span — the merge path for spans
+    /// measured in *another process* (a distributed worker) whose
+    /// timestamps were already translated onto this tracer's clock. The
+    /// span is finished immediately with the given interval; `end` is
+    /// clamped to `start` so a skewed remote clock can't produce a
+    /// negative duration. Returns the allocated span id (`None` on
+    /// disabled tracers).
+    pub fn record_span(
+        &self,
+        name: &str,
+        parent: Option<u64>,
+        start_seconds: f64,
+        end_seconds: f64,
+        fields: Vec<(String, FieldValue)>,
+    ) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        let thread = current_thread_ordinal();
+        let id = {
+            let mut inner = self.inner.lock();
+            inner.next_id += 1;
+            inner.next_id
+        };
+        self.finish(Span {
+            id,
+            parent,
+            name: name.to_string(),
+            start_seconds,
+            end_seconds: end_seconds.max(start_seconds),
+            thread,
+            fields,
+        });
+        Some(id)
+    }
+
     /// Id of the innermost open span on this thread (for this tracer).
     pub fn current_span_id(&self) -> Option<u64> {
         SPAN_STACK.with(|s| {
@@ -736,6 +772,22 @@ const WELL_KNOWN_HELP: &[(&str, &str)] = &[
         "graphalytics_runs_total",
         "Benchmark runs by platform, algorithm, and terminal status.",
     ),
+    (
+        "graphalytics_worker_barrier_wait_seconds",
+        "Time each distributed worker spent blocked at the superstep barrier, per superstep.",
+    ),
+    (
+        "graphalytics_worker_checkpoint_seconds",
+        "Durable checkpoint write time per distributed worker, per checkpointed superstep.",
+    ),
+    (
+        "graphalytics_worker_compute_seconds",
+        "Vertex-compute time per distributed worker, per superstep.",
+    ),
+    (
+        "graphalytics_worker_shuffle_bytes_total",
+        "Shuffle wire bytes each distributed worker sent to its peers.",
+    ),
 ];
 
 /// The cargo profile this crate was compiled under, used as the `profile`
@@ -879,6 +931,66 @@ impl MetricsRegistry {
             .entry(Self::key(name, labels))
             .or_insert_with(|| Histogram::new(bounds))
             .observe(value);
+    }
+
+    /// Merges every series of `other` whose metric name starts with
+    /// `prefix` into this registry: counters add, gauges keep the max,
+    /// histograms merge bucket-by-bucket (a series whose bucket bounds
+    /// disagree with the existing one is skipped rather than corrupted),
+    /// and curated help text travels along. This is how a long-lived
+    /// server surfaces a job-scoped registry's fleet series without
+    /// adopting the job's whole namespace.
+    pub fn merge_prefixed(&self, other: &MetricsRegistry, prefix: &str) {
+        if !self.enabled {
+            return;
+        }
+        let src = other.inner.lock();
+        let mut dst = self.inner.lock();
+        for ((name, labels), value) in &src.counters {
+            if !name.starts_with(prefix) {
+                continue;
+            }
+            *dst.counters
+                .entry((name.clone(), labels.clone()))
+                .or_insert(0) += value;
+        }
+        for ((name, labels), value) in &src.gauges {
+            if !name.starts_with(prefix) {
+                continue;
+            }
+            let slot = dst
+                .gauges
+                .entry((name.clone(), labels.clone()))
+                .or_insert(f64::NEG_INFINITY);
+            if *value > *slot {
+                *slot = *value;
+            }
+        }
+        for ((name, labels), h) in &src.histograms {
+            if !name.starts_with(prefix) {
+                continue;
+            }
+            match dst.histograms.entry((name.clone(), labels.clone())) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(h.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let cur = slot.get_mut();
+                    if cur.bounds == h.bounds {
+                        for (c, add) in cur.counts.iter_mut().zip(&h.counts) {
+                            *c += add;
+                        }
+                        cur.sum += h.sum;
+                        cur.count += h.count;
+                    }
+                }
+            }
+        }
+        for (name, help) in &src.help {
+            if name.starts_with(prefix) {
+                dst.help.entry(name.clone()).or_insert_with(|| help.clone());
+            }
+        }
     }
 
     /// Current counter value (0 when the series doesn't exist).
@@ -1662,6 +1774,90 @@ gx_run_seconds_count 2
         let p99 = doc.get("p99").unwrap().as_f64().unwrap();
         assert!(p50 > 0.0 && p50 <= 2.0, "p50 = {p50}");
         assert!(p99 >= p50 && p99 <= 2.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn record_span_merges_externally_timed_intervals() {
+        let tracer = Tracer::new();
+        let parent = {
+            let run = tracer.span("run");
+            run.id().unwrap()
+        };
+        let id = tracer
+            .record_span(
+                "distrib.worker.compute",
+                Some(parent),
+                1.5,
+                2.0,
+                vec![("worker".to_string(), 3u32.into())],
+            )
+            .unwrap();
+        // A skewed remote clock cannot produce a negative duration.
+        tracer.record_span("distrib.worker.barrier", Some(parent), 5.0, 4.0, vec![]);
+        let spans = tracer.finished_spans();
+        let merged = spans.iter().find(|s| s.id == id).unwrap();
+        assert_eq!(merged.name, "distrib.worker.compute");
+        assert_eq!(merged.parent, Some(parent));
+        assert_eq!(merged.start_seconds, 1.5);
+        assert_eq!(merged.end_seconds, 2.0);
+        assert_eq!(merged.field("worker").and_then(FieldValue::as_i64), Some(3));
+        let clamped = spans
+            .iter()
+            .find(|s| s.name == "distrib.worker.barrier")
+            .unwrap();
+        assert_eq!(clamped.duration_seconds(), 0.0);
+        assert_eq!(
+            Tracer::disabled().record_span("x", None, 0.0, 1.0, vec![]),
+            None
+        );
+    }
+
+    #[test]
+    fn merge_prefixed_adds_counters_and_folds_histograms() {
+        let server = MetricsRegistry::new();
+        let job = MetricsRegistry::new();
+        job.inc_counter(
+            "graphalytics_worker_shuffle_bytes_total",
+            &[("worker", "0")],
+            10,
+        );
+        job.inc_counter("graphalytics_serve_private_total", &[], 7);
+        job.observe(
+            "graphalytics_worker_compute_seconds",
+            &[("worker", "0")],
+            0.02,
+        );
+        server.inc_counter(
+            "graphalytics_worker_shuffle_bytes_total",
+            &[("worker", "0")],
+            5,
+        );
+        server.merge_prefixed(&job, "graphalytics_worker_");
+        assert_eq!(
+            server.counter_value(
+                "graphalytics_worker_shuffle_bytes_total",
+                &[("worker", "0")]
+            ),
+            15
+        );
+        // Non-matching families stay out of the server namespace.
+        assert_eq!(
+            server.counter_value("graphalytics_serve_private_total", &[]),
+            0
+        );
+        let h = server
+            .histogram("graphalytics_worker_compute_seconds", &[("worker", "0")])
+            .unwrap();
+        assert_eq!(h.count, 1);
+        // A second merge folds into the existing histogram.
+        server.merge_prefixed(&job, "graphalytics_worker_");
+        let h = server
+            .histogram("graphalytics_worker_compute_seconds", &[("worker", "0")])
+            .unwrap();
+        assert_eq!(h.count, 2);
+        // Merged families carry the curated help text into the exposition.
+        let rendered = server.render_prometheus();
+        assert!(rendered.contains("# HELP graphalytics_worker_compute_seconds Vertex-compute"));
     }
 
     #[test]

@@ -212,6 +212,7 @@ impl Platform for DistributedPlatform {
             directed: graph.is_directed(),
             weighted: loaded.weighted,
             checkpoint_dir: loaded.dir.join(format!("run-{run_seq}")),
+            run_id: run_seq,
         };
         let fault_plan = ctx
             .faults()

@@ -12,6 +12,9 @@
 //!   message shuffle to peers, checkpoint write/restore;
 //! * [`master`] — partition planning, superstep barrier, checkpoint
 //!   coordination, worker health tracking, fleet restart recovery;
+//! * [`telemetry`] — fleet observability: worker span buffering on the
+//!   shared logical clock, Telemetry-frame shipping, and seq-deduplicated
+//!   merging into the master's tracer with per-process lanes;
 //! * [`driver`] — the self-spawning harness: [`DistributedPlatform`]
 //!   implements the `Platform` API by forking `gx-distrib-worker`
 //!   processes.
@@ -25,9 +28,11 @@ pub mod driver;
 pub mod master;
 pub mod partition;
 pub mod protocol;
+pub mod telemetry;
 pub mod worker;
 
 pub use driver::{DistribConfig, DistributedPlatform};
 pub use master::{coordinate, MasterConfig, MasterStats};
 pub use partition::PartitionPlan;
 pub use protocol::{read_frame, write_frame, Frame, PlanFrame, StepReport};
+pub use telemetry::{SpanKind, TelemetryBuffer, TelemetryMerger, WireSpan};

@@ -2,10 +2,11 @@
 //! barrier, coordinates checkpoints, and restarts the fleet from the last
 //! complete checkpoint when a worker process dies.
 
-use std::io;
+use std::io::{self, BufRead, BufReader};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::thread::JoinHandle;
 // lint:allow(determinism-time): socket timeouts bound the wait for lost workers
 use std::time::Duration;
 
@@ -15,6 +16,7 @@ use graphalytics_core::platform::{PlatformError, RunContext};
 
 use crate::partition::PartitionPlan;
 use crate::protocol::{decode_blob, read_frame, write_frame, Frame, PlanFrame, StepReport};
+use crate::telemetry::TelemetryMerger;
 use crate::worker::io_timeout;
 
 /// Master-side configuration for one distributed run.
@@ -39,6 +41,9 @@ pub struct MasterConfig {
     pub weighted: bool,
     /// Directory for checkpoint files.
     pub checkpoint_dir: PathBuf,
+    /// Run identifier stamped into the trace context every worker receives
+    /// (the driver's per-platform run sequence number).
+    pub run_id: u64,
 }
 
 /// Fleet-level execution statistics of one coordinated run.
@@ -55,6 +60,9 @@ pub struct MasterStats {
     pub network_bytes: u64,
     /// Fleet restarts performed (checkpoint recoveries).
     pub restarts: u32,
+    /// Telemetry frames received from workers. Zero whenever the master's
+    /// tracer is disabled — the differential gate pins this.
+    pub telemetry_frames: u64,
 }
 
 /// The label every distributed-runtime metric carries.
@@ -63,11 +71,17 @@ pub const PLATFORM_LABEL: (&str, &str) = ("platform", "distributed-pregel");
 struct Fleet {
     children: Vec<Child>,
     conns: Vec<TcpStream>,
+    /// Stderr relay threads, one per worker; joined in [`Fleet::kill`].
+    relays: Vec<JoinHandle<()>>,
     /// Fleet-wide runnable-vertex count reported at `Ready`.
     runnable: u64,
     /// Control-plane wire bytes (frames sent and received on the master
     /// connections) since the last [`Fleet::take_control_bytes`].
     control_bytes: u64,
+    /// Telemetry frames absorbed off the control connections, awaiting
+    /// merge. Deliberately excluded from `control_bytes` so the reported
+    /// wire accounting is identical with tracing on or off.
+    pending_telemetry: Vec<(u32, u32, Vec<u8>)>,
 }
 
 impl Fleet {
@@ -80,6 +94,7 @@ impl Fleet {
         fault_plan: &FaultPlan,
         incarnation: u32,
         resume: Option<(u64, f64)>,
+        ctx: &RunContext,
     ) -> Result<Fleet, PlatformError> {
         let workers = cfg.workers.max(1) as usize;
         let listener = TcpListener::bind("127.0.0.1:0")
@@ -88,6 +103,7 @@ impl Fleet {
             .local_addr()
             .map_err(|e| PlatformError::TransientIo(format!("control addr: {e}")))?;
         let mut children = Vec::with_capacity(workers);
+        let mut relays = Vec::with_capacity(workers);
         for w in 0..workers {
             let mut command = Command::new(&cfg.worker_bin);
             command
@@ -95,21 +111,35 @@ impl Fleet {
                 .arg(format!("--worker={w}"))
                 .stdin(Stdio::null())
                 .stdout(Stdio::null())
-                .stderr(Stdio::inherit());
+                .stderr(Stdio::piped());
             // lint:allow(spawn-audit): forking the worker fleet is the point of this runtime
-            let child = command.spawn().map_err(|e| {
+            let mut child = command.spawn().map_err(|e| {
                 PlatformError::Unsupported(format!(
                     "cannot spawn worker binary {}: {e}",
                     cfg.worker_bin.display()
                 ))
             })?;
+            // Relay the worker's stderr line by line under a `[w<id>:i<inc>]`
+            // prefix so interleaved fleet logs stay attributable.
+            let stderr = child.stderr.take();
+            // lint:allow(spawn-audit): stderr relay thread per worker; exits when the pipe closes
+            relays.push(std::thread::spawn(move || {
+                if let Some(stderr) = stderr {
+                    for line in BufReader::new(stderr).lines() {
+                        let Ok(line) = line else { break };
+                        eprintln!("[w{w}:i{incarnation}] {line}");
+                    }
+                }
+            }));
             children.push(child);
         }
         let mut fleet = Fleet {
             children,
             conns: Vec::new(),
+            relays,
             runnable: 0,
             control_bytes: 0,
+            pending_telemetry: Vec::new(),
         };
         // Accept one control connection per worker; identify by Hello.
         let mut conns: Vec<Option<TcpStream>> = (0..workers).map(|_| None).collect();
@@ -182,6 +212,9 @@ impl Fleet {
                 resume: resume.is_some(),
                 resume_superstep: resume.map_or(0, |r| r.0),
                 fault_plan: fault_plan.clone(),
+                trace: ctx.tracer().enabled(),
+                run_id: cfg.run_id,
+                clock_origin: ctx.tracer().now_seconds(),
             });
             if let Err(e) = fleet.send_to(w, &plan) {
                 fleet.kill();
@@ -242,9 +275,23 @@ impl Fleet {
     }
 
     fn read_from(&mut self, stream: &mut TcpStream) -> io::Result<Frame> {
-        let frame = read_frame(stream)?;
-        self.control_bytes += frame.encode().len() as u64;
-        Ok(frame)
+        loop {
+            let frame = read_frame(stream)?;
+            if let Frame::Telemetry {
+                worker,
+                incarnation,
+                spans,
+            } = frame
+            {
+                // Absorbed off the control plane without touching
+                // `control_bytes`: telemetry must not perturb the wire
+                // accounting a differential (traced vs untraced) run pins.
+                self.pending_telemetry.push((worker, incarnation, spans));
+                continue;
+            }
+            self.control_bytes += frame.encode().len() as u64;
+            return Ok(frame);
+        }
     }
 
     fn send_to(&mut self, w: usize, frame: &Frame) -> io::Result<()> {
@@ -254,9 +301,20 @@ impl Fleet {
     }
 
     fn recv_from(&mut self, w: usize) -> io::Result<Frame> {
-        let frame = read_frame(&mut self.conns[w])?;
-        self.control_bytes += frame.encode().len() as u64;
-        Ok(frame)
+        loop {
+            let frame = read_frame(&mut self.conns[w])?;
+            if let Frame::Telemetry {
+                worker,
+                incarnation,
+                spans,
+            } = frame
+            {
+                self.pending_telemetry.push((worker, incarnation, spans));
+                continue;
+            }
+            self.control_bytes += frame.encode().len() as u64;
+            return Ok(frame);
+        }
     }
 
     fn take_control_bytes(&mut self) -> u64 {
@@ -273,13 +331,17 @@ impl Fleet {
         None
     }
 
-    /// Kills and reaps every worker process.
+    /// Kills and reaps every worker process, then joins the stderr relays
+    /// (their pipes close when the children die).
     fn kill(&mut self) {
         for child in &mut self.children {
             let _ = child.kill();
         }
         for child in &mut self.children {
             let _ = child.wait();
+        }
+        for relay in self.relays.drain(..) {
+            let _ = relay.join();
         }
     }
 }
@@ -310,9 +372,13 @@ pub fn coordinate<S: CheckpointCodec + Clone>(
     let mut stats = MasterStats::default();
     let mut incarnation = 0u32;
     let mut resume: Option<(u64, f64)> = None;
+    // One merger across all incarnations: its `(worker, incarnation, seq)`
+    // dedup is what keeps a restarted worker's re-shipped spans from
+    // double-counting in the merged trace.
+    let mut merger = TelemetryMerger::new();
     'fleet: loop {
         ctx.check_deadline()?;
-        let mut fleet = Fleet::launch(cfg, algorithm, fault_plan, incarnation, resume)?;
+        let mut fleet = Fleet::launch(cfg, algorithm, fault_plan, incarnation, resume, ctx)?;
         let mut superstep = resume.map_or(0, |r| r.0);
         let mut prev_aggregate = resume.map_or(0.0, |r| r.1);
         let mut last_checkpoint = resume;
@@ -409,6 +475,9 @@ pub fn coordinate<S: CheckpointCodec + Clone>(
                     ],
                 );
             }
+            // Merge the worker spans shipped alongside this barrier under
+            // the superstep span, so the fleet timeline nests per superstep.
+            drain_telemetry(&mut fleet, &mut merger, ctx, span_id, &mut stats);
             let metrics = ctx.tracer().metrics();
             metrics.inc_counter(
                 "graphalytics_network_bytes_total",
@@ -463,6 +532,15 @@ pub fn coordinate<S: CheckpointCodec + Clone>(
                         }
                     }
                 }
+                // Workers flush their remaining spans right before Output;
+                // merge that EOF shipment under the caller's current span.
+                drain_telemetry(
+                    &mut fleet,
+                    &mut merger,
+                    ctx,
+                    ctx.tracer().current_span_id(),
+                    &mut stats,
+                );
                 if let Some(w) = lost {
                     let plan = recover(
                         cfg,
@@ -491,6 +569,15 @@ pub fn coordinate<S: CheckpointCodec + Clone>(
                 return Err(e);
             }
             Err(Loss::Worker(w)) => {
+                // Keep whatever the fleet shipped before the loss — the
+                // merger's seq dedup makes a later re-shipment harmless.
+                drain_telemetry(
+                    &mut fleet,
+                    &mut merger,
+                    ctx,
+                    ctx.tracer().current_span_id(),
+                    &mut stats,
+                );
                 let plan = recover(
                     cfg,
                     fault_plan,
@@ -507,6 +594,21 @@ pub fn coordinate<S: CheckpointCodec + Clone>(
                 continue 'fleet;
             }
         }
+    }
+}
+
+/// Merges every absorbed Telemetry frame into the run tracer under
+/// `parent` and counts the frames into `stats`.
+fn drain_telemetry(
+    fleet: &mut Fleet,
+    merger: &mut TelemetryMerger,
+    ctx: &RunContext,
+    parent: Option<u64>,
+    stats: &mut MasterStats,
+) {
+    for (worker, incarnation, blob) in std::mem::take(&mut fleet.pending_telemetry) {
+        stats.telemetry_frames += 1;
+        merger.merge(worker, incarnation, &blob, ctx.tracer(), parent);
     }
 }
 

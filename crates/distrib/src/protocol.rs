@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! magic   u32 LE   0x4758_4450 ("GXDP")
-//! version u32 LE   1
+//! version u32 LE   2
 //! tag     u8       frame type (see [`Frame`])
 //! length  u64 LE   payload byte count
 //! crc     u32 LE   CRC-32 (IEEE) of the payload
@@ -23,8 +23,10 @@ use std::io::{self, Read, Write};
 
 /// Frame magic: `"GXDP"` (GraphalyticX Distributed Pregel).
 pub const MAGIC: u32 = 0x4758_4450;
-/// Wire protocol version. Bump on any layout change.
-pub const VERSION: u32 = 1;
+/// Wire protocol version. Bump on any layout change. Version 2 added the
+/// trace context to [`PlanFrame`] (`trace`/`run_id`/`clock_origin`) and
+/// the [`Frame::Telemetry`] message.
+pub const VERSION: u32 = 2;
 /// Upper bound on a payload length; larger claims are treated as corrupt
 /// framing rather than honored with a giant allocation.
 pub const MAX_PAYLOAD: u64 = 1 << 33;
@@ -87,6 +89,18 @@ pub struct PlanFrame {
     pub resume_superstep: u64,
     /// Fault plan (workers probe their own crash sites).
     pub fault_plan: FaultPlan,
+    /// Whether the master's tracer is enabled. Workers buffer and ship
+    /// telemetry only when set; a disabled tracer produces zero
+    /// [`Frame::Telemetry`] frames (the byte-identity contract).
+    pub trace: bool,
+    /// Master-side run sequence number, stamped on every shipped span so
+    /// fleet traces from different runs are distinguishable.
+    pub run_id: u64,
+    /// The master tracer's clock reading (seconds since its epoch) at the
+    /// moment this plan was encoded. Workers timestamp spans as
+    /// `clock_origin + local elapsed since plan receipt`, which puts the
+    /// whole fleet on one logical clock.
+    pub clock_origin: f64,
 }
 
 /// Per-superstep result summary a worker reports at the barrier.
@@ -175,6 +189,19 @@ pub enum Frame {
         /// The dialing worker's id.
         from: u32,
     },
+    /// Worker → master: a batch of locally buffered telemetry spans,
+    /// piggybacked immediately before `StepDone` (and flushed before
+    /// `Output` at EOF). Never sent when the plan's `trace` flag is off.
+    Telemetry {
+        /// Reporting worker.
+        worker: u32,
+        /// The worker process's fleet incarnation (spans from distinct
+        /// incarnations are distinct lanes, never deduplicated).
+        incarnation: u32,
+        /// Encoded `Vec<WireSpan>` (see `telemetry::WireSpan`), each
+        /// carrying a per-process sequence number for dedup.
+        spans: Vec<u8>,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -189,6 +216,7 @@ const TAG_FINISH: u8 = 9;
 const TAG_OUTPUT: u8 = 10;
 const TAG_SHUFFLE: u8 = 11;
 const TAG_PEER_HELLO: u8 = 12;
+const TAG_TELEMETRY: u8 = 13;
 
 fn put_bytes(b: &[u8], out: &mut Vec<u8>) {
     (b.len() as u64).encode_into(out);
@@ -326,6 +354,7 @@ impl Frame {
             Frame::Output { .. } => TAG_OUTPUT,
             Frame::Shuffle { .. } => TAG_SHUFFLE,
             Frame::PeerHello { .. } => TAG_PEER_HELLO,
+            Frame::Telemetry { .. } => TAG_TELEMETRY,
         }
     }
 
@@ -346,6 +375,9 @@ impl Frame {
                 p.resume.encode_into(&mut out);
                 p.resume_superstep.encode_into(&mut out);
                 p.fault_plan.encode_into(&mut out);
+                p.trace.encode_into(&mut out);
+                p.run_id.encode_into(&mut out);
+                p.clock_origin.encode_into(&mut out);
             }
             Frame::Ready {
                 peer_port,
@@ -392,6 +424,15 @@ impl Frame {
                 put_bytes(batch, &mut out);
             }
             Frame::PeerHello { from } => from.encode_into(&mut out),
+            Frame::Telemetry {
+                worker,
+                incarnation,
+                spans,
+            } => {
+                worker.encode_into(&mut out);
+                incarnation.encode_into(&mut out);
+                put_bytes(spans, &mut out);
+            }
         }
         out
     }
@@ -415,6 +456,9 @@ impl Frame {
                 resume: bool::decode_from(buf, &mut pos)?,
                 resume_superstep: u64::decode_from(buf, &mut pos)?,
                 fault_plan: FaultPlan::decode_from(buf, &mut pos)?,
+                trace: bool::decode_from(buf, &mut pos)?,
+                run_id: u64::decode_from(buf, &mut pos)?,
+                clock_origin: f64::decode_from(buf, &mut pos)?,
             }),
             TAG_READY => Frame::Ready {
                 peer_port: u32::decode_from(buf, &mut pos)?,
@@ -454,6 +498,11 @@ impl Frame {
             },
             TAG_PEER_HELLO => Frame::PeerHello {
                 from: u32::decode_from(buf, &mut pos)?,
+            },
+            TAG_TELEMETRY => Frame::Telemetry {
+                worker: u32::decode_from(buf, &mut pos)?,
+                incarnation: u32::decode_from(buf, &mut pos)?,
+                spans: get_bytes(buf, &mut pos)?,
             },
             _ => return None,
         };
@@ -566,6 +615,9 @@ mod tests {
                     worker: 1,
                     incarnation: 2,
                 }),
+                trace: true,
+                run_id: 41,
+                clock_origin: 1.75,
             }),
             Frame::Ready {
                 peer_port: 40123,
@@ -604,6 +656,11 @@ mod tests {
                 batch: vec![9, 9, 9],
             },
             Frame::PeerHello { from: 1 },
+            Frame::Telemetry {
+                worker: 1,
+                incarnation: 2,
+                spans: vec![0xAA, 0xBB, 0xCC],
+            },
         ]
     }
 
@@ -645,7 +702,7 @@ mod tests {
         };
         let expected: Vec<u8> = vec![
             0x50, 0x44, 0x58, 0x47, // magic "GXDP" little-endian
-            0x01, 0x00, 0x00, 0x00, // version 1
+            0x02, 0x00, 0x00, 0x00, // version 2
             0x06, // tag StartSuperstep
             0x11, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // payload length 17
             0xb9, 0x5a, 0x0a, 0x69, // crc32 of payload
@@ -663,11 +720,34 @@ mod tests {
         let frame = Frame::Hello { worker: 2 };
         let expected: Vec<u8> = vec![
             0x50, 0x44, 0x58, 0x47, // magic
-            0x01, 0x00, 0x00, 0x00, // version
+            0x02, 0x00, 0x00, 0x00, // version
             0x01, // tag Hello
             0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // payload length 4
             0x97, 0x17, 0x4d, 0x8b, // crc32 of payload
             0x02, 0x00, 0x00, 0x00, // worker 2
+        ];
+        assert_eq!(frame.encode(), expected);
+    }
+
+    /// Golden fixture for the `Telemetry` frame (worker span shipping):
+    /// pins the trace-context wire layout introduced in protocol version 2.
+    #[test]
+    fn golden_telemetry_layout_is_pinned() {
+        let frame = Frame::Telemetry {
+            worker: 1,
+            incarnation: 2,
+            spans: vec![0xAA, 0xBB, 0xCC],
+        };
+        let expected: Vec<u8> = vec![
+            0x50, 0x44, 0x58, 0x47, // magic "GXDP" little-endian
+            0x02, 0x00, 0x00, 0x00, // version 2
+            0x0D, // tag Telemetry
+            0x13, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // payload length 19
+            0xf9, 0xbf, 0x82, 0x7d, // crc32 of payload
+            0x01, 0x00, 0x00, 0x00, // worker 1
+            0x02, 0x00, 0x00, 0x00, // incarnation 2
+            0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // spans blob length 3
+            0xAA, 0xBB, 0xCC, // opaque span bytes
         ];
         assert_eq!(frame.encode(), expected);
     }

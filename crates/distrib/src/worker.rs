@@ -26,6 +26,7 @@ use graphalytics_pregel::{compute_partition, VertexProgram};
 
 use crate::partition::PartitionPlan;
 use crate::protocol::{decode_blob, encode_blob, read_frame, write_frame, Frame, PlanFrame};
+use crate::telemetry::{SpanKind, TelemetryBuffer};
 
 /// Exit code of a worker killed by an injected fault (distinguishes a
 /// planned crash from the collateral exits of peers that lost it).
@@ -173,6 +174,10 @@ fn run_program<P: VertexProgram>(
 ) -> Result<(), String> {
     let me = plan.worker as usize;
     let workers = plan.workers as usize;
+    // Span buffer on the fleet logical clock (the master's tracer epoch,
+    // anchored by the Plan frame's clock origin). Disabled when the master
+    // runs untraced — then no Telemetry frame ever leaves this process.
+    let mut telemetry = TelemetryBuffer::new(plan.trace, plan.clock_origin);
     let n = graph.num_vertices();
     let part = PartitionPlan::new(graph, workers);
     let mine: &[Vid] = &part.worker_vertices[me];
@@ -263,13 +268,18 @@ fn run_program<P: VertexProgram>(
 
     let combiner = program.combiner();
     loop {
-        match read_frame(&mut master).map_err(|e| format!("await superstep: {e}"))? {
+        let frame = read_frame(&mut master).map_err(|e| format!("await superstep: {e}"))?;
+        // The master answered: the barrier wait that began after the last
+        // StepDone (if any) ends now.
+        telemetry.finish_barrier();
+        match frame {
             Frame::StartSuperstep {
                 superstep,
                 prev_aggregate,
                 checkpoint,
             } => {
                 if checkpoint {
+                    let ckpt_start = telemetry.now();
                     let snap = Snapshot {
                         superstep,
                         states: part.gather(me, &states),
@@ -289,6 +299,13 @@ fn run_program<P: VertexProgram>(
                         .map_err(|e| format!("checkpoint write: {e}"))?;
                     drop(file);
                     fs::rename(&tmp, &path).map_err(|e| format!("checkpoint rename: {e}"))?;
+                    telemetry.record(
+                        SpanKind::Checkpoint,
+                        superstep,
+                        ckpt_start,
+                        telemetry.now(),
+                        bytes.len() as u64,
+                    );
                     write_frame(
                         &mut master,
                         &Frame::CheckpointDone {
@@ -312,6 +329,7 @@ fn run_program<P: VertexProgram>(
                 {
                     std::process::exit(EXIT_INJECTED_FAULT);
                 }
+                let compute_start = telemetry.now();
                 let out = compute_partition(
                     graph,
                     program,
@@ -321,6 +339,13 @@ fn run_program<P: VertexProgram>(
                     &states,
                     &active,
                     &inbox,
+                );
+                telemetry.record(
+                    SpanKind::Compute,
+                    superstep,
+                    compute_start,
+                    telemetry.now(),
+                    out.active_count as u64,
                 );
 
                 // Split outgoing messages by destination owner, preserving
@@ -342,6 +367,7 @@ fn run_program<P: VertexProgram>(
                 // receives can't starve), written from per-peer threads so
                 // a send can never deadlock against a peer that is also
                 // mid-send; receives run on this thread.
+                let shuffle_start = telemetry.now();
                 let mut bytes_sent = 0u64;
                 let mut incoming: ShuffleSlots<P::Message> = (0..workers).map(|_| None).collect();
                 incoming[me] = Some(std::mem::take(&mut batches[me]));
@@ -407,6 +433,13 @@ fn run_program<P: VertexProgram>(
                     Ok(total)
                 });
                 bytes_sent += send_result?;
+                telemetry.record(
+                    SpanKind::Shuffle,
+                    superstep,
+                    shuffle_start,
+                    telemetry.now(),
+                    bytes_sent,
+                );
 
                 // Barrier: clear inboxes, apply this worker's updates, then
                 // deliver batches in sender-worker-id order — the exact
@@ -435,6 +468,12 @@ fn run_program<P: VertexProgram>(
                     .iter()
                     .filter(|&&v| active[v as usize] || !inbox[v as usize].is_empty())
                     .count() as u64;
+                // Ship this superstep's spans piggybacked on the barrier:
+                // the Telemetry frame (if any) travels just ahead of the
+                // StepDone the master is blocked on.
+                if let Some(frame) = telemetry.take_frame(plan.worker, plan.incarnation) {
+                    write_frame(&mut master, &frame).map_err(|e| format!("telemetry: {e}"))?;
+                }
                 write_frame(
                     &mut master,
                     &Frame::StepDone(crate::protocol::StepReport {
@@ -448,8 +487,14 @@ fn run_program<P: VertexProgram>(
                     }),
                 )
                 .map_err(|e| format!("step done: {e}"))?;
+                telemetry.start_barrier(superstep);
             }
             Frame::Finish => {
+                // EOF flush: the final barrier wait (closed above) has not
+                // shipped yet — send it before the Output frame.
+                if let Some(frame) = telemetry.take_frame(plan.worker, plan.incarnation) {
+                    write_frame(&mut master, &frame).map_err(|e| format!("telemetry: {e}"))?;
+                }
                 let blob = encode_blob(&part.gather(me, &states));
                 write_frame(
                     &mut master,

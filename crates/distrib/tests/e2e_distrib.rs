@@ -6,13 +6,17 @@
 //! processes) can `--skip e2e_`. The graph scale is `GX_DISTRIB_SCALE`
 //! (log2 vertices, default 8) so the CI smoke job can climb higher.
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use graphalytics_algos::{Algorithm, Output};
+use graphalytics_core::faults::FaultPlan;
 use graphalytics_core::platform::{Platform, RunContext};
 use graphalytics_core::trace::Tracer;
-use graphalytics_distrib::{DistribConfig, DistributedPlatform};
+use graphalytics_distrib::{
+    coordinate, DistribConfig, DistributedPlatform, MasterConfig, MasterStats, PartitionPlan,
+};
 use graphalytics_graph::{CsrGraph, EdgeListGraph, WEIGHT_SCALE};
 use graphalytics_pregel::{GiraphPlatform, PregelConfig};
 
@@ -166,6 +170,139 @@ fn e2e_one_vs_four_workers_differential() {
             }
         }
     }
+}
+
+/// The telemetry differential gate. Tracing disabled: the master receives
+/// zero `Telemetry` frames and the run's output, superstep count, message
+/// totals, and wire-byte accounting are exactly what they were before
+/// telemetry existed. Tracing enabled: the output vector is still
+/// bit-identical and the wire accounting does not move (telemetry frames
+/// are excluded from `network_bytes` by design) — but the merged trace now
+/// carries per-process worker lanes, a straggler table, and per-worker
+/// Prometheus series.
+#[test]
+fn e2e_telemetry_is_off_the_output_path() {
+    let graph = test_graph();
+    let dir = std::env::temp_dir().join(format!("gx-telemetry-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let prefix = dir.join("graph");
+    graphalytics_graph::io::write_graph(&graph.to_edge_list(), &prefix).expect("write dataset");
+    let part = PartitionPlan::new(&graph, 4);
+    // Fixed iteration count: both runs execute the same superstep schedule.
+    let alg = Algorithm::PageRank {
+        iterations: 6,
+        damping: 0.85,
+    };
+    let plan = FaultPlan::disabled();
+    let cfg = |run_id: u64| MasterConfig {
+        workers: 4,
+        checkpoint_interval: Some(2),
+        max_supersteps: 10_000,
+        max_restarts: 8,
+        worker_bin: worker_bin(),
+        graph_prefix: prefix.clone(),
+        directed: graph.is_directed(),
+        weighted: true,
+        checkpoint_dir: dir.join(format!("ckpt-{run_id}")),
+        run_id,
+    };
+
+    // Disabled tracer: the pre-PR behaviour, frame for frame.
+    let (plain, stats_off) =
+        coordinate::<f64>(&cfg(1), &alg, &plan, &part, &RunContext::unbounded()).expect("plain");
+    assert_eq!(
+        stats_off.telemetry_frames, 0,
+        "disabled tracing must ship zero telemetry frames"
+    );
+
+    // Enabled tracer, under a `run` span so choke-point attribution and
+    // the chrome-trace export see the whole fleet subtree.
+    let tracer = Arc::new(Tracer::new());
+    let ctx = RunContext::unbounded().with_tracer(Arc::clone(&tracer));
+    let (traced, stats_on) = {
+        let mut run = tracer.span("run");
+        run.field("platform", "distributed-pregel")
+            .field("dataset", "ring")
+            .field("algorithm", "PageRank");
+        coordinate::<f64>(&cfg(2), &alg, &plan, &part, &ctx).expect("traced")
+    };
+
+    // Output is bit-identical with tracing on.
+    assert_eq!(plain.len(), traced.len());
+    for (i, (a, b)) in plain.iter().zip(&traced).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "rank {i} differs with tracing enabled"
+        );
+    }
+    // Wire accounting is identical: telemetry frames never count.
+    assert!(stats_on.telemetry_frames > 0, "no telemetry frames shipped");
+    let normalized = MasterStats {
+        telemetry_frames: 0,
+        ..stats_on.clone()
+    };
+    assert_eq!(
+        normalized, stats_off,
+        "tracing changed the run's accounted behaviour"
+    );
+
+    // The merged trace has one lane per worker process plus the master.
+    let spans = tracer.finished_spans();
+    let lanes: BTreeSet<String> = spans
+        .iter()
+        .filter(|s| s.name.starts_with("distrib.worker."))
+        .filter_map(|s| s.field("proc").and_then(|f| f.as_str()).map(str::to_string))
+        .collect();
+    let want: BTreeSet<String> = ["w0:i0", "w1:i0", "w2:i0", "w3:i0"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(lanes, want, "missing worker lanes");
+    assert!(
+        spans.iter().any(|s| s.name == "distrib.superstep"),
+        "master lane lost its superstep spans"
+    );
+    let trace = graphalytics_obs::chrome_trace(&spans);
+    for name in [
+        "graphalytics",
+        "worker w0:i0",
+        "worker w1:i0",
+        "worker w2:i0",
+        "worker w3:i0",
+    ] {
+        assert!(trace.contains(name), "chrome trace missing lane {name}");
+    }
+
+    // Straggler attribution: every superstep row covers all four workers.
+    let reports = graphalytics_obs::attribute(&spans);
+    let report = reports
+        .iter()
+        .find(|r| r.platform == "distributed-pregel")
+        .expect("no distributed run report");
+    assert!(!report.stragglers.is_empty(), "no straggler rows");
+    for row in &report.stragglers {
+        assert_eq!(row.workers, 4, "superstep {} row incomplete", row.superstep);
+        assert!(row.slowest_worker < 4);
+        assert!((0.0..=1.0).contains(&row.gini));
+        assert!(row.max_compute_seconds >= 0.0);
+    }
+
+    // Per-worker Prometheus series with the fixed-cardinality worker label.
+    let rendered = tracer.metrics().render_prometheus();
+    for family in [
+        "graphalytics_worker_compute_seconds",
+        "graphalytics_worker_barrier_wait_seconds",
+        "graphalytics_worker_shuffle_bytes_total",
+    ] {
+        assert!(rendered.contains(family), "missing {family}:\n{rendered}");
+    }
+    assert!(
+        rendered.contains("worker=\"0\"") && rendered.contains("worker=\"3\""),
+        "missing worker label:\n{rendered}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// An empty graph runs without spawning any fleet.

@@ -5,12 +5,14 @@
 //!
 //! Named `e2e_*` so sanitizer CI jobs can `--skip e2e_`.
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use graphalytics_algos::Algorithm;
 use graphalytics_core::faults::{FaultInjector, FaultPlan, FaultSite, RecoveryAction};
 use graphalytics_core::platform::{Platform, PlatformError, RunContext};
+use graphalytics_core::trace::Tracer;
 use graphalytics_distrib::{DistribConfig, DistributedPlatform};
 use graphalytics_graph::{CsrGraph, EdgeListGraph};
 
@@ -122,6 +124,61 @@ fn e2e_injection_and_recovery_logs_are_seed_stable() {
     for (a, b) in logs[0].1.iter().zip(&logs[1].1) {
         assert_eq!(a.action, b.action);
         assert_eq!(a.site, b.site);
+    }
+}
+
+/// A crash-recovery run's merged trace never double-counts: re-shipped
+/// spans are deduplicated per `(worker, incarnation, seq)`, and the
+/// restarted worker's re-executed supersteps appear on a fresh
+/// incarnation-tagged lane (`w1:i1`) next to its pre-crash lane (`w1:i0`).
+#[test]
+fn e2e_recovery_trace_dedups_spans_and_tags_incarnations() {
+    let graph = test_graph();
+    let mut p = platform(Some(2));
+    let handle = p.load_graph(&graph).unwrap();
+    let injector = Arc::new(FaultInjector::new(crash_plan()));
+    let tracer = Arc::new(Tracer::new());
+    let ctx = RunContext::unbounded()
+        .with_faults(Arc::clone(&injector))
+        .with_tracer(Arc::clone(&tracer));
+    p.run(handle, &algorithm(), &ctx).unwrap();
+    p.unload(handle);
+    assert_eq!(injector.recovery_count(), 1, "expected one fleet restart");
+
+    let spans = tracer.finished_spans();
+    let worker_spans: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name.starts_with("distrib.worker."))
+        .collect();
+    assert!(!worker_spans.is_empty(), "no merged worker spans");
+
+    // No duplicated span seqs anywhere in the merged trace.
+    let mut seen = BTreeSet::new();
+    for span in &worker_spans {
+        let key = (
+            span.field("worker").and_then(|f| f.as_i64()),
+            span.field("incarnation").and_then(|f| f.as_i64()),
+            span.field("seq").and_then(|f| f.as_i64()),
+        );
+        assert!(
+            seen.insert(key),
+            "duplicated span seq in merged trace: {key:?}"
+        );
+    }
+
+    // The killed worker's lanes: pre-crash incarnation 0 and post-restart
+    // incarnation 1 both present; every surviving worker restarted too.
+    let lanes: BTreeSet<&str> = worker_spans
+        .iter()
+        .filter_map(|s| s.field("proc").and_then(|f| f.as_str()))
+        .collect();
+    assert!(lanes.contains("w1:i0"), "pre-crash lane missing: {lanes:?}");
+    assert!(lanes.contains("w1:i1"), "restart lane missing: {lanes:?}");
+    for w in 0..4 {
+        assert!(
+            lanes.contains(format!("w{w}:i1").as_str()),
+            "worker {w} has no incarnation-1 lane: {lanes:?}"
+        );
     }
 }
 

@@ -83,6 +83,27 @@ pub struct SkewSection {
     pub source: String,
 }
 
+/// One row of the per-superstep straggler table: which worker process was
+/// slowest, by how much, and how unequal the compute times were. Built
+/// from the merged `distrib.worker.compute` / `distrib.worker.barrier`
+/// spans of the final incarnation that executed the superstep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StragglerRow {
+    /// Superstep the row describes.
+    pub superstep: u64,
+    /// Worker processes that reported compute spans for it.
+    pub workers: usize,
+    /// Compute time of the slowest worker (seconds).
+    pub max_compute_seconds: f64,
+    /// Id of that slowest worker — the superstep's straggler.
+    pub slowest_worker: u32,
+    /// Longest barrier wait any worker spent blocked on this superstep —
+    /// the price the fleet paid for the straggler.
+    pub max_barrier_seconds: f64,
+    /// Gini coefficient of per-worker compute time (0 = balanced).
+    pub gini: f64,
+}
+
 /// The four-section choke-point attribution of one benchmark run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunChokePoints {
@@ -100,6 +121,9 @@ pub struct RunChokePoints {
     pub locality: LocalitySection,
     /// Skew attribution.
     pub skew: SkewSection,
+    /// Per-superstep straggler rows (empty unless the run carried merged
+    /// worker-process telemetry from the distributed runtime).
+    pub stragglers: Vec<StragglerRow>,
 }
 
 /// Gini coefficient of a work distribution: mean absolute difference
@@ -230,6 +254,7 @@ pub fn attribute(spans: &[Span]) -> Vec<RunChokePoints> {
         } else {
             0.0
         };
+        let stragglers = straggler_rows(&subtree);
 
         reports.push(RunChokePoints {
             platform,
@@ -243,9 +268,67 @@ pub fn attribute(spans: &[Span]) -> Vec<RunChokePoints> {
             },
             locality,
             skew,
+            stragglers,
         });
     }
     reports
+}
+
+/// Builds the per-superstep straggler table from a run subtree's merged
+/// worker spans. Supersteps re-executed after a crash recovery appear once
+/// per incarnation in the trace; each row uses only the *final* (highest)
+/// incarnation that ran the superstep, so the table describes the
+/// execution that actually produced the output.
+fn straggler_rows(subtree: &[&Span]) -> Vec<StragglerRow> {
+    // (superstep → incarnation that counts).
+    let mut final_inc: BTreeMap<u64, u64> = BTreeMap::new();
+    for span in subtree {
+        if span.name == "distrib.worker.compute" {
+            let inc = field_u64(span, "incarnation");
+            let entry = final_inc.entry(field_u64(span, "superstep")).or_insert(inc);
+            *entry = (*entry).max(inc);
+        }
+    }
+    let mut rows = Vec::with_capacity(final_inc.len());
+    for (&superstep, &inc) in &final_inc {
+        // Per-worker compute seconds (summed, though one span per worker
+        // per superstep is the norm) and the longest barrier wait.
+        let mut compute: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut max_barrier = 0.0f64;
+        for span in subtree {
+            if field_u64(span, "superstep") != superstep || field_u64(span, "incarnation") != inc {
+                continue;
+            }
+            match span.name.as_str() {
+                "distrib.worker.compute" => {
+                    *compute.entry(field_u64(span, "worker")).or_insert(0.0) +=
+                        span.duration_seconds();
+                }
+                "distrib.worker.barrier" => {
+                    max_barrier = max_barrier.max(span.duration_seconds());
+                }
+                _ => {}
+            }
+        }
+        let (slowest_worker, max_compute_seconds) = compute
+            .iter()
+            .map(|(&w, &secs)| (w as u32, secs))
+            .fold(
+                (0u32, 0.0f64),
+                |acc, cur| if cur.1 > acc.1 { cur } else { acc },
+            );
+        // Microsecond resolution keeps the Gini integral.
+        let micros: Vec<u64> = compute.values().map(|&s| (s * 1e6) as u64).collect();
+        rows.push(StragglerRow {
+            superstep,
+            workers: compute.len(),
+            max_compute_seconds,
+            slowest_worker,
+            max_barrier_seconds: max_barrier,
+            gini: gini(&micros),
+        });
+    }
+    rows
 }
 
 impl RunChokePoints {
@@ -309,6 +392,24 @@ impl RunChokePoints {
                     ("source", Json::from(self.skew.source.clone())),
                 ]),
             ),
+            (
+                "stragglers",
+                Json::Arr(
+                    self.stragglers
+                        .iter()
+                        .map(|row| {
+                            Json::obj([
+                                ("superstep", Json::from(row.superstep as usize)),
+                                ("workers", Json::from(row.workers)),
+                                ("max_compute_seconds", Json::from(row.max_compute_seconds)),
+                                ("slowest_worker", Json::from(row.slowest_worker as usize)),
+                                ("max_barrier_seconds", Json::from(row.max_barrier_seconds)),
+                                ("gini", Json::from(row.gini)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -331,6 +432,24 @@ pub fn render_text(reports: &[RunChokePoints]) -> String {
             r.locality.random_fraction,
             r.skew.max_gini,
         ));
+    }
+    for r in reports.iter().filter(|r| !r.stragglers.is_empty()) {
+        out.push_str(&format!(
+            "\nstragglers: {} / {} / {}\n",
+            r.platform, r.dataset, r.algorithm
+        ));
+        out.push_str("superstep  workers  max-compute-s  slowest  max-barrier-s  compute-gini\n");
+        for row in &r.stragglers {
+            out.push_str(&format!(
+                "{:>9} {:>8} {:>14.6} {:>8} {:>14.6} {:>13.3}\n",
+                row.superstep,
+                row.workers,
+                row.max_compute_seconds,
+                format!("w{}", row.slowest_worker),
+                row.max_barrier_seconds,
+                row.gini,
+            ));
+        }
     }
     out
 }
@@ -374,6 +493,38 @@ pub fn html_section(reports: &[RunChokePoints]) -> String {
         ));
     }
     out.push_str("</table>\n");
+    if reports.iter().any(|r| !r.stragglers.is_empty()) {
+        out.push_str("<h3>Straggler attribution</h3>\n");
+        out.push_str(
+            "<p>Per-superstep worker-process skew from the distributed runtime's \
+             merged telemetry: the slowest worker, its compute time, the longest \
+             barrier wait it caused, and the compute-time Gini over workers.</p>\n",
+        );
+        out.push_str(
+            "<table>\n<tr><th>Platform</th><th>Dataset</th><th>Algorithm</th>\
+             <th>Superstep</th><th>Workers</th><th>Max compute (s)</th>\
+             <th>Slowest worker</th><th>Max barrier wait (s)</th>\
+             <th>Compute Gini</th></tr>\n",
+        );
+        for r in reports {
+            for row in &r.stragglers {
+                out.push_str(&format!(
+                    "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                     <td>{:.6}</td><td>w{}</td><td>{:.6}</td><td>{:.3}</td></tr>\n",
+                    esc(&r.platform),
+                    esc(&r.dataset),
+                    esc(&r.algorithm),
+                    row.superstep,
+                    row.workers,
+                    row.max_compute_seconds,
+                    row.slowest_worker,
+                    row.max_barrier_seconds,
+                    row.gini,
+                ));
+            }
+        }
+        out.push_str("</table>\n");
+    }
     out
 }
 
@@ -507,8 +658,98 @@ mod tests {
         let reports = attribute(&tracer.finished_spans());
         let text = render_text(&reports);
         assert!(text.contains("Giraph"));
+        assert!(!text.contains("stragglers:"), "no worker telemetry");
         let html = html_section(&reports);
         assert!(html.contains("<h2>Choke-point attribution</h2>"));
         assert!(html.contains("<td>Giraph</td>"));
+        assert!(!html.contains("Straggler attribution"));
+    }
+
+    /// Merged worker telemetry: `distrib.worker.*` spans under a run span,
+    /// tagged with worker/incarnation/superstep fields the way the
+    /// distributed master's telemetry merger stamps them.
+    #[allow(clippy::too_many_arguments)]
+    fn worker_span(
+        tracer: &Tracer,
+        parent: Option<u64>,
+        name: &str,
+        worker: i64,
+        incarnation: i64,
+        superstep: i64,
+        start: f64,
+        end: f64,
+    ) {
+        use graphalytics_core::trace::FieldValue;
+        tracer.record_span(
+            name,
+            parent,
+            start,
+            end,
+            vec![
+                (
+                    "proc".to_string(),
+                    FieldValue::Str(format!("w{worker}:i{incarnation}")),
+                ),
+                ("worker".to_string(), FieldValue::I64(worker)),
+                ("incarnation".to_string(), FieldValue::I64(incarnation)),
+                ("superstep".to_string(), FieldValue::I64(superstep)),
+            ],
+        );
+    }
+
+    #[test]
+    fn straggler_table_attributes_slowest_worker_per_superstep() {
+        let tracer = Tracer::new();
+        let run_id = {
+            let mut run = tracer.span("run");
+            run.field("platform", "distributed-pregel")
+                .field("dataset", "d")
+                .field("algorithm", "PageRank");
+            run.id()
+        };
+        let compute = "distrib.worker.compute";
+        let barrier = "distrib.worker.barrier";
+        // Superstep 0, incarnation 0: w1 is the straggler (0.3s vs 0.1s).
+        worker_span(&tracer, run_id, compute, 0, 0, 0, 0.0, 0.1);
+        worker_span(&tracer, run_id, compute, 1, 0, 0, 0.0, 0.3);
+        worker_span(&tracer, run_id, barrier, 0, 0, 0, 0.1, 0.3);
+        // Superstep 0 re-executed by incarnation 1 after a crash: balanced.
+        // Only this final incarnation should populate the row.
+        worker_span(&tracer, run_id, compute, 0, 1, 0, 1.0, 1.2);
+        worker_span(&tracer, run_id, compute, 1, 1, 0, 1.0, 1.2);
+        let reports = attribute(&tracer.finished_spans());
+        assert_eq!(reports.len(), 1);
+        let rows = &reports[0].stragglers;
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!((row.superstep, row.workers), (0, 2));
+        assert!(
+            (row.max_compute_seconds - 0.2).abs() < 1e-9,
+            "final incarnation only: {}",
+            row.max_compute_seconds
+        );
+        assert_eq!(row.gini, 0.0, "incarnation 1 is balanced");
+        assert_eq!(
+            row.max_barrier_seconds, 0.0,
+            "incarnation 0 barrier ignored"
+        );
+
+        // All three formats carry the table.
+        let text = render_text(&reports);
+        assert!(text.contains("stragglers: distributed-pregel / d / PageRank"));
+        assert!(text.contains("compute-gini"));
+        let html = html_section(&reports);
+        assert!(html.contains("<h3>Straggler attribution</h3>"));
+        assert!(html.contains("<td>w0</td>"));
+        let doc =
+            graphalytics_core::json::parse(&reports[0].to_json().to_string_compact()).unwrap();
+        let Some(Json::Arr(stragglers)) = doc.get("stragglers").cloned() else {
+            panic!("stragglers array missing");
+        };
+        assert_eq!(stragglers.len(), 1);
+        assert_eq!(
+            stragglers[0].get("workers").and_then(Json::as_f64),
+            Some(2.0)
+        );
     }
 }

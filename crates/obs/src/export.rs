@@ -178,8 +178,33 @@ fn span_category(name: &str) -> &str {
 /// thread ordinal, and span fields under `args`. The output is the
 /// object form (`{"traceEvents": [...]}`), openable in `chrome://tracing`
 /// and Perfetto.
+///
+/// Spans carrying a string `proc` field (merged worker-process spans from
+/// the distributed runtime, e.g. `w1:i0`) render in their own process
+/// lane: each distinct `proc` value gets a pid ≥ 2 and a `process_name`
+/// metadata event, so a fleet run shows one timeline row per worker
+/// process next to the master's (pid 1).
 pub fn chrome_trace(spans: &[Span]) -> String {
-    let mut events: Vec<Json> = Vec::with_capacity(spans.len() + 1);
+    // Assign lane pids: master is pid 1; worker lanes sort by name.
+    let lanes: BTreeMap<&str, f64> = {
+        let mut names: Vec<&str> = spans
+            .iter()
+            .filter_map(|s| {
+                s.fields
+                    .iter()
+                    .find(|(k, _)| k == "proc")
+                    .and_then(|(_, v)| v.as_str())
+            })
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| (name, (i + 2) as f64))
+            .collect()
+    };
+    let mut events: Vec<Json> = Vec::with_capacity(spans.len() + 1 + lanes.len());
     events.push(Json::obj([
         ("name", Json::from("process_name")),
         ("cat", Json::from("__metadata")),
@@ -189,6 +214,20 @@ pub fn chrome_trace(spans: &[Span]) -> String {
         ("tid", Json::Num(0.0)),
         ("args", Json::obj([("name", Json::from("graphalytics"))])),
     ]));
+    for (name, &pid) in &lanes {
+        events.push(Json::obj([
+            ("name", Json::from("process_name")),
+            ("cat", Json::from("__metadata")),
+            ("ph", Json::from("M")),
+            ("ts", Json::Num(0.0)),
+            ("pid", Json::Num(pid)),
+            ("tid", Json::Num(0.0)),
+            (
+                "args",
+                Json::obj([("name", Json::from(format!("worker {name}")))]),
+            ),
+        ]));
+    }
     for span in spans {
         let mut args: BTreeMap<String, Json> = span
             .fields
@@ -207,13 +246,20 @@ pub fn chrome_trace(spans: &[Span]) -> String {
         if let Some(parent) = span.parent {
             args.insert("parent_span_id".to_string(), Json::Num(parent as f64));
         }
+        let pid = span
+            .fields
+            .iter()
+            .find(|(k, _)| k == "proc")
+            .and_then(|(_, v)| v.as_str())
+            .and_then(|name| lanes.get(name).copied())
+            .unwrap_or(1.0);
         events.push(Json::obj([
             ("name", Json::from(span.name.clone())),
             ("cat", Json::from(span_category(&span.name))),
             ("ph", Json::from("X")),
             ("ts", Json::Num(span.start_seconds * 1e6)),
             ("dur", Json::Num(span.duration_seconds() * 1e6)),
-            ("pid", Json::Num(1.0)),
+            ("pid", Json::Num(pid)),
             ("tid", Json::Num(span.thread as f64)),
             ("args", Json::Obj(args)),
         ]));
@@ -290,5 +336,53 @@ mod tests {
         let args = exec.get("args").unwrap();
         assert!(args.get("span_id").is_some());
         assert!(args.get("parent_span_id").is_some());
+    }
+
+    #[test]
+    fn proc_tagged_spans_get_their_own_process_lanes() {
+        use graphalytics_core::trace::FieldValue;
+        let tracer = Tracer::new();
+        {
+            let _run = tracer.span("run");
+        }
+        for lane in ["w0:i0", "w1:i0"] {
+            tracer.record_span(
+                "distrib.worker.compute",
+                None,
+                0.0,
+                0.5,
+                vec![("proc".to_string(), FieldValue::Str(lane.to_string()))],
+            );
+        }
+        let text = chrome_trace(&tracer.finished_spans());
+        let doc = json::parse(&text).expect("chrome trace parses");
+        let Some(Json::Arr(events)) = doc.get("traceEvents").cloned() else {
+            panic!("traceEvents array missing");
+        };
+        // One metadata event per lane: master + two workers.
+        let lane_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(lane_names, ["graphalytics", "worker w0:i0", "worker w1:i0"]);
+        // Worker spans sit on pids 2/3; the master span stays on pid 1.
+        let pid_of = |name: &str, lane: &str| {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("name").and_then(Json::as_str) == Some(name)
+                        && e.get("args")
+                            .and_then(|a| a.get("proc"))
+                            .and_then(Json::as_str)
+                            .map_or(lane.is_empty(), |p| p == lane)
+                })
+                .and_then(|e| e.get("pid"))
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        assert_eq!(pid_of("run", ""), 1.0);
+        assert_eq!(pid_of("distrib.worker.compute", "w0:i0"), 2.0);
+        assert_eq!(pid_of("distrib.worker.compute", "w1:i0"), 3.0);
     }
 }

@@ -575,6 +575,35 @@ fn run_job(ctx: &Arc<ServerCtx>, id: u64) {
 
     let profile = profiler.stop();
     let spans = job_tracer.finished_spans();
+    // Fold the job's per-worker fleet metrics (distributed runs only) into
+    // the server registry so /metrics exposes the `graphalytics_worker_*`
+    // series, and surface the merged telemetry on the job's event stream.
+    ctx.tracer
+        .metrics()
+        .merge_prefixed(job_tracer.metrics(), "graphalytics_worker_");
+    let worker_spans = spans
+        .iter()
+        .filter(|s| s.name.starts_with("distrib.worker."))
+        .count();
+    if worker_spans > 0 {
+        let lanes: std::collections::BTreeSet<&str> = spans
+            .iter()
+            .filter_map(|s| {
+                s.fields
+                    .iter()
+                    .find(|(k, _)| k == "proc")
+                    .and_then(|(_, v)| v.as_str())
+            })
+            .collect();
+        ctx.store.push_event(
+            id,
+            "fleet_telemetry",
+            vec![
+                ("worker_spans".to_string(), Json::from(worker_spans)),
+                ("lanes".to_string(), Json::from(lanes.len())),
+            ],
+        );
+    }
     let mut results_jsonl = String::new();
     for record in &result.runs {
         results_jsonl.push_str(&record_to_json(record).to_string_compact());

@@ -416,3 +416,57 @@ fn parse_sample_line(line: &str) -> Result<(String, Vec<(String, String)>, Strin
     }
     Ok((name, labels, value.to_string()))
 }
+
+/// The PR 9 network counters and the per-worker fleet families must expose
+/// their *curated* HELP text (not a generic fallback) and keep the
+/// HELP-before-TYPE ordering the exposition format requires.
+#[test]
+fn network_and_worker_metric_families_have_curated_help_before_type() {
+    let tracer = graphalytics_core::Tracer::new();
+    let m = tracer.metrics();
+    let platform = [("platform", "distributed-pregel")];
+    let per_worker = [("platform", "distributed-pregel"), ("worker", "1")];
+    m.inc_counter("graphalytics_network_bytes_total", &platform, 4096);
+    m.inc_counter("graphalytics_network_messages_total", &platform, 17);
+    m.inc_counter("graphalytics_worker_shuffle_bytes_total", &per_worker, 512);
+    m.observe("graphalytics_worker_compute_seconds", &per_worker, 0.5);
+    m.observe(
+        "graphalytics_worker_barrier_wait_seconds",
+        &per_worker,
+        0.25,
+    );
+    m.observe("graphalytics_worker_checkpoint_seconds", &per_worker, 0.1);
+    let text = m.render_prometheus();
+    check_prometheus_grammar(&text);
+    for family in [
+        "graphalytics_network_bytes_total",
+        "graphalytics_network_messages_total",
+        "graphalytics_worker_compute_seconds",
+        "graphalytics_worker_barrier_wait_seconds",
+        "graphalytics_worker_shuffle_bytes_total",
+        "graphalytics_worker_checkpoint_seconds",
+    ] {
+        let help = text
+            .find(&format!("# HELP {family} "))
+            .unwrap_or_else(|| panic!("no HELP for {family}"));
+        let typ = text
+            .find(&format!("# TYPE {family} "))
+            .unwrap_or_else(|| panic!("no TYPE for {family}"));
+        assert!(help < typ, "{family}: HELP must precede TYPE");
+    }
+    // Curated texts from the well-known help map, not generated stubs.
+    assert!(text.contains(
+        "# HELP graphalytics_network_bytes_total Real wire bytes moved by the \
+         distributed runtime (shuffle and control frames)."
+    ));
+    assert!(text.contains(
+        "# HELP graphalytics_network_messages_total Messages that crossed \
+         worker processes in the distributed runtime."
+    ));
+    assert!(text.contains(
+        "# HELP graphalytics_worker_compute_seconds Vertex-compute time per distributed"
+    ));
+    assert!(text.contains(
+        "# HELP graphalytics_worker_barrier_wait_seconds Time each distributed worker spent"
+    ));
+}
